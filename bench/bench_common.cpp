@@ -1,0 +1,63 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace mbir::bench {
+
+std::unique_ptr<BenchContext> BenchContext::fromCli(CliArgs& args,
+                                                    const std::string& summary,
+                                                    int default_cases) {
+  args.describe("size", "image size (pixels per side)", "128");
+  args.describe("views", "number of view angles", "180");
+  args.describe("channels", "detector channels", "256");
+  args.describe("dose", "incident photons per measurement", "2e5");
+  args.describe("cases", "number of suite cases", std::to_string(default_cases));
+  args.describe("seed", "suite seed", "2026");
+  args.describe("golden-equits", "equits for the golden reference", "40");
+  if (args.helpRequested(summary)) return nullptr;
+
+  auto ctx = std::make_unique<BenchContext>();
+  ctx->cfg.geometry.image_size = args.getInt("size", 128);
+  ctx->cfg.geometry.num_views = args.getInt("views", 180);
+  ctx->cfg.geometry.num_channels = args.getInt("channels", 256);
+  ctx->cfg.noise.i0 = args.getDouble("dose", 2e5);
+  ctx->cfg.seed = std::uint64_t(args.getInt("seed", 2026));
+  ctx->num_cases = args.getInt("cases", default_cases);
+  ctx->golden_equits = args.getDouble("golden-equits", 40.0);
+
+  std::printf("[bench] geometry %dx%d, %d views, %d channels; %d case(s)\n",
+              ctx->cfg.geometry.image_size, ctx->cfg.geometry.image_size,
+              ctx->cfg.geometry.num_views, ctx->cfg.geometry.num_channels,
+              ctx->num_cases);
+  ctx->suite = std::make_unique<Suite>(ctx->cfg);
+  return ctx;
+}
+
+GpuTunables paperTunables() {
+  GpuTunables t;
+  t.sv.sv_side = 33;
+  t.chunk_width = 32;
+  t.threadblocks_per_sv = 40;
+  t.threads_per_block = 256;
+  t.svs_per_batch = 32;
+  t.sv_fraction = 0.25;
+  return t;
+}
+
+RunResult runGpu(const OwnedProblem& problem, const Image2D& golden,
+                 const GpuTunables& tunables, const OptimFlags& flags) {
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kGpuIcd;
+  cfg.gpu.tunables = tunables;
+  cfg.gpu.flags = flags;
+  return reconstruct(problem, golden, cfg);
+}
+
+void emit(const AsciiTable& table, const std::string& bench_name) {
+  std::printf("\n%s\n", table.render().c_str());
+  const std::string path = bench_name + ".csv";
+  table.writeCsv(path);
+  std::printf("[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace mbir::bench

@@ -1,0 +1,52 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench binary (one per table/figure of the PPoPP'17 evaluation)
+// builds its workload through BenchContext: a Suite at a CLI-configurable
+// geometry (default 128^2, 180 views, 256 channels — a scaled instance of
+// the paper's 512^2 x 720 x 1024; see DESIGN.md §1), golden images per the
+// paper's protocol (40-equit sequential ICD), and convergence to
+// RMSE < 10 HU. Results print as ASCII tables with the paper's published
+// numbers alongside, and are also written as CSV.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "recon/reconstructor.h"
+#include "recon/suite.h"
+
+namespace mbir::bench {
+
+struct BenchContext {
+  SuiteConfig cfg;
+  std::unique_ptr<Suite> suite;
+  int num_cases = 1;
+  double golden_equits = 40.0;
+
+  /// Parse the common options (size/views/channels/dose/cases/seed) and
+  /// build the suite. Returns nullptr if --help was handled.
+  static std::unique_ptr<BenchContext> fromCli(CliArgs& args,
+                                               const std::string& summary,
+                                               int default_cases = 1);
+
+  OwnedProblem makeCase(int index) const { return suite->makeCase(index); }
+
+  /// The "representative image" the paper tunes parameters on (§5.2).
+  OwnedProblem representativeCase() const { return suite->makeCase(0); }
+};
+
+/// Paper's Table-1 GPU-ICD tunables (SV side 33, W 32, 40 TB/SV, 256
+/// threads, batch 32, 25%).
+GpuTunables paperTunables();
+
+/// Reconstruct with GPU-ICD at given tunables/flags to the 10 HU criterion;
+/// wraps recon::reconstruct with the right RunConfig.
+RunResult runGpu(const OwnedProblem& problem, const Image2D& golden,
+                 const GpuTunables& tunables, const OptimFlags& flags = {});
+
+/// Print the table and write it next to the binary as <name>.csv.
+void emit(const AsciiTable& table, const std::string& bench_name);
+
+}  // namespace mbir::bench

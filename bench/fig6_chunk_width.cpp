@@ -1,0 +1,59 @@
+// Fig. 6 — speedup of the §4.1 layout-transformed kernel over the naive
+// (default-layout) kernel, as a function of chunk width.
+//
+// Paper shape: peak ~2.1x at W = 32; small widths lose coalescing, large
+// widths pay prohibitive padding; warp-size multiples beat non-multiples.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace mbir;
+using namespace mbir::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  auto ctx = BenchContext::fromCli(
+      args, "Fig. 6: transformed-vs-naive speedup across chunk widths.");
+  if (!ctx) return 0;
+
+  const OwnedProblem problem = ctx->representativeCase();
+  const Image2D golden = computeGolden(problem, ctx->golden_equits);
+
+  // Naive baseline: default layout, float A from global memory (the
+  // pre-transformation code of §4.1).
+  OptimFlags naive;
+  naive.transformed_layout = false;
+  naive.quantize_amatrix = false;
+  naive.amatrix_via_texture = false;
+  const RunResult base = runGpu(problem, golden, paperTunables(), naive);
+  std::printf("naive-layout baseline: %.4f s\n", base.modeled_seconds);
+
+  // Transformed kernel with everything else identical to the baseline, so
+  // the ratio isolates the layout transformation exactly as Fig. 6 does.
+  OptimFlags transformed;
+  transformed.quantize_amatrix = false;
+  transformed.amatrix_via_texture = false;
+
+  AsciiTable t({"chunk width", "modeled time (s)", "speedup vs naive",
+                "padding ratio note"});
+  const int widths[] = {8, 16, 24, 32, 48, 64, 96, 128};
+  double best_speedup = 0.0;
+  int best_w = 0;
+  for (int w : widths) {
+    GpuTunables tn = paperTunables();
+    tn.chunk_width = w;
+    const RunResult r = runGpu(problem, golden, tn, transformed);
+    const double speedup = base.modeled_seconds / r.modeled_seconds;
+    if (speedup > best_speedup) {
+      best_speedup = speedup;
+      best_w = w;
+    }
+    t.addRow({AsciiTable::fmt(w), AsciiTable::fmt(r.modeled_seconds, 4),
+              AsciiTable::fmt(speedup, 2) + "x",
+              w % 32 == 0 ? "warp multiple (aligned)" : "non-multiple"});
+  }
+  emit(t, "fig6_chunk_width");
+  std::printf("best width %d at %.2fx (paper: W=32 at 2.1x)\n", best_w,
+              best_speedup);
+  return 0;
+}

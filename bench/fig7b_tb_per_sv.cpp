@@ -1,0 +1,34 @@
+// Fig. 7b — threadblocks per SV (exploited intra-SV parallelism):
+// performance improves with more blocks per SV and saturates around 32.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace mbir;
+using namespace mbir::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  auto ctx = BenchContext::fromCli(
+      args, "Fig. 7b: threadblocks per SV (intra-SV parallelism degree).");
+  if (!ctx) return 0;
+
+  const OwnedProblem problem = ctx->representativeCase();
+  const Image2D golden = computeGolden(problem, ctx->golden_equits);
+
+  AsciiTable t({"threadblocks/SV", "modeled time (s)", "equits",
+                "speedup vs 1"});
+  double t1 = 0.0;
+  for (int tbs : {1, 2, 4, 8, 16, 32, 40, 64}) {
+    GpuTunables tn = paperTunables();
+    tn.threadblocks_per_sv = tbs;
+    const RunResult r = runGpu(problem, golden, tn);
+    if (tbs == 1) t1 = r.modeled_seconds;
+    t.addRow({AsciiTable::fmt(tbs), AsciiTable::fmt(r.modeled_seconds, 4),
+              AsciiTable::fmt(r.equits, 2),
+              AsciiTable::fmt(t1 / r.modeled_seconds, 2) + "x"});
+  }
+  emit(t, "fig7b_tb_per_sv");
+  std::printf("(paper: performance saturates after ~32 threadblocks/SV)\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 7c — threads per threadblock (exploited intra-voxel parallelism):
+// best at 256; 64 threads (full occupancy but many resident blocks) causes
+// L2 conflicts; 384 lowers occupancy; 512 adds reduction/imbalance cost.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gsim/occupancy.h"
+
+using namespace mbir;
+using namespace mbir::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  auto ctx = BenchContext::fromCli(
+      args, "Fig. 7c: threads per threadblock (intra-voxel parallelism).");
+  if (!ctx) return 0;
+
+  const OwnedProblem problem = ctx->representativeCase();
+  const Image2D golden = computeGolden(problem, ctx->golden_equits);
+
+  AsciiTable t({"threads/block", "modeled time (s)", "occupancy (%)",
+                "equits"});
+  double best = 1e30;
+  int best_threads = 0;
+  for (int threads : {64, 128, 192, 256, 384, 512}) {
+    GpuTunables tn = paperTunables();
+    tn.threads_per_block = threads;
+    const RunResult r = runGpu(problem, golden, tn);
+    const KernelFootprint fp = updateKernelFootprint(OptimFlags{});
+    const auto occ = gsim::computeOccupancy(
+        gsim::titanXMaxwell(),
+        {.threads_per_block = threads, .regs_per_thread = fp.regs_per_thread,
+         .smem_per_block_bytes = fp.smem_bytes_per_thread * std::size_t(threads)});
+    if (r.modeled_seconds < best) {
+      best = r.modeled_seconds;
+      best_threads = threads;
+    }
+    t.addRow({AsciiTable::fmt(threads), AsciiTable::fmt(r.modeled_seconds, 4),
+              AsciiTable::fmt(occ.fraction * 100.0, 1),
+              AsciiTable::fmt(r.equits, 2)});
+  }
+  emit(t, "fig7c_threads_per_tb");
+  std::printf("best threads/block: %d (paper: 256)\n", best_threads);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) for the substrate operations — not a
+// paper table, but the engineering-hygiene numbers a user tuning this
+// library on their own hardware needs: voxel update cost, SVB gather,
+// chunk-table construction, projection, quantization.
+#include <benchmark/benchmark.h>
+
+#include "geom/fbp.h"
+#include "geom/projector.h"
+#include "icd/voxel_update.h"
+#include "phantom/baggage.h"
+#include "phantom/rasterize.h"
+#include "recon/suite.h"
+#include "sv/chunks.h"
+#include "sv/svb.h"
+
+namespace mbir {
+namespace {
+
+const Suite& microSuite() {
+  static const Suite suite = [] {
+    SuiteConfig cfg;
+    cfg.geometry = ParallelBeamGeometry{.num_views = 96,
+                                        .num_channels = 128,
+                                        .image_size = 64,
+                                        .pixel_size_mm = 0.8,
+                                        .channel_spacing_mm = 0.5};
+    return Suite(cfg);
+  }();
+  return suite;
+}
+
+struct MicroCase {
+  OwnedProblem problem;
+  Image2D x;
+  Sinogram e;
+  MicroCase()
+      : problem(microSuite().makeCase(0)),
+        x(problem.fbpInitialImage()),
+        e(problem.initialError(x)) {}
+};
+
+MicroCase& microCase() {
+  static MicroCase c;
+  return c;
+}
+
+void BM_VoxelTheta(benchmark::State& state) {
+  auto& c = microCase();
+  const Problem p = c.problem.view();
+  std::size_t voxel = 0;
+  for (auto _ : state) {
+    voxel = (voxel + 257) % p.A.numVoxels();
+    benchmark::DoNotOptimize(computeThetaGlobal(p.A, c.e, p.weights, voxel));
+  }
+}
+BENCHMARK(BM_VoxelTheta);
+
+void BM_VoxelUpdateFull(benchmark::State& state) {
+  auto& c = microCase();
+  const Problem p = c.problem.view();
+  int i = 0;
+  for (auto _ : state) {
+    const int row = 8 + (i % 48);
+    const int col = 8 + ((i / 48) % 48);
+    ++i;
+    benchmark::DoNotOptimize(updateVoxelGlobal(p, c.x, c.e, row, col, false));
+  }
+}
+BENCHMARK(BM_VoxelUpdateFull);
+
+void BM_ForwardProject(benchmark::State& state) {
+  auto& c = microCase();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(forwardProject(c.problem.matrix(), c.x));
+}
+BENCHMARK(BM_ForwardProject);
+
+void BM_Fbp(benchmark::State& state) {
+  auto& c = microCase();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        fbpReconstruct(c.problem.scan().y, c.problem.geometry()));
+}
+BENCHMARK(BM_Fbp);
+
+void BM_SvbGather(benchmark::State& state) {
+  auto& c = microCase();
+  const SvGrid grid(c.problem.geometry().image_size,
+                    {.sv_side = 16, .boundary_overlap = 1});
+  const SvbPlan plan(c.problem.geometry(), grid.sv(grid.count() / 2));
+  Svb svb(plan, SvbLayout::kPadded);
+  for (auto _ : state) {
+    svb.gather(c.e);
+    benchmark::DoNotOptimize(svb.raw().data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(plan.paddedSize() * sizeof(float)));
+}
+BENCHMARK(BM_SvbGather);
+
+void BM_ChunkPlanBuild(benchmark::State& state) {
+  auto& c = microCase();
+  const SvGrid grid(c.problem.geometry().image_size,
+                    {.sv_side = 16, .boundary_overlap = 1});
+  const bool quantize = state.range(0) != 0;
+  for (auto _ : state) {
+    SvbPlan plan(c.problem.geometry(), grid.sv(grid.count() / 2));
+    ChunkPlan cp(c.problem.matrix(), plan,
+                 {.chunk_width = 32, .quantize = quantize});
+    benchmark::DoNotOptimize(cp.numChunks());
+  }
+}
+BENCHMARK(BM_ChunkPlanBuild)->Arg(0)->Arg(1);
+
+void BM_BaggagePhantomGen(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(makeBaggagePhantom(1, ++i));
+}
+BENCHMARK(BM_BaggagePhantomGen);
+
+void BM_Rasterize(benchmark::State& state) {
+  const auto phantom = makeBaggagePhantom(1, 0);
+  auto& c = microCase();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rasterize(phantom, c.problem.geometry()));
+}
+BENCHMARK(BM_Rasterize);
+
+}  // namespace
+}  // namespace mbir
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 2 — impact of shrinking the A-matrix (float -> uint8) and reading
+// it via the unified L1/texture cache.
+//
+// Paper (Titan X):
+//   (Global, float)  0.48 s
+//   (Texture, float) 0.45 s   519 GB/s tex, 41.78% hit
+//   (Global, char)   0.44 s
+//   (Texture, char)  0.41 s   702 GB/s tex, 60.36% hit
+// Shape target: texture beats global, char beats float, (tex, char) best.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gsim/timing.h"
+
+using namespace mbir;
+using namespace mbir::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  auto ctx = BenchContext::fromCli(
+      args, "Table 2: A-matrix memory path (global/texture) x type (float/char).");
+  if (!ctx) return 0;
+
+  const OwnedProblem problem = ctx->representativeCase();
+  const Image2D golden = computeGolden(problem, ctx->golden_equits);
+
+  struct Config {
+    const char* name;
+    bool texture;
+    bool quantize;
+    const char* paper;
+  };
+  const Config configs[] = {
+      {"(Global, float)", false, false, "0.48 s"},
+      {"(Texture, float)", true, false, "0.45 s, 519 GB/s (41.78%)"},
+      {"(Global, char)", false, true, "0.44 s"},
+      {"(Texture, char)", true, true, "0.41 s, 702 GB/s (60.36%)"},
+  };
+
+  AsciiTable t({"A-matrix from (memory, type)", "modeled time (s)",
+                "tex bandwidth (GB/s)", "tex hit rate (%)", "equits",
+                "paper"});
+  double best = 1e30, worst = 0.0;
+  for (const Config& c : configs) {
+    OptimFlags flags;
+    flags.amatrix_via_texture = c.texture;
+    flags.quantize_amatrix = c.quantize;
+    const RunResult r = runGpu(problem, golden, paperTunables(), flags);
+    const auto bw = gsim::bandwidthReport(r.gpu_stats->kernel_stats,
+                                          r.modeled_seconds);
+    best = std::min(best, r.modeled_seconds);
+    worst = std::max(worst, r.modeled_seconds);
+    t.addRow({c.name, AsciiTable::fmt(r.modeled_seconds, 4),
+              c.texture ? AsciiTable::fmt(bw.tex_gbs, 0) : "-",
+              c.texture ? AsciiTable::fmt(bw.tex_hit_rate * 100.0, 1) : "-",
+              AsciiTable::fmt(r.equits, 1), c.paper});
+  }
+  emit(t, "table2_amatrix");
+  std::printf("best/worst config ratio: %.2fx (paper: 0.48/0.41 = 1.17x)\n",
+              worst / best);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Parameter auto-tuning — the paper's §8 future work ("we plan to build a
+// model that automatically selects input-specific high performing parameter
+// values"), realized here as a measured coordinate-descent search over
+// GPU-ICD's tunables on the target image.
+//
+// The paper observes (§5.2) that the best parameter values differ across
+// images; this tool finds good values for one image and prints them in the
+// form GpuTunables accepts.
+//
+//   ./autotune [--size 128] [--case 0] [--rounds 2]
+#include <cstdio>
+#include <vector>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "recon/reconstructor.h"
+#include "recon/suite.h"
+
+using namespace mbir;
+
+namespace {
+
+double measure(const OwnedProblem& problem, const Image2D& golden,
+               const GpuTunables& tunables) {
+  RunConfig rc;
+  rc.algorithm = Algorithm::kGpuIcd;
+  rc.gpu.tunables = tunables;
+  const RunResult r = reconstruct(problem, golden, rc);
+  return r.converged ? r.modeled_seconds : 1e30;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("size", "image size", "128");
+  args.describe("case", "baggage case index", "0");
+  args.describe("rounds", "coordinate-descent passes", "2");
+  if (args.helpRequested(
+          "Auto-tune GPU-ICD parameters for one image (paper §8 future work)."))
+    return 0;
+
+  SuiteConfig cfg;
+  cfg.geometry.image_size = args.getInt("size", 128);
+  Suite suite(cfg);
+  const OwnedProblem problem = suite.makeCase(args.getInt("case", 0));
+  const Image2D golden = computeGolden(problem);
+
+  GpuTunables best;  // paper Table 1 defaults as the starting point
+  best.sv.sv_side = 33;
+  double best_time = measure(problem, golden, best);
+  std::printf("starting point (paper Table 1 values): %.4fs\n", best_time);
+
+  struct Axis {
+    const char* name;
+    std::vector<int> values;
+    void (*set)(GpuTunables&, int);
+  };
+  const Axis axes[] = {
+      {"sv_side", {17, 25, 33, 41},
+       [](GpuTunables& t, int v) { t.sv.sv_side = v; }},
+      {"chunk_width", {16, 32, 64},
+       [](GpuTunables& t, int v) { t.chunk_width = v; }},
+      {"threadblocks_per_sv", {16, 32, 40, 64},
+       [](GpuTunables& t, int v) { t.threadblocks_per_sv = v; }},
+      {"threads_per_block", {128, 256, 384},
+       [](GpuTunables& t, int v) { t.threads_per_block = v; }},
+      {"svs_per_batch", {8, 16, 32, 64},
+       [](GpuTunables& t, int v) { t.svs_per_batch = v; }},
+  };
+
+  AsciiTable trace({"round", "axis", "value", "modeled time (s)", "kept"});
+  const int rounds = args.getInt("rounds", 2);
+  for (int round = 1; round <= rounds; ++round) {
+    for (const Axis& axis : axes) {
+      for (int v : axis.values) {
+        GpuTunables candidate = best;
+        axis.set(candidate, v);
+        const double t = measure(problem, golden, candidate);
+        const bool keep = t < best_time;
+        trace.addRow({AsciiTable::fmt(round), axis.name, AsciiTable::fmt(v),
+                      AsciiTable::fmt(t, 4), keep ? "yes" : ""});
+        if (keep) {
+          best = candidate;
+          best_time = t;
+        }
+      }
+    }
+  }
+
+  std::printf("\n%s\n", trace.render().c_str());
+  std::printf("tuned configuration (%.4fs modeled):\n", best_time);
+  std::printf("  sv_side=%d chunk_width=%d threadblocks_per_sv=%d "
+              "threads_per_block=%d svs_per_batch=%d\n",
+              best.sv.sv_side, best.chunk_width, best.threadblocks_per_sv,
+              best.threads_per_block, best.svs_per_batch);
+  return 0;
+}

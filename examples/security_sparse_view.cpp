@@ -1,0 +1,76 @@
+// Sparse-view security scan — the workload class the paper's introduction
+// motivates (transportation security / explosive detection, §1, §7).
+//
+// Scans a randomly-generated baggage slice at a decreasing number of views
+// and reconstructs with FBP (direct method) and GPU-ICD MBIR. Sparse-view
+// acquisitions are where regularized iterative reconstruction pays off:
+// FBP develops streak artifacts while MBIR degrades gracefully — exactly
+// the regime the paper's §7 notes ordered-subset methods cannot serve.
+//
+//   ./security_sparse_view [--size 128] [--case 3] [--dose 2e5]
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "geom/fbp.h"
+#include "icd/convergence.h"
+#include "phantom/baggage.h"
+#include "recon/metrics.h"
+#include "recon/reconstructor.h"
+#include "recon/suite.h"
+
+using namespace mbir;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("size", "image size", "128");
+  args.describe("case", "baggage case index", "3");
+  args.describe("dose", "incident photons per measurement", "2e5");
+  if (args.helpRequested(
+          "Sparse-view baggage CT: FBP vs GPU-ICD MBIR as views decrease."))
+    return 0;
+
+  const int size = args.getInt("size", 128);
+  const int case_index = args.getInt("case", 3);
+
+  // Artifact RMSE: flat (uniform-material) regions of the ground truth,
+  // where sparse-view streaks appear; full-image RMSE would mostly measure
+  // edge anti-aliasing (see recon/metrics.h).
+  AsciiTable t({"views", "FBP artifact RMSE (HU)", "MBIR artifact RMSE (HU)",
+                "MBIR advantage", "MBIR modeled time (s)"});
+
+  for (int views : {180, 90, 45, 24}) {
+    SuiteConfig cfg;
+    cfg.geometry.image_size = size;
+    cfg.geometry.num_views = views;
+    cfg.geometry.num_channels = 256;
+    cfg.noise.i0 = args.getDouble("dose", 2e5);
+    Suite suite(cfg);
+    const OwnedProblem problem = suite.makeCase(case_index);
+    const Image2D& truth = problem.scan().ground_truth;
+
+    const Image2D fbp = fbpReconstruct(problem.scan().y, problem.geometry());
+
+    // MBIR quality is measured against ground truth here (not the golden):
+    // sparse-view is an image-quality story, not a convergence-speed one.
+    RunConfig rc;
+    rc.algorithm = Algorithm::kGpuIcd;
+    rc.stop_rmse_hu = 10.0;
+    const Image2D golden = computeGolden(problem, 30.0);
+    const RunResult mbir = reconstruct(problem, golden, rc);
+
+    const double fbp_rmse = flatRegionRmseHu(fbp, truth);
+    const double mbir_rmse = flatRegionRmseHu(mbir.image, truth);
+    t.addRow({AsciiTable::fmt(views), AsciiTable::fmt(fbp_rmse, 1),
+              AsciiTable::fmt(mbir_rmse, 1),
+              AsciiTable::fmt(fbp_rmse / mbir_rmse, 2) + "x",
+              AsciiTable::fmt(mbir.modeled_seconds, 4)});
+    std::printf("[%3d views] FBP %.1f HU, MBIR %.1f HU\n", views, fbp_rmse,
+                mbir_rmse);
+  }
+
+  std::printf("\n%s\n", t.render().c_str());
+  std::printf("MBIR's advantage grows as views drop — the sparse-view regime "
+              "of security and NDE scanning (paper §7).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Cache-line / SIMD-aligned heap buffer.
+//
+// SVBs and A-chunk tables require rows placed at aligned addresses (paper
+// §4.1: "place each row at an aligned address") so that a warp's accesses
+// map to whole memory transactions. AlignedBuffer is the owning storage for
+// those structures.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+
+#include "core/error.h"
+
+namespace mbir {
+
+/// Default alignment: one 128-byte GPU memory transaction (also 2 cache lines).
+inline constexpr std::size_t kDefaultAlignment = 128;
+
+/// Owning, aligned, zero-initialized buffer of trivially-copyable T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kDefaultAlignment)
+      : size_(count), alignment_(alignment) {
+    MBIR_CHECK((alignment & (alignment - 1)) == 0);
+    if (count == 0) return;
+    std::size_t bytes = count * sizeof(T);
+    bytes = (bytes + alignment - 1) / alignment * alignment;
+    void* p = std::aligned_alloc(alignment, bytes);
+    MBIR_CHECK_MSG(p != nullptr, "aligned_alloc of " << bytes << " bytes failed");
+    std::memset(p, 0, bytes);
+    data_.reset(static_cast<T*>(p));
+  }
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+  std::size_t alignment() const { return alignment_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const { return data_.get()[i]; }
+
+  std::span<T> span() { return {data_.get(), size_}; }
+  std::span<const T> span() const { return {data_.get(), size_}; }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) data_.get()[i] = value;
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(T* p) const { std::free(p); }
+  };
+  std::unique_ptr<T[], FreeDeleter> data_;
+  std::size_t size_ = 0;
+  std::size_t alignment_ = kDefaultAlignment;
+};
+
+/// Round `n` up to the next multiple of `align` (align must be a power of two
+/// for pointer use; any positive value is accepted for element counts).
+constexpr std::size_t roundUp(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace mbir

@@ -1,0 +1,76 @@
+#include "core/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace mbir {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean flag
+    }
+  }
+}
+
+void CliArgs::describe(const std::string& name, const std::string& help,
+                       const std::string& default_value) {
+  docs_.push_back({name, help, default_value});
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliArgs::getString(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int CliArgs::getInt(const std::string& name, int def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stoi(it->second);
+}
+
+double CliArgs::getDouble(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool CliArgs::getBool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  MBIR_CHECK_MSG(false, "bad boolean value for --" << name << ": " << v);
+  return def;
+}
+
+bool CliArgs::helpRequested(const std::string& program_summary) const {
+  if (!has("help")) return false;
+  std::printf("%s\n\n%s\n\nOptions:\n", program_.c_str(), program_summary.c_str());
+  for (const auto& d : docs_) {
+    std::printf("  --%-24s %s", d.name.c_str(), d.help.c_str());
+    if (!d.def.empty()) std::printf(" (default: %s)", d.def.c_str());
+    std::printf("\n");
+  }
+  std::printf("  --%-24s %s\n", "help", "show this message");
+  return true;
+}
+
+}  // namespace mbir

@@ -1,0 +1,43 @@
+// Tiny command-line option parser shared by benches and examples.
+//
+// Supports "--name value" and "--name=value" forms plus boolean flags.
+// Every bench documents its options via describe() and prints them on
+// --help, so each paper-table binary is runnable and discoverable on its own.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mbir {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Register documentation for --help output.
+  void describe(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+
+  bool has(const std::string& name) const;
+  std::string getString(const std::string& name, const std::string& def) const;
+  int getInt(const std::string& name, int def) const;
+  double getDouble(const std::string& name, double def) const;
+  bool getBool(const std::string& name, bool def) const;
+
+  /// If --help was passed, print usage and return true (caller exits).
+  bool helpRequested(const std::string& program_summary) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  struct Doc {
+    std::string name, help, def;
+  };
+  mutable std::vector<Doc> docs_;
+  std::string program_;
+};
+
+}  // namespace mbir

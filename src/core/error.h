@@ -1,0 +1,49 @@
+// Error handling primitives.
+//
+// The library throws gpumbir::Error (derived from std::runtime_error) for
+// precondition violations. MBIR_CHECK is used at API boundaries; it is always
+// on (reconstruction inputs come from scanners and config files, so argument
+// validation is not a debug-only concern).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mbir {
+
+/// Exception type thrown by all gpumbir precondition checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MBIR_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mbir
+
+/// Validate a precondition; throws mbir::Error with location info on failure.
+#define MBIR_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::mbir::detail::throwCheckFailure(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// MBIR_CHECK with a streamed message: MBIR_CHECK_MSG(n > 0, "n=" << n).
+#define MBIR_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream mbir_check_os_;                                   \
+      mbir_check_os_ << stream_expr;                                       \
+      ::mbir::detail::throwCheckFailure(#cond, __FILE__, __LINE__,         \
+                                        mbir_check_os_.str());             \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,28 @@
+// Hounsfield Unit conversions.
+//
+// The paper reports convergence as RMSE against a golden image in Hounsfield
+// Units, stopping below 10 HU (§5.2). Images are carried internally in
+// linear attenuation (1/mm); these helpers convert for reporting.
+#pragma once
+
+namespace mbir {
+
+/// Linear attenuation coefficient of water (1/mm) at a representative CT
+/// effective energy (~70 keV).
+inline constexpr double kMuWaterPerMm = 0.0206;
+
+/// mu (1/mm) -> HU: 1000 * (mu - mu_water) / mu_water.
+inline double muToHu(double mu_per_mm) {
+  return 1000.0 * (mu_per_mm - kMuWaterPerMm) / kMuWaterPerMm;
+}
+
+/// HU -> mu (1/mm).
+inline double huToMu(double hu) {
+  return kMuWaterPerMm * (1.0 + hu / 1000.0);
+}
+
+/// Scale factor converting an attenuation *difference* (1/mm) to an HU
+/// difference (RMSE conversions use this; the offset cancels).
+inline constexpr double kHuPerMu = 1000.0 / kMuWaterPerMm;
+
+}  // namespace mbir

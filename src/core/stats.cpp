@@ -1,0 +1,58 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mbir {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  if (x > 0.0)
+    log_sum_ += std::log(x);
+  else
+    all_positive_ = false;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStats::mean() const {
+  MBIR_CHECK(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / double(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::geomean() const {
+  MBIR_CHECK(n_ > 0);
+  MBIR_CHECK_MSG(all_positive_, "geomean requires strictly positive samples");
+  return std::exp(log_sum_ / double(n_));
+}
+
+double percentile(std::vector<double> samples, double p) {
+  MBIR_CHECK(!samples.empty());
+  MBIR_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double idx = p / 100.0 * double(samples.size() - 1);
+  const std::size_t lo = std::size_t(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - double(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace mbir

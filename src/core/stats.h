@@ -1,0 +1,41 @@
+// Summary statistics used by the benchmark harness (Table 1 reports mean,
+// geometric-mean speedup, and standard deviation over a suite of cases).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mbir {
+
+/// Streaming accumulator (Welford) for mean / variance plus log-sum for
+/// geometric means.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Geometric mean; valid only if every sample was > 0.
+  double geomean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double log_sum_ = 0.0;
+  bool all_positive_ = true;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile (linear interpolation) of an unsorted sample, p in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace mbir

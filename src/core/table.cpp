@@ -1,0 +1,77 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace mbir {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MBIR_CHECK(!headers_.empty());
+}
+
+void AsciiTable::addRow(std::vector<std::string> cells) {
+  MBIR_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::fmt(int v) { return std::to_string(v); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+void AsciiTable::writeCsv(const std::string& path) const {
+  std::ofstream f(path);
+  MBIR_CHECK_MSG(f.good(), "cannot open " << path);
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) f << ',';
+      // Quote cells containing commas.
+      if (cells[c].find(',') != std::string::npos)
+        f << '"' << cells[c] << '"';
+      else
+        f << cells[c];
+    }
+    f << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  MBIR_CHECK_MSG(f.good(), "write to " << path << " failed");
+}
+
+}  // namespace mbir

@@ -1,0 +1,31 @@
+// ASCII table rendering so each bench binary prints the same rows the
+// paper's tables report, plus CSV export for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mbir {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(int v);
+
+  /// Render with column alignment and +----+ rules.
+  std::string render() const;
+
+  /// Write headers+rows as CSV to `path` (throws mbir::Error on I/O failure).
+  void writeCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mbir

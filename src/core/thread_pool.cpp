@@ -1,0 +1,104 @@
+#include "core/thread_pool.h"
+
+#include <exception>
+
+#include "core/error.h"
+
+namespace mbir {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    MBIR_CHECK(!stop_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      if (--in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(int begin, int end,
+                             const std::function<void(int)>& fn, int grain) {
+  MBIR_CHECK(grain >= 1);
+  if (begin >= end) return;
+  const int n = end - begin;
+  if (n <= grain || size() == 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{begin};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  auto body = [&] {
+    for (;;) {
+      const int start = next.fetch_add(grain, std::memory_order_relaxed);
+      if (start >= end || failed.load(std::memory_order_relaxed)) return;
+      const int stop = std::min(end, start + grain);
+      try {
+        for (int i = start; i < stop; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const unsigned tasks = std::min<unsigned>(size(), unsigned((n + grain - 1) / grain));
+  for (unsigned t = 1; t < tasks; ++t) submit(body);
+  body();  // caller participates
+  wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& globalThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mbir

@@ -1,0 +1,54 @@
+// Minimal work-queue thread pool used by PSV-ICD (Alg. 2) and by the batch
+// preparation paths of GPU-ICD. parallelFor provides dynamic (chunked)
+// scheduling, matching how PSV-ICD distributes SuperVoxels across cores.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mbir {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return unsigned(workers_.size()); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  /// Run fn(i) for i in [begin, end) across the pool with dynamic
+  /// self-scheduling in blocks of `grain`. Blocks until complete.
+  /// Exceptions from fn propagate (first one wins).
+  void parallelFor(int begin, int end, const std::function<void(int)>& fn,
+                   int grain = 1);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool (lazily constructed); benches and PSV-ICD share it.
+ThreadPool& globalThreadPool();
+
+}  // namespace mbir

@@ -1,0 +1,50 @@
+// Non-owning 2D view over contiguous row-major storage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/error.h"
+
+namespace mbir {
+
+/// Row-major 2D view: element (r, c) lives at data[r * stride + c].
+/// Rows may be padded (stride >= cols) — the SVB padded layout relies on this.
+template <typename T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, int rows, int cols, std::ptrdiff_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    MBIR_CHECK(rows >= 0 && cols >= 0 && stride >= cols);
+  }
+  View2D(T* data, int rows, int cols) : View2D(data, rows, cols, cols) {}
+
+  T& operator()(int r, int c) const { return data_[std::ptrdiff_t(r) * stride_ + c]; }
+  T& at(int r, int c) const {
+    MBIR_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "r=" << r << " c=" << c << " rows=" << rows_ << " cols=" << cols_);
+    return (*this)(r, c);
+  }
+
+  std::span<T> row(int r) const {
+    return {data_ + std::ptrdiff_t(r) * stride_, size_t(cols_)};
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::ptrdiff_t stride() const { return stride_; }
+  T* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Implicit conversion View2D<T> -> View2D<const T>.
+  operator View2D<const T>() const { return {data_, rows_, cols_, stride_}; }
+
+ private:
+  T* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  std::ptrdiff_t stride_ = 0;
+};
+
+}  // namespace mbir

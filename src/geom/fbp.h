@@ -1,0 +1,27 @@
+// Filtered backprojection (the "direct method" the paper contrasts MBIR
+// against, §1/§7) — used here both as a baseline example and as the
+// initializer for ICD (starting MBIR from the FBP image is standard practice
+// and what makes voxel zero-skipping sound: air regions start at zero,
+// object regions start nonzero).
+#pragma once
+
+#include "geom/geometry.h"
+#include "geom/image.h"
+#include "geom/sinogram.h"
+
+namespace mbir {
+
+struct FbpOptions {
+  /// Clamp negative attenuation to zero (physical images are nonnegative;
+  /// ICD's positivity constraint assumes a nonnegative start).
+  bool clamp_nonnegative = true;
+  /// Zero out pixels outside the scanner field-of-view circle.
+  bool mask_fov = true;
+};
+
+/// Ram-Lak filtered backprojection with linear detector interpolation.
+/// Returns attenuation in 1/mm.
+Image2D fbpReconstruct(const Sinogram& y, const ParallelBeamGeometry& g,
+                       const FbpOptions& opt = {});
+
+}  // namespace mbir

@@ -1,0 +1,52 @@
+#include "geom/footprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mbir {
+
+TrapezoidProfile::TrapezoidProfile(double pixel_mm, double theta_rad) {
+  MBIR_CHECK(pixel_mm > 0.0);
+  const double a = std::abs(std::cos(theta_rad)) * pixel_mm;
+  const double b = std::abs(std::sin(theta_rad)) * pixel_mm;
+  const double hi = std::max(a, b);
+  half_support_ = (a + b) / 2.0;
+  half_flat_ = std::abs(a - b) / 2.0;
+  // hi > 0 always since cos and sin cannot both vanish.
+  height_ = pixel_mm * pixel_mm / hi;
+}
+
+double TrapezoidProfile::value(double u) const {
+  u = std::abs(u);
+  if (u >= half_support_) return 0.0;
+  if (u <= half_flat_) return height_;
+  // Linear ramp from (half_flat, height) down to (half_support, 0).
+  return height_ * (half_support_ - u) / (half_support_ - half_flat_);
+}
+
+double TrapezoidProfile::cumulative(double u) const {
+  // Exploit symmetry: C(u) = total/2 + S(u) where S is odd.
+  const double total = height_ * (half_support_ + half_flat_);  // full integral
+  double s;                                                     // S(|u|)
+  const double au = std::abs(u);
+  if (au >= half_support_) {
+    s = total / 2.0;
+  } else if (au <= half_flat_) {
+    s = height_ * au;
+  } else {
+    const double ramp = half_support_ - half_flat_;
+    const double x = au - half_flat_;  // position within the ramp
+    // Integral over flat part plus partial ramp (trapezoid slice).
+    s = height_ * half_flat_ + height_ * x * (1.0 - x / (2.0 * ramp));
+  }
+  return total / 2.0 + (u >= 0.0 ? s : -s);
+}
+
+double TrapezoidProfile::integral(double u0, double u1) const {
+  MBIR_CHECK(u0 <= u1);
+  return cumulative(u1) - cumulative(u0);
+}
+
+}  // namespace mbir

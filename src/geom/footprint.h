@@ -1,0 +1,44 @@
+// Pixel-on-detector footprint math.
+//
+// The system matrix entry A[i][j] captures how much of the ray bundle hitting
+// channel j at view i passes through a given square pixel. For a parallel
+// beam, the shadow of a square pixel on the detector axis is a trapezoid:
+// chord length through the pixel as a function of perpendicular offset u from
+// the pixel-center projection. With a = |cos(theta)| * p and
+// b = |sin(theta)| * p (p = pixel side), the trapezoid has
+//   support   |u| <= (a + b) / 2,
+//   flat top  |u| <= |a - b| / 2,
+//   height    p^2 / max(a, b)   (so that the profile integrates to area p^2).
+// The A entry for a channel is the *average* chord over the channel aperture
+// (units: mm), so that y = A x is a set of line integrals when x is in 1/mm.
+#pragma once
+
+namespace mbir {
+
+/// Symmetric trapezoidal profile; evaluated/integrated analytically.
+class TrapezoidProfile {
+ public:
+  /// Construct the shadow profile of a square pixel of side `pixel_mm`
+  /// viewed at angle `theta_rad`.
+  TrapezoidProfile(double pixel_mm, double theta_rad);
+
+  /// Profile value (chord length, mm) at perpendicular offset u (mm).
+  double value(double u) const;
+
+  /// Definite integral of value() over [u0, u1] (mm^2). u0 <= u1 required.
+  double integral(double u0, double u1) const;
+
+  double halfFlat() const { return half_flat_; }
+  double halfSupport() const { return half_support_; }
+  double height() const { return height_; }
+
+ private:
+  /// Integral of value() over (-inf, u].
+  double cumulative(double u) const;
+
+  double half_flat_;
+  double half_support_;
+  double height_;
+};
+
+}  // namespace mbir

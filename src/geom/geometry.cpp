@@ -1,0 +1,62 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mbir {
+
+void ParallelBeamGeometry::validate() const {
+  MBIR_CHECK_MSG(num_views > 0, "num_views=" << num_views);
+  MBIR_CHECK_MSG(num_channels > 1, "num_channels=" << num_channels);
+  MBIR_CHECK_MSG(image_size > 1, "image_size=" << image_size);
+  MBIR_CHECK(pixel_size_mm > 0.0);
+  MBIR_CHECK(channel_spacing_mm > 0.0);
+  MBIR_CHECK(angle_range_rad > 0.0);
+  MBIR_CHECK(center_channel < double(num_channels));
+}
+
+double ParallelBeamGeometry::projectToChannel(double x, double y, int view) const {
+  const double th = angle(view);
+  const double t = x * std::cos(th) + y * std::sin(th);
+  return centerChannel() + t / channel_spacing_mm;
+}
+
+double ParallelBeamGeometry::fieldOfViewRadius() const {
+  const double half_span =
+      std::min(centerChannel(), double(num_channels) - 1.0 - centerChannel());
+  return half_span * channel_spacing_mm;
+}
+
+ParallelBeamGeometry paperScaleGeometry() {
+  ParallelBeamGeometry g;
+  g.num_views = 720;
+  g.num_channels = 1024;
+  g.image_size = 512;
+  g.pixel_size_mm = 0.8;
+  g.channel_spacing_mm = 0.45;
+  return g;
+}
+
+ParallelBeamGeometry benchScaleGeometry() {
+  ParallelBeamGeometry g;
+  g.num_views = 180;
+  g.num_channels = 256;
+  g.image_size = 128;
+  g.pixel_size_mm = 0.8;
+  g.channel_spacing_mm = 0.45;
+  return g;
+}
+
+ParallelBeamGeometry testScaleGeometry() {
+  ParallelBeamGeometry g;
+  g.num_views = 48;
+  g.num_channels = 64;
+  g.image_size = 32;
+  g.pixel_size_mm = 0.8;
+  g.channel_spacing_mm = 0.5;
+  return g;
+}
+
+}  // namespace mbir

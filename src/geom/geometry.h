@@ -1,0 +1,79 @@
+// Parallel-beam CT acquisition geometry.
+//
+// Matches the paper's experimental setup (§5.1): parallel-beam projection,
+// views uniformly distributed over [0, 180) degrees, a linear detector array
+// of `num_channels` sensors, and a square reconstruction grid. The paper's
+// dataset used 720 views x 1024 channels at 512x512; defaults here are a
+// scaled-down instance with identical structure (see DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+#include <numbers>
+
+namespace mbir {
+
+struct ParallelBeamGeometry {
+  /// Number of view angles, uniformly spaced over [first_angle, first_angle + angle_range).
+  int num_views = 180;
+  /// Number of detector channels per view.
+  int num_channels = 256;
+  /// Reconstruction image is image_size x image_size pixels.
+  int image_size = 128;
+  /// Square pixel side (mm).
+  double pixel_size_mm = 0.8;
+  /// Detector channel pitch (mm).
+  double channel_spacing_mm = 0.8;
+  /// First view angle (radians).
+  double first_angle_rad = 0.0;
+  /// Angular span (radians); parallel beam needs only pi.
+  double angle_range_rad = std::numbers::pi;
+  /// Detector coordinate (in channels) onto which the rotation center projects.
+  /// Defaults to the array center when negative.
+  double center_channel = -1.0;
+
+  /// Throws mbir::Error if any field is out of range.
+  void validate() const;
+
+  double angle(int view) const {
+    return first_angle_rad + angle_range_rad * double(view) / double(num_views);
+  }
+
+  double centerChannel() const {
+    return center_channel >= 0.0 ? center_channel
+                                 : (double(num_channels) - 1.0) / 2.0;
+  }
+
+  /// Cartesian center of pixel (row, col); x grows with col, y grows upward
+  /// (decreasing row), origin at the rotation center.
+  double pixelX(int col) const {
+    return (double(col) - (double(image_size) - 1.0) / 2.0) * pixel_size_mm;
+  }
+  double pixelY(int row) const {
+    return ((double(image_size) - 1.0) / 2.0 - double(row)) * pixel_size_mm;
+  }
+
+  /// Detector coordinate (in channel units) of the projection of point (x, y)
+  /// at view `v`: t = x cos(theta) + y sin(theta).
+  double projectToChannel(double x, double y, int view) const;
+
+  std::size_t numVoxels() const { return std::size_t(image_size) * std::size_t(image_size); }
+  std::size_t sinogramSize() const {
+    return std::size_t(num_views) * std::size_t(num_channels);
+  }
+
+  /// Radius (mm) of the field of view fully covered by the detector.
+  double fieldOfViewRadius() const;
+
+  bool operator==(const ParallelBeamGeometry&) const = default;
+};
+
+/// The paper's full-scale geometry (512x512, 720 views, 1024 channels).
+ParallelBeamGeometry paperScaleGeometry();
+
+/// Scaled-down default used by tests and benches (128x128, 180 views, 256 ch).
+ParallelBeamGeometry benchScaleGeometry();
+
+/// Tiny geometry for fast unit tests (32x32, 48 views, 64 channels).
+ParallelBeamGeometry testScaleGeometry();
+
+}  // namespace mbir

@@ -1,0 +1,15 @@
+#include "geom/image.h"
+
+namespace mbir {
+
+double Image2D::rmsDiff(const Image2D& other) const {
+  MBIR_CHECK(sameShape(other));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = double(data_[i]) - double(other.data_[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / double(data_.size()));
+}
+
+}  // namespace mbir

@@ -1,0 +1,87 @@
+// Reconstruction image containers.
+//
+// Image2D holds one slice in linear attenuation units (1/mm); the
+// hounsfield helpers in core/ convert to/from HU for reporting. ImageStack
+// models the paper's dataset organization: a 3D volume reconstructed as
+// independent 2D slices.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/error.h"
+#include "core/view2d.h"
+
+namespace mbir {
+
+class Image2D {
+ public:
+  Image2D() = default;
+  explicit Image2D(int size, float fill_value = 0.0f)
+      : size_(size), data_(std::size_t(size) * std::size_t(size), fill_value) {
+    MBIR_CHECK(size > 0);
+  }
+
+  int size() const { return size_; }
+  std::size_t numVoxels() const { return data_.size(); }
+
+  float& operator()(int row, int col) {
+    return data_[std::size_t(row) * std::size_t(size_) + std::size_t(col)];
+  }
+  float operator()(int row, int col) const {
+    return data_[std::size_t(row) * std::size_t(size_) + std::size_t(col)];
+  }
+  float& at(int row, int col) {
+    MBIR_CHECK_MSG(inBounds(row, col), "r=" << row << " c=" << col);
+    return (*this)(row, col);
+  }
+  float at(int row, int col) const {
+    MBIR_CHECK_MSG(inBounds(row, col), "r=" << row << " c=" << col);
+    return (*this)(row, col);
+  }
+
+  /// Flat voxel index: row * size + col (the ICD code iterates voxels by
+  /// this index; the system matrix uses the same numbering).
+  float& operator[](std::size_t voxel) { return data_[voxel]; }
+  float operator[](std::size_t voxel) const { return data_[voxel]; }
+
+  bool inBounds(int row, int col) const {
+    return row >= 0 && row < size_ && col >= 0 && col < size_;
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+  View2D<const float> view2d() const { return {data_.data(), size_, size_}; }
+  View2D<float> view2d() { return {data_.data(), size_, size_}; }
+
+  void setZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  bool sameShape(const Image2D& o) const { return size_ == o.size_; }
+
+  /// Root-mean-square difference over all voxels (same units as voxels).
+  double rmsDiff(const Image2D& other) const;
+
+ private:
+  int size_ = 0;
+  std::vector<float> data_;
+};
+
+/// A stack of independent 2D slices (the paper's volumes are reconstructed
+/// slice-by-slice; all slices share one SystemMatrix).
+class ImageStack {
+ public:
+  ImageStack() = default;
+  ImageStack(int num_slices, int size) : slices_(std::size_t(num_slices), Image2D(size)) {
+    MBIR_CHECK(num_slices > 0);
+  }
+
+  int numSlices() const { return int(slices_.size()); }
+  Image2D& slice(int s) { return slices_[std::size_t(s)]; }
+  const Image2D& slice(int s) const { return slices_[std::size_t(s)]; }
+
+ private:
+  std::vector<Image2D> slices_;
+};
+
+}  // namespace mbir

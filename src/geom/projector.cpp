@@ -1,0 +1,64 @@
+#include "geom/projector.h"
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace mbir {
+
+Sinogram forwardProject(const SystemMatrix& A, const Image2D& x) {
+  MBIR_CHECK(std::size_t(x.size()) * std::size_t(x.size()) == A.numVoxels());
+  Sinogram y(A.numViews(), A.numChannels());
+  auto ys = y.flat();
+  const int num_channels = A.numChannels();
+  for (std::size_t voxel = 0; voxel < A.numVoxels(); ++voxel) {
+    const float xv = x[voxel];
+    if (xv == 0.0f) continue;
+    for (int v = 0; v < A.numViews(); ++v) {
+      const SystemMatrix::Run& r = A.run(voxel, v);
+      const auto w = A.weights(voxel, v);
+      float* dst = ys.data() + std::size_t(v) * std::size_t(num_channels) + r.first_channel;
+      for (std::size_t k = 0; k < w.size(); ++k) dst[k] += w[k] * xv;
+    }
+  }
+  return y;
+}
+
+Image2D backProject(const SystemMatrix& A, const Sinogram& s) {
+  MBIR_CHECK(s.views() == A.numViews() && s.channels() == A.numChannels());
+  Image2D x(A.geometry().image_size);
+  auto xs = x.flat();
+  const int num_channels = A.numChannels();
+  auto ss = s.flat();
+  globalThreadPool().parallelFor(0, int(A.numVoxels()), [&](int voxel) {
+    double acc = 0.0;
+    for (int v = 0; v < A.numViews(); ++v) {
+      const SystemMatrix::Run& r = A.run(std::size_t(voxel), v);
+      const auto w = A.weights(std::size_t(voxel), v);
+      const float* src =
+          ss.data() + std::size_t(v) * std::size_t(num_channels) + r.first_channel;
+      for (std::size_t k = 0; k < w.size(); ++k) acc += double(w[k]) * double(src[k]);
+    }
+    xs[std::size_t(voxel)] = float(acc);
+  }, /*grain=*/256);
+  return x;
+}
+
+Sinogram errorSinogram(const SystemMatrix& A, const Sinogram& y, const Image2D& x) {
+  Sinogram e = forwardProject(A, x);
+  MBIR_CHECK(e.sameShape(y));
+  auto ef = e.flat();
+  auto yf = y.flat();
+  for (std::size_t i = 0; i < ef.size(); ++i) ef[i] = yf[i] - ef[i];
+  return e;
+}
+
+double innerProductSino(const Sinogram& a, const Sinogram& b) {
+  MBIR_CHECK(a.sameShape(b));
+  double acc = 0.0;
+  auto af = a.flat();
+  auto bf = b.flat();
+  for (std::size_t i = 0; i < af.size(); ++i) acc += double(af[i]) * double(bf[i]);
+  return acc;
+}
+
+}  // namespace mbir

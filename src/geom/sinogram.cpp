@@ -1,0 +1,19 @@
+#include "geom/sinogram.h"
+
+namespace mbir {
+
+double Sinogram::sumSquares() const {
+  double acc = 0.0;
+  for (float v : data_) acc += double(v) * double(v);
+  return acc;
+}
+
+double Sinogram::weightedSumSquares(const Sinogram& w) const {
+  MBIR_CHECK(sameShape(w));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    acc += double(w.data_[i]) * double(data_[i]) * double(data_[i]);
+  return acc;
+}
+
+}  // namespace mbir

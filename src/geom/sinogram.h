@@ -1,0 +1,79 @@
+// Sinogram container: one float per (view, channel), view-major rows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/error.h"
+#include "core/view2d.h"
+#include "geom/geometry.h"
+
+namespace mbir {
+
+class Sinogram {
+ public:
+  Sinogram() = default;
+  Sinogram(int num_views, int num_channels)
+      : views_(num_views),
+        channels_(num_channels),
+        data_(std::size_t(num_views) * std::size_t(num_channels), 0.0f) {
+    MBIR_CHECK(num_views > 0 && num_channels > 0);
+  }
+  explicit Sinogram(const ParallelBeamGeometry& g)
+      : Sinogram(g.num_views, g.num_channels) {}
+
+  int views() const { return views_; }
+  int channels() const { return channels_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(int view, int channel) {
+    MBIR_CHECK_MSG(inBounds(view, channel), "v=" << view << " c=" << channel);
+    return (*this)(view, channel);
+  }
+  float at(int view, int channel) const {
+    MBIR_CHECK_MSG(inBounds(view, channel), "v=" << view << " c=" << channel);
+    return (*this)(view, channel);
+  }
+  float& operator()(int view, int channel) {
+    return data_[std::size_t(view) * std::size_t(channels_) + std::size_t(channel)];
+  }
+  float operator()(int view, int channel) const {
+    return data_[std::size_t(view) * std::size_t(channels_) + std::size_t(channel)];
+  }
+
+  bool inBounds(int view, int channel) const {
+    return view >= 0 && view < views_ && channel >= 0 && channel < channels_;
+  }
+
+  std::span<float> row(int view) {
+    return {data_.data() + std::size_t(view) * std::size_t(channels_),
+            std::size_t(channels_)};
+  }
+  std::span<const float> row(int view) const {
+    return {data_.data() + std::size_t(view) * std::size_t(channels_),
+            std::size_t(channels_)};
+  }
+
+  View2D<float> view2d() { return {data_.data(), views_, channels_}; }
+  View2D<const float> view2d() const { return {data_.data(), views_, channels_}; }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  void setZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  /// Sum of squares, optionally weighted: sum w * s^2 (double accumulation).
+  double sumSquares() const;
+  double weightedSumSquares(const Sinogram& w) const;
+
+  bool sameShape(const Sinogram& o) const {
+    return views_ == o.views_ && channels_ == o.channels_;
+  }
+
+ private:
+  int views_ = 0;
+  int channels_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace mbir

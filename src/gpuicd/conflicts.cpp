@@ -1,0 +1,103 @@
+#include "gpuicd/conflicts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mbir {
+
+double intraSvConflictMultiplier(const SvbPlan& plan, const SystemMatrix& A,
+                                 int concurrent_blocks) {
+  MBIR_CHECK(concurrent_blocks >= 1);
+  if (concurrent_blocks == 1) return 1.0;
+
+  // Mean band width over views with data.
+  double width_sum = 0.0;
+  int active_views = 0;
+  for (int v = 0; v < plan.numViews(); ++v) {
+    if (plan.width(v) > 0) {
+      width_sum += plan.width(v);
+      ++active_views;
+    }
+  }
+  if (active_views == 0) return 1.0;
+  const double mean_width = width_sum / double(active_views);
+
+  // Mean voxel footprint width (channels per view); sample the SV center
+  // voxel — footprints vary only with view angle, not position.
+  const SuperVoxel& sv = plan.sv();
+  const int n = A.geometry().image_size;
+  const int center_row = (sv.row0 + sv.row1 - 1) / 2;
+  const int center_col = (sv.col0 + sv.col1 - 1) / 2;
+  const std::size_t voxel = std::size_t(center_row) * std::size_t(n) + std::size_t(center_col);
+  double fp_sum = 0.0;
+  int fp_views = 0;
+  for (int v = 0; v < A.numViews(); ++v) {
+    const auto& r = A.run(voxel, v);
+    if (r.count > 0) {
+      fp_sum += r.count;
+      ++fp_views;
+    }
+  }
+  if (fp_views == 0) return 1.0;
+  const double footprint = fp_sum / double(fp_views);
+
+  // Probability two concurrent footprints collide in a band row ~
+  // footprint / band width; expected writers per touched cell:
+  const double p = std::min(1.0, footprint / std::max(mean_width, 1.0));
+  return 1.0 + double(concurrent_blocks - 1) * p;
+}
+
+double interSvConflictMultiplier(const std::vector<const SvbPlan*>& batch,
+                                 int num_channels) {
+  if (batch.size() <= 1) return 1.0;
+  MBIR_CHECK(num_channels > 0);
+  const int num_views = batch.front()->numViews();
+
+  double sum_w = 0.0, sum_w2 = 0.0;
+  std::vector<int> diff(std::size_t(num_channels) + 1);
+  for (int v = 0; v < num_views; ++v) {
+    std::fill(diff.begin(), diff.end(), 0);
+    bool any = false;
+    for (const SvbPlan* p : batch) {
+      const int w = p->width(v);
+      if (w <= 0) continue;
+      diff[std::size_t(p->lo(v))] += 1;
+      diff[std::size_t(p->lo(v) + w)] -= 1;
+      any = true;
+    }
+    if (!any) continue;
+    int writers = 0;
+    for (int c = 0; c < num_channels; ++c) {
+      writers += diff[std::size_t(c)];
+      if (writers > 0) {
+        sum_w += writers;
+        sum_w2 += double(writers) * double(writers);
+      }
+    }
+  }
+  if (sum_w <= 0.0) return 1.0;
+  return std::max(1.0, sum_w2 / sum_w);
+}
+
+double staticPartitionImbalance(const std::vector<int>& work_per_voxel,
+                                int blocks) {
+  MBIR_CHECK(blocks >= 1);
+  if (work_per_voxel.empty() || blocks == 1) return 1.0;
+  const int n = int(work_per_voxel.size());
+  const int per_block = (n + blocks - 1) / blocks;
+  double total = 0.0, worst = 0.0;
+  for (int b = 0; b < blocks; ++b) {
+    double acc = 0.0;
+    for (int k = b * per_block; k < std::min(n, (b + 1) * per_block); ++k)
+      acc += work_per_voxel[std::size_t(k)];
+    total += acc;
+    worst = std::max(worst, acc);
+  }
+  if (total <= 0.0) return 1.0;
+  const double mean = total / double(blocks);
+  return mean > 0.0 ? std::max(1.0, worst / mean) : 1.0;
+}
+
+}  // namespace mbir

@@ -1,0 +1,40 @@
+// Atomic-contention and load-imbalance estimators for the GPU timing model.
+//
+// Two atomic paths exist in GPU-ICD:
+//  * intra-SV: threadblocks of one SV update the shared error SVB
+//    atomically; with a small SV the band is narrow and concurrent voxel
+//    footprints collide (the left side of Fig. 7a).
+//  * inter-SV: the batch writeback kernel atomically adds every SV's delta
+//    band into the global error sinogram; same-batch SVs' bands overlap
+//    (any two voxel traces share sinogram cells, Fig. 1b).
+//
+// Both estimators return an expected serialization multiplier >= 1: the
+// average number of contending writers an atomic op must queue behind,
+// computed as sum(w^2)/sum(w) over cells (w = writers per cell).
+#pragma once
+
+#include <vector>
+
+#include "geom/system_matrix.h"
+#include "sv/svb.h"
+
+namespace mbir {
+
+/// Expected serialization of SVB_e atomics when `concurrent_blocks` voxels
+/// of the SV update in flight. footprint/band-width sets collision odds.
+double intraSvConflictMultiplier(const SvbPlan& plan, const SystemMatrix& A,
+                                 int concurrent_blocks);
+
+/// Expected serialization of global-error atomics for a batch of SVs, from
+/// an exact per-view interval sweep of their bands.
+double interSvConflictMultiplier(const std::vector<const SvbPlan*>& batch,
+                                 int num_channels);
+
+/// Completion-time imbalance of a static voxel partition: rows of work per
+/// block, max/mean. `work_per_voxel[k]` is e.g. the chunk-row count of local
+/// voxel k (0 for zero-skipped); voxels are dealt to `blocks` contiguous
+/// ranges in order.
+double staticPartitionImbalance(const std::vector<int>& work_per_voxel,
+                                int blocks);
+
+}  // namespace mbir

@@ -1,0 +1,85 @@
+// GPU-ICD — the paper's contribution (Algorithm 3).
+//
+// Exploits all three levels of MBIR parallelism on the (simulated) GPU:
+//   * inter-SV:    SVs of one checkerboard group updated concurrently,
+//                  up to BATCH_SIZE per kernel launch;
+//   * intra-SV:    multiple consecutive threadblocks per SV, pulling voxels
+//                  from a shared atomic queue (dynamic scheduling);
+//   * intra-voxel: a threadblock's threads split a voxel's chunk rows,
+//                  reduce theta1/theta2 through shared memory.
+//
+// Per batch, three kernels run (Alg. 3 lines 28-30): SVB generation, the
+// MBIR update kernel, and the atomic global-error writeback — SVB creation
+// and writeback are separate kernels to avoid polluting the update kernel's
+// cache working set. Functional execution is exact (convergence behaviour,
+// quantization error, batch-snapshot staleness are real); time is modeled
+// per launch by gsim (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "geom/image.h"
+#include "geom/sinogram.h"
+#include "gpuicd/tunables.h"
+#include "gsim/executor.h"
+#include "icd/problem.h"
+#include "icd/work.h"
+#include "sv/supervoxel.h"
+
+namespace mbir {
+
+struct GpuIcdOptions {
+  GpuTunables tunables;
+  OptimFlags flags;
+  int max_iterations = 1000;
+  bool zero_skip = true;
+  std::uint64_t seed = 17;
+  /// Simulated device; scale caches with gsim::scaleCachesToProblem when
+  /// running reduced geometries.
+  gsim::DeviceSpec device = gsim::titanXMaxwell();
+};
+
+struct GpuIterationInfo {
+  int iteration = 0;  ///< 1-based
+  double equits = 0.0;
+  double modeled_seconds = 0.0;  ///< cumulative simulated GPU time
+  const Image2D& x;
+};
+
+/// Return false to stop.
+using GpuIterationCallback = std::function<bool(const GpuIterationInfo&)>;
+
+struct GpuRunStats {
+  double equits = 0.0;
+  int iterations = 0;
+  bool stopped_by_callback = false;
+  double modeled_seconds = 0.0;
+  int kernels_launched = 0;
+  int batches_skipped_by_threshold = 0;
+  WorkCounters work;
+  gsim::KernelStats kernel_stats;
+  /// Per-kernel-name time/stats breakdown.
+  std::map<std::string, gsim::NamedTotals> per_kernel;
+};
+
+class GpuIcd {
+ public:
+  GpuIcd(const Problem& problem, GpuIcdOptions options = {});
+  ~GpuIcd();
+
+  /// Run until callback stop or max_iterations; x and e updated in place.
+  GpuRunStats run(Image2D& x, Sinogram& e,
+                  const GpuIterationCallback& on_iteration = {});
+
+  const SvGrid& grid() const;
+  gsim::GpuSimulator& simulator();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mbir

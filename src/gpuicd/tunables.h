@@ -1,0 +1,86 @@
+// GPU-ICD tuning parameters and optimization toggles.
+//
+// Tunables are the knobs the paper sweeps in §5.4 (Fig. 7a-d) plus the
+// chunk width of Fig. 6; defaults are the paper's Table 1 values. OptimFlags
+// are the §4/§5.3 optimizations — Table 2 and Table 3 toggle them one at a
+// time. The two are separated because Tunables change *how much* work maps
+// where, while OptimFlags change the kernel's code shape.
+#pragma once
+
+#include "core/error.h"
+#include "sv/supervoxel.h"
+
+namespace mbir {
+
+struct GpuTunables {
+  /// SuperVoxel side (paper Fig. 7a; best 33).
+  SvGridOptions sv{.sv_side = 33, .boundary_overlap = 1};
+  /// Chunk width W, elements (paper Fig. 6; best 32).
+  int chunk_width = 32;
+  /// Threadblocks launched per SV = exploited intra-SV parallelism
+  /// (paper Fig. 7b; Table 1 uses 40).
+  int threadblocks_per_sv = 40;
+  /// Threads per threadblock = exploited intra-voxel parallelism
+  /// (paper Fig. 7c; best 256).
+  int threads_per_block = 256;
+  /// Maximum SVs per kernel launch, BATCH_SIZE (paper Fig. 7d; Table 1: 32).
+  int svs_per_batch = 32;
+  /// Fraction of SVs selected per iteration (paper: 25% for GPU-ICD vs
+  /// PSV-ICD's 20%, to keep the four checkerboard groups populated).
+  double sv_fraction = 0.25;
+
+  void validate() const {
+    sv.validate();
+    MBIR_CHECK(chunk_width >= 1);
+    MBIR_CHECK(threadblocks_per_sv >= 1);
+    MBIR_CHECK(threads_per_block >= 32 && threads_per_block % 32 == 0);
+    MBIR_CHECK(svs_per_batch >= 1);
+    MBIR_CHECK(sv_fraction > 0.0 && sv_fraction <= 1.0);
+  }
+};
+
+struct OptimFlags {
+  /// §4.1 data layout transformation (padded view-major SVB + A-chunks).
+  /// Off = the naive Fig. 4a kernel: packed sensor-channel-major walk,
+  /// uncoalesced accesses, per-view start-location lookups.
+  bool transformed_layout = true;
+  /// §4.3.1 A-matrix as uint8 with per-voxel scale (off = float).
+  bool quantize_amatrix = true;
+  /// §4.3.1 read the A-matrix through the unified L1/texture cache.
+  bool amatrix_via_texture = true;
+  /// §4.3.2 issue SVB reads as 8-byte (double) loads for full L2 width.
+  bool read_svb_as_double = true;
+  /// §4.2 spill thread-local variables to shared memory: 32 regs/thread
+  /// (100% occupancy) instead of 44 (62.5%).
+  bool spill_registers_to_smem = true;
+  /// §3.2 intra-SV parallelism: multiple threadblocks per SV. Off = one
+  /// threadblock per SV (Table 3's 6.25x lever).
+  bool exploit_intra_sv = true;
+  /// §3.2 dynamic voxel scheduling across a SV's threadblocks (off =
+  /// static partition; zero-skipping then causes imbalance).
+  bool dynamic_voxel_distribution = true;
+  /// Alg. 3 line 26: skip kernels with fewer than svs_per_batch/4 SVs.
+  bool batch_threshold = true;
+};
+
+/// Kernel register/shared-memory footprints implied by the flags (used for
+/// the occupancy model; numbers follow §4.2).
+struct KernelFootprint {
+  int regs_per_thread = 32;
+  std::size_t smem_bytes_per_thread = 0;
+};
+
+inline KernelFootprint updateKernelFootprint(const OptimFlags& f) {
+  KernelFootprint k;
+  if (f.spill_registers_to_smem) {
+    k.regs_per_thread = 32;
+    // 2 x 4B reduction slots + ~24B of spilled thread-locals.
+    k.smem_bytes_per_thread = 8 + 24;
+  } else {
+    k.regs_per_thread = 44;
+    k.smem_bytes_per_thread = 8;  // reduction slots only
+  }
+  return k;
+}
+
+}  // namespace mbir

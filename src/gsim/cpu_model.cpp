@@ -1,0 +1,46 @@
+#include "gsim/cpu_model.h"
+
+#include "core/error.h"
+
+namespace mbir::gsim {
+
+CpuModel xeon16Core() {
+  CpuModel m;
+  m.name = "2x Xeon E5-2670, 16 cores (modeled)";
+  m.cores = 16;
+  m.element_ns = 6.5;  // L2-resident SVB walk (calibration anchor, see header)
+  return m;
+}
+
+CpuModel sequentialReference() {
+  CpuModel m;
+  m.name = "Xeon E5-2670, 1 core, no SVBs (modeled)";
+  m.cores = 1;
+  m.element_ns = 52.0;  // DRAM-latency bound sinusoidal walk (anchor)
+  m.gather_element_ns = 0.0;  // sequential ICD has no SVBs
+  m.visit_ns = 30.0;
+  return m;
+}
+
+double modelPsvCpuSeconds(const WorkCounters& w, const CpuModel& m) {
+  MBIR_CHECK(m.cores >= 1);
+  const double parallel_ns =
+      double(w.voxels_visited) * m.visit_ns +
+      double(w.theta_elements + w.error_update_elements) * m.element_ns +
+      double(w.svb_gather_elements) * m.gather_element_ns +
+      double(w.voxel_updates) * m.update_overhead_ns;
+  const double serial_ns =
+      double(w.svb_writeback_elements) * m.writeback_element_ns +
+      double(w.lock_acquisitions) * m.lock_us * 1e3;
+  return (parallel_ns / double(m.cores) + serial_ns) * 1e-9;
+}
+
+double modelSequentialCpuSeconds(const WorkCounters& w, const CpuModel& m) {
+  const double ns =
+      double(w.voxels_visited) * m.visit_ns +
+      double(w.theta_elements + w.error_update_elements) * m.element_ns +
+      double(w.voxel_updates) * m.update_overhead_ns;
+  return ns * 1e-9;
+}
+
+}  // namespace mbir::gsim

@@ -1,0 +1,22 @@
+#include "gsim/device.h"
+
+#include <algorithm>
+
+namespace mbir::gsim {
+
+DeviceSpec titanXMaxwell() { return DeviceSpec{}; }
+
+DeviceSpec scaleCachesToProblem(DeviceSpec dev, double ratio) {
+  if (ratio <= 0.0) ratio = 1.0;
+  if (ratio > 1.0) ratio = 1.0;
+  auto scale = [&](std::size_t bytes, std::size_t floor_bytes) {
+    const auto scaled = std::size_t(double(bytes) * ratio);
+    return scaled < floor_bytes ? floor_bytes : scaled;
+  };
+  dev.l2_size_bytes = scale(dev.l2_size_bytes, 32 * 1024);
+  dev.l1_size_bytes = scale(dev.l1_size_bytes, 2 * 1024);
+  dev.num_smm = std::max(2, int(double(dev.num_smm) * ratio + 0.5));
+  return dev;
+}
+
+}  // namespace mbir::gsim

@@ -1,0 +1,121 @@
+#include "gsim/executor.h"
+
+#include "core/error.h"
+
+namespace mbir::gsim {
+
+int KernelProfiler::transactions(int elements, int elem_bytes, bool aligned) const {
+  if (elements <= 0) return 0;
+  const int span = elements * elem_bytes;
+  int n = (span + dev_.transaction_bytes - 1) / dev_.transaction_bytes;
+  if (!aligned) ++n;  // straddles one extra line
+  return n;
+}
+
+void KernelProfiler::svbAccess(int elements, int elem_bytes, bool aligned,
+                               bool as_double) {
+  const double bytes =
+      double(transactions(elements, elem_bytes, aligned)) * dev_.transaction_bytes;
+  stats_.svb_access_bytes += bytes;
+  stats_.svb_access_time_bytes +=
+      as_double ? bytes : bytes / dev_.l2_float_width_factor;
+}
+
+void KernelProfiler::svbScalarAccess(int elements, int elem_bytes) {
+  // One transaction per element; width penalty applies (narrow loads).
+  const double bytes = double(elements) * dev_.transaction_bytes;
+  (void)elem_bytes;
+  stats_.svb_access_bytes += bytes;
+  stats_.svb_access_time_bytes += bytes / dev_.l2_float_width_factor;
+}
+
+void KernelProfiler::svbIdle(int elements, int elem_bytes) {
+  const double bytes =
+      double(transactions(elements, elem_bytes, true)) * dev_.transaction_bytes;
+  stats_.svb_access_time_bytes += bytes;
+}
+
+void KernelProfiler::setImbalance(double factor) {
+  MBIR_CHECK(factor >= 1.0);
+  if (factor > stats_.imbalance_factor) stats_.imbalance_factor = factor;
+}
+
+void KernelProfiler::svbUnique(std::size_t bytes) {
+  stats_.svb_unique_bytes += double(bytes);
+}
+
+void KernelProfiler::amatrixAccess(int elements, int elem_bytes, bool aligned) {
+  stats_.amatrix_access_bytes +=
+      double(transactions(elements, elem_bytes, aligned)) * dev_.transaction_bytes;
+}
+
+void KernelProfiler::amatrixScalarAccess(int elements, int elem_bytes) {
+  (void)elem_bytes;
+  stats_.amatrix_access_bytes += double(elements) * dev_.transaction_bytes;
+}
+
+void KernelProfiler::amatrixUnique(std::size_t bytes) {
+  stats_.amatrix_unique_bytes += double(bytes);
+}
+
+void KernelProfiler::setAmatrixViaTexture(bool via_texture) {
+  stats_.amatrix_via_texture = via_texture;
+}
+
+void KernelProfiler::descRead(std::size_t bytes) {
+  stats_.desc_bytes += double(bytes);
+}
+
+void KernelProfiler::smemTraffic(std::size_t bytes) {
+  stats_.smem_bytes += double(bytes);
+}
+
+void KernelProfiler::addFlops(double n) { stats_.flops += n; }
+
+void KernelProfiler::svbAtomic(int ops, double conflict_mult) {
+  MBIR_CHECK(conflict_mult >= 1.0);
+  stats_.atomic_ops += ops;
+  stats_.atomic_ops_weighted += double(ops) * conflict_mult;
+}
+
+void KernelProfiler::globalAtomic(int ops, double conflict_mult) {
+  svbAtomic(ops, conflict_mult);
+}
+
+void KernelProfiler::setL2WorkingSet(double bytes) {
+  stats_.l2_working_set_bytes = bytes;
+}
+
+LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
+                                  const std::function<void(BlockCtx&)>& kernel) {
+  MBIR_CHECK(cfg.num_blocks >= 1);
+  LaunchReport report;
+  report.occupancy = computeOccupancy(dev_, cfg.resources);
+
+  KernelProfiler prof(dev_);
+  for (int b = 0; b < cfg.num_blocks; ++b) {
+    BlockCtx ctx{b, cfg.num_blocks, prof};
+    kernel(ctx);
+  }
+
+  report.stats = prof.stats();
+  report.stats.launches = 1;
+  report.stats.grid_blocks = cfg.num_blocks;
+  report.time = modelKernelTime(dev_, report.stats, report.occupancy);
+
+  total_stats_ += report.stats;
+  total_seconds_ += report.time.total;
+  NamedTotals& nt = per_kernel_[cfg.name];
+  nt.stats += report.stats;
+  nt.seconds += report.time.total;
+  nt.launches += 1;
+  return report;
+}
+
+void GpuSimulator::resetTotals() {
+  total_stats_ = KernelStats{};
+  total_seconds_ = 0.0;
+  per_kernel_.clear();
+}
+
+}  // namespace mbir::gsim

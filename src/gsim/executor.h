@@ -1,0 +1,130 @@
+// Functional GPU kernel executor + per-launch profiler.
+//
+// Kernels are written as C++ callables over a BlockCtx; the executor runs
+// every threadblock (deterministically, in block-index order — equivalent to
+// any schedule because GPU-ICD's cross-block communication is limited to
+// atomics whose per-voxel serializations all converge to the same functional
+// result at voxel granularity). Alongside the functional work, kernels
+// report their memory behaviour at *warp* granularity to the KernelProfiler;
+// the launch() call converts the counters to modeled time (gsim/timing.h).
+//
+// This is the substitution for CUDA hardware: same algorithm, same parallel
+// semantics, modeled performance (DESIGN.md §1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "gsim/device.h"
+#include "gsim/kernel_stats.h"
+#include "gsim/occupancy.h"
+#include "gsim/timing.h"
+
+namespace mbir::gsim {
+
+/// Accounting interface kernels report through.
+class KernelProfiler {
+ public:
+  explicit KernelProfiler(const DeviceSpec& dev) : dev_(dev) {}
+
+  /// One warp reads/writes `elements` contiguous SVB elements of
+  /// `elem_bytes`. `aligned` = starts on a transaction boundary;
+  /// `as_double` = issued as 8-byte loads (§4.3.2 width trick).
+  void svbAccess(int elements, int elem_bytes, bool aligned, bool as_double);
+
+  /// Uncoalesced SVB access: each element is its own transaction (the naive
+  /// layout's sensor-channel-major walk, Fig. 4a).
+  void svbScalarAccess(int elements, int elem_bytes);
+
+  /// Idle-lane time: warps occupying the L2 path without useful traffic
+  /// (e.g. chunk rows not divisible by the block's warp count). Counts
+  /// toward time but not toward achieved-bandwidth reports.
+  void svbIdle(int elements, int elem_bytes);
+
+  /// Declare load imbalance (completion-time multiplier; max is kept).
+  void setImbalance(double factor);
+
+  /// Compulsory SVB footprint (counted once per SVB per kernel).
+  void svbUnique(std::size_t bytes);
+
+  /// One warp reads `elements` contiguous A-matrix elements.
+  void amatrixAccess(int elements, int elem_bytes, bool aligned);
+  void amatrixScalarAccess(int elements, int elem_bytes);
+  void amatrixUnique(std::size_t bytes);
+  void setAmatrixViaTexture(bool via_texture);
+
+  /// Chunk-descriptor / per-view index lookups.
+  void descRead(std::size_t bytes);
+
+  void smemTraffic(std::size_t bytes);
+  void addFlops(double n);
+
+  /// `conflict_mult` >= 1: expected serialization (same-address replays).
+  void svbAtomic(int ops, double conflict_mult);
+  void globalAtomic(int ops, double conflict_mult);
+
+  void setL2WorkingSet(double bytes);
+
+  const KernelStats& stats() const { return stats_; }
+
+ private:
+  /// Post-coalescing transaction count for one warp-contiguous access.
+  int transactions(int elements, int elem_bytes, bool aligned) const;
+
+  const DeviceSpec& dev_;
+  KernelStats stats_;
+};
+
+/// Context passed to kernel code for one threadblock.
+struct BlockCtx {
+  int block_idx;
+  int num_blocks;
+  KernelProfiler& prof;
+};
+
+struct LaunchConfig {
+  std::string name;
+  int num_blocks = 1;
+  KernelResources resources;
+};
+
+struct LaunchReport {
+  Occupancy occupancy;
+  KernelStats stats;
+  KernelTime time;
+};
+
+/// Aggregated per-kernel-name totals.
+struct NamedTotals {
+  KernelStats stats;
+  double seconds = 0.0;
+  int launches = 0;
+};
+
+class GpuSimulator {
+ public:
+  explicit GpuSimulator(DeviceSpec spec = titanXMaxwell()) : dev_(std::move(spec)) {}
+
+  const DeviceSpec& device() const { return dev_; }
+
+  /// Run every block of the kernel functionally; model and accumulate time.
+  LaunchReport launch(const LaunchConfig& cfg,
+                      const std::function<void(BlockCtx&)>& kernel);
+
+  /// Account host<->device or kernel-free modeled time (e.g. a memcpy).
+  void addModeledSeconds(double s) { total_seconds_ += s; }
+
+  double totalModeledSeconds() const { return total_seconds_; }
+  const KernelStats& totalStats() const { return total_stats_; }
+  const std::map<std::string, NamedTotals>& perKernel() const { return per_kernel_; }
+  void resetTotals();
+
+ private:
+  DeviceSpec dev_;
+  KernelStats total_stats_;
+  double total_seconds_ = 0.0;
+  std::map<std::string, NamedTotals> per_kernel_;
+};
+
+}  // namespace mbir::gsim

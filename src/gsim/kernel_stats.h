@@ -1,0 +1,73 @@
+// Work counters gathered from one simulated kernel launch.
+//
+// Kernels report warp-level memory accesses, flops and atomics through
+// KernelProfiler (gsim/executor.h); the counters below are what the timing
+// model consumes. "Access" bytes are post-coalescing transaction bytes;
+// "unique" bytes are the compulsory footprint (first touch, served by DRAM).
+#pragma once
+
+#include <cstddef>
+
+namespace mbir::gsim {
+
+struct KernelStats {
+  // SVB traffic (resident in L2 when it fits; §3.2 / §4.3.2).
+  double svb_access_bytes = 0;       ///< transaction bytes through L2
+  double svb_access_time_bytes = 0;  ///< bytes / width-factor (float penalty)
+  double svb_unique_bytes = 0;       ///< compulsory DRAM fill
+
+  // A-matrix traffic (texture path or global/L2 path; §4.3.1).
+  double amatrix_access_bytes = 0;
+  double amatrix_unique_bytes = 0;
+  bool amatrix_via_texture = true;
+
+  // Chunk descriptor / index lookups (small, L2).
+  double desc_bytes = 0;
+
+  // On-chip traffic.
+  double smem_bytes = 0;
+
+  double flops = 0;
+
+  // Atomic operations with their expected serialization multiplier folded in
+  // (ops * conflict multiplier).
+  double atomic_ops_weighted = 0;
+  double atomic_ops = 0;
+
+  /// L2 working set declared by the kernel (for the capacity spill model).
+  double l2_working_set_bytes = 0;
+
+  /// Load-imbalance completion-time multiplier (>= 1): with static voxel
+  /// distribution, zero-skipping leaves some threadblocks idle while the
+  /// busiest finishes (§3.2 / Table 3 "dynamic voxel distribution").
+  double imbalance_factor = 1.0;
+
+  /// Grid size of the launch (set by the executor); small grids cannot fill
+  /// the device (Alg. 3's batch threshold exists to avoid this).
+  int grid_blocks = 0;
+
+  int launches = 0;
+
+  KernelStats& operator+=(const KernelStats& o) {
+    svb_access_bytes += o.svb_access_bytes;
+    svb_access_time_bytes += o.svb_access_time_bytes;
+    svb_unique_bytes += o.svb_unique_bytes;
+    amatrix_access_bytes += o.amatrix_access_bytes;
+    amatrix_unique_bytes += o.amatrix_unique_bytes;
+    desc_bytes += o.desc_bytes;
+    smem_bytes += o.smem_bytes;
+    flops += o.flops;
+    atomic_ops_weighted += o.atomic_ops_weighted;
+    atomic_ops += o.atomic_ops;
+    l2_working_set_bytes = o.l2_working_set_bytes > l2_working_set_bytes
+                               ? o.l2_working_set_bytes
+                               : l2_working_set_bytes;
+    imbalance_factor =
+        o.imbalance_factor > imbalance_factor ? o.imbalance_factor : imbalance_factor;
+    grid_blocks = o.grid_blocks > grid_blocks ? o.grid_blocks : grid_blocks;
+    launches += o.launches;
+    return *this;
+  }
+};
+
+}  // namespace mbir::gsim

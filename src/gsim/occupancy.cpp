@@ -1,0 +1,58 @@
+#include "gsim/occupancy.h"
+
+#include <algorithm>
+
+#include "core/aligned.h"
+#include "core/error.h"
+
+namespace mbir::gsim {
+
+Occupancy computeOccupancy(const DeviceSpec& dev, const KernelResources& res) {
+  MBIR_CHECK_MSG(res.threads_per_block >= 1 &&
+                     res.threads_per_block <= dev.max_threads_per_block,
+                 "threads_per_block=" << res.threads_per_block);
+  MBIR_CHECK(res.regs_per_thread >= 1);
+  MBIR_CHECK_MSG(res.smem_per_block_bytes <= dev.max_smem_per_block_bytes,
+                 "smem_per_block=" << res.smem_per_block_bytes);
+
+  const int warps_per_block =
+      (res.threads_per_block + dev.warp_size - 1) / dev.warp_size;
+
+  // Registers are allocated per warp with architecture granularity.
+  const std::size_t regs_per_warp =
+      roundUp(std::size_t(res.regs_per_thread) * std::size_t(dev.warp_size),
+              std::size_t(dev.reg_alloc_granularity));
+  const std::size_t regs_per_block = regs_per_warp * std::size_t(warps_per_block);
+  MBIR_CHECK_MSG(regs_per_block <= std::size_t(dev.regs_per_smm),
+                 "block needs " << regs_per_block << " registers");
+
+  struct Limit {
+    int blocks;
+    const char* name;
+  };
+  const Limit limits[4] = {
+      {dev.max_threads_per_smm / res.threads_per_block, "threads"},
+      {dev.max_blocks_per_smm, "blocks"},
+      {int(std::size_t(dev.regs_per_smm) / regs_per_block), "registers"},
+      {res.smem_per_block_bytes == 0
+           ? dev.max_blocks_per_smm
+           : int(dev.smem_per_smm_bytes / res.smem_per_block_bytes),
+       "shared_memory"},
+  };
+
+  Occupancy occ;
+  occ.blocks_per_smm = limits[0].blocks;
+  occ.limiter = limits[0].name;
+  for (const Limit& l : limits) {
+    if (l.blocks < occ.blocks_per_smm) {
+      occ.blocks_per_smm = l.blocks;
+      occ.limiter = l.name;
+    }
+  }
+  MBIR_CHECK_MSG(occ.blocks_per_smm >= 1, "kernel cannot fit on an SMM");
+  occ.threads_per_smm = occ.blocks_per_smm * res.threads_per_block;
+  occ.fraction = double(occ.threads_per_smm) / double(dev.max_threads_per_smm);
+  return occ;
+}
+
+}  // namespace mbir::gsim

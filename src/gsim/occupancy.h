@@ -1,0 +1,33 @@
+// CUDA-style occupancy calculator.
+//
+// Occupancy — the ratio of resident threads to the architectural maximum —
+// is the paper's central lever in §4.2: the naive kernel needs 44 registers
+// per thread (50-60% occupancy); spilling thread-local variables to shared
+// memory brings it to 32 registers and 100% occupancy, which the timing
+// model converts into higher achieved memory bandwidth.
+#pragma once
+
+#include "gsim/device.h"
+
+namespace mbir::gsim {
+
+struct KernelResources {
+  int threads_per_block = 256;
+  int regs_per_thread = 32;
+  std::size_t smem_per_block_bytes = 0;
+};
+
+struct Occupancy {
+  int blocks_per_smm = 0;
+  int threads_per_smm = 0;
+  double fraction = 0.0;  ///< threads_per_smm / max_threads_per_smm
+  /// Which resource bound the block count ("threads", "blocks", "registers",
+  /// "shared_memory").
+  const char* limiter = "";
+};
+
+/// Compute resident blocks per SMM under all four limits. Throws on
+/// impossible configurations (block larger than any single limit allows).
+Occupancy computeOccupancy(const DeviceSpec& dev, const KernelResources& res);
+
+}  // namespace mbir::gsim

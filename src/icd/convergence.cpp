@@ -1,0 +1,11 @@
+#include "icd/convergence.h"
+
+#include "core/hounsfield.h"
+
+namespace mbir {
+
+double rmseHu(const Image2D& image, const Image2D& golden) {
+  return image.rmsDiff(golden) * kHuPerMu;
+}
+
+}  // namespace mbir

@@ -1,0 +1,38 @@
+// Convergence accounting: equits and RMSE-in-HU against a golden image.
+//
+// The paper (§5.2) measures work in "equits" — one equit = N voxel updates
+// where N is the image's voxel count (zero-skipped voxels don't count) —
+// and declares convergence when RMSE against a 40-equit sequential-ICD
+// golden image drops below 10 HU.
+#pragma once
+
+#include <cstddef>
+
+#include "geom/image.h"
+
+namespace mbir {
+
+/// Counts voxel updates and converts to equits.
+class EquitCounter {
+ public:
+  explicit EquitCounter(std::size_t voxels_per_equit)
+      : voxels_per_equit_(voxels_per_equit) {}
+
+  void addUpdates(std::size_t n) { updates_ += n; }
+  std::size_t updates() const { return updates_; }
+  double equits() const {
+    return double(updates_) / double(voxels_per_equit_);
+  }
+
+ private:
+  std::size_t voxels_per_equit_;
+  std::size_t updates_ = 0;
+};
+
+/// RMSE between two attenuation images, reported in Hounsfield Units.
+double rmseHu(const Image2D& image, const Image2D& golden);
+
+/// The paper's convergence threshold: "no visible artifacts remain".
+inline constexpr double kConvergedRmseHu = 10.0;
+
+}  // namespace mbir

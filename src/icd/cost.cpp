@@ -1,0 +1,47 @@
+#include "icd/cost.h"
+
+#include "geom/projector.h"
+#include "prior/neighborhood.h"
+
+namespace mbir {
+
+namespace {
+
+double priorEnergy(const Problem& p, const Image2D& x) {
+  // Count each clique once: visit only "forward" neighbours (E, SW, S, SE).
+  static constexpr int kForward[4][2] = {{0, 1}, {1, -1}, {1, 0}, {1, 1}};
+  const auto& nb = neighborhood8();
+  // Map forward offsets to their b weights.
+  double b_of[4] = {0, 0, 0, 0};
+  for (int f = 0; f < 4; ++f)
+    for (const auto& n : nb)
+      if (n.dr == kForward[f][0] && n.dc == kForward[f][1]) b_of[f] = n.b;
+
+  double acc = 0.0;
+  const int n = x.size();
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      for (int f = 0; f < 4; ++f) {
+        const int rr = r + kForward[f][0];
+        const int cc = c + kForward[f][1];
+        if (rr < 0 || rr >= n || cc < 0 || cc >= n) continue;
+        acc += b_of[f] * p.prior.potential(double(x(r, c)) - double(x(rr, cc)));
+      }
+  return acc;
+}
+
+}  // namespace
+
+CostBreakdown computeCost(const Problem& p, const Image2D& x, const Sinogram& e) {
+  CostBreakdown c;
+  c.data = 0.5 * e.weightedSumSquares(p.weights);
+  c.prior = priorEnergy(p, x);
+  return c;
+}
+
+CostBreakdown computeCostFromScratch(const Problem& p, const Image2D& x) {
+  const Sinogram e = errorSinogram(p.A, p.y, x);
+  return computeCost(p, x, e);
+}
+
+}  // namespace mbir

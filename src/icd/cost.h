@@ -1,0 +1,22 @@
+// Full MBIR cost evaluation. Used by tests (ICD must descend monotonically)
+// and by examples reporting optimization progress.
+#pragma once
+
+#include "geom/image.h"
+#include "icd/problem.h"
+
+namespace mbir {
+
+struct CostBreakdown {
+  double data = 0.0;   ///< 1/2 ||y - A x||^2_W, evaluated from e = y - A x
+  double prior = 0.0;  ///< sum over cliques (each pair once) of b * rho
+  double total() const { return data + prior; }
+};
+
+/// Evaluate using a maintained error sinogram e (cheap; exact given e).
+CostBreakdown computeCost(const Problem& p, const Image2D& x, const Sinogram& e);
+
+/// Evaluate from scratch (forward-projects x; for verifying e's integrity).
+CostBreakdown computeCostFromScratch(const Problem& p, const Image2D& x);
+
+}  // namespace mbir

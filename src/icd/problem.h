@@ -1,0 +1,27 @@
+// The reconstruction problem bundle shared by every ICD variant.
+#pragma once
+
+#include "geom/sinogram.h"
+#include "geom/system_matrix.h"
+#include "prior/prior.h"
+
+namespace mbir {
+
+/// Non-owning view of one reconstruction problem: minimize
+///   f(x) = 1/2 ||y - A x||^2_W + sum_cliques b rho(x_i - x_j),  x >= 0.
+/// The owning side (recon::ReconstructionProblem or a test fixture) must
+/// outlive this view.
+struct Problem {
+  const SystemMatrix& A;
+  const Sinogram& y;        ///< measurements
+  const Sinogram& weights;  ///< inverse-variance weights W (diagonal)
+  const Prior& prior;
+
+  void validate() const {
+    MBIR_CHECK(y.views() == A.numViews() && y.channels() == A.numChannels());
+    MBIR_CHECK(weights.views() == A.numViews() &&
+               weights.channels() == A.numChannels());
+  }
+};
+
+}  // namespace mbir

@@ -1,0 +1,66 @@
+#include "icd/sequential_icd.h"
+
+#include "core/rng.h"
+#include "icd/voxel_update.h"
+
+namespace mbir {
+
+SequentialIcd::SequentialIcd(const Problem& problem, SequentialIcdOptions options)
+    : problem_(problem), options_(options) {
+  problem_.validate();
+  MBIR_CHECK(options_.max_equits > 0.0);
+}
+
+IcdRunStats SequentialIcd::run(Image2D& x, Sinogram& e, const SweepCallback& on_sweep) {
+  MBIR_CHECK(std::size_t(x.size()) * std::size_t(x.size()) == problem_.A.numVoxels());
+  Rng rng(options_.seed);
+  const int n = x.size();
+  const std::size_t num_voxels = x.numVoxels();
+
+  IcdRunStats stats;
+  EquitCounter equits(num_voxels);
+
+  std::vector<int> order(num_voxels);
+  for (std::size_t i = 0; i < num_voxels; ++i) order[i] = int(i);
+
+  // Per-voxel nonzero counts, for the work counters the CPU timing model
+  // consumes.
+  std::vector<std::uint32_t> nnz(num_voxels, 0);
+  for (std::size_t voxel = 0; voxel < num_voxels; ++voxel) {
+    std::uint32_t acc = 0;
+    for (int v = 0; v < problem_.A.numViews(); ++v)
+      acc += problem_.A.run(voxel, v).count;
+    nnz[voxel] = acc;
+  }
+
+  while (equits.equits() < options_.max_equits) {
+    if (options_.randomize_order) rng.shuffle(order);
+    for (int voxel : order) {
+      const int row = voxel / n;
+      const int col = voxel % n;
+      const VoxelUpdateResult r =
+          updateVoxelGlobal(problem_, x, e, row, col, options_.zero_skip);
+      ++stats.work.voxels_visited;
+      if (r.updated) {
+        equits.addUpdates(1);
+        ++stats.work.voxel_updates;
+        stats.work.theta_elements += nnz[std::size_t(voxel)];
+        stats.work.error_update_elements += nnz[std::size_t(voxel)];
+      }
+    }
+    ++stats.sweeps;
+    stats.equits = equits.equits();
+    stats.voxel_updates = equits.updates();
+    if (on_sweep && !on_sweep(x, stats)) {
+      stats.stopped_by_callback = true;
+      break;
+    }
+    // Degenerate all-zero start: every voxel zero-skipped forever.
+    if (equits.updates() == 0) break;
+  }
+  stats.equits = equits.equits();
+  stats.voxel_updates = equits.updates();
+  return stats;
+}
+
+}  // namespace mbir

@@ -1,0 +1,54 @@
+// Sequential ICD — the publicly-available single-core MBIR reference the
+// paper's Table 1 speedups are measured against, and the generator of the
+// 40-equit "golden" images used for convergence measurement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "geom/image.h"
+#include "geom/sinogram.h"
+#include "icd/convergence.h"
+#include "icd/problem.h"
+#include "icd/work.h"
+
+namespace mbir {
+
+struct SequentialIcdOptions {
+  /// Hard cap on work (equits).
+  double max_equits = 40.0;
+  /// Randomize voxel visit order each sweep (faster convergence, §2.1).
+  bool randomize_order = true;
+  /// Apply the zero-skipping rule.
+  bool zero_skip = true;
+  std::uint64_t seed = 7;
+};
+
+struct IcdRunStats {
+  double equits = 0.0;
+  std::size_t voxel_updates = 0;
+  int sweeps = 0;
+  bool stopped_by_callback = false;
+  WorkCounters work;  ///< consumed by gsim's CPU timing models
+};
+
+/// Called after each full sweep with cumulative progress; return false to
+/// stop.
+using SweepCallback =
+    std::function<bool(const Image2D& x, const IcdRunStats& progress)>;
+
+class SequentialIcd {
+ public:
+  SequentialIcd(const Problem& problem, SequentialIcdOptions options = {});
+
+  /// Run sweeps over the image until max_equits or the callback stops it.
+  /// `x` is the starting image (updated in place); `e` must be the matching
+  /// error sinogram y - A x (updated in place).
+  IcdRunStats run(Image2D& x, Sinogram& e, const SweepCallback& on_sweep = {});
+
+ private:
+  const Problem problem_;  // by value: Problem is a non-owning view struct
+  SequentialIcdOptions options_;
+};
+
+}  // namespace mbir

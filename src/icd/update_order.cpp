@@ -1,0 +1,52 @@
+#include "icd/update_order.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mbir {
+
+std::vector<int> topFractionByMagnitude(const std::vector<double>& magnitude,
+                                        double fraction) {
+  MBIR_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const std::size_t n = magnitude.size();
+  const std::size_t k =
+      std::min(n, std::size_t(std::ceil(fraction * double(n))));
+  std::vector<int> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = int(i);
+  std::nth_element(idx.begin(), idx.begin() + std::ptrdiff_t(k), idx.end(),
+                   [&](int a, int b) {
+                     return magnitude[std::size_t(a)] > magnitude[std::size_t(b)];
+                   });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<int> randomFraction(std::size_t n, double fraction, Rng& rng) {
+  MBIR_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const std::size_t k = std::min(n, std::size_t(std::ceil(fraction * double(n))));
+  std::vector<int> idx = rng.permutation(int(n));
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<int> selectSuperVoxels(int iter, std::size_t num_svs,
+                                   const std::vector<double>& magnitude,
+                                   double fraction, Rng& rng) {
+  MBIR_CHECK(iter >= 1);
+  MBIR_CHECK(magnitude.size() == num_svs);
+  std::vector<int> selected;
+  if (iter == 1) {
+    selected.resize(num_svs);
+    for (std::size_t i = 0; i < num_svs; ++i) selected[i] = int(i);
+  } else if (iter % 2 == 0) {
+    selected = topFractionByMagnitude(magnitude, fraction);
+  } else {
+    selected = randomFraction(num_svs, fraction, rng);
+  }
+  rng.shuffle(selected);
+  return selected;
+}
+
+}  // namespace mbir

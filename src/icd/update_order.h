@@ -1,0 +1,32 @@
+// Voxel / SuperVoxel update-order policies.
+//
+// ICD converges fastest when voxels are visited in randomized order
+// (Bowsher et al., paper §2.1); PSV-ICD and GPU-ICD additionally select a
+// *subset* of SuperVoxels per iteration — all on iteration 1, the top
+// fraction by accumulated update magnitude on even iterations, and a random
+// fraction on odd iterations (Alg. 2 lines 4-9 / Alg. 3 lines 17-22).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace mbir {
+
+/// Select the SuperVoxels to update for iteration `iter` (1-based).
+/// `magnitude[i]` is the accumulated |delta| of SV i since it was last
+/// processed. `fraction` is 0.20 for PSV-ICD, 0.25 for GPU-ICD.
+/// Returned indices are in randomized order.
+std::vector<int> selectSuperVoxels(int iter, std::size_t num_svs,
+                                   const std::vector<double>& magnitude,
+                                   double fraction, Rng& rng);
+
+/// Top-k indices of `magnitude` (k = ceil(fraction * n)), unordered.
+std::vector<int> topFractionByMagnitude(const std::vector<double>& magnitude,
+                                        double fraction);
+
+/// k distinct random indices from [0, n).
+std::vector<int> randomFraction(std::size_t n, double fraction, Rng& rng);
+
+}  // namespace mbir

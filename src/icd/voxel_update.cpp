@@ -1,0 +1,72 @@
+#include "icd/voxel_update.h"
+
+#include <algorithm>
+
+namespace mbir {
+
+ThetaPair computeThetaGlobal(const SystemMatrix& A, const Sinogram& e,
+                             const Sinogram& w, std::size_t voxel) {
+  ThetaPair t;
+  const int num_views = A.numViews();
+  const int num_channels = A.numChannels();
+  auto ef = e.flat();
+  auto wf = w.flat();
+  for (int v = 0; v < num_views; ++v) {
+    const SystemMatrix::Run& r = A.run(voxel, v);
+    const auto aw = A.weights(voxel, v);
+    const std::size_t base =
+        std::size_t(v) * std::size_t(num_channels) + r.first_channel;
+    for (std::size_t k = 0; k < aw.size(); ++k) {
+      const double a = double(aw[k]);
+      const double wij = double(wf[base + k]);
+      t.theta1 += -wij * a * double(ef[base + k]);
+      t.theta2 += wij * a * a;
+    }
+  }
+  return t;
+}
+
+float solveDelta(const Prior& prior, const Image2D& x, int row, int col,
+                 const ThetaPair& theta) {
+  const float xv = x(row, col);
+  double num = theta.theta1;
+  double den = theta.theta2;
+  forEachNeighbor(x, row, col, [&](float xnb, double b) {
+    const double u = double(xv) - double(xnb);
+    num += b * prior.influence(u);
+    den += 2.0 * b * prior.surrogateCoeff(u);
+  });
+  if (den <= 0.0) return 0.0f;  // empty column and flat prior: nothing to do
+  double delta = -num / den;
+  // Positivity constraint: x + delta >= 0.
+  delta = std::max(delta, -double(xv));
+  return float(delta);
+}
+
+void applyErrorUpdateGlobal(const SystemMatrix& A, Sinogram& e,
+                            std::size_t voxel, float delta) {
+  if (delta == 0.0f) return;
+  const int num_views = A.numViews();
+  const int num_channels = A.numChannels();
+  auto ef = e.flat();
+  for (int v = 0; v < num_views; ++v) {
+    const SystemMatrix::Run& r = A.run(voxel, v);
+    const auto aw = A.weights(voxel, v);
+    float* dst = ef.data() + std::size_t(v) * std::size_t(num_channels) + r.first_channel;
+    for (std::size_t k = 0; k < aw.size(); ++k) dst[k] -= aw[k] * delta;
+  }
+}
+
+VoxelUpdateResult updateVoxelGlobal(const Problem& p, Image2D& x, Sinogram& e,
+                                    int row, int col, bool zero_skip) {
+  if (zero_skip && allNeighborsZero(x, row, col)) return {0.0f, false};
+  const std::size_t voxel =
+      std::size_t(row) * std::size_t(x.size()) + std::size_t(col);
+  const ThetaPair theta = computeThetaGlobal(p.A, e, p.weights, voxel);
+  const float delta = solveDelta(p.prior, x, row, col, theta);
+  x(row, col) += delta;
+  applyErrorUpdateGlobal(p.A, e, voxel, delta);
+  return {delta, true};
+}
+
+}  // namespace mbir

@@ -1,0 +1,53 @@
+// Algorithm 1: the single-voxel ICD update — the foundation of every
+// ICD-based technique in this repository (sequential, PSV-ICD, GPU-ICD).
+//
+//   theta1 = - sum_{i in views} sum_{j in channels(voxel, i)} w_ij A_ij e_ij
+//   theta2 =   sum_{i in views} sum_{j in channels(voxel, i)} w_ij A_ij^2
+//   delta  = argmin_d theta1 d + (theta2 / 2) d^2
+//                      + sum_nb b_nb [rho'(u_nb) d + coeff(u_nb) d^2]
+//          = -(theta1 + sum_nb b_nb rho'(u_nb)) / (theta2 + 2 sum_nb b_nb coeff(u_nb))
+//     with u_nb = x_v - x_nb, then clamped so x_v + delta >= 0.
+//   e_ij  -= A_ij * delta
+//
+// The GPU and PSV variants run the same math against SuperVoxel buffers;
+// this header exposes the pieces so they share one implementation of the
+// numerics (tests pin all three to identical results).
+#pragma once
+
+#include "geom/image.h"
+#include "icd/problem.h"
+#include "prior/neighborhood.h"
+
+namespace mbir {
+
+struct ThetaPair {
+  double theta1 = 0.0;
+  double theta2 = 0.0;
+};
+
+struct VoxelUpdateResult {
+  float delta = 0.0f;   ///< applied change (after positivity clamp)
+  bool updated = false; ///< false when zero-skipped
+};
+
+/// theta1/theta2 against the *global* error sinogram (sequential ICD path).
+ThetaPair computeThetaGlobal(const SystemMatrix& A, const Sinogram& e,
+                             const Sinogram& w, std::size_t voxel);
+
+/// Closed-form surrogate solve: returns the clamped delta for a voxel whose
+/// current value is `xv`, given data-term thetas and its neighbourhood.
+/// Exposed separately so SVB-based paths reuse it.
+float solveDelta(const Prior& prior, const Image2D& x, int row, int col,
+                 const ThetaPair& theta);
+
+/// Apply delta to the global error sinogram: e -= A[voxel] * delta.
+void applyErrorUpdateGlobal(const SystemMatrix& A, Sinogram& e,
+                            std::size_t voxel, float delta);
+
+/// Full Algorithm 1 against global structures (used by sequential ICD and
+/// as the reference the SVB paths are tested against). `zero_skip` applies
+/// the paper's skip rule.
+VoxelUpdateResult updateVoxelGlobal(const Problem& p, Image2D& x, Sinogram& e,
+                                    int row, int col, bool zero_skip);
+
+}  // namespace mbir

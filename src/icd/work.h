@@ -1,0 +1,38 @@
+// Work counters accumulated by the ICD engines during functional execution.
+//
+// The container this repo runs in has one CPU core and no GPU, so Table-1
+// style wall-clock comparisons against a 16-core Xeon are impossible to
+// measure directly. Instead each engine counts the primitive work it
+// performs (elements touched in theta loops, SVB copies, writebacks, lock
+// acquisitions, ...) and machine models in gsim/ convert those counts into
+// modeled execution times (see DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+
+namespace mbir {
+
+struct WorkCounters {
+  std::size_t voxel_updates = 0;          ///< voxels actually updated
+  std::size_t voxels_visited = 0;         ///< including zero-skipped
+  std::size_t theta_elements = 0;         ///< (w, A, e) triples in theta loops
+  std::size_t error_update_elements = 0;  ///< e -= A*delta element updates
+  std::size_t svb_gather_elements = 0;    ///< elements copied into SVBs
+  std::size_t svb_writeback_elements = 0; ///< elements written back
+  std::size_t lock_acquisitions = 0;      ///< global-sinogram mutex acquires
+  std::size_t svs_processed = 0;
+
+  WorkCounters& operator+=(const WorkCounters& o) {
+    voxel_updates += o.voxel_updates;
+    voxels_visited += o.voxels_visited;
+    theta_elements += o.theta_elements;
+    error_update_elements += o.error_update_elements;
+    svb_gather_elements += o.svb_gather_elements;
+    svb_writeback_elements += o.svb_writeback_elements;
+    lock_acquisitions += o.lock_acquisitions;
+    svs_processed += o.svs_processed;
+    return *this;
+  }
+};
+
+}  // namespace mbir

@@ -1,0 +1,82 @@
+#include "io/image_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "core/error.h"
+#include "core/hounsfield.h"
+
+namespace mbir {
+
+namespace {
+
+void writePgm16(const std::string& path, int width, int height,
+                const std::vector<std::uint16_t>& pixels) {
+  std::ofstream f(path, std::ios::binary);
+  MBIR_CHECK_MSG(f.good(), "cannot open " << path);
+  f << "P5\n" << width << " " << height << "\n65535\n";
+  // PGM stores 16-bit big-endian.
+  for (std::uint16_t p : pixels) {
+    const char hi = char(p >> 8), lo = char(p & 0xff);
+    f.write(&hi, 1);
+    f.write(&lo, 1);
+  }
+  MBIR_CHECK_MSG(f.good(), "write to " << path << " failed");
+}
+
+}  // namespace
+
+void writePgm(const Image2D& image, const std::string& path,
+              const CtWindow& window) {
+  MBIR_CHECK(window.window_hu > 0.0);
+  const double lo = window.level_hu - window.window_hu / 2.0;
+  std::vector<std::uint16_t> pixels;
+  pixels.reserve(image.numVoxels());
+  for (int r = 0; r < image.size(); ++r)
+    for (int c = 0; c < image.size(); ++c) {
+      const double hu = muToHu(double(image(r, c)));
+      const double t = std::clamp((hu - lo) / window.window_hu, 0.0, 1.0);
+      pixels.push_back(std::uint16_t(t * 65535.0 + 0.5));
+    }
+  writePgm16(path, image.size(), image.size(), pixels);
+}
+
+void writeSinogramPgm(const Sinogram& sino, const std::string& path) {
+  float vmin = sino.flat().front(), vmax = vmin;
+  for (float v : sino.flat()) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  const double span = double(vmax) - double(vmin);
+  std::vector<std::uint16_t> pixels;
+  pixels.reserve(sino.size());
+  for (int v = 0; v < sino.views(); ++v)
+    for (int c = 0; c < sino.channels(); ++c) {
+      const double t = span > 0.0 ? (double(sino(v, c)) - vmin) / span : 0.0;
+      pixels.push_back(std::uint16_t(t * 65535.0 + 0.5));
+    }
+  writePgm16(path, sino.channels(), sino.views(), pixels);
+}
+
+void writeRawFloat(const Image2D& image, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  MBIR_CHECK_MSG(f.good(), "cannot open " << path);
+  f.write(reinterpret_cast<const char*>(image.flat().data()),
+          std::streamsize(image.numVoxels() * sizeof(float)));
+  MBIR_CHECK_MSG(f.good(), "write to " << path << " failed");
+}
+
+Image2D readRawFloat(const std::string& path, int size) {
+  std::ifstream f(path, std::ios::binary);
+  MBIR_CHECK_MSG(f.good(), "cannot open " << path);
+  Image2D img(size);
+  f.read(reinterpret_cast<char*>(img.flat().data()),
+         std::streamsize(img.numVoxels() * sizeof(float)));
+  MBIR_CHECK_MSG(f.gcount() ==
+                     std::streamsize(img.numVoxels() * sizeof(float)),
+                 "short read from " << path);
+  return img;
+}
+
+}  // namespace mbir

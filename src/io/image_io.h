@@ -1,0 +1,37 @@
+// Image export: binary PGM with CT window/level, raw float32, and CSV.
+//
+// Lets every example and bench dump inspectable reconstructions without
+// external dependencies. The PGM path applies the standard radiology
+// windowing: pixel = clamp((HU - (level - window/2)) / window) * 65535.
+#pragma once
+
+#include <string>
+
+#include "geom/image.h"
+#include "geom/sinogram.h"
+
+namespace mbir {
+
+struct CtWindow {
+  double level_hu = 0.0;     ///< window centre
+  double window_hu = 400.0;  ///< full width
+};
+
+/// Soft-tissue-ish default for baggage/medical slices.
+inline CtWindow defaultWindow() { return {0.0, 1200.0}; }
+
+/// 16-bit binary PGM (P5) of an attenuation image with the given window.
+void writePgm(const Image2D& image, const std::string& path,
+              const CtWindow& window = defaultWindow());
+
+/// 16-bit PGM of a sinogram, min-max scaled (for inspecting traces).
+void writeSinogramPgm(const Sinogram& sino, const std::string& path);
+
+/// Raw little-endian float32, row-major (loadable with numpy.fromfile).
+void writeRawFloat(const Image2D& image, const std::string& path);
+
+/// Read back a raw float32 image of known size (round-trip tests, external
+/// tooling pipelines).
+Image2D readRawFloat(const std::string& path, int size);
+
+}  // namespace mbir

@@ -1,0 +1,85 @@
+#include "iter/art.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace mbir {
+
+RowMajorSystem::RowMajorSystem(const SystemMatrix& A)
+    : views_(A.numViews()), channels_(A.numChannels()) {
+  const std::size_t rows = std::size_t(views_) * std::size_t(channels_);
+  // Counting pass.
+  std::vector<std::uint32_t> counts(rows, 0);
+  for (std::size_t voxel = 0; voxel < A.numVoxels(); ++voxel) {
+    for (int v = 0; v < views_; ++v) {
+      const auto& r = A.run(voxel, v);
+      for (int k = 0; k < int(r.count); ++k)
+        ++counts[index(v, int(r.first_channel) + k)];
+    }
+  }
+  row_begin_.resize(rows + 1);
+  row_begin_[0] = 0;
+  for (std::size_t i = 0; i < rows; ++i)
+    row_begin_[i + 1] = row_begin_[i] + counts[i];
+  entries_.resize(row_begin_[rows]);
+  norms_.assign(rows, 0.0);
+
+  // Filling pass.
+  std::vector<std::uint32_t> cursor(row_begin_.begin(), row_begin_.end() - 1);
+  for (std::size_t voxel = 0; voxel < A.numVoxels(); ++voxel) {
+    for (int v = 0; v < views_; ++v) {
+      const auto& r = A.run(voxel, v);
+      const auto w = A.weights(voxel, v);
+      for (int k = 0; k < int(r.count); ++k) {
+        const std::size_t row = index(v, int(r.first_channel) + k);
+        entries_[cursor[row]++] = {std::uint32_t(voxel), w[std::size_t(k)]};
+        norms_[row] += double(w[std::size_t(k)]) * double(w[std::size_t(k)]);
+      }
+    }
+  }
+}
+
+std::span<const RowMajorSystem::RowEntry> RowMajorSystem::row(int view,
+                                                              int channel) const {
+  const std::size_t i = index(view, channel);
+  return {entries_.data() + row_begin_[i],
+          std::size_t(row_begin_[i + 1] - row_begin_[i])};
+}
+
+Image2D artReconstruct(const SystemMatrix& A, const Sinogram& y,
+                       const ArtOptions& options) {
+  MBIR_CHECK(options.sweeps >= 1);
+  MBIR_CHECK(options.relaxation > 0.0 && options.relaxation < 2.0);
+  MBIR_CHECK(y.views() == A.numViews() && y.channels() == A.numChannels());
+
+  const RowMajorSystem rows(A);
+  Image2D x(A.geometry().image_size);
+  Rng rng(options.seed);
+
+  std::vector<int> order(std::size_t(rows.views()) * std::size_t(rows.channels()));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = int(i);
+
+  for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    if (options.randomize_rows) rng.shuffle(order);
+    for (int flat : order) {
+      const int v = flat / rows.channels();
+      const int c = flat % rows.channels();
+      const double norm = rows.rowNormSquared(v, c);
+      if (norm <= 1e-20) continue;
+      const auto row = rows.row(v, c);
+      double dot = 0.0;
+      for (const auto& e : row) dot += double(e.weight) * double(x[e.voxel]);
+      const double step = options.relaxation * (double(y(v, c)) - dot) / norm;
+      for (const auto& e : row) {
+        float nv = x[e.voxel] + float(step * double(e.weight));
+        if (options.nonnegative) nv = std::max(nv, 0.0f);
+        x[e.voxel] = nv;
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace mbir

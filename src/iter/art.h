@@ -1,0 +1,62 @@
+// ART — Algebraic Reconstruction Technique (Kaczmarz).
+//
+// The other non-regularized family of §7: sweep the measurement rows,
+// projecting the image onto each row's hyperplane:
+//   x += lambda * a_i (y_i - <a_i, x>) / ||a_i||^2.
+// The system matrix is stored column-major (per voxel) for ICD, so ART
+// first builds a row-major transpose (RowMajorSystem) — itself a useful
+// substrate for any row-action method.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/image.h"
+#include "geom/sinogram.h"
+#include "geom/system_matrix.h"
+
+namespace mbir {
+
+/// Row-major view of the system matrix: per (view, channel) measurement,
+/// the voxels it sees and their weights.
+class RowMajorSystem {
+ public:
+  explicit RowMajorSystem(const SystemMatrix& A);
+
+  struct RowEntry {
+    std::uint32_t voxel;
+    float weight;
+  };
+
+  std::span<const RowEntry> row(int view, int channel) const;
+  double rowNormSquared(int view, int channel) const {
+    return norms_[index(view, channel)];
+  }
+  int views() const { return views_; }
+  int channels() const { return channels_; }
+  std::size_t nnz() const { return entries_.size(); }
+
+ private:
+  std::size_t index(int view, int channel) const {
+    return std::size_t(view) * std::size_t(channels_) + std::size_t(channel);
+  }
+  int views_, channels_;
+  std::vector<std::uint32_t> row_begin_;  // size rows+1
+  std::vector<RowEntry> entries_;
+  std::vector<double> norms_;
+};
+
+struct ArtOptions {
+  int sweeps = 10;            ///< full passes over all measurements
+  double relaxation = 0.5;    ///< lambda in (0, 2)
+  bool nonnegative = true;
+  bool randomize_rows = true; ///< randomized Kaczmarz converges faster
+  std::uint64_t seed = 3;
+};
+
+/// Run ART from a zero start.
+Image2D artReconstruct(const SystemMatrix& A, const Sinogram& y,
+                       const ArtOptions& options = {});
+
+}  // namespace mbir

@@ -1,0 +1,54 @@
+#include "iter/sirt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "geom/projector.h"
+
+namespace mbir {
+
+double residualNorm(const SystemMatrix& A, const Sinogram& y, const Image2D& x) {
+  const Sinogram e = errorSinogram(A, y, x);
+  return std::sqrt(e.sumSquares());
+}
+
+Image2D sirtReconstruct(const SystemMatrix& A, const Sinogram& y,
+                        const SirtOptions& options) {
+  MBIR_CHECK(options.iterations >= 1);
+  MBIR_CHECK(options.relaxation > 0.0 && options.relaxation < 2.0);
+  MBIR_CHECK(y.views() == A.numViews() && y.channels() == A.numChannels());
+
+  // Row sums: project an all-ones image. Column sums: backproject an
+  // all-ones sinogram.
+  Image2D ones_img(A.geometry().image_size, 1.0f);
+  const Sinogram row_sums = forwardProject(A, ones_img);
+  Sinogram ones_sino(A.numViews(), A.numChannels());
+  for (float& v : ones_sino.flat()) v = 1.0f;
+  const Image2D col_sums = backProject(A, ones_sino);
+
+  Image2D x(A.geometry().image_size);
+  for (int it = 1; it <= options.iterations; ++it) {
+    Sinogram e = errorSinogram(A, y, x);
+    // R-weight the residual in place.
+    auto ef = e.flat();
+    auto rf = row_sums.flat();
+    for (std::size_t i = 0; i < ef.size(); ++i)
+      ef[i] = rf[i] > 1e-12f ? ef[i] / rf[i] : 0.0f;
+    const Image2D update = backProject(A, e);
+    for (std::size_t i = 0; i < x.numVoxels(); ++i) {
+      const float c = col_sums[i];
+      if (c <= 1e-12f) continue;
+      float v = x[i] + float(options.relaxation) * update[i] / c;
+      if (options.nonnegative) v = std::max(v, 0.0f);
+      x[i] = v;
+    }
+    if (options.on_iteration) {
+      const double rn = std::sqrt(errorSinogram(A, y, x).sumSquares());
+      options.on_iteration(it, x, rn);
+    }
+  }
+  return x;
+}
+
+}  // namespace mbir

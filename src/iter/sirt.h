@@ -1,0 +1,35 @@
+// SIRT — Simultaneous Iterative Reconstruction Technique.
+//
+// The paper's related-work (§7) contrasts MBIR with non-regularized
+// iterative methods: SIRT projects the whole volume each iteration,
+//   x_{k+1} = clamp( x_k + lambda * C A^T R (y - A x_k) ),
+// with R = diag(1/row sums) and C = diag(1/column sums). It lacks a
+// convergence criterion beyond a stopping time (§7) — exposed here as a
+// fixed iteration count — and serves as a quality/behaviour baseline for
+// the examples and tests.
+#pragma once
+
+#include <functional>
+
+#include "geom/image.h"
+#include "geom/sinogram.h"
+#include "geom/system_matrix.h"
+
+namespace mbir {
+
+struct SirtOptions {
+  int iterations = 50;
+  double relaxation = 1.0;  ///< lambda in (0, 2)
+  bool nonnegative = true;
+  /// Optional per-iteration observer: fn(iteration, x, residual_norm).
+  std::function<void(int, const Image2D&, double)> on_iteration;
+};
+
+/// Run SIRT from a zero (or caller-provided) start.
+Image2D sirtReconstruct(const SystemMatrix& A, const Sinogram& y,
+                        const SirtOptions& options = {});
+
+/// Weighted residual norm ||y - A x||_2 (unweighted 2-norm).
+double residualNorm(const SystemMatrix& A, const Sinogram& y, const Image2D& x);
+
+}  // namespace mbir

@@ -1,0 +1,20 @@
+// Exact (analytic) forward projection of ellipse phantoms.
+//
+// Integrates each ellipse's closed-form chord across every channel aperture
+// (small Gauss quadrature across the aperture), producing the noiseless
+// line-integral sinogram independent of the discrete system matrix. The
+// scanner simulator projects phantoms this way so reconstruction never
+// inverts the exact operator it was simulated with.
+#pragma once
+
+#include "geom/geometry.h"
+#include "geom/sinogram.h"
+#include "phantom/ellipse.h"
+
+namespace mbir {
+
+/// Noiseless sinogram of exact line integrals (dimensionless).
+Sinogram analyticProject(const EllipsePhantom& phantom,
+                         const ParallelBeamGeometry& g);
+
+}  // namespace mbir

@@ -1,0 +1,87 @@
+#include "phantom/baggage.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/hounsfield.h"
+
+namespace mbir {
+
+const std::vector<Material>& baggageMaterials() {
+  // Approximate linear attenuation at ~70 keV effective energy.
+  static const std::vector<Material> kMaterials = {
+      {"clothing", 0.004},   // loosely packed fabric
+      {"water", kMuWaterPerMm},
+      {"plastic", 0.0225},   // polymers / explosive simulant density range
+      {"rubber", 0.026},
+      {"glass", 0.055},
+      {"aluminum", 0.075},
+  };
+  return kMaterials;
+}
+
+EllipsePhantom makeBaggagePhantom(std::uint64_t suite_seed, int case_index,
+                                  const BaggageConfig& config) {
+  MBIR_CHECK(case_index >= 0);
+  MBIR_CHECK(config.field_radius_mm > 0.0);
+  MBIR_CHECK(config.min_objects >= 0 && config.max_objects >= config.min_objects);
+
+  // Per-case independent stream: hash the pair (seed, index).
+  Rng rng(suite_seed * 0x9e3779b97f4a7c15ull + std::uint64_t(case_index) * 0xda942042e4dd58b5ull + 1);
+
+  EllipsePhantom p;
+  const double R = config.field_radius_mm;
+
+  // Luggage shell: a large soft-sided container (fabric-ish fill) with
+  // slightly random aspect and tilt.
+  Ellipse shell;
+  shell.a = R * rng.uniform(0.82, 0.95);
+  shell.b = R * rng.uniform(0.58, 0.80);
+  shell.cx = R * rng.uniform(-0.03, 0.03);
+  shell.cy = R * rng.uniform(-0.03, 0.03);
+  shell.phi = rng.uniform(0.0, std::numbers::pi);
+  shell.value = baggageMaterials()[0].mu_per_mm;  // clothing fill
+  p.ellipses.push_back(shell);
+
+  const auto& mats = baggageMaterials();
+  const int num_objects =
+      config.min_objects +
+      int(rng.below(std::uint64_t(config.max_objects - config.min_objects + 1)));
+
+  const bool add_metal = rng.uniform() < config.metal_fraction;
+
+  for (int i = 0; i < num_objects; ++i) {
+    Ellipse e;
+    // Keep the object inside the shell: place its center within 70% of the
+    // shell's smaller semi-axis and bound its size accordingly.
+    const double max_r = 0.7 * std::min(shell.a, shell.b);
+    const double rr = max_r * std::sqrt(rng.uniform());  // area-uniform
+    const double ang = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    e.cx = shell.cx + rr * std::cos(ang);
+    e.cy = shell.cy + rr * std::sin(ang);
+    e.a = rng.uniform(0.04, 0.22) * R;
+    e.b = rng.uniform(0.04, 0.22) * R;
+    e.phi = rng.uniform(0.0, std::numbers::pi);
+    // Skip the clothing entry (index 0) for objects.
+    const std::size_t mat = 1 + rng.below(mats.size() - 1);
+    e.value = mats[mat].mu_per_mm;
+    p.ellipses.push_back(e);
+  }
+
+  if (add_metal) {
+    Ellipse m;
+    m.cx = shell.cx + 0.4 * shell.a * (rng.uniform() - 0.5);
+    m.cy = shell.cy + 0.4 * shell.b * (rng.uniform() - 0.5);
+    m.a = rng.uniform(0.015, 0.04) * R;
+    m.b = rng.uniform(0.015, 0.04) * R;
+    m.phi = rng.uniform(0.0, std::numbers::pi);
+    m.value = 0.18;  // dense metal (steel-ish, small to limit artifacts)
+    p.ellipses.push_back(m);
+  }
+
+  return p;
+}
+
+}  // namespace mbir

@@ -1,0 +1,45 @@
+// Random baggage phantom generator — the stand-in for the ALERT TO3 dataset.
+//
+// The paper's 3200 test cases are checked-luggage scans from an Imatron
+// C-300 (transportation-security CT). We cannot ship that data, so this
+// generator produces security-scan-like slices: a luggage shell containing a
+// random arrangement of objects drawn from a small material library
+// (clothing, water, plastics, glass, aluminum). Every case is fully
+// determined by (suite seed, case index), so a "suite of N cases" is
+// reproducible, and large empty regions make zero-skipping meaningful
+// exactly as in real baggage data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phantom/ellipse.h"
+
+namespace mbir {
+
+struct BaggageConfig {
+  /// All content fits inside this radius (mm); pick <= scanner FOV radius.
+  double field_radius_mm = 48.0;
+  /// Object count range (inclusive).
+  int min_objects = 4;
+  int max_objects = 12;
+  /// Fraction of cases that include one small high-density (metal) object.
+  double metal_fraction = 0.3;
+};
+
+/// Materials used by the generator (attenuation in 1/mm).
+struct Material {
+  std::string name;
+  double mu_per_mm;
+};
+
+/// The material library (clothing ... aluminum); exposed for tests/examples.
+const std::vector<Material>& baggageMaterials();
+
+/// Deterministically generate case `case_index` of the suite with the given
+/// seed. Different indices give independent phantoms.
+EllipsePhantom makeBaggagePhantom(std::uint64_t suite_seed, int case_index,
+                                  const BaggageConfig& config = {});
+
+}  // namespace mbir

@@ -1,0 +1,54 @@
+#include "phantom/ellipse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbir {
+
+bool Ellipse::contains(double x, double y) const {
+  const double dx = x - cx;
+  const double dy = y - cy;
+  const double c = std::cos(phi), s = std::sin(phi);
+  // Rotate into the ellipse frame.
+  const double u = dx * c + dy * s;
+  const double v = -dx * s + dy * c;
+  return (u * u) / (a * a) + (v * v) / (b * b) <= 1.0;
+}
+
+double Ellipse::chordLength(double theta, double t) const {
+  // Shift the line so the ellipse is centered: effective offset from center.
+  const double tc = t - (cx * std::cos(theta) + cy * std::sin(theta));
+  // In the ellipse frame the projection half-width at angle (theta - phi) is
+  // rho = sqrt(a^2 cos^2 + b^2 sin^2); the chord of a unit circle scales by
+  // ab / rho^2 * 2 sqrt(rho^2 - tc^2).
+  const double ca = std::cos(theta - phi);
+  const double sa = std::sin(theta - phi);
+  const double rho2 = a * a * ca * ca + b * b * sa * sa;
+  const double disc = rho2 - tc * tc;
+  if (disc <= 0.0) return 0.0;
+  return 2.0 * a * b * std::sqrt(disc) / rho2;
+}
+
+double EllipsePhantom::valueAt(double x, double y) const {
+  double acc = 0.0;
+  for (const Ellipse& e : ellipses)
+    if (e.contains(x, y)) acc += e.value;
+  return acc;
+}
+
+double EllipsePhantom::lineIntegral(double theta, double t) const {
+  double acc = 0.0;
+  for (const Ellipse& e : ellipses) acc += e.value * e.chordLength(theta, t);
+  return acc;
+}
+
+double EllipsePhantom::boundingRadius() const {
+  double r = 0.0;
+  for (const Ellipse& e : ellipses) {
+    const double center = std::hypot(e.cx, e.cy);
+    r = std::max(r, center + std::max(e.a, e.b));
+  }
+  return r;
+}
+
+}  // namespace mbir

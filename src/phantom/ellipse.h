@@ -1,0 +1,45 @@
+// Ellipse primitives.
+//
+// Phantoms are additive superpositions of ellipses (the classic CT test
+// construction): each ellipse adds its attenuation value inside its
+// boundary. Ellipses admit closed-form line integrals, so a phantom's exact
+// sinogram is available analytically — tests use this to validate the
+// system matrix, and the scanner simulator uses it to avoid the "inverse
+// crime" of projecting with the same matrix used for reconstruction.
+#pragma once
+
+#include <vector>
+
+namespace mbir {
+
+struct Ellipse {
+  double cx = 0.0;     ///< center x (mm)
+  double cy = 0.0;     ///< center y (mm)
+  double a = 1.0;      ///< semi-axis along the ellipse's own x axis (mm)
+  double b = 1.0;      ///< semi-axis along the ellipse's own y axis (mm)
+  double phi = 0.0;    ///< rotation (radians, counter-clockwise)
+  double value = 0.0;  ///< additive attenuation contribution (1/mm)
+
+  /// True if (x, y) lies inside (boundary inclusive).
+  bool contains(double x, double y) const;
+
+  /// Length (mm) of the intersection of the ellipse with the line
+  /// { (x, y) : x cos(theta) + y sin(theta) = t }.
+  double chordLength(double theta, double t) const;
+};
+
+/// A phantom: ellipses whose values superpose additively.
+struct EllipsePhantom {
+  std::vector<Ellipse> ellipses;
+
+  /// Attenuation at a point (sum over containing ellipses), 1/mm.
+  double valueAt(double x, double y) const;
+
+  /// Exact line integral along x cos(theta) + y sin(theta) = t.
+  double lineIntegral(double theta, double t) const;
+
+  /// Radius of the smallest origin-centered circle containing all ellipses.
+  double boundingRadius() const;
+};
+
+}  // namespace mbir

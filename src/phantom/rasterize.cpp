@@ -1,0 +1,31 @@
+#include "phantom/rasterize.h"
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace mbir {
+
+Image2D rasterize(const EllipsePhantom& phantom, const ParallelBeamGeometry& g,
+                  int supersample) {
+  MBIR_CHECK(supersample >= 1);
+  g.validate();
+  Image2D img(g.image_size);
+  const int ss = supersample;
+  const double inv_ss2 = 1.0 / double(ss * ss);
+  const double step = g.pixel_size_mm / double(ss);
+
+  globalThreadPool().parallelFor(0, g.image_size, [&](int row) {
+    for (int col = 0; col < g.image_size; ++col) {
+      const double x0 = g.pixelX(col) - g.pixel_size_mm / 2.0 + step / 2.0;
+      const double y0 = g.pixelY(row) - g.pixel_size_mm / 2.0 + step / 2.0;
+      double acc = 0.0;
+      for (int sy = 0; sy < ss; ++sy)
+        for (int sx = 0; sx < ss; ++sx)
+          acc += phantom.valueAt(x0 + double(sx) * step, y0 + double(sy) * step);
+      img(row, col) = float(acc * inv_ss2);
+    }
+  }, /*grain=*/4);
+  return img;
+}
+
+}  // namespace mbir

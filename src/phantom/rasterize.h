@@ -1,0 +1,16 @@
+// Rasterize an ellipse phantom onto the reconstruction grid.
+#pragma once
+
+#include "geom/geometry.h"
+#include "geom/image.h"
+#include "phantom/ellipse.h"
+
+namespace mbir {
+
+/// Render the phantom into an image on the geometry's pixel grid.
+/// `supersample` subdivides each pixel supersample x supersample for
+/// anti-aliased edges (3 is a good default; 1 = point sampling).
+Image2D rasterize(const EllipsePhantom& phantom, const ParallelBeamGeometry& g,
+                  int supersample = 3);
+
+}  // namespace mbir

@@ -1,0 +1,68 @@
+#include "phantom/shepp_logan.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "core/error.h"
+#include "core/hounsfield.h"
+
+namespace mbir {
+
+namespace {
+
+struct SlEllipse {
+  double value, a, b, x0, y0, phi_deg;
+};
+
+// Canonical Shepp-Logan parameters in unit-disc coordinates.
+constexpr std::array<SlEllipse, 10> kStandard{{
+    {2.00, 0.6900, 0.9200, 0.00, 0.0000, 0.0},
+    {-0.98, 0.6624, 0.8740, 0.00, -0.0184, 0.0},
+    {-0.02, 0.1100, 0.3100, 0.22, 0.0000, -18.0},
+    {-0.02, 0.1600, 0.4100, -0.22, 0.0000, 18.0},
+    {0.01, 0.2100, 0.2500, 0.00, 0.3500, 0.0},
+    {0.01, 0.0460, 0.0460, 0.00, 0.1000, 0.0},
+    {0.01, 0.0460, 0.0460, 0.00, -0.1000, 0.0},
+    {0.01, 0.0460, 0.0230, -0.08, -0.6050, 0.0},
+    {0.01, 0.0230, 0.0230, 0.00, -0.6060, 0.0},
+    {0.01, 0.0230, 0.0460, 0.06, -0.6050, 0.0},
+}};
+
+// Toft's modified contrast values (same geometry).
+constexpr std::array<double, 10> kModifiedValues{1.0, -0.8, -0.2, -0.2, 0.1,
+                                                 0.1, 0.1,  0.1,  0.1, 0.1};
+
+EllipsePhantom build(double radius_mm, const std::array<SlEllipse, 10>& defs,
+                     const std::array<double, 10>* override_values) {
+  MBIR_CHECK(radius_mm > 0.0);
+  // The phantom's largest extent is the outer ellipse's 0.92 semi-axis.
+  const double scale = radius_mm / 0.92;
+  EllipsePhantom p;
+  p.ellipses.reserve(defs.size());
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const SlEllipse& d = defs[i];
+    Ellipse e;
+    e.cx = d.x0 * scale;
+    e.cy = d.y0 * scale;
+    e.a = d.a * scale;
+    e.b = d.b * scale;
+    e.phi = d.phi_deg * std::numbers::pi / 180.0;
+    const double v = override_values ? (*override_values)[i] : d.value;
+    e.value = v * kMuWaterPerMm;
+    p.ellipses.push_back(e);
+  }
+  return p;
+}
+
+}  // namespace
+
+EllipsePhantom sheppLogan(double radius_mm) {
+  return build(radius_mm, kStandard, nullptr);
+}
+
+EllipsePhantom modifiedSheppLogan(double radius_mm) {
+  return build(radius_mm, kStandard, &kModifiedValues);
+}
+
+}  // namespace mbir

@@ -1,0 +1,18 @@
+// The Shepp-Logan head phantom, scaled to a caller-specified radius and
+// expressed in linear attenuation (1/mm) with water-equivalent soft tissue.
+#pragma once
+
+#include "phantom/ellipse.h"
+
+namespace mbir {
+
+/// Standard (unmodified) Shepp-Logan phantom scaled so its outer skull
+/// ellipse has semi-major axis `radius_mm`. Values use mu(water) scaling so
+/// tissue contrast lands in a realistic HU range.
+EllipsePhantom sheppLogan(double radius_mm);
+
+/// "Modified" Shepp-Logan (Toft) with boosted contrast, better for visual
+/// checks at low dose.
+EllipsePhantom modifiedSheppLogan(double radius_mm);
+
+}  // namespace mbir

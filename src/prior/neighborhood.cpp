@@ -1,0 +1,31 @@
+#include "prior/neighborhood.h"
+
+#include <cmath>
+
+namespace mbir {
+
+const std::array<NeighborOffset, 8>& neighborhood8() {
+  static const std::array<NeighborOffset, 8> kNeighbors = [] {
+    const double edge = 1.0;
+    const double diag = 1.0 / std::sqrt(2.0);
+    const double total = 4.0 * edge + 4.0 * diag;
+    std::array<NeighborOffset, 8> n{{
+        {-1, -1, diag / total}, {-1, 0, edge / total}, {-1, 1, diag / total},
+        {0, -1, edge / total},  {0, 1, edge / total},
+        {1, -1, diag / total},  {1, 0, edge / total},  {1, 1, diag / total},
+    }};
+    return n;
+  }();
+  return kNeighbors;
+}
+
+bool allNeighborsZero(const Image2D& x, int row, int col) {
+  if (x(row, col) != 0.0f) return false;
+  bool all_zero = true;
+  forEachNeighbor(x, row, col, [&](float v, double) {
+    if (v != 0.0f) all_zero = false;
+  });
+  return all_zero;
+}
+
+}  // namespace mbir

@@ -1,0 +1,37 @@
+// 8-neighbour clique system for the 2D MRF prior.
+//
+// Clique weights b are inverse-distance (1 for edge neighbours, 1/sqrt(2)
+// for diagonals), normalized to sum to 1 over the full 8-neighbourhood.
+// Image-border voxels simply have fewer cliques (free boundary).
+#pragma once
+
+#include <array>
+
+#include "geom/image.h"
+
+namespace mbir {
+
+struct NeighborOffset {
+  int dr, dc;
+  double b;  ///< clique weight
+};
+
+/// The 8 neighbour offsets with normalized weights.
+const std::array<NeighborOffset, 8>& neighborhood8();
+
+/// Visit the in-bounds neighbours of (row, col): fn(value, b_weight).
+template <typename Fn>
+void forEachNeighbor(const Image2D& x, int row, int col, Fn&& fn) {
+  for (const NeighborOffset& n : neighborhood8()) {
+    const int r = row + n.dr;
+    const int c = col + n.dc;
+    if (r < 0 || r >= x.size() || c < 0 || c >= x.size()) continue;
+    fn(x(r, c), n.b);
+  }
+}
+
+/// True when the voxel and all in-bounds neighbours are zero (the paper's
+/// zero-skipping predicate, §2.1).
+bool allNeighborsZero(const Image2D& x, int row, int col);
+
+}  // namespace mbir

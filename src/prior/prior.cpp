@@ -1,0 +1,61 @@
+#include "prior/prior.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mbir {
+
+QuadraticPrior::QuadraticPrior(double sigma_x) : sigma_x_(sigma_x) {
+  MBIR_CHECK(sigma_x > 0.0);
+}
+
+double QuadraticPrior::potential(double delta) const {
+  return delta * delta / (2.0 * sigma_x_ * sigma_x_);
+}
+
+double QuadraticPrior::influence(double delta) const {
+  return delta / (sigma_x_ * sigma_x_);
+}
+
+double QuadraticPrior::surrogateCoeff(double /*u*/) const {
+  return 1.0 / (2.0 * sigma_x_ * sigma_x_);
+}
+
+QggmrfPrior::QggmrfPrior(double sigma_x, double q, double T)
+    : sigma_x_(sigma_x), q_(q), T_(T) {
+  MBIR_CHECK(sigma_x > 0.0);
+  MBIR_CHECK_MSG(q > 1.0 && q < 2.0, "q-GGMRF requires 1 < q < 2, got q=" << q);
+  MBIR_CHECK(T > 0.0);
+}
+
+namespace {
+// Below this |d| / (T sigma) ratio the prior is numerically quadratic.
+constexpr double kQuadraticLimit = 1e-12;
+}  // namespace
+
+double QggmrfPrior::potential(double delta) const {
+  const double s2 = sigma_x_ * sigma_x_;
+  const double ad = std::abs(delta) / (T_ * sigma_x_);
+  if (ad < kQuadraticLimit) return delta * delta / (2.0 * s2);
+  const double r = std::pow(ad, q_ - 2.0);  // q - 2 < 0: r grows as d -> 0
+  return delta * delta / (2.0 * s2) * r / (1.0 + r);
+}
+
+double QggmrfPrior::influence(double delta) const {
+  const double s2 = sigma_x_ * sigma_x_;
+  const double ad = std::abs(delta) / (T_ * sigma_x_);
+  if (ad < kQuadraticLimit) return delta / s2;
+  const double r = std::pow(ad, q_ - 2.0);
+  const double onepr = 1.0 + r;
+  return delta / s2 * r * (q_ / 2.0 + r) / (onepr * onepr);
+}
+
+double QggmrfPrior::surrogateCoeff(double u) const {
+  const double s2 = sigma_x_ * sigma_x_;
+  const double au = std::abs(u) / (T_ * sigma_x_);
+  if (au < kQuadraticLimit) return 1.0 / (2.0 * s2);
+  return influence(u) / (2.0 * u);
+}
+
+}  // namespace mbir

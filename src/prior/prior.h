@@ -1,0 +1,63 @@
+// MBIR prior model interface.
+//
+// MBIR minimizes  f(x) = 1/2 ||y - A x||^2_W  +  sum_{cliques {i,j}} b_ij rho(x_i - x_j).
+// ICD's 1D voxel subproblem replaces rho by its symmetric-bound quadratic
+// surrogate at the current difference u (Yu et al., "functional
+// substitution"): rho(u + d) <= rho(u) + rho'(u) d + coeff(u) d^2, with
+// coeff(u) = rho'(u) / (2u) (limit rho''(0)/2 at u = 0). This makes the
+// voxel update a closed-form minimization (icd/voxel_update.h) while keeping
+// monotone cost descent — a property the test suite checks.
+#pragma once
+
+namespace mbir {
+
+class Prior {
+ public:
+  virtual ~Prior() = default;
+
+  /// rho(delta): clique potential.
+  virtual double potential(double delta) const = 0;
+
+  /// rho'(delta): influence function.
+  virtual double influence(double delta) const = 0;
+
+  /// rho'(u) / (2u) with the u -> 0 limit; the surrogate quadratic coefficient.
+  virtual double surrogateCoeff(double u) const = 0;
+};
+
+/// Gaussian MRF: rho(d) = d^2 / (2 sigma^2). The classical quadratic prior;
+/// blurs edges but is the fastest-converging reference.
+class QuadraticPrior final : public Prior {
+ public:
+  explicit QuadraticPrior(double sigma_x);
+  double potential(double delta) const override;
+  double influence(double delta) const override;
+  double surrogateCoeff(double u) const override;
+  double sigmaX() const { return sigma_x_; }
+
+ private:
+  double sigma_x_;
+};
+
+/// q-GGMRF prior (Thibault et al. 2007) with p = 2:
+///   rho(d) = (d^2 / (2 sigma^2)) * r / (1 + r),   r = |d / (T sigma)|^(q-2)
+/// Quadratic near zero (noise suppression), approximately |d|^q for large
+/// differences (edge preservation). Requires 1 < q < 2.
+class QggmrfPrior final : public Prior {
+ public:
+  QggmrfPrior(double sigma_x, double q = 1.2, double T = 1.0);
+  double potential(double delta) const override;
+  double influence(double delta) const override;
+  double surrogateCoeff(double u) const override;
+
+  double sigmaX() const { return sigma_x_; }
+  double q() const { return q_; }
+  double T() const { return T_; }
+
+ private:
+  double sigma_x_;
+  double q_;
+  double T_;
+};
+
+}  // namespace mbir

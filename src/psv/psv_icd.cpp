@@ -1,0 +1,216 @@
+#include "psv/psv_icd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <optional>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "icd/update_order.h"
+#include "icd/voxel_update.h"
+#include "prior/neighborhood.h"
+#include "sv/svb.h"
+
+namespace mbir {
+
+namespace {
+
+// Boundary voxels are shared by adjacent SVs, which PSV-ICD updates
+// concurrently (the algorithm tolerates the resulting staleness — §3.2).
+// All image accesses on the parallel path therefore go through relaxed
+// atomics so the races are well-defined.
+float loadX(Image2D& x, int row, int col) {
+  return std::atomic_ref<float>(x(row, col)).load(std::memory_order_relaxed);
+}
+void addX(Image2D& x, int row, int col, float delta) {
+  std::atomic_ref<float> ref(x(row, col));
+  ref.store(ref.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+}
+
+bool zeroSkipRelaxed(Image2D& x, int row, int col) {
+  if (loadX(x, row, col) != 0.0f) return false;
+  const int n = x.size();
+  for (const NeighborOffset& nb : neighborhood8()) {
+    const int r = row + nb.dr, c = col + nb.dc;
+    if (r < 0 || r >= n || c < 0 || c >= n) continue;
+    if (loadX(x, r, c) != 0.0f) return false;
+  }
+  return true;
+}
+
+/// solveDelta (icd/voxel_update.h) with relaxed image loads.
+float solveDeltaRelaxed(const Prior& prior, Image2D& x, int row, int col,
+                        const ThetaPair& theta) {
+  const float xv = loadX(x, row, col);
+  double num = theta.theta1;
+  double den = theta.theta2;
+  const int n = x.size();
+  for (const NeighborOffset& nb : neighborhood8()) {
+    const int r = row + nb.dr, c = col + nb.dc;
+    if (r < 0 || r >= n || c < 0 || c >= n) continue;
+    const double u = double(xv) - double(loadX(x, r, c));
+    num += nb.b * prior.influence(u);
+    den += 2.0 * nb.b * prior.surrogateCoeff(u);
+  }
+  if (den <= 0.0) return 0.0f;
+  return float(std::max(-num / den, -double(xv)));
+}
+
+/// theta1/theta2 against packed SVBs (Alg. 1 lines 3-6, SVB-local).
+ThetaPair computeThetaSvb(const SystemMatrix& A, const Svb& e_svb,
+                          const Svb& w_svb, std::size_t voxel,
+                          std::size_t& elements) {
+  ThetaPair t;
+  const SvbPlan& plan = e_svb.plan();
+  for (int v = 0; v < A.numViews(); ++v) {
+    const SystemMatrix::Run& r = A.run(voxel, v);
+    if (r.count == 0) continue;
+    const auto aw = A.weights(voxel, v);
+    const int start = int(r.first_channel) - plan.lo(v);
+    const float* erow = e_svb.rowData(v) + start;
+    const float* wrow = w_svb.rowData(v) + start;
+    for (std::size_t k = 0; k < aw.size(); ++k) {
+      const double a = double(aw[k]);
+      const double w = double(wrow[k]);
+      t.theta1 += -w * a * double(erow[k]);
+      t.theta2 += w * a * a;
+    }
+    elements += aw.size();
+  }
+  return t;
+}
+
+/// e_svb -= A[voxel] * delta (Alg. 1 lines 9-11, SVB-local).
+void applyErrorUpdateSvb(const SystemMatrix& A, Svb& e_svb, std::size_t voxel,
+                         float delta, std::size_t& elements) {
+  if (delta == 0.0f) return;
+  const SvbPlan& plan = e_svb.plan();
+  for (int v = 0; v < A.numViews(); ++v) {
+    const SystemMatrix::Run& r = A.run(voxel, v);
+    if (r.count == 0) continue;
+    const auto aw = A.weights(voxel, v);
+    float* erow = e_svb.rowData(v) + (int(r.first_channel) - plan.lo(v));
+    for (std::size_t k = 0; k < aw.size(); ++k) erow[k] -= aw[k] * delta;
+    elements += aw.size();
+  }
+}
+
+}  // namespace
+
+PsvIcd::PsvIcd(const Problem& problem, PsvIcdOptions options)
+    : problem_(problem),
+      options_(options),
+      grid_(problem.A.geometry().image_size, options.sv) {
+  problem_.validate();
+  MBIR_CHECK(options_.sv_fraction > 0.0 && options_.sv_fraction <= 1.0);
+  MBIR_CHECK(options_.max_iterations >= 1);
+}
+
+PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
+                        const PsvIterationCallback& on_iteration) {
+  MBIR_CHECK(x.size() == problem_.A.geometry().image_size);
+  const SystemMatrix& A = problem_.A;
+  const int image_size = x.size();
+
+  // One SVB plan per SV, reused across iterations (band depends only on
+  // geometry).
+  std::vector<SvbPlan> plans;
+  plans.reserve(std::size_t(grid_.count()));
+  for (int i = 0; i < grid_.count(); ++i)
+    plans.emplace_back(A.geometry(), grid_.sv(i));
+
+  std::optional<ThreadPool> local_pool;
+  if (options_.num_threads > 0) local_pool.emplace(options_.num_threads);
+  ThreadPool& pool = local_pool ? *local_pool : globalThreadPool();
+
+  Rng rng(options_.seed);
+  std::vector<double> magnitude(std::size_t(grid_.count()), 0.0);
+
+  std::mutex sino_mu;       // guards the global error sinogram
+  std::mutex stats_mu;      // guards the shared counters
+  PsvRunStats stats;
+  std::atomic<std::size_t> total_updates{0};
+  const double voxels_per_equit = double(x.numVoxels());
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    const std::vector<int> selected = selectSuperVoxels(
+        iter, std::size_t(grid_.count()), magnitude, options_.sv_fraction, rng);
+
+    // Independent per-SV RNG streams, drawn up front for determinism under
+    // dynamic scheduling.
+    std::vector<std::uint64_t> seeds(selected.size());
+    for (auto& s : seeds) s = rng.next();
+
+    pool.parallelFor(0, int(selected.size()), [&](int si) {
+      const int sv_id = selected[std::size_t(si)];
+      const SuperVoxel& sv = grid_.sv(sv_id);
+      const SvbPlan& plan = plans[std::size_t(sv_id)];
+      WorkCounters wc;
+
+      Svb w_svb(plan, SvbLayout::kPacked);
+      w_svb.gather(problem_.weights);
+      Svb e_svb(plan, SvbLayout::kPacked);
+      {
+        std::lock_guard lock(sino_mu);
+        e_svb.gather(e);
+        ++wc.lock_acquisitions;
+      }
+      Svb e_orig(plan, SvbLayout::kPacked);
+      std::memcpy(e_orig.raw().data(), e_svb.raw().data(),
+                  e_svb.raw().size() * sizeof(float));
+      // weights gather + error gather + original-error copy
+      wc.svb_gather_elements += 3 * e_svb.raw().size();
+
+      Rng sv_rng(seeds[std::size_t(si)]);
+      std::vector<int> order(std::size_t(sv.numVoxels()));
+      for (std::size_t k = 0; k < order.size(); ++k) order[k] = int(k);
+      if (options_.randomize_voxel_order) sv_rng.shuffle(order);
+
+      double mag_acc = 0.0;
+      for (int k : order) {
+        const int row = sv.row0 + k / sv.numCols();
+        const int col = sv.col0 + k % sv.numCols();
+        ++wc.voxels_visited;
+        if (options_.zero_skip && zeroSkipRelaxed(x, row, col)) continue;
+        const std::size_t voxel =
+            std::size_t(row) * std::size_t(image_size) + std::size_t(col);
+        const ThetaPair theta =
+            computeThetaSvb(A, e_svb, w_svb, voxel, wc.theta_elements);
+        const float delta = solveDeltaRelaxed(problem_.prior, x, row, col, theta);
+        addX(x, row, col, delta);
+        applyErrorUpdateSvb(A, e_svb, voxel, delta, wc.error_update_elements);
+        mag_acc += std::abs(double(delta));
+        ++wc.voxel_updates;
+      }
+
+      {
+        std::lock_guard lock(sino_mu);
+        e_svb.applyDeltaTo(e, e_orig);
+        ++wc.lock_acquisitions;
+      }
+      wc.svb_writeback_elements += e_svb.raw().size();
+      ++wc.svs_processed;
+
+      magnitude[std::size_t(sv_id)] = mag_acc;  // single writer per SV
+      total_updates.fetch_add(wc.voxel_updates, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(stats_mu);
+        stats.work += wc;
+      }
+    });
+
+    stats.iterations = iter;
+    stats.equits = double(total_updates.load()) / voxels_per_equit;
+    if (on_iteration &&
+        !on_iteration(PsvIterationInfo{iter, stats.equits, stats.work, x})) {
+      stats.stopped_by_callback = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mbir

@@ -1,0 +1,52 @@
+#include "recon/metrics.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/hounsfield.h"
+
+namespace mbir {
+
+namespace {
+
+template <typename Fn>
+void forEachFlatPixel(const Image2D& truth, int margin, Fn&& fn) {
+  const int n = truth.size();
+  for (int r = margin; r < n - margin; ++r) {
+    for (int c = margin; c < n - margin; ++c) {
+      const float v = truth(r, c);
+      bool flat = true;
+      for (int dr = -margin; dr <= margin && flat; ++dr)
+        for (int dc = -margin; dc <= margin; ++dc)
+          if (truth(r + dr, c + dc) != v) {
+            flat = false;
+            break;
+          }
+      if (flat) fn(r, c);
+    }
+  }
+}
+
+}  // namespace
+
+double flatRegionRmseHu(const Image2D& image, const Image2D& truth, int margin) {
+  MBIR_CHECK(image.sameShape(truth));
+  MBIR_CHECK(margin >= 1);
+  double acc = 0.0;
+  std::size_t n = 0;
+  forEachFlatPixel(truth, margin, [&](int r, int c) {
+    const double d = double(image(r, c)) - double(truth(r, c));
+    acc += d * d;
+    ++n;
+  });
+  MBIR_CHECK_MSG(n > 0, "ground truth has no flat regions at margin " << margin);
+  return std::sqrt(acc / double(n)) * kHuPerMu;
+}
+
+double flatRegionFraction(const Image2D& truth, int margin) {
+  std::size_t n = 0;
+  forEachFlatPixel(truth, margin, [&](int, int) { ++n; });
+  return double(n) / double(truth.numVoxels());
+}
+
+}  // namespace mbir

@@ -1,0 +1,24 @@
+// Image-quality metrics beyond plain RMSE.
+//
+// Full-image RMSE against a rasterized ground truth is dominated by edge
+// pixels: an edge-preserving reconstruction places a hard transition where
+// the anti-aliased truth has a half-covered pixel, which penalizes *better*
+// edges. Flat-region metrics measure what radiologists and screeners
+// actually look at — noise and streak artifacts in uniform materials.
+#pragma once
+
+#include "geom/image.h"
+
+namespace mbir {
+
+/// RMSE (in HU) computed only over pixels whose (2*margin+1)^2 ground-truth
+/// neighbourhood is perfectly uniform — i.e. away from material boundaries.
+/// Streak artifacts (the sparse-view failure mode of direct methods) live
+/// exactly in these regions.
+double flatRegionRmseHu(const Image2D& image, const Image2D& truth,
+                        int margin = 2);
+
+/// Fraction of pixels used by flatRegionRmseHu (sanity check for tests).
+double flatRegionFraction(const Image2D& truth, int margin = 2);
+
+}  // namespace mbir

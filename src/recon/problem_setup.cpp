@@ -1,0 +1,34 @@
+#include "recon/problem_setup.h"
+
+#include "core/error.h"
+#include "geom/projector.h"
+
+namespace mbir {
+
+std::unique_ptr<Prior> makePrior(const PriorConfig& config) {
+  switch (config.kind) {
+    case PriorConfig::Kind::kQggmrf:
+      return std::make_unique<QggmrfPrior>(config.sigma_x, config.q, config.T);
+    case PriorConfig::Kind::kQuadratic:
+      return std::make_unique<QuadraticPrior>(config.sigma_x);
+  }
+  MBIR_CHECK_MSG(false, "unknown prior kind");
+  return nullptr;
+}
+
+OwnedProblem::OwnedProblem(std::shared_ptr<const SystemMatrix> A,
+                           ScanResult scan, const PriorConfig& prior_config)
+    : A_(std::move(A)), scan_(std::move(scan)), prior_(makePrior(prior_config)) {
+  MBIR_CHECK(A_ != nullptr);
+  view().validate();
+}
+
+Image2D OwnedProblem::fbpInitialImage() const {
+  return fbpReconstruct(scan_.y, A_->geometry());
+}
+
+Sinogram OwnedProblem::initialError(const Image2D& x) const {
+  return errorSinogram(*A_, scan_.y, x);
+}
+
+}  // namespace mbir

@@ -1,0 +1,56 @@
+// Owning reconstruction-problem bundle: ties a scan to a system matrix and
+// a prior, and provides the standard initialization (FBP image + error
+// sinogram). This is the object user code holds; the algorithm classes take
+// the non-owning icd::Problem view.
+#pragma once
+
+#include <memory>
+
+#include "geom/fbp.h"
+#include "geom/image.h"
+#include "geom/system_matrix.h"
+#include "icd/problem.h"
+#include "prior/prior.h"
+#include "scan/scanner.h"
+
+namespace mbir {
+
+struct PriorConfig {
+  enum class Kind { kQggmrf, kQuadratic };
+  Kind kind = Kind::kQggmrf;
+  /// MRF scale in attenuation units (1/mm). T * sigma_x is the q-GGMRF
+  /// noise/edge transition; ~8e-4 (1/mm) ~= 40 HU works well with the
+  /// default dose.
+  double sigma_x = 8e-4;
+  double q = 1.2;
+  double T = 1.0;
+};
+
+std::unique_ptr<Prior> makePrior(const PriorConfig& config);
+
+class OwnedProblem {
+ public:
+  OwnedProblem(std::shared_ptr<const SystemMatrix> A, ScanResult scan,
+               const PriorConfig& prior_config = {});
+
+  /// Non-owning view for the algorithm classes. Valid while *this lives.
+  Problem view() const { return Problem{*A_, scan_.y, scan_.weights, *prior_}; }
+
+  const SystemMatrix& matrix() const { return *A_; }
+  const ScanResult& scan() const { return scan_; }
+  const ParallelBeamGeometry& geometry() const { return A_->geometry(); }
+
+  /// Standard MBIR initialization: the FBP image (§2.1 zero-skipping is
+  /// sound from an FBP start: air is zero, objects are not).
+  Image2D fbpInitialImage() const;
+
+  /// e = y - A x for a starting image.
+  Sinogram initialError(const Image2D& x) const;
+
+ private:
+  std::shared_ptr<const SystemMatrix> A_;
+  ScanResult scan_;
+  std::unique_ptr<Prior> prior_;
+};
+
+}  // namespace mbir

@@ -1,0 +1,109 @@
+#include "recon/reconstructor.h"
+
+#include <cmath>
+
+#include "gsim/cpu_model.h"
+#include "icd/convergence.h"
+
+namespace mbir {
+
+const char* algorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSequentialIcd: return "Sequential ICD";
+    case Algorithm::kPsvIcd: return "PSV-ICD (CPU)";
+    case Algorithm::kGpuIcd: return "GPU-ICD";
+  }
+  return "?";
+}
+
+Image2D computeGolden(const OwnedProblem& problem, double equits) {
+  Image2D x = problem.fbpInitialImage();
+  Sinogram e = problem.initialError(x);
+  const Problem p = problem.view();
+  SequentialIcdOptions opt;
+  opt.max_equits = equits;
+  SequentialIcd icd(p, opt);
+  icd.run(x, e);
+  return x;
+}
+
+RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
+                      RunConfig config) {
+  RunResult result;
+  result.image = problem.fbpInitialImage();
+  Sinogram e = problem.initialError(result.image);
+  const Problem p = problem.view();
+
+  const auto track = [&](const Image2D& x, double equits,
+                         double modeled_seconds) -> bool {
+    const double rmse = rmseHu(x, golden);
+    result.curve.push_back({equits, modeled_seconds, rmse});
+    result.final_rmse_hu = rmse;
+    if (config.stop_rmse_hu > 0.0 && rmse < config.stop_rmse_hu) {
+      result.converged = true;
+      return false;  // stop
+    }
+    return equits < config.max_equits;
+  };
+
+  switch (config.algorithm) {
+    case Algorithm::kSequentialIcd: {
+      SequentialIcdOptions opt = config.seq;
+      opt.max_equits = config.max_equits;
+      SequentialIcd icd(p, opt);
+      IcdRunStats stats = icd.run(
+          result.image, e, [&](const Image2D& x, const IcdRunStats& progress) {
+            return track(x, progress.equits,
+                         gsim::modelSequentialCpuSeconds(
+                             progress.work, gsim::sequentialReference()));
+          });
+      result.equits = stats.equits;
+      result.work = stats.work;
+      result.modeled_seconds =
+          gsim::modelSequentialCpuSeconds(stats.work, gsim::sequentialReference());
+      result.seq_stats = stats;
+      break;
+    }
+    case Algorithm::kPsvIcd: {
+      PsvIcdOptions opt = config.psv;
+      opt.max_iterations = 2000;  // callback-driven; cap is a safety net
+      PsvIcd icd(p, opt);
+      PsvRunStats run_stats = icd.run(
+          result.image, e, [&](const PsvIterationInfo& info) {
+            return track(info.x, info.equits,
+                         gsim::modelPsvCpuSeconds(info.work, gsim::xeon16Core()));
+          });
+      result.equits = run_stats.equits;
+      result.work = run_stats.work;
+      result.modeled_seconds =
+          gsim::modelPsvCpuSeconds(run_stats.work, gsim::xeon16Core());
+      result.psv_stats = run_stats;
+      break;
+    }
+    case Algorithm::kGpuIcd: {
+      GpuIcdOptions opt = config.gpu;
+      opt.max_iterations = 2000;
+      if (config.scale_gpu_caches) {
+        // SVB size scales with views (see gsim::scaleCachesToProblem docs).
+        const double ratio = double(problem.geometry().num_views) / 720.0;
+        opt.device = gsim::scaleCachesToProblem(opt.device, ratio);
+      }
+      GpuIcd icd(p, opt);
+      GpuRunStats stats = icd.run(
+          result.image, e, [&](const GpuIterationInfo& info) {
+            return track(info.x, info.equits, info.modeled_seconds);
+          });
+      result.equits = stats.equits;
+      result.work = stats.work;
+      result.modeled_seconds = stats.modeled_seconds;
+      result.gpu_stats = std::move(stats);
+      break;
+    }
+  }
+
+  if (result.curve.empty())
+    result.final_rmse_hu = rmseHu(result.image, golden);
+  return result;
+}
+
+}  // namespace mbir

@@ -1,0 +1,67 @@
+// Reconstructor facade: run any of the three ICD engines against an
+// OwnedProblem with the paper's convergence protocol (§5.2):
+//   * golden image = 40-equit sequential ICD,
+//   * convergence = RMSE vs golden < 10 HU,
+//   * work measured in equits, time via the per-machine models.
+//
+// Also records the (equits, modeled seconds, RMSE) convergence curve —
+// that's Fig. 5's data.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gpuicd/gpu_icd.h"
+#include "icd/sequential_icd.h"
+#include "psv/psv_icd.h"
+#include "recon/problem_setup.h"
+
+namespace mbir {
+
+enum class Algorithm { kSequentialIcd, kPsvIcd, kGpuIcd };
+
+const char* algorithmName(Algorithm a);
+
+struct RunConfig {
+  Algorithm algorithm = Algorithm::kGpuIcd;
+  /// Stop when RMSE vs golden falls below this (HU); <= 0 disables.
+  double stop_rmse_hu = 10.0;
+  /// Safety cap on work.
+  double max_equits = 60.0;
+  SequentialIcdOptions seq;
+  PsvIcdOptions psv;
+  GpuIcdOptions gpu;
+  /// Scale the simulated GPU's caches to this problem's sinogram size
+  /// (DESIGN.md §1); on by default for reduced geometries.
+  bool scale_gpu_caches = true;
+};
+
+struct ConvergencePoint {
+  double equits;
+  double modeled_seconds;
+  double rmse_hu;
+};
+
+struct RunResult {
+  Image2D image;
+  bool converged = false;
+  double equits = 0.0;
+  double final_rmse_hu = 0.0;
+  /// Modeled wall-clock on the paper's machine for this algorithm
+  /// (16-core Xeon for PSV, single core for sequential, Titan X for GPU).
+  double modeled_seconds = 0.0;
+  WorkCounters work;
+  std::vector<ConvergencePoint> curve;
+  std::optional<GpuRunStats> gpu_stats;
+  std::optional<PsvRunStats> psv_stats;
+  std::optional<IcdRunStats> seq_stats;
+};
+
+/// Compute the golden reference (sequential ICD for `equits` from FBP init).
+Image2D computeGolden(const OwnedProblem& problem, double equits = 40.0);
+
+/// Run one reconstruction to the configured convergence criterion.
+RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
+                      RunConfig config);
+
+}  // namespace mbir

@@ -1,0 +1,41 @@
+#include "recon/suite.h"
+
+#include <algorithm>
+
+#include "phantom/shepp_logan.h"
+
+namespace mbir {
+
+Suite::Suite(SuiteConfig config) : config_(std::move(config)) {
+  config_.geometry.validate();
+  if (config_.baggage.field_radius_mm <= 0.0 ||
+      config_.baggage.field_radius_mm > config_.geometry.fieldOfViewRadius()) {
+    // Keep content inside both the detector FOV and the image grid.
+    const double half_image = (double(config_.geometry.image_size) / 2.0 - 1.0) *
+                              config_.geometry.pixel_size_mm;
+    config_.baggage.field_radius_mm =
+        0.95 * std::min(config_.geometry.fieldOfViewRadius(), half_image);
+  }
+  A_ = std::make_shared<const SystemMatrix>(
+      SystemMatrix::compute(config_.geometry));
+}
+
+OwnedProblem Suite::makeCase(int index) const {
+  const EllipsePhantom phantom =
+      makeBaggagePhantom(config_.seed, index, config_.baggage);
+  ScanResult scan = simulateScan(phantom, config_.geometry, config_.noise,
+                                 config_.seed * 1315423911ull + std::uint64_t(index));
+  return OwnedProblem(A_, std::move(scan), config_.prior);
+}
+
+OwnedProblem Suite::makeSheppLoganCase(int index) const {
+  const double radius = 0.9 * std::min(config_.geometry.fieldOfViewRadius(),
+                                       (double(config_.geometry.image_size) / 2.0 - 1.0) *
+                                           config_.geometry.pixel_size_mm);
+  const EllipsePhantom phantom = modifiedSheppLogan(radius);
+  ScanResult scan = simulateScan(phantom, config_.geometry, config_.noise,
+                                 config_.seed * 2654435761ull + std::uint64_t(index));
+  return OwnedProblem(A_, std::move(scan), config_.prior);
+}
+
+}  // namespace mbir

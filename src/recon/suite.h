@@ -1,0 +1,48 @@
+// Test-case suite generation — the stand-in for the paper's 3200-case
+// ALERT TO3 benchmark set (DESIGN.md §1).
+//
+// A Suite fixes one scanner geometry (the system matrix is computed once
+// and shared by every case, as in a real scanner deployment) and generates
+// reproducible cases: baggage phantoms indexed by case number, plus a
+// Shepp-Logan case for medical-style examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "geom/geometry.h"
+#include "geom/system_matrix.h"
+#include "phantom/baggage.h"
+#include "recon/problem_setup.h"
+#include "scan/noise.h"
+
+namespace mbir {
+
+struct SuiteConfig {
+  ParallelBeamGeometry geometry = benchScaleGeometry();
+  NoiseModel noise;
+  PriorConfig prior;
+  BaggageConfig baggage;  ///< field radius auto-fitted when <= 0
+  std::uint64_t seed = 2026;
+};
+
+class Suite {
+ public:
+  explicit Suite(SuiteConfig config);
+
+  const SuiteConfig& config() const { return config_; }
+  const SystemMatrix& matrix() const { return *A_; }
+  std::shared_ptr<const SystemMatrix> matrixPtr() const { return A_; }
+
+  /// Baggage case `index` (deterministic in (seed, index)).
+  OwnedProblem makeCase(int index) const;
+
+  /// A Shepp-Logan head case (noise seed varies with `index`).
+  OwnedProblem makeSheppLoganCase(int index = 0) const;
+
+ private:
+  SuiteConfig config_;
+  std::shared_ptr<const SystemMatrix> A_;
+};
+
+}  // namespace mbir

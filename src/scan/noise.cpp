@@ -1,0 +1,38 @@
+#include "scan/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mbir {
+
+NoisySinogram applyNoise(const Sinogram& ideal, const NoiseModel& model, Rng& rng) {
+  MBIR_CHECK(model.i0 > 1.0);
+  MBIR_CHECK(model.electronic_sigma >= 0.0);
+
+  NoisySinogram out{Sinogram(ideal.views(), ideal.channels()),
+                    Sinogram(ideal.views(), ideal.channels())};
+
+  auto src = ideal.flat();
+  auto y = out.y.flat();
+  auto w = out.weights.flat();
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const double p = double(src[i]);
+    const double lambda = model.i0 * std::exp(-p);
+    double k = lambda;
+    if (model.enable_noise) {
+      k = double(rng.poisson(lambda));
+      if (model.electronic_sigma > 0.0)
+        k += rng.normal(0.0, model.electronic_sigma);
+    }
+    k = std::max(k, 1.0);  // photon starvation clamp
+    y[i] = float(std::log(model.i0 / k));
+    // var(ln(I0/k)) ~ 1/k; the inverse-variance weight is k.
+    w[i] = float(k);
+  }
+  return out;
+}
+
+}  // namespace mbir

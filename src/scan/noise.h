@@ -1,0 +1,39 @@
+// Photon-statistics noise model.
+//
+// A CT measurement at one (view, channel) starts as I0 incident photons;
+// after attenuation the expected count is lambda = I0 * exp(-p) where p is
+// the line integral. The detector observes a Poisson draw (plus Gaussian
+// electronic noise), and the log-transformed measurement is
+// y = ln(I0 / k). The MBIR weight for that measurement is the inverse
+// variance of y, which for Poisson statistics is the observed count k
+// itself (var(ln(I0/k)) ~ 1/k). Weights are kept unnormalized so the data
+// term is the true negative log-likelihood; the prior's sigma_x (in 1/mm)
+// then has its usual physical meaning.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "geom/sinogram.h"
+
+namespace mbir {
+
+struct NoiseModel {
+  /// Incident photons per channel per view (dose). Typical clinical/security
+  /// values are 1e4 - 1e6.
+  double i0 = 2.0e5;
+  /// Std-dev of additive Gaussian electronic noise (in photon counts).
+  double electronic_sigma = 2.0;
+  /// Disable to get the noiseless limit (weights from expected counts).
+  bool enable_noise = true;
+};
+
+struct NoisySinogram {
+  Sinogram y;        ///< log-transformed measurements (line integrals)
+  Sinogram weights;  ///< inverse-variance weights (photon counts)
+};
+
+/// Apply the noise model to an ideal (noiseless line-integral) sinogram.
+NoisySinogram applyNoise(const Sinogram& ideal, const NoiseModel& model, Rng& rng);
+
+}  // namespace mbir

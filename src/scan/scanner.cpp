@@ -1,0 +1,19 @@
+#include "scan/scanner.h"
+
+#include "phantom/analytic_projection.h"
+#include "phantom/rasterize.h"
+
+namespace mbir {
+
+ScanResult simulateScan(const EllipsePhantom& phantom,
+                        const ParallelBeamGeometry& geometry,
+                        const NoiseModel& noise, std::uint64_t seed) {
+  geometry.validate();
+  const Sinogram ideal = analyticProject(phantom, geometry);
+  Rng rng(seed);
+  NoisySinogram noisy = applyNoise(ideal, noise, rng);
+  return ScanResult{std::move(noisy.y), std::move(noisy.weights),
+                    rasterize(phantom, geometry)};
+}
+
+}  // namespace mbir

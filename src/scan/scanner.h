@@ -1,0 +1,32 @@
+// Scanner simulator: phantom -> (measurement sinogram, weight sinogram,
+// ground-truth image).
+//
+// Stands in for the paper's Imatron C-300 acquisitions (DESIGN.md §1).
+// Projection goes through the *analytic* ellipse integrals, not the discrete
+// system matrix, so reconstruction never inverts the exact operator that
+// generated the data.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/geometry.h"
+#include "geom/image.h"
+#include "geom/sinogram.h"
+#include "phantom/ellipse.h"
+#include "scan/noise.h"
+
+namespace mbir {
+
+struct ScanResult {
+  Sinogram y;          ///< measurements (log-transformed line integrals)
+  Sinogram weights;    ///< inverse-variance weights
+  Image2D ground_truth;///< rasterized phantom (1/mm), for image-quality metrics
+};
+
+/// Simulate one scan. `seed` controls the noise realization only.
+ScanResult simulateScan(const EllipsePhantom& phantom,
+                        const ParallelBeamGeometry& geometry,
+                        const NoiseModel& noise = {},
+                        std::uint64_t seed = 1234);
+
+}  // namespace mbir

@@ -1,0 +1,160 @@
+#include "sv/chunks.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbir {
+
+ChunkPlan::ChunkPlan(const SystemMatrix& A, SvbPlan& svb_plan,
+                     ChunkPlanOptions options)
+    : options_(options), sv_(svb_plan.sv()) {
+  MBIR_CHECK(options.chunk_width >= 1);
+  MBIR_CHECK_MSG(options.chunk_width >= A.maxFootprintWidth(),
+                 "chunk width " << options.chunk_width
+                                << " below max footprint width "
+                                << A.maxFootprintWidth());
+
+  const int W = options.chunk_width;
+  const int align_unit = std::min(W, svb_plan.padAlign());
+  const int num_views = A.numViews();
+  const int image_size = A.geometry().image_size;
+  const int num_voxels = sv_.numVoxels();
+
+  voxel_begin_.assign(std::size_t(num_voxels) + 1, 0);
+  scale_.assign(std::size_t(num_voxels), 0.0f);
+
+  // Pass 1: build descriptors (no data yet).
+  int max_column_end = 0;
+  for (int k = 0; k < num_voxels; ++k) {
+    voxel_begin_[std::size_t(k)] = std::uint32_t(descs_.size());
+    const std::size_t voxel = std::size_t(sv_.voxelAt(k, image_size));
+    scale_[std::size_t(k)] = A.voxelMax(voxel) / 255.0f;
+
+    bool open = false;
+    ChunkDesc cur{};
+    auto close = [&] {
+      if (open) descs_.push_back(cur);
+      open = false;
+    };
+
+    for (int v = 0; v < num_views; ++v) {
+      const SystemMatrix::Run& r = A.run(voxel, v);
+      if (r.count == 0) {
+        close();
+        continue;
+      }
+      const int ws = int(r.first_channel) - svb_plan.lo(v);
+      const int we = ws + int(r.count);
+      MBIR_CHECK_MSG(ws >= 0 && we <= svb_plan.width(v),
+                     "voxel run outside SVB band (voxel " << voxel << " view "
+                                                          << v << ")");
+      true_nnz_ += std::size_t(r.count);
+
+      if (open && ws >= cur.base && we <= cur.base + W &&
+          cur.view0 + cur.nrows == v) {
+        ++cur.nrows;
+        continue;
+      }
+      close();
+      // Aligned base when the window fits behind the alignment boundary;
+      // otherwise fall back to an unaligned base at the window start
+      // (possible when W is barely above the footprint width).
+      int base = ws / align_unit * align_unit;
+      bool aligned = true;
+      if (we > base + W) {
+        base = ws;
+        aligned = false;
+      }
+      cur = ChunkDesc{k, v, 1, base, 0, aligned};
+      open = true;
+      max_column_end = std::max(max_column_end, base + W);
+    }
+    close();
+  }
+  voxel_begin_[std::size_t(num_voxels)] = std::uint32_t(descs_.size());
+
+  // The padded SVB must be readable over every chunk window.
+  svb_plan.growPaddedWidth(max_column_end);
+
+  // Assign data offsets.
+  std::size_t offset = 0;
+  for (ChunkDesc& d : descs_) {
+    d.data_offset = std::uint32_t(offset);
+    offset += std::size_t(d.nrows) * std::size_t(W);
+    MBIR_CHECK_MSG(offset <= UINT32_MAX, "chunk table exceeds uint32 offsets");
+  }
+  total_elements_ = offset;
+
+  // Pass 2: fill A rows (zero-padded outside the voxel's true footprint).
+  if (options_.quantize)
+    qdata_ = AlignedBuffer<std::uint8_t>(total_elements_);
+  else
+    fdata_ = AlignedBuffer<float>(total_elements_);
+
+  for (const ChunkDesc& d : descs_) {
+    const std::size_t voxel =
+        std::size_t(sv_.voxelAt(d.local_voxel, image_size));
+    const float vmax = A.voxelMax(voxel);
+    for (int i = 0; i < d.nrows; ++i) {
+      const int v = d.view0 + i;
+      const SystemMatrix::Run& r = A.run(voxel, v);
+      const auto aw = A.weights(voxel, v);
+      const int ws = int(r.first_channel) - svb_plan.lo(v);
+      const std::size_t row_off = d.data_offset + std::size_t(i) * std::size_t(W);
+      for (int k = 0; k < int(r.count); ++k) {
+        const int col = ws + k - d.base;
+        MBIR_CHECK(col >= 0 && col < W);
+        if (options_.quantize) {
+          // Normalize by the voxel max so the 8 bits carry the MSBs
+          // (paper §4.3.1), with +0.5 rounding.
+          const float q = vmax > 0.0f ? aw[std::size_t(k)] / vmax * 255.0f + 0.5f : 0.0f;
+          qdata_[row_off + std::size_t(col)] =
+              std::uint8_t(std::min(q, 255.0f));
+        } else {
+          fdata_[row_off + std::size_t(col)] = aw[std::size_t(k)];
+        }
+      }
+    }
+  }
+}
+
+std::span<const ChunkDesc> ChunkPlan::chunksOf(int local_voxel) const {
+  const std::size_t b = voxel_begin_[std::size_t(local_voxel)];
+  const std::size_t e = voxel_begin_[std::size_t(local_voxel) + 1];
+  return {descs_.data() + b, e - b};
+}
+
+std::span<const float> ChunkPlan::dataFloat(const ChunkDesc& d) const {
+  MBIR_CHECK(!options_.quantize);
+  return {fdata_.data() + d.data_offset,
+          std::size_t(d.nrows) * std::size_t(options_.chunk_width)};
+}
+
+std::span<const std::uint8_t> ChunkPlan::dataQuant(const ChunkDesc& d) const {
+  MBIR_CHECK(options_.quantize);
+  return {qdata_.data() + d.data_offset,
+          std::size_t(d.nrows) * std::size_t(options_.chunk_width)};
+}
+
+float ChunkPlan::aValue(const ChunkDesc& d, int r, int c) const {
+  const std::size_t idx =
+      d.data_offset + std::size_t(r) * std::size_t(options_.chunk_width) + std::size_t(c);
+  if (options_.quantize)
+    return float(qdata_[idx]) * scale_[std::size_t(d.local_voxel)];
+  return fdata_[idx];
+}
+
+double ChunkPlan::paddingRatio() const {
+  if (true_nnz_ == 0) return 1.0;
+  return double(total_elements_) / double(true_nnz_);
+}
+
+double ChunkPlan::alignedFraction() const {
+  if (descs_.empty()) return 1.0;
+  std::size_t aligned = 0;
+  for (const ChunkDesc& d : descs_)
+    if (d.aligned) ++aligned;
+  return double(aligned) / double(descs_.size());
+}
+
+}  // namespace mbir

@@ -1,0 +1,95 @@
+// Chunk decomposition of the padded SVB and the zero-padded A-matrix
+// (paper §4.1, Fig. 4b).
+//
+// In the padded view-major SVB, a voxel's data in view-row v occupies the
+// column window [ws(v), ws(v) + count(v)) where ws(v) = first_channel(v) -
+// band_lo(v). The window drifts sinusoidally across views. A *chunk* is a
+// rectangular block — a fixed column window [base, base + W) spanning a
+// maximal run of consecutive views whose voxel windows all fit inside it.
+// The A-matrix is re-packed per chunk as nrows x W dense rows, zero-padded
+// outside the voxel's true footprint, so the kernel's inner loop is a plain
+// element-by-element multiply over perfectly rectangular, aligned rows —
+// the coalesced-access shape GPUs want. Zero padding guarantees the
+// non-voxel-related SVB elements inside the window never affect correctness
+// (a property the test suite pins against the global-sinogram reference).
+//
+// The same table can be built with uint8-quantized A entries (§4.3.1):
+// q = round(A / voxelMax * 255), dequantized on the fly by q * scale with
+// scale = voxelMax / 255 stored once per voxel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/aligned.h"
+#include "geom/system_matrix.h"
+#include "sv/svb.h"
+
+namespace mbir {
+
+struct ChunkDesc {
+  std::int32_t local_voxel;     ///< voxel index within the SV (row-major)
+  std::int32_t view0;           ///< first view (SVB row) of the chunk
+  std::int32_t nrows;           ///< consecutive views covered
+  std::int32_t base;            ///< SVB column of the window start
+  std::uint32_t data_offset;    ///< start of this chunk's A rows (elements)
+  bool aligned;                 ///< base is a multiple of the alignment unit
+};
+
+struct ChunkPlanOptions {
+  /// Chunk width W in elements (paper Fig. 6 sweeps 8..128; best 32).
+  int chunk_width = 32;
+  /// Store A entries as uint8 with per-voxel scale (paper §4.3.1) instead
+  /// of float.
+  bool quantize = true;
+};
+
+/// Per-SV chunk table + re-packed A data. Construction may grow the plan's
+/// padded width so every chunk's window is readable.
+class ChunkPlan {
+ public:
+  ChunkPlan(const SystemMatrix& A, SvbPlan& svb_plan, ChunkPlanOptions options);
+
+  int chunkWidth() const { return options_.chunk_width; }
+  bool quantized() const { return options_.quantize; }
+  const SuperVoxel& sv() const { return sv_; }
+
+  std::span<const ChunkDesc> chunksOf(int local_voxel) const;
+  std::size_t numChunks() const { return descs_.size(); }
+
+  /// Chunk A rows (nrows * W elements, row-major). Exactly one of these is
+  /// live depending on quantized().
+  std::span<const float> dataFloat(const ChunkDesc& d) const;
+  std::span<const std::uint8_t> dataQuant(const ChunkDesc& d) const;
+
+  /// Dequantization scale for a voxel (voxelMax / 255); 0 for empty columns.
+  float scaleOf(int local_voxel) const { return scale_[std::size_t(local_voxel)]; }
+
+  /// Reconstructed A value at (chunk row r, column c) — dequantizes when
+  /// quantized. Shared by the simulated kernel and tests.
+  float aValue(const ChunkDesc& d, int r, int c) const;
+
+  // --- occupancy/bandwidth accounting for the GPU timing model ---
+  std::size_t totalDataElements() const { return total_elements_; }
+  std::size_t trueNnz() const { return true_nnz_; }
+  /// padded elements / true nonzeros (>= 1); the §4.1 redundancy cost.
+  double paddingRatio() const;
+  /// Fraction of chunks whose base is alignment-friendly.
+  double alignedFraction() const;
+  /// Bytes of A data per element (1 when quantized, 4 otherwise).
+  int bytesPerElement() const { return options_.quantize ? 1 : 4; }
+
+ private:
+  ChunkPlanOptions options_;
+  SuperVoxel sv_;
+  std::vector<ChunkDesc> descs_;
+  std::vector<std::uint32_t> voxel_begin_;  // per local voxel, into descs_
+  AlignedBuffer<float> fdata_;
+  AlignedBuffer<std::uint8_t> qdata_;
+  std::vector<float> scale_;
+  std::size_t total_elements_ = 0;
+  std::size_t true_nnz_ = 0;
+};
+
+}  // namespace mbir

@@ -1,0 +1,247 @@
+// Tests for the non-regularized iterative baselines (SIRT/ART, paper §7)
+// and the image I/O module.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/error.h"
+#include "core/hounsfield.h"
+#include "geom/projector.h"
+#include "io/image_io.h"
+#include "iter/art.h"
+#include "iter/sirt.h"
+#include "phantom/analytic_projection.h"
+#include "phantom/ellipse.h"
+#include "phantom/rasterize.h"
+#include "recon/metrics.h"
+#include "test_util.h"
+
+namespace mbir {
+namespace {
+
+// A simple noiseless disc problem both solvers must nail.
+struct DiscCase {
+  ParallelBeamGeometry g = test::tinyGeometry();
+  EllipsePhantom phantom;
+  Sinogram y{1, 1};
+  Image2D truth{1};
+  std::shared_ptr<const SystemMatrix> A;
+
+  DiscCase() {
+    phantom.ellipses.push_back({0.0, 0.0, 8.0, 6.0, 0.4, 0.02});
+    A = test::cachedMatrix(g);
+    y = analyticProject(phantom, g);
+    truth = rasterize(phantom, g);
+  }
+};
+
+DiscCase& discCase() {
+  static DiscCase c;
+  return c;
+}
+
+TEST(Sirt, ResidualDecreasesMonotonically) {
+  auto& c = discCase();
+  std::vector<double> residuals;
+  SirtOptions opt;
+  opt.iterations = 20;
+  opt.on_iteration = [&](int, const Image2D&, double rn) {
+    residuals.push_back(rn);
+  };
+  sirtReconstruct(*c.A, c.y, opt);
+  ASSERT_EQ(residuals.size(), 20u);
+  for (std::size_t i = 1; i < residuals.size(); ++i)
+    EXPECT_LE(residuals[i], residuals[i - 1] * (1.0 + 1e-9)) << i;
+}
+
+TEST(Sirt, RecoversDisc) {
+  auto& c = discCase();
+  SirtOptions opt;
+  opt.iterations = 80;
+  const Image2D x = sirtReconstruct(*c.A, c.y, opt);
+  EXPECT_LT(flatRegionRmseHu(x, c.truth), 60.0);
+  // Interior value close to the disc attenuation.
+  EXPECT_NEAR(x(c.g.image_size / 2, c.g.image_size / 2), 0.02f, 0.002f);
+}
+
+TEST(Sirt, NonNegativeOutput) {
+  auto& c = discCase();
+  SirtOptions opt;
+  opt.iterations = 10;
+  const Image2D x = sirtReconstruct(*c.A, c.y, opt);
+  for (float v : x.flat()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Sirt, RejectsBadOptions) {
+  auto& c = discCase();
+  SirtOptions opt;
+  opt.relaxation = 2.5;
+  EXPECT_THROW(sirtReconstruct(*c.A, c.y, opt), Error);
+  opt = SirtOptions{};
+  opt.iterations = 0;
+  EXPECT_THROW(sirtReconstruct(*c.A, c.y, opt), Error);
+}
+
+TEST(RowMajorSystem, TransposeIsConsistent) {
+  auto& c = discCase();
+  const RowMajorSystem rows(*c.A);
+  EXPECT_EQ(rows.nnz(), c.A->nnz());
+  // Spot-check: every column entry appears in the matching row.
+  const std::size_t voxel = 17 * 32 + 14;
+  c.A->forEachEntry(voxel, [&](int v, int ch, float w) {
+    bool found = false;
+    for (const auto& e : rows.row(v, ch))
+      if (e.voxel == voxel && e.weight == w) found = true;
+    EXPECT_TRUE(found) << "view " << v << " ch " << ch;
+  });
+}
+
+TEST(RowMajorSystem, RowNormsMatch) {
+  auto& c = discCase();
+  const RowMajorSystem rows(*c.A);
+  for (int v = 0; v < c.g.num_views; v += 7)
+    for (int ch = 0; ch < c.g.num_channels; ch += 11) {
+      double norm = 0.0;
+      for (const auto& e : rows.row(v, ch))
+        norm += double(e.weight) * double(e.weight);
+      EXPECT_NEAR(rows.rowNormSquared(v, ch), norm, 1e-12);
+    }
+}
+
+TEST(Art, RecoversDisc) {
+  auto& c = discCase();
+  ArtOptions opt;
+  opt.sweeps = 12;
+  const Image2D x = artReconstruct(*c.A, c.y, opt);
+  EXPECT_LT(flatRegionRmseHu(x, c.truth), 80.0);
+  EXPECT_NEAR(x(c.g.image_size / 2, c.g.image_size / 2), 0.02f, 0.003f);
+}
+
+TEST(Art, ReducesResidual) {
+  auto& c = discCase();
+  ArtOptions few, many;
+  few.sweeps = 1;
+  many.sweeps = 8;
+  const double r1 = residualNorm(*c.A, c.y, artReconstruct(*c.A, c.y, few));
+  const double r8 = residualNorm(*c.A, c.y, artReconstruct(*c.A, c.y, many));
+  EXPECT_LT(r8, r1);
+}
+
+TEST(Art, DeterministicForSeed) {
+  auto& c = discCase();
+  ArtOptions opt;
+  opt.sweeps = 2;
+  const Image2D a = artReconstruct(*c.A, c.y, opt);
+  const Image2D b = artReconstruct(*c.A, c.y, opt);
+  EXPECT_EQ(a.rmsDiff(b), 0.0);
+}
+
+TEST(Art, MbirBeatsNonRegularizedOnNoisyData) {
+  // On noisy data, the regularized method should win in flat regions —
+  // the core §7 claim.
+  const auto& problem = test::tinyProblem();
+  const Image2D& truth = problem.scan().ground_truth;
+  ArtOptions art_opt;
+  art_opt.sweeps = 8;
+  const Image2D art = artReconstruct(problem.matrix(), problem.scan().y, art_opt);
+  const Image2D& mbir = test::tinyGolden();
+  EXPECT_LT(flatRegionRmseHu(mbir, truth), flatRegionRmseHu(art, truth));
+}
+
+// ---------- image I/O ----------
+
+TEST(ImageIo, RawFloatRoundTrip) {
+  Image2D img(16);
+  for (int r = 0; r < 16; ++r)
+    for (int c = 0; c < 16; ++c) img(r, c) = float(r * 100 + c) * 1e-4f;
+  const std::string path = ::testing::TempDir() + "gpumbir_img.raw";
+  writeRawFloat(img, path);
+  const Image2D back = readRawFloat(path, 16);
+  EXPECT_EQ(img.rmsDiff(back), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, RawFloatShortReadThrows) {
+  Image2D img(8);
+  const std::string path = ::testing::TempDir() + "gpumbir_short.raw";
+  writeRawFloat(img, path);
+  EXPECT_THROW(readRawFloat(path, 16), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmHasValidHeaderAndSize) {
+  Image2D img(8, float(kMuWaterPerMm));
+  const std::string path = ::testing::TempDir() + "gpumbir_img.pgm";
+  writePgm(img, path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_EQ(std::string(magic), "P5");
+  std::fseek(f, 0, SEEK_END);
+  // Header "P5\n8 8\n65535\n" is 13 bytes + 8*8*2 payload.
+  EXPECT_EQ(std::ftell(f), 13 + 8 * 8 * 2);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, WindowClampsExtremes) {
+  Image2D img(4);
+  img(0, 0) = 1.0f;   // absurdly dense -> white
+  img(0, 1) = 0.0f;   // air -> black
+  const std::string path = ::testing::TempDir() + "gpumbir_win.pgm";
+  writePgm(img, path, {0.0, 100.0});
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 13, SEEK_SET);  // past the "P5\n4 4\n65535\n"-style header
+  unsigned char px[4];
+  ASSERT_EQ(std::fread(px, 1, 4, f), 4u);
+  EXPECT_EQ(px[0], 0xff);  // first pixel saturated high
+  EXPECT_EQ(px[1], 0xff);
+  EXPECT_EQ(px[2], 0x00);  // second pixel saturated low
+  EXPECT_EQ(px[3], 0x00);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, SinogramPgmWrites) {
+  Sinogram s(6, 9);
+  s(2, 3) = 1.0f;
+  const std::string path = ::testing::TempDir() + "gpumbir_sino.pgm";
+  writeSinogramPgm(s, path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+// ---------- flat-region metric ----------
+
+TEST(Metrics, FlatRegionExcludesEdges) {
+  Image2D truth(16);
+  for (int r = 0; r < 16; ++r)
+    for (int c = 0; c < 8; ++c) truth(r, c) = 0.02f;  // half-plane edge
+  Image2D img = truth;
+  // Corrupt only the edge column: flat metric must ignore it.
+  for (int r = 0; r < 16; ++r) img(r, 8) = 0.05f;
+  EXPECT_NEAR(flatRegionRmseHu(img, truth), 0.0, 1e-9);
+  EXPECT_GT(flatRegionFraction(truth), 0.3);
+}
+
+TEST(Metrics, FlatRegionSeesUniformNoise) {
+  Image2D truth(16), img(16);
+  Rng rng(4);
+  for (float& v : img.flat()) v = float(rng.uniform() * 1e-3);
+  EXPECT_GT(flatRegionRmseHu(img, truth), 1.0);
+}
+
+TEST(Metrics, AllEdgesThrows) {
+  Image2D truth(8);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) truth(r, c) = float(r * 8 + c);  // no flat area
+  Image2D img = truth;
+  EXPECT_THROW(flatRegionRmseHu(img, truth), Error);
+}
+
+}  // namespace
+}  // namespace mbir

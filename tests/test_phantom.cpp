@@ -1,0 +1,186 @@
+// Tests for phantoms: ellipse algebra, Shepp-Logan, baggage generator,
+// rasterization and analytic projection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/hounsfield.h"
+#include "phantom/analytic_projection.h"
+#include "phantom/baggage.h"
+#include "phantom/ellipse.h"
+#include "phantom/rasterize.h"
+#include "phantom/shepp_logan.h"
+#include "test_util.h"
+
+namespace mbir {
+namespace {
+
+TEST(Ellipse, ContainsCenterAndRespectsAxes) {
+  Ellipse e{1.0, 2.0, 3.0, 1.5, 0.0, 1.0};
+  EXPECT_TRUE(e.contains(1.0, 2.0));
+  EXPECT_TRUE(e.contains(3.9, 2.0));
+  EXPECT_FALSE(e.contains(4.1, 2.0));
+  EXPECT_TRUE(e.contains(1.0, 3.4));
+  EXPECT_FALSE(e.contains(1.0, 3.6));
+}
+
+TEST(Ellipse, RotationMovesExtent) {
+  Ellipse e{0.0, 0.0, 4.0, 1.0, std::numbers::pi / 2, 1.0};  // long axis now y
+  EXPECT_TRUE(e.contains(0.0, 3.9));
+  EXPECT_FALSE(e.contains(3.9, 0.0));
+}
+
+TEST(Ellipse, CircleChordIsExact) {
+  // Circle radius r: chord at offset t is 2 sqrt(r^2 - t^2).
+  Ellipse c{0.0, 0.0, 5.0, 5.0, 0.0, 1.0};
+  for (double theta : {0.0, 0.7, 2.1}) {
+    for (double t : {0.0, 2.0, 4.0, 4.9}) {
+      EXPECT_NEAR(c.chordLength(theta, t), 2.0 * std::sqrt(25.0 - t * t), 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(c.chordLength(theta, 5.1), 0.0);
+  }
+}
+
+TEST(Ellipse, ChordOfOffsetCircleShifts) {
+  Ellipse c{3.0, 0.0, 2.0, 2.0, 0.0, 1.0};
+  // At theta = 0, t measures x: chord peaks at t = 3.
+  EXPECT_NEAR(c.chordLength(0.0, 3.0), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.chordLength(0.0, 0.9), 0.0);
+}
+
+TEST(Ellipse, ChordIntegralEqualsArea) {
+  // Integral over t of the chord = ellipse area = pi a b, any angle.
+  Ellipse e{1.0, -2.0, 3.0, 1.5, 0.6, 1.0};
+  for (double theta : {0.0, 0.5, 1.3}) {
+    double acc = 0.0;
+    const double dt = 0.002;
+    for (double t = -8.0; t <= 8.0; t += dt) acc += e.chordLength(theta, t) * dt;
+    EXPECT_NEAR(acc, std::numbers::pi * 3.0 * 1.5, 0.01);
+  }
+}
+
+TEST(EllipsePhantom, ValuesSuperpose) {
+  EllipsePhantom p;
+  p.ellipses.push_back({0, 0, 5, 5, 0, 0.02});
+  p.ellipses.push_back({0, 0, 2, 2, 0, 0.01});
+  EXPECT_NEAR(p.valueAt(0, 0), 0.03, 1e-12);
+  EXPECT_NEAR(p.valueAt(3, 0), 0.02, 1e-12);
+  EXPECT_NEAR(p.valueAt(6, 0), 0.0, 1e-12);
+}
+
+TEST(EllipsePhantom, BoundingRadius) {
+  EllipsePhantom p;
+  p.ellipses.push_back({3.0, 4.0, 2.0, 1.0, 0.0, 1.0});  // center at r=5
+  EXPECT_NEAR(p.boundingRadius(), 7.0, 1e-12);
+}
+
+TEST(SheppLogan, StructureAndScale) {
+  const auto p = sheppLogan(20.0);
+  ASSERT_EQ(p.ellipses.size(), 10u);
+  EXPECT_NEAR(p.boundingRadius(), 20.0, 0.5);
+  // Skull (first ellipse) is the densest single contribution.
+  EXPECT_GT(p.ellipses[0].value, 0.0);
+  // Interior (ventricle region) attenuation must be below skull value.
+  EXPECT_LT(p.valueAt(0.0, 0.0), p.ellipses[0].value);
+  EXPECT_GT(p.valueAt(0.0, 0.0), 0.0);
+}
+
+TEST(SheppLogan, ModifiedHasWaterBrain) {
+  const auto p = modifiedSheppLogan(20.0);
+  // Inside the head, outside features: 1.0 - 0.8 = 0.2 x mu_water.
+  const double v = p.valueAt(-10.0, -5.0);
+  EXPECT_NEAR(v, 0.2 * kMuWaterPerMm, 0.15 * kMuWaterPerMm);
+}
+
+TEST(Baggage, DeterministicPerSeedAndIndex) {
+  const auto a = makeBaggagePhantom(99, 5);
+  const auto b = makeBaggagePhantom(99, 5);
+  ASSERT_EQ(a.ellipses.size(), b.ellipses.size());
+  for (std::size_t i = 0; i < a.ellipses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ellipses[i].cx, b.ellipses[i].cx);
+    EXPECT_DOUBLE_EQ(a.ellipses[i].value, b.ellipses[i].value);
+  }
+}
+
+TEST(Baggage, DifferentIndicesDiffer) {
+  const auto a = makeBaggagePhantom(99, 5);
+  const auto b = makeBaggagePhantom(99, 6);
+  bool differs = a.ellipses.size() != b.ellipses.size();
+  if (!differs) differs = a.ellipses[1].cx != b.ellipses[1].cx;
+  EXPECT_TRUE(differs);
+}
+
+class BaggageSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaggageSweep, ContentInsideFieldRadius) {
+  BaggageConfig cfg;
+  cfg.field_radius_mm = 40.0;
+  const auto p = makeBaggagePhantom(7, GetParam(), cfg);
+  EXPECT_GE(p.ellipses.size(), std::size_t(1 + cfg.min_objects));
+  EXPECT_LE(p.boundingRadius(), cfg.field_radius_mm * 1.3);
+  for (const auto& e : p.ellipses) EXPECT_GT(e.value, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BaggageSweep, ::testing::Range(0, 20));
+
+TEST(Baggage, MaterialsLibrarySane) {
+  const auto& mats = baggageMaterials();
+  EXPECT_GE(mats.size(), 4u);
+  for (const auto& m : mats) {
+    EXPECT_GT(m.mu_per_mm, 0.0);
+    EXPECT_LT(m.mu_per_mm, 0.2);
+    EXPECT_FALSE(m.name.empty());
+  }
+}
+
+TEST(Rasterize, UniformDiscValues) {
+  const auto g = test::tinyGeometry();
+  EllipsePhantom p;
+  p.ellipses.push_back({0, 0, 8, 8, 0, 0.02});
+  const Image2D img = rasterize(p, g, 3);
+  const int c = g.image_size / 2;
+  EXPECT_NEAR(img(c, c), 0.02f, 1e-6f);
+  EXPECT_EQ(img(0, 0), 0.0f);
+}
+
+TEST(Rasterize, SupersamplingSmoothsEdges) {
+  const auto g = test::tinyGeometry();
+  EllipsePhantom p;
+  p.ellipses.push_back({0, 0, 8, 8, 0, 0.02});
+  const Image2D hard = rasterize(p, g, 1);
+  const Image2D soft = rasterize(p, g, 4);
+  // Supersampled edge pixels take intermediate values.
+  bool found_partial = false;
+  for (float v : soft.flat())
+    if (v > 0.002f && v < 0.018f) found_partial = true;
+  EXPECT_TRUE(found_partial);
+  // Total mass approximately preserved between the two.
+  double m1 = 0, m2 = 0;
+  for (float v : hard.flat()) m1 += v;
+  for (float v : soft.flat()) m2 += v;
+  EXPECT_NEAR(m1, m2, m2 * 0.05);
+}
+
+TEST(AnalyticProjection, MatchesDirectLineIntegral) {
+  const auto g = test::tinyGeometry();
+  EllipsePhantom p;
+  p.ellipses.push_back({2.0, -1.0, 6.0, 4.0, 0.8, 0.02});
+  const Sinogram y = analyticProject(p, g);
+  // Compare a few entries against the mid-channel line integral (the
+  // aperture average differs only at edges).
+  for (int v = 0; v < g.num_views; v += 9) {
+    const int c = g.num_channels / 2;
+    const double t = (double(c) - g.centerChannel()) * g.channel_spacing_mm;
+    EXPECT_NEAR(y(v, c), p.lineIntegral(g.angle(v), t), 0.01);
+  }
+}
+
+TEST(AnalyticProjection, EmptyPhantomIsZero) {
+  const auto g = test::tinyGeometry();
+  const Sinogram y = analyticProject(EllipsePhantom{}, g);
+  EXPECT_DOUBLE_EQ(y.sumSquares(), 0.0);
+}
+
+}  // namespace
+}  // namespace mbir

@@ -1,0 +1,164 @@
+// Cross-cutting property sweeps: every engine must solve every geometry /
+// prior / tunables combination to the same answer — the invariant that all
+// of the paper's performance machinery (SVBs, chunks, quantization,
+// checkerboard batching) is *transparent* to the optimization.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "icd/convergence.h"
+#include "recon/reconstructor.h"
+#include "recon/suite.h"
+#include "test_util.h"
+
+namespace mbir {
+namespace {
+
+struct SweepCase {
+  int views, channels, size;
+  PriorConfig::Kind prior;
+};
+
+std::string caseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& p = info.param;
+  return std::to_string(p.views) + "v_" + std::to_string(p.channels) + "c_" +
+         std::to_string(p.size) + "px_" +
+         (p.prior == PriorConfig::Kind::kQggmrf ? "qggmrf" : "quad");
+}
+
+class GeometryPriorSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    const auto& p = GetParam();
+    SuiteConfig cfg;
+    cfg.geometry = test::tinyGeometry();
+    cfg.geometry.num_views = p.views;
+    cfg.geometry.num_channels = p.channels;
+    cfg.geometry.image_size = p.size;
+    cfg.prior.kind = p.prior;
+    suite_ = std::make_unique<Suite>(cfg);
+    problem_ = std::make_unique<OwnedProblem>(suite_->makeCase(1));
+    golden_ = computeGolden(*problem_, 25.0);
+  }
+
+  RunResult run(Algorithm algo) {
+    RunConfig cfg;
+    cfg.algorithm = algo;
+    cfg.max_equits = 25.0;
+    cfg.psv.sv.sv_side = 8;
+    cfg.gpu.tunables.sv.sv_side = 8;
+    return reconstruct(*problem_, golden_, cfg);
+  }
+
+  std::unique_ptr<Suite> suite_;
+  std::unique_ptr<OwnedProblem> problem_;
+  Image2D golden_{1};
+};
+
+TEST_P(GeometryPriorSweep, SequentialConverges) {
+  const RunResult r = run(Algorithm::kSequentialIcd);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_rmse_hu, kConvergedRmseHu);
+}
+
+TEST_P(GeometryPriorSweep, PsvConverges) {
+  const RunResult r = run(Algorithm::kPsvIcd);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_rmse_hu, kConvergedRmseHu);
+}
+
+TEST_P(GeometryPriorSweep, GpuConverges) {
+  const RunResult r = run(Algorithm::kGpuIcd);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_rmse_hu, kConvergedRmseHu);
+  // The three engines solve the same problem.
+  const RunResult seq = run(Algorithm::kSequentialIcd);
+  EXPECT_LT(rmseHu(r.image, seq.image), 15.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometryPriorSweep,
+    ::testing::Values(
+        SweepCase{48, 64, 32, PriorConfig::Kind::kQggmrf},
+        SweepCase{48, 64, 32, PriorConfig::Kind::kQuadratic},
+        SweepCase{36, 48, 24, PriorConfig::Kind::kQggmrf},
+        SweepCase{64, 96, 40, PriorConfig::Kind::kQggmrf},
+        SweepCase{30, 64, 32, PriorConfig::Kind::kQuadratic}),
+    caseName);
+
+// ---------- GPU tunables sweep ----------
+
+struct TunablesCase {
+  int sv_side, chunk_width, threads, tb_per_sv, batch;
+};
+
+class GpuTunablesSweep : public ::testing::TestWithParam<TunablesCase> {};
+
+TEST_P(GpuTunablesSweep, ConvergesForAnyTunables) {
+  const auto& p = GetParam();
+  const auto& problem = test::tinyProblem();
+  const Image2D& golden = test::tinyGolden();
+
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kGpuIcd;
+  cfg.max_equits = 25.0;
+  cfg.gpu.tunables.sv.sv_side = p.sv_side;
+  cfg.gpu.tunables.chunk_width = p.chunk_width;
+  cfg.gpu.tunables.threads_per_block = p.threads;
+  cfg.gpu.tunables.threadblocks_per_sv = p.tb_per_sv;
+  cfg.gpu.tunables.svs_per_batch = p.batch;
+  const RunResult r = reconstruct(problem, golden, cfg);
+  EXPECT_TRUE(r.converged)
+      << "side=" << p.sv_side << " W=" << p.chunk_width;
+  EXPECT_GT(r.modeled_seconds, 0.0);
+  for (float v : r.image.flat()) EXPECT_GE(v, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, GpuTunablesSweep,
+    ::testing::Values(TunablesCase{5, 8, 64, 4, 4},
+                      TunablesCase{8, 16, 128, 8, 8},
+                      TunablesCase{8, 32, 256, 40, 32},
+                      TunablesCase{11, 32, 512, 16, 2},
+                      TunablesCase{16, 64, 256, 32, 64},
+                      TunablesCase{8, 32, 96, 1, 16}));
+
+// ---------- SV-fraction sweep ----------
+
+class SvFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvFractionSweep, AnyFractionConverges) {
+  const auto& problem = test::tinyProblem();
+  const Image2D& golden = test::tinyGolden();
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kGpuIcd;
+  cfg.max_equits = 30.0;
+  cfg.gpu.tunables.sv.sv_side = 8;
+  cfg.gpu.tunables.sv_fraction = GetParam();
+  const RunResult r = reconstruct(problem, golden, cfg);
+  EXPECT_TRUE(r.converged) << "fraction " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SvFractionSweep,
+                         ::testing::Values(0.1, 0.2, 0.25, 0.5, 1.0));
+
+// ---------- boundary-overlap sweep ----------
+
+class OverlapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapSweep, OverlapNeverBreaksCorrectness) {
+  const auto& problem = test::tinyProblem();
+  const Image2D& golden = test::tinyGolden();
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kGpuIcd;
+  cfg.max_equits = 30.0;
+  cfg.gpu.tunables.sv.sv_side = 8;
+  cfg.gpu.tunables.sv.boundary_overlap = GetParam();
+  const RunResult r = reconstruct(problem, golden, cfg);
+  EXPECT_TRUE(r.converged) << "overlap " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, OverlapSweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace mbir

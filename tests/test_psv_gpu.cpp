@@ -1,0 +1,337 @@
+// Tests for PSV-ICD (Alg. 2) and GPU-ICD (Alg. 3): functional equivalence
+// with the sequential reference, flag ablations, conflict estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hounsfield.h"
+#include "gpuicd/conflicts.h"
+#include "gpuicd/gpu_icd.h"
+#include "gpuicd/tunables.h"
+#include "icd/convergence.h"
+#include "geom/projector.h"
+#include "icd/cost.h"
+#include "psv/psv_icd.h"
+#include "test_util.h"
+
+namespace mbir {
+namespace {
+
+// Shared small-problem fixture: run each engine to a fixed equit budget and
+// compare against the cached golden image.
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    problem_ = &test::tinyProblem();
+    golden_ = &test::tinyGolden();
+  }
+
+  PsvRunStats runPsv(PsvIcdOptions opt, double max_equits, Image2D& x_out) {
+    x_out = problem_->fbpInitialImage();
+    Sinogram e = problem_->initialError(x_out);
+    PsvIcd icd(problem_->view(), opt);
+    return icd.run(x_out, e, [&](const PsvIterationInfo& info) {
+      return info.equits < max_equits;
+    });
+  }
+
+  GpuRunStats runGpu(GpuIcdOptions opt, double max_equits, Image2D& x_out) {
+    x_out = problem_->fbpInitialImage();
+    Sinogram e = problem_->initialError(x_out);
+    opt.tunables.sv.sv_side = 8;  // fits the 32^2 test image
+    opt.device = gsim::scaleCachesToProblem(opt.device, 48.0 / 720.0);
+    GpuIcd icd(problem_->view(), opt);
+    return icd.run(x_out, e, [&](const GpuIterationInfo& info) {
+      return info.equits < max_equits;
+    });
+  }
+
+  const OwnedProblem* problem_;
+  const Image2D* golden_;
+};
+
+TEST_F(EngineFixture, PsvConvergesToGolden) {
+  Image2D x;
+  PsvIcdOptions opt;
+  opt.sv.sv_side = 8;
+  runPsv(opt, 12.0, x);
+  EXPECT_LT(rmseHu(x, *golden_), 10.0);
+}
+
+TEST_F(EngineFixture, PsvSingleThreadDeterministic) {
+  PsvIcdOptions opt;
+  opt.sv.sv_side = 8;
+  opt.num_threads = 1;
+  Image2D a, b;
+  runPsv(opt, 4.0, a);
+  runPsv(opt, 4.0, b);
+  EXPECT_EQ(a.rmsDiff(b), 0.0);
+}
+
+TEST_F(EngineFixture, PsvMultiThreadMatchesSingleThreadClosely) {
+  PsvIcdOptions opt;
+  opt.sv.sv_side = 8;
+  opt.num_threads = 1;
+  Image2D single;
+  runPsv(opt, 6.0, single);
+  opt.num_threads = 4;
+  Image2D multi;
+  runPsv(opt, 6.0, multi);
+  // Thread interleaving on shared boundaries perturbs the trajectory but
+  // both land at the same optimum neighbourhood.
+  EXPECT_LT(rmseHu(single, multi), 6.0);
+}
+
+TEST_F(EngineFixture, PsvDecreasesCost) {
+  const Problem p = problem_->view();
+  Image2D x = problem_->fbpInitialImage();
+  Sinogram e = problem_->initialError(x);
+  const double before = computeCostFromScratch(p, x).total();
+  PsvIcdOptions opt;
+  opt.sv.sv_side = 8;
+  PsvIcd icd(p, opt);
+  icd.run(x, e, [&](const PsvIterationInfo& info) { return info.equits < 5.0; });
+  EXPECT_LT(computeCostFromScratch(p, x).total(), before);
+}
+
+TEST_F(EngineFixture, PsvErrorSinogramIntegrity) {
+  const Problem p = problem_->view();
+  Image2D x = problem_->fbpInitialImage();
+  Sinogram e = problem_->initialError(x);
+  PsvIcdOptions opt;
+  opt.sv.sv_side = 8;
+  PsvIcd icd(p, opt);
+  icd.run(x, e, [&](const PsvIterationInfo& info) { return info.equits < 5.0; });
+  const Sinogram fresh = errorSinogram(p.A, p.y, x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < fresh.flat().size(); ++i)
+    worst = std::max(worst, std::abs(double(fresh.flat()[i]) - double(e.flat()[i])));
+  EXPECT_LT(worst, 5e-3);
+}
+
+TEST_F(EngineFixture, PsvWorkCountersConsistent) {
+  Image2D x;
+  PsvIcdOptions opt;
+  opt.sv.sv_side = 8;
+  const auto stats = runPsv(opt, 3.0, x);
+  EXPECT_GT(stats.work.voxel_updates, 0u);
+  EXPECT_GE(stats.work.voxels_visited, stats.work.voxel_updates);
+  EXPECT_GT(stats.work.svs_processed, 0u);
+  EXPECT_EQ(stats.work.lock_acquisitions, 2 * stats.work.svs_processed);
+  EXPECT_GT(stats.work.svb_gather_elements, 0u);
+}
+
+TEST_F(EngineFixture, GpuConvergesToGolden) {
+  Image2D x;
+  runGpu({}, 14.0, x);
+  EXPECT_LT(rmseHu(x, *golden_), 10.0);
+}
+
+TEST_F(EngineFixture, GpuMatchesSequentialFixpoint) {
+  Image2D x;
+  runGpu({}, 14.0, x);
+  // Same optimization problem -> same optimum (different trajectories).
+  Image2D seq = *golden_;
+  EXPECT_LT(rmseHu(x, seq), 10.0);
+}
+
+TEST_F(EngineFixture, NaiveLayoutMatchesTransformedExactly) {
+  // With quantization off, the naive (run-walk) and transformed (chunk-walk)
+  // kernels compute identical sums in identical order.
+  GpuIcdOptions a;
+  a.flags.quantize_amatrix = false;
+  GpuIcdOptions b = a;
+  b.flags.transformed_layout = false;
+  Image2D xa, xb;
+  runGpu(a, 4.0, xa);
+  runGpu(b, 4.0, xb);
+  EXPECT_LT(xa.rmsDiff(xb) * kHuPerMu, 1e-3);
+}
+
+TEST_F(EngineFixture, QuantizationErrorSmall) {
+  GpuIcdOptions a;  // quantized by default
+  GpuIcdOptions b;
+  b.flags.quantize_amatrix = false;
+  Image2D xa, xb;
+  runGpu(a, 8.0, xa);
+  runGpu(b, 8.0, xb);
+  // Paper §4.3.1: 8-bit normalized A loses no visible quality.
+  EXPECT_LT(rmseHu(xa, xb), 5.0);
+}
+
+TEST_F(EngineFixture, GpuErrorSinogramIntegrity) {
+  const Problem p = problem_->view();
+  Image2D x = problem_->fbpInitialImage();
+  Sinogram e = problem_->initialError(x);
+  GpuIcdOptions opt;
+  opt.tunables.sv.sv_side = 8;
+  opt.flags.quantize_amatrix = false;  // exact A so e stays y - A x
+  GpuIcd icd(p, opt);
+  icd.run(x, e, [&](const GpuIterationInfo& info) { return info.equits < 5.0; });
+  const Sinogram fresh = errorSinogram(p.A, p.y, x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < fresh.flat().size(); ++i)
+    worst = std::max(worst, std::abs(double(fresh.flat()[i]) - double(e.flat()[i])));
+  EXPECT_LT(worst, 5e-3);
+}
+
+struct FlagCase {
+  const char* name;
+  OptimFlags flags;
+};
+
+class FlagAblation : public EngineFixture,
+                     public ::testing::WithParamInterface<int> {};
+
+TEST_P(FlagAblation, EveryFlagComboStillConverges) {
+  // Toggle one optimization off at a time (Table 3's protocol) — every
+  // variant must still reach the solution; only modeled time may differ.
+  OptimFlags flags;
+  switch (GetParam()) {
+    case 0: flags.read_svb_as_double = false; break;
+    case 1: flags.spill_registers_to_smem = false; break;
+    case 2: flags.exploit_intra_sv = false; break;
+    case 3: flags.dynamic_voxel_distribution = false; break;
+    case 4: flags.batch_threshold = false; break;
+    case 5: flags.amatrix_via_texture = false; break;
+    case 6: flags.quantize_amatrix = false; break;
+    case 7: flags.transformed_layout = false; break;
+  }
+  GpuIcdOptions opt;
+  opt.flags = flags;
+  Image2D x;
+  const auto stats = runGpu(opt, 14.0, x);
+  EXPECT_LT(rmseHu(x, *golden_), 10.0) << "flag case " << GetParam();
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flags, FlagAblation, ::testing::Range(0, 8));
+
+TEST_F(EngineFixture, IntraSvOffIsSlowerModeled) {
+  // Use an intra-SV degree proportionate to the tiny SV (8 blocks on a
+  // ~100-voxel SV; 40 would drown in modeled atomic contention on the
+  // narrow test-scale bands — the full-scale 6.25x lives in bench/table3).
+  GpuIcdOptions on, off;
+  on.tunables.threadblocks_per_sv = 8;
+  off.tunables.threadblocks_per_sv = 8;
+  off.flags.exploit_intra_sv = false;
+  Image2D x;
+  const auto s_on = runGpu(on, 6.0, x);
+  const auto s_off = runGpu(off, 6.0, x);
+  // Total modeled time is diluted by fixed launch overheads at this tiny
+  // scale; the update kernel itself shows the effect clearly.
+  EXPECT_GT(s_off.modeled_seconds, s_on.modeled_seconds * 1.15);
+  EXPECT_GT(s_off.per_kernel.at("mbir_update").seconds,
+            s_on.per_kernel.at("mbir_update").seconds * 1.5);
+}
+
+TEST_F(EngineFixture, GpuEquitsAtLeastPsvEquits) {
+  // Batch-snapshot staleness makes GPU-ICD need >= the equits PSV-ICD
+  // needs (paper: 5.9 vs 4.8).
+  Image2D x;
+  PsvIcdOptions popt;
+  popt.sv.sv_side = 8;
+  x = problem_->fbpInitialImage();
+  Sinogram e = problem_->initialError(x);
+  PsvIcd psv(problem_->view(), popt);
+  double psv_equits = 1e9;
+  psv.run(x, e, [&](const PsvIterationInfo& info) {
+    if (rmseHu(info.x, *golden_) < 10.0) {
+      psv_equits = info.equits;
+      return false;
+    }
+    return info.equits < 20.0;
+  });
+
+  GpuIcdOptions gopt;
+  gopt.tunables.sv.sv_side = 8;
+  Image2D gx = problem_->fbpInitialImage();
+  Sinogram ge = problem_->initialError(gx);
+  GpuIcd gpu(problem_->view(), gopt);
+  double gpu_equits = 1e9;
+  gpu.run(gx, ge, [&](const GpuIterationInfo& info) {
+    if (rmseHu(info.x, *golden_) < 10.0) {
+      gpu_equits = info.equits;
+      return false;
+    }
+    return info.equits < 20.0;
+  });
+
+  ASSERT_LT(psv_equits, 1e9);
+  ASSERT_LT(gpu_equits, 1e9);
+  EXPECT_GE(gpu_equits, psv_equits * 0.8);  // not dramatically fewer
+}
+
+// ---------- conflict / imbalance estimators ----------
+
+TEST(Conflicts, IntraSvGrowsWithConcurrency) {
+  const auto g = test::tinyGeometry();
+  auto A = test::cachedMatrix(g);
+  SvGrid grid(g.image_size, {.sv_side = 8, .boundary_overlap = 1});
+  SvbPlan plan(g, grid.sv(5));
+  const double c1 = intraSvConflictMultiplier(plan, *A, 1);
+  const double c8 = intraSvConflictMultiplier(plan, *A, 8);
+  const double c40 = intraSvConflictMultiplier(plan, *A, 40);
+  EXPECT_DOUBLE_EQ(c1, 1.0);
+  EXPECT_GT(c8, c1);
+  EXPECT_GT(c40, c8);
+}
+
+TEST(Conflicts, SmallerSvMoreIntraConflict) {
+  const auto g = test::tinyGeometry();
+  auto A = test::cachedMatrix(g);
+  SvGrid small(g.image_size, {.sv_side = 4, .boundary_overlap = 1});
+  SvGrid big(g.image_size, {.sv_side = 16, .boundary_overlap = 1});
+  // Compare interior SVs at matching concurrency.
+  SvbPlan sp(g, small.sv(small.gridCols() + 1));
+  SvbPlan bp(g, big.sv(0));
+  EXPECT_GT(intraSvConflictMultiplier(sp, *A, 16),
+            intraSvConflictMultiplier(bp, *A, 16));
+}
+
+TEST(Conflicts, InterSvOverlappingBands) {
+  const auto g = test::tinyGeometry();
+  SvGrid grid(g.image_size, {.sv_side = 8, .boundary_overlap = 1});
+  // All SVs of one image overlap heavily in the sinogram.
+  std::vector<SvbPlan> plans;
+  for (int i = 0; i < 4; ++i) plans.emplace_back(g, grid.sv(i));
+  std::vector<const SvbPlan*> batch;
+  for (const auto& p : plans) batch.push_back(&p);
+  const double c = interSvConflictMultiplier(batch, g.num_channels);
+  EXPECT_GT(c, 1.0);
+  EXPECT_LE(c, 4.0);
+  // A single SV has no inter-SV conflicts.
+  EXPECT_DOUBLE_EQ(interSvConflictMultiplier({batch[0]}, g.num_channels), 1.0);
+}
+
+TEST(Imbalance, StaticPartitionDetectsSkew) {
+  // All work in the first quarter: 4 blocks -> max/mean = 4.
+  std::vector<int> work(100, 0);
+  for (int i = 0; i < 25; ++i) work[std::size_t(i)] = 10;
+  EXPECT_NEAR(staticPartitionImbalance(work, 4), 4.0, 1e-9);
+  // Uniform work: balanced.
+  std::vector<int> uniform(100, 5);
+  EXPECT_NEAR(staticPartitionImbalance(uniform, 4), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(staticPartitionImbalance(uniform, 1), 1.0);
+}
+
+TEST(Tunables, ValidationCatchesBadValues) {
+  GpuTunables t;
+  t.threads_per_block = 100;  // not a multiple of 32
+  EXPECT_THROW(t.validate(), Error);
+  t = GpuTunables{};
+  t.sv_fraction = 0.0;
+  EXPECT_THROW(t.validate(), Error);
+  t = GpuTunables{};
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Tunables, FootprintFollowsSpillFlag) {
+  OptimFlags f;
+  EXPECT_EQ(updateKernelFootprint(f).regs_per_thread, 32);
+  f.spill_registers_to_smem = false;
+  EXPECT_EQ(updateKernelFootprint(f).regs_per_thread, 44);
+}
+
+}  // namespace
+}  // namespace mbir

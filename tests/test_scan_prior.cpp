@@ -1,0 +1,215 @@
+// Tests for the scanner/noise substrate and the MBIR prior models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "phantom/analytic_projection.h"
+#include "phantom/shepp_logan.h"
+#include "prior/neighborhood.h"
+#include "prior/prior.h"
+#include "scan/noise.h"
+#include "scan/scanner.h"
+#include "test_util.h"
+
+namespace mbir {
+namespace {
+
+// ---------- noise / scanner ----------
+
+TEST(Noise, NoiselessModeIsExactLogTransform) {
+  Sinogram ideal(4, 8);
+  ideal(1, 2) = 1.5f;
+  NoiseModel m;
+  m.enable_noise = false;
+  Rng rng(1);
+  const auto out = applyNoise(ideal, m, rng);
+  EXPECT_NEAR(out.y(1, 2), 1.5f, 1e-5f);
+  EXPECT_NEAR(out.y(0, 0), 0.0f, 1e-6f);
+  // Weight equals the expected photon count.
+  EXPECT_NEAR(out.weights(1, 2), float(m.i0 * std::exp(-1.5)), 1.0f);
+  EXPECT_NEAR(out.weights(0, 0), float(m.i0), 1.0f);
+}
+
+TEST(Noise, NoisyMeasurementsUnbiasedish) {
+  Sinogram ideal(64, 64);
+  for (float& v : ideal.flat()) v = 1.0f;
+  NoiseModel m;
+  m.i0 = 1e5;
+  Rng rng(2);
+  const auto out = applyNoise(ideal, m, rng);
+  double acc = 0.0;
+  for (float v : out.y.flat()) acc += double(v);
+  EXPECT_NEAR(acc / double(out.y.size()), 1.0, 0.005);
+}
+
+TEST(Noise, WeightsTrackDose) {
+  Sinogram ideal(8, 8);
+  for (float& v : ideal.flat()) v = 2.0f;
+  NoiseModel lo, hi;
+  lo.i0 = 1e4;
+  hi.i0 = 1e6;
+  Rng r1(3), r2(3);
+  const auto wl = applyNoise(ideal, lo, r1).weights;
+  const auto wh = applyNoise(ideal, hi, r2).weights;
+  double sl = 0, sh = 0;
+  for (std::size_t i = 0; i < wl.flat().size(); ++i) {
+    sl += double(wl.flat()[i]);
+    sh += double(wh.flat()[i]);
+  }
+  EXPECT_GT(sh, sl * 50.0);  // ~100x more photons
+}
+
+TEST(Noise, PhotonStarvationClamped) {
+  Sinogram ideal(1, 1);
+  ideal(0, 0) = 50.0f;  // opaque: lambda ~ 0
+  NoiseModel m;
+  Rng rng(4);
+  const auto out = applyNoise(ideal, m, rng);
+  EXPECT_TRUE(std::isfinite(out.y(0, 0)));
+  EXPECT_GE(out.weights(0, 0), 1.0f);
+}
+
+TEST(Scanner, ProducesConsistentShapes) {
+  const auto g = test::tinyGeometry();
+  const auto scan = simulateScan(modifiedSheppLogan(10.0), g);
+  EXPECT_EQ(scan.y.views(), g.num_views);
+  EXPECT_EQ(scan.weights.channels(), g.num_channels);
+  EXPECT_EQ(scan.ground_truth.size(), g.image_size);
+  // Rays through the object attenuate: y > 0 somewhere.
+  EXPECT_GT(scan.y.sumSquares(), 0.0);
+}
+
+TEST(Scanner, SeedChangesNoiseOnly) {
+  const auto g = test::tinyGeometry();
+  const auto p = modifiedSheppLogan(10.0);
+  const auto a = simulateScan(p, g, {}, 1);
+  const auto b = simulateScan(p, g, {}, 2);
+  EXPECT_EQ(a.ground_truth.rmsDiff(b.ground_truth), 0.0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.y.flat().size(); ++i)
+    diff += std::abs(double(a.y.flat()[i]) - double(b.y.flat()[i]));
+  EXPECT_GT(diff, 0.0);
+}
+
+// ---------- neighbourhood ----------
+
+TEST(Neighborhood, WeightsNormalized) {
+  double sum = 0.0;
+  for (const auto& n : neighborhood8()) sum += n.b;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Neighborhood, DiagonalLighterThanEdge) {
+  double edge = 0, diag = 0;
+  for (const auto& n : neighborhood8()) {
+    if (n.dr != 0 && n.dc != 0)
+      diag = n.b;
+    else
+      edge = n.b;
+  }
+  EXPECT_NEAR(diag * std::sqrt(2.0), edge, 1e-12);
+}
+
+TEST(Neighborhood, BorderVisitsOnlyInBounds) {
+  Image2D img(4);
+  int count = 0;
+  forEachNeighbor(img, 0, 0, [&](float, double) { ++count; });
+  EXPECT_EQ(count, 3);
+  count = 0;
+  forEachNeighbor(img, 2, 2, [&](float, double) { ++count; });
+  EXPECT_EQ(count, 8);
+}
+
+TEST(Neighborhood, ZeroSkipPredicate) {
+  Image2D img(8);
+  EXPECT_TRUE(allNeighborsZero(img, 4, 4));
+  img(4, 5) = 1.0f;
+  EXPECT_FALSE(allNeighborsZero(img, 4, 4));  // neighbour nonzero
+  EXPECT_FALSE(allNeighborsZero(img, 4, 5));  // voxel itself nonzero
+  EXPECT_TRUE(allNeighborsZero(img, 0, 0));
+}
+
+// ---------- priors ----------
+
+TEST(QuadraticPrior, DerivativeIsInfluence) {
+  QuadraticPrior p(0.01);
+  for (double d : {-0.02, -0.001, 0.0, 0.005, 0.03}) {
+    const double h = 1e-7;
+    const double numeric = (p.potential(d + h) - p.potential(d - h)) / (2 * h);
+    EXPECT_NEAR(numeric, p.influence(d), 1e-5);
+  }
+}
+
+TEST(QuadraticPrior, SurrogateCoeffConstant) {
+  QuadraticPrior p(0.01);
+  EXPECT_DOUBLE_EQ(p.surrogateCoeff(0.0), p.surrogateCoeff(0.5));
+  EXPECT_DOUBLE_EQ(p.surrogateCoeff(0.1), 1.0 / (2.0 * 0.01 * 0.01));
+}
+
+class QggmrfParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(QggmrfParam, InfluenceMatchesNumericDerivative) {
+  QggmrfPrior p(8e-4, 1.2, 1.0);
+  const double d = GetParam();
+  const double h = std::max(1e-9, std::abs(d) * 1e-5);
+  const double numeric = (p.potential(d + h) - p.potential(d - h)) / (2 * h);
+  EXPECT_NEAR(numeric, p.influence(d), std::abs(p.influence(d)) * 1e-3 + 1e-9);
+}
+
+TEST_P(QggmrfParam, SurrogateMajorizes) {
+  // rho(u + t) <= rho(u) + rho'(u) t + coeff(u) t^2 — the symmetric-bound
+  // property that guarantees monotone ICD descent.
+  QggmrfPrior p(8e-4, 1.2, 1.0);
+  const double u = GetParam();
+  const double c = p.surrogateCoeff(u);
+  for (double t : {-2.0 * u, -0.5 * u, 0.3e-3, -1e-3, 2e-3, 5e-3}) {
+    const double surrogate = p.potential(u) + p.influence(u) * t + c * t * t;
+    EXPECT_GE(surrogate + 1e-15, p.potential(u + t))
+        << "u=" << u << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, QggmrfParam,
+                         ::testing::Values(-5e-3, -1e-3, -1e-4, 1e-6, 1e-4,
+                                           8e-4, 3e-3, 1e-2));
+
+TEST(QggmrfPrior, QuadraticNearZero) {
+  QggmrfPrior p(8e-4, 1.2, 1.0);
+  const double s2 = 8e-4 * 8e-4;
+  const double d = 1e-14;
+  EXPECT_NEAR(p.potential(d), d * d / (2 * s2), d * d / s2 * 0.01);
+  EXPECT_NEAR(p.surrogateCoeff(0.0), 1.0 / (2 * s2), 1e-6 / s2);
+}
+
+TEST(QggmrfPrior, EdgePreservingTail) {
+  // For |d| >> T sigma the potential grows like |d|^q (q < 2), so the
+  // influence growth slows: rho'(10 Tsigma) < 10 * rho'(Tsigma).
+  QggmrfPrior p(8e-4, 1.2, 1.0);
+  EXPECT_LT(p.influence(8e-3), 10.0 * p.influence(8e-4));
+}
+
+TEST(QggmrfPrior, SymmetricPotential) {
+  QggmrfPrior p(8e-4, 1.2, 1.0);
+  for (double d : {1e-4, 1e-3, 1e-2})
+    EXPECT_DOUBLE_EQ(p.potential(d), p.potential(-d));
+}
+
+TEST(QggmrfPrior, RejectsBadParams) {
+  EXPECT_THROW(QggmrfPrior(0.0, 1.2, 1.0), Error);
+  EXPECT_THROW(QggmrfPrior(1e-3, 2.5, 1.0), Error);
+  EXPECT_THROW(QggmrfPrior(1e-3, 1.2, -1.0), Error);
+}
+
+TEST(QggmrfPrior, MonotoneInfluence) {
+  QggmrfPrior p(8e-4, 1.2, 1.0);
+  double prev = 0.0;
+  for (double d = 1e-5; d < 2e-2; d *= 1.5) {
+    const double inf = p.influence(d);
+    EXPECT_GT(inf, prev) << "d=" << d;
+    prev = inf;
+  }
+}
+
+}  // namespace
+}  // namespace mbir
