@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_chunk_width.dir/fig6_chunk_width.cpp.o"
+  "CMakeFiles/fig6_chunk_width.dir/fig6_chunk_width.cpp.o.d"
+  "fig6_chunk_width"
+  "fig6_chunk_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_chunk_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

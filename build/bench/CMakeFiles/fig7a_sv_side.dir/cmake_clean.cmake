@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_sv_side.dir/fig7a_sv_side.cpp.o"
+  "CMakeFiles/fig7a_sv_side.dir/fig7a_sv_side.cpp.o.d"
+  "fig7a_sv_side"
+  "fig7a_sv_side.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_sv_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

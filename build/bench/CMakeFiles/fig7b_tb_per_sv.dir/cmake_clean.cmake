@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_tb_per_sv.dir/fig7b_tb_per_sv.cpp.o"
+  "CMakeFiles/fig7b_tb_per_sv.dir/fig7b_tb_per_sv.cpp.o.d"
+  "fig7b_tb_per_sv"
+  "fig7b_tb_per_sv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_tb_per_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_threads_per_tb.dir/fig7c_threads_per_tb.cpp.o"
+  "CMakeFiles/fig7c_threads_per_tb.dir/fig7c_threads_per_tb.cpp.o.d"
+  "fig7c_threads_per_tb"
+  "fig7c_threads_per_tb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_threads_per_tb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

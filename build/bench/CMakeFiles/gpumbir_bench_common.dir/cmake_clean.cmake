@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gpumbir_bench_common.dir/bench_common.cpp.o.d"
+  "libgpumbir_bench_common.a"
+  "libgpumbir_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpumbir_bench_common.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_overall.cpp" "bench/CMakeFiles/table1_overall.dir/table1_overall.cpp.o" "gcc" "bench/CMakeFiles/table1_overall.dir/table1_overall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gpumbir_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/iter/CMakeFiles/gpumbir_iter.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gpumbir_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/gpumbir_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/gpumbir_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/phantom/CMakeFiles/gpumbir_phantom.dir/DependInfo.cmake"
+  "/root/repo/build/src/psv/CMakeFiles/gpumbir_psv.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuicd/CMakeFiles/gpumbir_gpuicd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/gpumbir_sv.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsim/CMakeFiles/gpumbir_gsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/icd/CMakeFiles/gpumbir_icd.dir/DependInfo.cmake"
+  "/root/repo/build/src/prior/CMakeFiles/gpumbir_prior.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_overall.dir/table1_overall.cpp.o"
+  "CMakeFiles/table1_overall.dir/table1_overall.cpp.o.d"
+  "table1_overall"
+  "table1_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

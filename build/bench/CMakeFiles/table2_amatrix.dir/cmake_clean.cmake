@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_amatrix.dir/table2_amatrix.cpp.o"
+  "CMakeFiles/table2_amatrix.dir/table2_amatrix.cpp.o.d"
+  "table2_amatrix"
+  "table2_amatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_amatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_optimizations.dir/table3_optimizations.cpp.o"
+  "CMakeFiles/table3_optimizations.dir/table3_optimizations.cpp.o.d"
+  "table3_optimizations"
+  "table3_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_multislice.dir/medical_multislice.cpp.o"
+  "CMakeFiles/medical_multislice.dir/medical_multislice.cpp.o.d"
+  "medical_multislice"
+  "medical_multislice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_multislice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

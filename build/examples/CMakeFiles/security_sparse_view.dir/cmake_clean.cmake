@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_sparse_view.dir/security_sparse_view.cpp.o"
+  "CMakeFiles/security_sparse_view.dir/security_sparse_view.cpp.o.d"
+  "security_sparse_view"
+  "security_sparse_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_sparse_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for security_sparse_view.
+# This may be replaced when dependencies are built.

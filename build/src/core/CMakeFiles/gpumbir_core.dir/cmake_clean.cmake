@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_core.dir/cli.cpp.o"
+  "CMakeFiles/gpumbir_core.dir/cli.cpp.o.d"
+  "CMakeFiles/gpumbir_core.dir/rng.cpp.o"
+  "CMakeFiles/gpumbir_core.dir/rng.cpp.o.d"
+  "CMakeFiles/gpumbir_core.dir/stats.cpp.o"
+  "CMakeFiles/gpumbir_core.dir/stats.cpp.o.d"
+  "CMakeFiles/gpumbir_core.dir/table.cpp.o"
+  "CMakeFiles/gpumbir_core.dir/table.cpp.o.d"
+  "CMakeFiles/gpumbir_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/gpumbir_core.dir/thread_pool.cpp.o.d"
+  "libgpumbir_core.a"
+  "libgpumbir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/fbp.cpp" "src/geom/CMakeFiles/gpumbir_geom.dir/fbp.cpp.o" "gcc" "src/geom/CMakeFiles/gpumbir_geom.dir/fbp.cpp.o.d"
+  "/root/repo/src/geom/footprint.cpp" "src/geom/CMakeFiles/gpumbir_geom.dir/footprint.cpp.o" "gcc" "src/geom/CMakeFiles/gpumbir_geom.dir/footprint.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "src/geom/CMakeFiles/gpumbir_geom.dir/geometry.cpp.o" "gcc" "src/geom/CMakeFiles/gpumbir_geom.dir/geometry.cpp.o.d"
+  "/root/repo/src/geom/image.cpp" "src/geom/CMakeFiles/gpumbir_geom.dir/image.cpp.o" "gcc" "src/geom/CMakeFiles/gpumbir_geom.dir/image.cpp.o.d"
+  "/root/repo/src/geom/projector.cpp" "src/geom/CMakeFiles/gpumbir_geom.dir/projector.cpp.o" "gcc" "src/geom/CMakeFiles/gpumbir_geom.dir/projector.cpp.o.d"
+  "/root/repo/src/geom/sinogram.cpp" "src/geom/CMakeFiles/gpumbir_geom.dir/sinogram.cpp.o" "gcc" "src/geom/CMakeFiles/gpumbir_geom.dir/sinogram.cpp.o.d"
+  "/root/repo/src/geom/system_matrix.cpp" "src/geom/CMakeFiles/gpumbir_geom.dir/system_matrix.cpp.o" "gcc" "src/geom/CMakeFiles/gpumbir_geom.dir/system_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

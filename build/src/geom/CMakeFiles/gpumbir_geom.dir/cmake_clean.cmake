@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_geom.dir/fbp.cpp.o"
+  "CMakeFiles/gpumbir_geom.dir/fbp.cpp.o.d"
+  "CMakeFiles/gpumbir_geom.dir/footprint.cpp.o"
+  "CMakeFiles/gpumbir_geom.dir/footprint.cpp.o.d"
+  "CMakeFiles/gpumbir_geom.dir/geometry.cpp.o"
+  "CMakeFiles/gpumbir_geom.dir/geometry.cpp.o.d"
+  "CMakeFiles/gpumbir_geom.dir/image.cpp.o"
+  "CMakeFiles/gpumbir_geom.dir/image.cpp.o.d"
+  "CMakeFiles/gpumbir_geom.dir/projector.cpp.o"
+  "CMakeFiles/gpumbir_geom.dir/projector.cpp.o.d"
+  "CMakeFiles/gpumbir_geom.dir/sinogram.cpp.o"
+  "CMakeFiles/gpumbir_geom.dir/sinogram.cpp.o.d"
+  "CMakeFiles/gpumbir_geom.dir/system_matrix.cpp.o"
+  "CMakeFiles/gpumbir_geom.dir/system_matrix.cpp.o.d"
+  "libgpumbir_geom.a"
+  "libgpumbir_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_gpuicd.dir/conflicts.cpp.o"
+  "CMakeFiles/gpumbir_gpuicd.dir/conflicts.cpp.o.d"
+  "CMakeFiles/gpumbir_gpuicd.dir/gpu_icd.cpp.o"
+  "CMakeFiles/gpumbir_gpuicd.dir/gpu_icd.cpp.o.d"
+  "libgpumbir_gpuicd.a"
+  "libgpumbir_gpuicd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_gpuicd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpumbir_gpuicd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsim/cpu_model.cpp" "src/gsim/CMakeFiles/gpumbir_gsim.dir/cpu_model.cpp.o" "gcc" "src/gsim/CMakeFiles/gpumbir_gsim.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/gsim/device.cpp" "src/gsim/CMakeFiles/gpumbir_gsim.dir/device.cpp.o" "gcc" "src/gsim/CMakeFiles/gpumbir_gsim.dir/device.cpp.o.d"
+  "/root/repo/src/gsim/executor.cpp" "src/gsim/CMakeFiles/gpumbir_gsim.dir/executor.cpp.o" "gcc" "src/gsim/CMakeFiles/gpumbir_gsim.dir/executor.cpp.o.d"
+  "/root/repo/src/gsim/occupancy.cpp" "src/gsim/CMakeFiles/gpumbir_gsim.dir/occupancy.cpp.o" "gcc" "src/gsim/CMakeFiles/gpumbir_gsim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gsim/timing.cpp" "src/gsim/CMakeFiles/gpumbir_gsim.dir/timing.cpp.o" "gcc" "src/gsim/CMakeFiles/gpumbir_gsim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/icd/CMakeFiles/gpumbir_icd.dir/DependInfo.cmake"
+  "/root/repo/build/src/prior/CMakeFiles/gpumbir_prior.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

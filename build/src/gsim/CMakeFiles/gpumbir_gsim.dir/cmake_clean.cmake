@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_gsim.dir/cpu_model.cpp.o"
+  "CMakeFiles/gpumbir_gsim.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/gpumbir_gsim.dir/device.cpp.o"
+  "CMakeFiles/gpumbir_gsim.dir/device.cpp.o.d"
+  "CMakeFiles/gpumbir_gsim.dir/executor.cpp.o"
+  "CMakeFiles/gpumbir_gsim.dir/executor.cpp.o.d"
+  "CMakeFiles/gpumbir_gsim.dir/occupancy.cpp.o"
+  "CMakeFiles/gpumbir_gsim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/gpumbir_gsim.dir/timing.cpp.o"
+  "CMakeFiles/gpumbir_gsim.dir/timing.cpp.o.d"
+  "libgpumbir_gsim.a"
+  "libgpumbir_gsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_gsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/icd/convergence.cpp" "src/icd/CMakeFiles/gpumbir_icd.dir/convergence.cpp.o" "gcc" "src/icd/CMakeFiles/gpumbir_icd.dir/convergence.cpp.o.d"
+  "/root/repo/src/icd/cost.cpp" "src/icd/CMakeFiles/gpumbir_icd.dir/cost.cpp.o" "gcc" "src/icd/CMakeFiles/gpumbir_icd.dir/cost.cpp.o.d"
+  "/root/repo/src/icd/sequential_icd.cpp" "src/icd/CMakeFiles/gpumbir_icd.dir/sequential_icd.cpp.o" "gcc" "src/icd/CMakeFiles/gpumbir_icd.dir/sequential_icd.cpp.o.d"
+  "/root/repo/src/icd/update_order.cpp" "src/icd/CMakeFiles/gpumbir_icd.dir/update_order.cpp.o" "gcc" "src/icd/CMakeFiles/gpumbir_icd.dir/update_order.cpp.o.d"
+  "/root/repo/src/icd/voxel_update.cpp" "src/icd/CMakeFiles/gpumbir_icd.dir/voxel_update.cpp.o" "gcc" "src/icd/CMakeFiles/gpumbir_icd.dir/voxel_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/prior/CMakeFiles/gpumbir_prior.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

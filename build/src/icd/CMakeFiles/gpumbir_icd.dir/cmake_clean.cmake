@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_icd.dir/convergence.cpp.o"
+  "CMakeFiles/gpumbir_icd.dir/convergence.cpp.o.d"
+  "CMakeFiles/gpumbir_icd.dir/cost.cpp.o"
+  "CMakeFiles/gpumbir_icd.dir/cost.cpp.o.d"
+  "CMakeFiles/gpumbir_icd.dir/sequential_icd.cpp.o"
+  "CMakeFiles/gpumbir_icd.dir/sequential_icd.cpp.o.d"
+  "CMakeFiles/gpumbir_icd.dir/update_order.cpp.o"
+  "CMakeFiles/gpumbir_icd.dir/update_order.cpp.o.d"
+  "CMakeFiles/gpumbir_icd.dir/voxel_update.cpp.o"
+  "CMakeFiles/gpumbir_icd.dir/voxel_update.cpp.o.d"
+  "libgpumbir_icd.a"
+  "libgpumbir_icd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_icd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpumbir_icd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_io.dir/image_io.cpp.o"
+  "CMakeFiles/gpumbir_io.dir/image_io.cpp.o.d"
+  "libgpumbir_io.a"
+  "libgpumbir_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpumbir_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iter/art.cpp" "src/iter/CMakeFiles/gpumbir_iter.dir/art.cpp.o" "gcc" "src/iter/CMakeFiles/gpumbir_iter.dir/art.cpp.o.d"
+  "/root/repo/src/iter/sirt.cpp" "src/iter/CMakeFiles/gpumbir_iter.dir/sirt.cpp.o" "gcc" "src/iter/CMakeFiles/gpumbir_iter.dir/sirt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_iter.dir/art.cpp.o"
+  "CMakeFiles/gpumbir_iter.dir/art.cpp.o.d"
+  "CMakeFiles/gpumbir_iter.dir/sirt.cpp.o"
+  "CMakeFiles/gpumbir_iter.dir/sirt.cpp.o.d"
+  "libgpumbir_iter.a"
+  "libgpumbir_iter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phantom/analytic_projection.cpp" "src/phantom/CMakeFiles/gpumbir_phantom.dir/analytic_projection.cpp.o" "gcc" "src/phantom/CMakeFiles/gpumbir_phantom.dir/analytic_projection.cpp.o.d"
+  "/root/repo/src/phantom/baggage.cpp" "src/phantom/CMakeFiles/gpumbir_phantom.dir/baggage.cpp.o" "gcc" "src/phantom/CMakeFiles/gpumbir_phantom.dir/baggage.cpp.o.d"
+  "/root/repo/src/phantom/ellipse.cpp" "src/phantom/CMakeFiles/gpumbir_phantom.dir/ellipse.cpp.o" "gcc" "src/phantom/CMakeFiles/gpumbir_phantom.dir/ellipse.cpp.o.d"
+  "/root/repo/src/phantom/rasterize.cpp" "src/phantom/CMakeFiles/gpumbir_phantom.dir/rasterize.cpp.o" "gcc" "src/phantom/CMakeFiles/gpumbir_phantom.dir/rasterize.cpp.o.d"
+  "/root/repo/src/phantom/shepp_logan.cpp" "src/phantom/CMakeFiles/gpumbir_phantom.dir/shepp_logan.cpp.o" "gcc" "src/phantom/CMakeFiles/gpumbir_phantom.dir/shepp_logan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_phantom.dir/analytic_projection.cpp.o"
+  "CMakeFiles/gpumbir_phantom.dir/analytic_projection.cpp.o.d"
+  "CMakeFiles/gpumbir_phantom.dir/baggage.cpp.o"
+  "CMakeFiles/gpumbir_phantom.dir/baggage.cpp.o.d"
+  "CMakeFiles/gpumbir_phantom.dir/ellipse.cpp.o"
+  "CMakeFiles/gpumbir_phantom.dir/ellipse.cpp.o.d"
+  "CMakeFiles/gpumbir_phantom.dir/rasterize.cpp.o"
+  "CMakeFiles/gpumbir_phantom.dir/rasterize.cpp.o.d"
+  "CMakeFiles/gpumbir_phantom.dir/shepp_logan.cpp.o"
+  "CMakeFiles/gpumbir_phantom.dir/shepp_logan.cpp.o.d"
+  "libgpumbir_phantom.a"
+  "libgpumbir_phantom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_phantom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

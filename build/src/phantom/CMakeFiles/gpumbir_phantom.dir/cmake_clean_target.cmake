@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpumbir_phantom.a"
+)

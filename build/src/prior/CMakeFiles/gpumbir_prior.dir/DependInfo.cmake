@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prior/neighborhood.cpp" "src/prior/CMakeFiles/gpumbir_prior.dir/neighborhood.cpp.o" "gcc" "src/prior/CMakeFiles/gpumbir_prior.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/prior/prior.cpp" "src/prior/CMakeFiles/gpumbir_prior.dir/prior.cpp.o" "gcc" "src/prior/CMakeFiles/gpumbir_prior.dir/prior.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_prior.dir/neighborhood.cpp.o"
+  "CMakeFiles/gpumbir_prior.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/gpumbir_prior.dir/prior.cpp.o"
+  "CMakeFiles/gpumbir_prior.dir/prior.cpp.o.d"
+  "libgpumbir_prior.a"
+  "libgpumbir_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

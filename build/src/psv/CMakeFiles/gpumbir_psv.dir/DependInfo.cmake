@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psv/psv_icd.cpp" "src/psv/CMakeFiles/gpumbir_psv.dir/psv_icd.cpp.o" "gcc" "src/psv/CMakeFiles/gpumbir_psv.dir/psv_icd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/prior/CMakeFiles/gpumbir_prior.dir/DependInfo.cmake"
+  "/root/repo/build/src/icd/CMakeFiles/gpumbir_icd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/gpumbir_sv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

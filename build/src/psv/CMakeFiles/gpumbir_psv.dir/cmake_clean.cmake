@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_psv.dir/psv_icd.cpp.o"
+  "CMakeFiles/gpumbir_psv.dir/psv_icd.cpp.o.d"
+  "libgpumbir_psv.a"
+  "libgpumbir_psv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_psv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

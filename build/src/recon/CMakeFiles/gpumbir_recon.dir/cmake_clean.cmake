@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_recon.dir/metrics.cpp.o"
+  "CMakeFiles/gpumbir_recon.dir/metrics.cpp.o.d"
+  "CMakeFiles/gpumbir_recon.dir/problem_setup.cpp.o"
+  "CMakeFiles/gpumbir_recon.dir/problem_setup.cpp.o.d"
+  "CMakeFiles/gpumbir_recon.dir/reconstructor.cpp.o"
+  "CMakeFiles/gpumbir_recon.dir/reconstructor.cpp.o.d"
+  "CMakeFiles/gpumbir_recon.dir/suite.cpp.o"
+  "CMakeFiles/gpumbir_recon.dir/suite.cpp.o.d"
+  "libgpumbir_recon.a"
+  "libgpumbir_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

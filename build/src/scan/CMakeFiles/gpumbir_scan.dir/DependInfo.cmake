@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/noise.cpp" "src/scan/CMakeFiles/gpumbir_scan.dir/noise.cpp.o" "gcc" "src/scan/CMakeFiles/gpumbir_scan.dir/noise.cpp.o.d"
+  "/root/repo/src/scan/scanner.cpp" "src/scan/CMakeFiles/gpumbir_scan.dir/scanner.cpp.o" "gcc" "src/scan/CMakeFiles/gpumbir_scan.dir/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumbir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gpumbir_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/phantom/CMakeFiles/gpumbir_phantom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_scan.dir/noise.cpp.o"
+  "CMakeFiles/gpumbir_scan.dir/noise.cpp.o.d"
+  "CMakeFiles/gpumbir_scan.dir/scanner.cpp.o"
+  "CMakeFiles/gpumbir_scan.dir/scanner.cpp.o.d"
+  "libgpumbir_scan.a"
+  "libgpumbir_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumbir_sv.dir/chunks.cpp.o"
+  "CMakeFiles/gpumbir_sv.dir/chunks.cpp.o.d"
+  "CMakeFiles/gpumbir_sv.dir/supervoxel.cpp.o"
+  "CMakeFiles/gpumbir_sv.dir/supervoxel.cpp.o.d"
+  "CMakeFiles/gpumbir_sv.dir/svb.cpp.o"
+  "CMakeFiles/gpumbir_sv.dir/svb.cpp.o.d"
+  "libgpumbir_sv.a"
+  "libgpumbir_sv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumbir_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

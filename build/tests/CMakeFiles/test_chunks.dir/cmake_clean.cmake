@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunks.dir/test_chunks.cpp.o"
+  "CMakeFiles/test_chunks.dir/test_chunks.cpp.o.d"
+  "test_chunks"
+  "test_chunks.pdb"
+  "test_chunks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

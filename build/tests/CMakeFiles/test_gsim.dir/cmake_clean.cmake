@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsim.dir/test_gsim.cpp.o"
+  "CMakeFiles/test_gsim.dir/test_gsim.cpp.o.d"
+  "test_gsim"
+  "test_gsim.pdb"
+  "test_gsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

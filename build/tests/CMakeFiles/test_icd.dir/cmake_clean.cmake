@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icd.dir/test_icd.cpp.o"
+  "CMakeFiles/test_icd.dir/test_icd.cpp.o.d"
+  "test_icd"
+  "test_icd.pdb"
+  "test_icd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

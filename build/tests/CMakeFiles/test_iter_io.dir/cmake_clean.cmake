@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iter_io.dir/test_iter_io.cpp.o"
+  "CMakeFiles/test_iter_io.dir/test_iter_io.cpp.o.d"
+  "test_iter_io"
+  "test_iter_io.pdb"
+  "test_iter_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iter_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psv_gpu.dir/test_psv_gpu.cpp.o"
+  "CMakeFiles/test_psv_gpu.dir/test_psv_gpu.cpp.o.d"
+  "test_psv_gpu"
+  "test_psv_gpu.pdb"
+  "test_psv_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psv_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_prior.dir/test_scan_prior.cpp.o"
+  "CMakeFiles/test_scan_prior.dir/test_scan_prior.cpp.o.d"
+  "test_scan_prior"
+  "test_scan_prior.pdb"
+  "test_scan_prior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

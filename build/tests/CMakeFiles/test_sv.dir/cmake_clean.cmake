@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sv.dir/test_sv.cpp.o"
+  "CMakeFiles/test_sv.dir/test_sv.cpp.o.d"
+  "test_sv"
+  "test_sv.pdb"
+  "test_sv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

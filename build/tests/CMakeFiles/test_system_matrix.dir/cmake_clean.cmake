@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_matrix.dir/test_system_matrix.cpp.o"
+  "CMakeFiles/test_system_matrix.dir/test_system_matrix.cpp.o.d"
+  "test_system_matrix"
+  "test_system_matrix.pdb"
+  "test_system_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_system_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_phantom[1]_include.cmake")
+include("/root/repo/build/tests/test_scan_prior[1]_include.cmake")
+include("/root/repo/build/tests/test_icd[1]_include.cmake")
+include("/root/repo/build/tests/test_sv[1]_include.cmake")
+include("/root/repo/build/tests/test_chunks[1]_include.cmake")
+include("/root/repo/build/tests/test_gsim[1]_include.cmake")
+include("/root/repo/build/tests/test_psv_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_recon[1]_include.cmake")
+include("/root/repo/build/tests/test_iter_io[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
