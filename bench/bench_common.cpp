@@ -53,11 +53,14 @@ RunResult runGpu(const OwnedProblem& problem, const Image2D& golden,
   return reconstruct(problem, golden, cfg);
 }
 
-void emit(const AsciiTable& table, const std::string& bench_name) {
+void emit(const AsciiTable& table, const std::string& bench_name,
+          double host_wall_seconds) {
   std::printf("\n%s\n", table.render().c_str());
   const std::string path = bench_name + ".csv";
   table.writeCsv(path);
   std::printf("[bench] wrote %s\n", path.c_str());
+  if (host_wall_seconds >= 0.0)
+    std::printf("[bench] host_wall_seconds=%.3f\n", host_wall_seconds);
 }
 
 }  // namespace mbir::bench

@@ -46,7 +46,11 @@ GpuTunables paperTunables();
 RunResult runGpu(const OwnedProblem& problem, const Image2D& golden,
                  const GpuTunables& tunables, const OptimFlags& flags = {});
 
-/// Print the table and write it next to the binary as <name>.csv.
-void emit(const AsciiTable& table, const std::string& bench_name);
+/// Print the table and write it next to the binary as <name>.csv. When
+/// `host_wall_seconds` >= 0, also print the bench's real host wall-clock
+/// alongside the modeled numbers (a "host_wall_seconds=" line BENCH_*.json
+/// runs can scrape to track real speedup of the simulator itself).
+void emit(const AsciiTable& table, const std::string& bench_name,
+          double host_wall_seconds = -1.0);
 
 }  // namespace mbir::bench

@@ -101,4 +101,15 @@ std::vector<int> Rng::permutation(int n) {
 
 Rng Rng::split() { return Rng(next() ^ 0xd2b74407b1ce6e93ull); }
 
+Rng Rng::forStream(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  // Chain each key through SplitMix64 so nearby tuples (consecutive
+  // iterations / SV ids) land on unrelated seeds.
+  std::uint64_t x = a;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ b;
+  h = splitmix64(x);
+  x = h ^ c;
+  return Rng(splitmix64(x));
+}
+
 }  // namespace mbir

@@ -51,6 +51,14 @@ class Rng {
   /// Derive an independent stream (for per-case / per-thread seeding).
   Rng split();
 
+  /// Deterministic independent stream keyed by up to three identifiers
+  /// (e.g. seed, iteration, SuperVoxel id). Unlike split(), the result does
+  /// not depend on any generator's consumption history, so concurrent
+  /// consumers seeded this way stay reproducible regardless of execution
+  /// order (GPU-ICD's per-SV streams).
+  static Rng forStream(std::uint64_t a, std::uint64_t b = 0,
+                       std::uint64_t c = 0);
+
  private:
   std::uint64_t s_[4];
   bool have_cached_normal_ = false;

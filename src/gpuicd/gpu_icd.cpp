@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <list>
+#include <unordered_map>
 #include <vector>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "gpuicd/conflicts.h"
 #include "gsim/occupancy.h"
 #include "icd/update_order.h"
@@ -22,11 +25,15 @@ namespace {
 struct BatchSv {
   int sv_id;
   const SvbPlan* plan;
-  std::unique_ptr<ChunkPlan> chunks;  // null for the naive layout
+  const ChunkPlan* chunks = nullptr;        // null for the naive layout
+  std::unique_ptr<ChunkPlan> owned_chunks;  // set only when caching is off
   std::unique_ptr<Svb> e_svb;
   std::unique_ptr<Svb> e_orig;
   std::unique_ptr<Svb> w_svb;
 };
+
+/// Grid scale of the SVB-generation and writeback kernels (blocks per SV).
+constexpr int kAuxBlocksPerSv = 8;
 
 }  // namespace
 
@@ -38,6 +45,14 @@ struct GpuIcd::Impl {
   std::vector<SvbPlan> plans;
   std::vector<double> magnitude;
 
+  // Bounded LRU cache of per-SV chunk plans (front of lru = most recent).
+  struct CachedChunks {
+    std::unique_ptr<ChunkPlan> plan;
+    std::list<int>::iterator lru_it;
+  };
+  std::list<int> chunk_lru;
+  std::unordered_map<int, CachedChunks> chunk_cache;
+
   Impl(const Problem& p, GpuIcdOptions o)
       : problem(p),
         opt(std::move(o)),
@@ -46,6 +61,8 @@ struct GpuIcd::Impl {
     problem.validate();
     opt.tunables.validate();
     MBIR_CHECK(opt.max_iterations >= 1);
+    MBIR_CHECK(opt.chunk_cache_capacity >= 0);
+    sim.setHostPool(opt.host_pool);
     plans.reserve(std::size_t(grid.count()));
     for (int i = 0; i < grid.count(); ++i)
       plans.emplace_back(p.A.geometry(), grid.sv(i));
@@ -81,12 +98,17 @@ struct GpuIcd::Impl {
   void launchSvbGen(std::vector<BatchSv>& batch, const Sinogram& e) {
     gsim::LaunchConfig cfg;
     cfg.name = "svb_gen";
-    cfg.num_blocks = int(batch.size()) * 8;
+    cfg.num_blocks = int(batch.size()) * kAuxBlocksPerSv;
     cfg.resources = {.threads_per_block = 256, .regs_per_thread = 24,
                      .smem_per_block_bytes = 0};
     sim.launch(cfg, [&](gsim::BlockCtx& ctx) {
-      if (ctx.block_idx != 0) return;  // functional work done once
-      for (BatchSv& b : batch) {
+      // Block group [sv * kAuxBlocksPerSv, ...) serves batch SV `sv`; the
+      // group's first block owns the allocation + gather (a per-SV private
+      // buffer, so groups never conflict), and the group stripes the view
+      // rows for accounting.
+      BatchSv& b = batch[std::size_t(ctx.block_idx / kAuxBlocksPerSv)];
+      const int sub = ctx.block_idx % kAuxBlocksPerSv;
+      if (sub == 0) {
         const SvbLayout layout = opt.flags.transformed_layout
                                      ? SvbLayout::kPadded
                                      : SvbLayout::kPacked;
@@ -97,23 +119,23 @@ struct GpuIcd::Impl {
                     b.e_svb->raw().size() * sizeof(float));
         b.w_svb = std::make_unique<Svb>(*b.plan, layout);
         b.w_svb->gather(problem.weights);
-        // Accounting: per view row — read global e, write e_svb + e_orig,
-        // read global w, write w_svb (5 streams).
-        for (int v = 0; v < b.plan->numViews(); ++v) {
-          const int w = b.plan->width(v);
-          if (w == 0) continue;
-          ctx.prof.svbAccess(w, 4, /*aligned=*/false, /*as_double=*/true);
-          ctx.prof.svbAccess(w, 4, true, true);
-          ctx.prof.svbAccess(w, 4, true, true);
-          ctx.prof.svbAccess(w, 4, false, true);
-          ctx.prof.svbAccess(w, 4, true, true);
-        }
+      }
+      // Accounting: per view row — read global e, write e_svb + e_orig,
+      // read global w, write w_svb (5 streams).
+      for (int v = sub; v < b.plan->numViews(); v += kAuxBlocksPerSv) {
+        const int w = b.plan->width(v);
+        if (w == 0) continue;
+        ctx.prof.svbAccess(w, 4, /*aligned=*/false, /*as_double=*/true);
+        ctx.prof.svbAccess(w, 4, true, true);
+        ctx.prof.svbAccess(w, 4, true, true);
+        ctx.prof.svbAccess(w, 4, false, true);
+        ctx.prof.svbAccess(w, 4, true, true);
       }
     });
   }
 
   // ---- Kernel 2: the MBIR update kernel (Alg. 3, MBIR_GPU_Kernel) ----
-  void launchUpdateKernel(std::vector<BatchSv>& batch, Image2D& x, Rng& rng,
+  void launchUpdateKernel(std::vector<BatchSv>& batch, int iter, Image2D& x,
                           GpuRunStats& stats) {
     const OptimFlags& fl = opt.flags;
     const int tb_per_sv = effectiveTbPerSv();
@@ -132,24 +154,47 @@ struct GpuIcd::Impl {
     const double working_set =
         svb_bytes_mean * double(concurrentSvs(int(batch.size())));
 
+    // Per-SV outputs, merged in batch order after the launch so the totals
+    // do not depend on block completion order.
+    std::vector<WorkCounters> sv_work(batch.size());
+    std::vector<double> sv_mag(batch.size(), 0.0);
+
     sim.launch(cfg, [&](gsim::BlockCtx& ctx) {
-      if (ctx.block_idx != 0) return;
+      // Block group [sv * tb_per_sv, ...) serves batch SV `sv` (Alg. 3's
+      // consecutive-threadblock assignment). The group's first block
+      // carries the SV's functional sweep; the other blocks' effect is
+      // modeled through the intra-SV conflict multiplier and the imbalance
+      // factor. Concurrent SVs belong to one checkerboard group and are
+      // therefore non-adjacent: a voxel update writes only its own SV and
+      // reads at most a 1-voxel ring around it, which can only reach into
+      // *adjacent* SVs — never into another SV of the same group — so
+      // concurrent sweeps share no mutable image state.
+      if (ctx.block_idx % tb_per_sv != 0) return;
+      const std::size_t bi = std::size_t(ctx.block_idx / tb_per_sv);
+      BatchSv& b = batch[bi];
       ctx.prof.setAmatrixViaTexture(fl.amatrix_via_texture);
       ctx.prof.setL2WorkingSet(working_set);
-      for (BatchSv& b : batch) {
-        double mag = 0.0;
-        if (fl.transformed_layout)
-          processSvTransformed(b, x, rng, ctx.prof, stats, mag);
-        else
-          processSvNaive(b, x, rng, ctx.prof, stats, mag);
-        magnitude[std::size_t(b.sv_id)] = mag;
-      }
+      // Per-SV RNG stream: reproducible for any block schedule, unlike a
+      // shared generator threaded through the batch.
+      Rng sv_rng = Rng::forStream(opt.seed, std::uint64_t(iter),
+                                  std::uint64_t(b.sv_id));
+      if (fl.transformed_layout)
+        processSvTransformed(b, x, sv_rng, ctx.prof, sv_work[bi], sv_mag[bi]);
+      else
+        processSvNaive(b, x, sv_rng, ctx.prof, sv_work[bi], sv_mag[bi]);
     });
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      stats.work += sv_work[i];
+      magnitude[std::size_t(batch[i].sv_id)] = sv_mag[i];
+    }
   }
 
-  /// One SV's voxel sweep against the padded SVB + A-chunks.
+  /// One SV's voxel sweep against the padded SVB + A-chunks. Runs inside
+  /// one simulated block; everything it mutates (x inside the SV, the SV's
+  /// SVBs, `work`, `mag`) is private to that block during the launch.
   void processSvTransformed(BatchSv& b, Image2D& x, Rng& rng,
-                            gsim::KernelProfiler& prof, GpuRunStats& stats,
+                            gsim::KernelProfiler& prof, WorkCounters& work,
                             double& mag) {
     const SystemMatrix& A = problem.A;
     const GpuTunables& tn = opt.tunables;
@@ -176,7 +221,7 @@ struct GpuIcd::Impl {
     for (int k : order) {
       const int row = sv.row0 + k / sv.numCols();
       const int col = sv.col0 + k % sv.numCols();
-      ++stats.work.voxels_visited;
+      ++work.voxels_visited;
       // Dynamic voxel fetch from the SV's shared counter.
       prof.descRead(4);
       if (opt.zero_skip && allNeighborsZero(x, row, col)) {
@@ -220,7 +265,7 @@ struct GpuIcd::Impl {
             theta.theta1 += -wv * a * double(erow[cc]);
             theta.theta2 += wv * a * a;
           }
-          stats.work.theta_elements += r.count;
+          work.theta_elements += r.count;
           ++rows_total;
         }
       }
@@ -255,12 +300,12 @@ struct GpuIcd::Impl {
               const int cc = ws + kk;
               erow[cc] -= float(cp.aValue(d, i, cc - d.base)) * delta;
             }
-            stats.work.error_update_elements += r.count;
+            work.error_update_elements += r.count;
           }
         }
       }
       mag += std::abs(double(delta));
-      ++stats.work.voxel_updates;
+      ++work.voxel_updates;
       work_rows.push_back(rows_total);
     }
 
@@ -283,7 +328,7 @@ struct GpuIcd::Impl {
   /// The naive (untransformed, Fig. 4a) kernel: packed SVB walked in
   /// sensor-channel-major order — uncoalesced, with per-view start lookups.
   void processSvNaive(BatchSv& b, Image2D& x, Rng& rng,
-                      gsim::KernelProfiler& prof, GpuRunStats& stats,
+                      gsim::KernelProfiler& prof, WorkCounters& work,
                       double& mag) {
     const SystemMatrix& A = problem.A;
     const OptimFlags& fl = opt.flags;
@@ -304,7 +349,7 @@ struct GpuIcd::Impl {
     for (int k : order) {
       const int row = sv.row0 + k / sv.numCols();
       const int col = sv.col0 + k % sv.numCols();
-      ++stats.work.voxels_visited;
+      ++work.voxels_visited;
       prof.descRead(4);
       if (opt.zero_skip && allNeighborsZero(x, row, col)) {
         prof.descRead(9 * 4);
@@ -333,7 +378,7 @@ struct GpuIcd::Impl {
           theta.theta1 += -double(wrow[ws + kk]) * a * double(erow[ws + kk]);
           theta.theta2 += double(wrow[ws + kk]) * a * a;
         }
-        stats.work.theta_elements += r.count;
+        work.theta_elements += r.count;
         ++rows_total;
       }
       prof.smemTraffic(std::size_t(opt.tunables.threads_per_block) * 8 * 2);
@@ -355,11 +400,11 @@ struct GpuIcd::Impl {
           float* erow = b.e_svb->rowData(v) + (int(r.first_channel) - plan.lo(v));
           for (int kk = 0; kk < int(r.count); ++kk)
             erow[kk] -= aw[std::size_t(kk)] * delta;
-          stats.work.error_update_elements += r.count;
+          work.error_update_elements += r.count;
         }
       }
       mag += std::abs(double(delta));
-      ++stats.work.voxel_updates;
+      ++work.voxel_updates;
       work_rows.push_back(rows_total);
       prof.amatrixUnique(std::size_t(elems_total) * std::size_t(abytes));
     }
@@ -380,14 +425,20 @@ struct GpuIcd::Impl {
 
     gsim::LaunchConfig cfg;
     cfg.name = "error_writeback";
-    cfg.num_blocks = int(batch.size()) * 8;
+    cfg.num_blocks = int(batch.size()) * kAuxBlocksPerSv;
     cfg.resources = {.threads_per_block = 256, .regs_per_thread = 24,
                      .smem_per_block_bytes = 0};
+    const int stripes = cfg.num_blocks;
     sim.launch(cfg, [&](gsim::BlockCtx& ctx) {
-      if (ctx.block_idx != 0) return;
+      // SVBs of different SVs overlap in the global sinogram (the reason
+      // the real kernel uses atomicAdd), so the functional writeback is
+      // striped by view: block s owns views v ≡ s (mod grid) and applies
+      // every batch SVB's delta to them in batch order. Each sinogram
+      // element has exactly one writer and a fixed accumulation order —
+      // concurrency-safe and bit-identical to the serial writeback.
       for (BatchSv& b : batch) {
-        b.e_svb->applyDeltaTo(e, *b.e_orig);
-        for (int v = 0; v < b.plan->numViews(); ++v) {
+        b.e_svb->applyDeltaTo(e, *b.e_orig, ctx.block_idx, stripes);
+        for (int v = ctx.block_idx; v < b.plan->numViews(); v += stripes) {
           const int w = b.plan->width(v);
           if (w == 0) continue;
           ctx.prof.svbAccess(w, 4, true, true);   // current SVB
@@ -399,7 +450,41 @@ struct GpuIcd::Impl {
     });
   }
 
-  void runBatch(const std::vector<int>& ids, Image2D& x, Sinogram& e, Rng& rng,
+  std::unique_ptr<ChunkPlan> buildChunkPlan(int sv_id) {
+    return std::make_unique<ChunkPlan>(
+        problem.A, plans[std::size_t(sv_id)],
+        ChunkPlanOptions{.chunk_width = opt.tunables.chunk_width,
+                         .quantize = opt.flags.quantize_amatrix});
+  }
+
+  /// Chunk plan for one SV through the bounded LRU cache. A-chunks are
+  /// static per SV (they depend only on A, the band, and the tunables), so
+  /// steady-state iterations hit the cache and skip chunk construction.
+  /// The effective capacity never drops below the live batch size so no
+  /// plan borrowed by the in-flight batch can be evicted.
+  const ChunkPlan* cachedChunkPlan(int sv_id, int batch_size,
+                                   GpuRunStats& stats) {
+    auto it = chunk_cache.find(sv_id);
+    if (it != chunk_cache.end()) {
+      ++stats.chunk_cache_hits;
+      chunk_lru.splice(chunk_lru.begin(), chunk_lru, it->second.lru_it);
+      return it->second.plan.get();
+    }
+    ++stats.chunk_cache_misses;
+    chunk_lru.push_front(sv_id);
+    auto [pos, inserted] = chunk_cache.emplace(
+        sv_id, CachedChunks{buildChunkPlan(sv_id), chunk_lru.begin()});
+    MBIR_CHECK(inserted);
+    const std::size_t capacity =
+        std::size_t(std::max(opt.chunk_cache_capacity, batch_size));
+    while (chunk_cache.size() > capacity) {
+      chunk_cache.erase(chunk_lru.back());
+      chunk_lru.pop_back();
+    }
+    return pos->second.plan.get();
+  }
+
+  void runBatch(const std::vector<int>& ids, int iter, Image2D& x, Sinogram& e,
                 GpuRunStats& stats) {
     std::vector<BatchSv> batch;
     batch.reserve(ids.size());
@@ -408,19 +493,21 @@ struct GpuIcd::Impl {
       b.sv_id = id;
       SvbPlan& plan = plans[std::size_t(id)];
       if (opt.flags.transformed_layout) {
-        // A-chunks are static per SV in a real deployment (precomputed once
-        // on the device); rebuilt here per batch purely to bound host
-        // memory — no modeled GPU time is charged for it.
-        b.chunks = std::make_unique<ChunkPlan>(
-            problem.A, plan,
-            ChunkPlanOptions{.chunk_width = opt.tunables.chunk_width,
-                             .quantize = opt.flags.quantize_amatrix});
+        // Host-side preparation; no modeled GPU time is charged (a real
+        // deployment precomputes A-chunks once on the device).
+        if (opt.chunk_cache_capacity > 0) {
+          b.chunks = cachedChunkPlan(id, int(ids.size()), stats);
+        } else {
+          ++stats.chunk_cache_misses;
+          b.owned_chunks = buildChunkPlan(id);
+          b.chunks = b.owned_chunks.get();
+        }
       }
       b.plan = &plan;
       batch.push_back(std::move(b));
     }
     launchSvbGen(batch, e);
-    launchUpdateKernel(batch, x, rng, stats);
+    launchUpdateKernel(batch, iter, x, stats);
     launchWriteback(batch, e);
     stats.kernels_launched += 3;
     stats.work.svs_processed += ids.size();
@@ -477,7 +564,7 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
           ++stats.batches_skipped_by_threshold;
           continue;
         }
-        im.runBatch(ids, x, e, rng, stats);
+        im.runBatch(ids, iter, x, e, stats);
       }
     }
 

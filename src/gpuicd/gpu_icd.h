@@ -31,6 +31,8 @@
 
 namespace mbir {
 
+class ThreadPool;
+
 struct GpuIcdOptions {
   GpuTunables tunables;
   OptimFlags flags;
@@ -40,6 +42,14 @@ struct GpuIcdOptions {
   /// Simulated device; scale caches with gsim::scaleCachesToProblem when
   /// running reduced geometries.
   gsim::DeviceSpec device = gsim::titanXMaxwell();
+  /// Host thread pool simulated kernel blocks execute on (nullptr = the
+  /// process-wide pool). Results are bit-identical for any pool size; only
+  /// host wall-clock changes.
+  ThreadPool* host_pool = nullptr;
+  /// Bounded LRU cache of per-SV chunk plans, in entries (A-chunks are
+  /// static per SV, so steady-state iterations skip chunk construction
+  /// entirely). 0 disables caching: rebuild per batch, minimal host memory.
+  int chunk_cache_capacity = 128;
 };
 
 struct GpuIterationInfo {
@@ -59,6 +69,9 @@ struct GpuRunStats {
   double modeled_seconds = 0.0;
   int kernels_launched = 0;
   int batches_skipped_by_threshold = 0;
+  /// Chunk-plan LRU cache behaviour (host-side; no modeled GPU time).
+  std::size_t chunk_cache_hits = 0;
+  std::size_t chunk_cache_misses = 0;
   WorkCounters work;
   gsim::KernelStats kernel_stats;
   /// Per-kernel-name time/stats breakdown.

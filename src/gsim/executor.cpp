@@ -1,6 +1,9 @@
 #include "gsim/executor.h"
 
+#include <vector>
+
 #include "core/error.h"
+#include "core/thread_pool.h"
 
 namespace mbir::gsim {
 
@@ -92,13 +95,25 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
   LaunchReport report;
   report.occupancy = computeOccupancy(dev_, cfg.resources);
 
-  KernelProfiler prof(dev_);
-  for (int b = 0; b < cfg.num_blocks; ++b) {
-    BlockCtx ctx{b, cfg.num_blocks, prof};
+  if (cfg.num_blocks == 1) {
+    KernelProfiler prof(dev_);
+    BlockCtx ctx{0, 1, prof};
     kernel(ctx);
+    report.stats = prof.stats();
+  } else {
+    // Every block gets a private profiler so blocks can run on any host
+    // thread; merging the per-block stats in block-index order keeps the
+    // report bit-identical for any pool size.
+    std::vector<KernelProfiler> profs;
+    profs.reserve(std::size_t(cfg.num_blocks));
+    for (int b = 0; b < cfg.num_blocks; ++b) profs.emplace_back(dev_);
+    ThreadPool& pool = host_pool_ ? *host_pool_ : globalThreadPool();
+    pool.parallelFor(0, cfg.num_blocks, [&](int b) {
+      BlockCtx ctx{b, cfg.num_blocks, profs[std::size_t(b)]};
+      kernel(ctx);
+    });
+    for (const KernelProfiler& p : profs) report.stats += p.stats();
   }
-
-  report.stats = prof.stats();
   report.stats.launches = 1;
   report.stats.grid_blocks = cfg.num_blocks;
   report.time = modelKernelTime(dev_, report.stats, report.occupancy);

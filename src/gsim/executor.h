@@ -1,12 +1,15 @@
 // Functional GPU kernel executor + per-launch profiler.
 //
 // Kernels are written as C++ callables over a BlockCtx; the executor runs
-// every threadblock (deterministically, in block-index order — equivalent to
-// any schedule because GPU-ICD's cross-block communication is limited to
-// atomics whose per-voxel serializations all converge to the same functional
-// result at voxel granularity). Alongside the functional work, kernels
-// report their memory behaviour at *warp* granularity to the KernelProfiler;
-// the launch() call converts the counters to modeled time (gsim/timing.h).
+// every threadblock of a launch concurrently on the host thread pool (like
+// the hardware would), each block reporting to its own KernelProfiler.
+// Per-block stats are merged in block-index order, so the LaunchReport —
+// counters and modeled time — is bit-identical for any host thread count.
+// Kernels must therefore be written like real CUDA blocks: no unsynchronized
+// writes to state shared across blocks (DESIGN.md §gsim host execution
+// model). Alongside the functional work, kernels report their memory
+// behaviour at *warp* granularity to the KernelProfiler; the launch() call
+// converts the counters to modeled time (gsim/timing.h).
 //
 // This is the substitution for CUDA hardware: same algorithm, same parallel
 // semantics, modeled performance (DESIGN.md §1).
@@ -20,6 +23,10 @@
 #include "gsim/kernel_stats.h"
 #include "gsim/occupancy.h"
 #include "gsim/timing.h"
+
+namespace mbir {
+class ThreadPool;
+}
 
 namespace mbir::gsim {
 
@@ -108,7 +115,14 @@ class GpuSimulator {
 
   const DeviceSpec& device() const { return dev_; }
 
-  /// Run every block of the kernel functionally; model and accumulate time.
+  /// Host thread pool blocks execute on (nullptr = process-wide pool).
+  /// Purely a wall-clock knob: results are identical for any pool.
+  void setHostPool(ThreadPool* pool) { host_pool_ = pool; }
+
+  /// Run every block of the kernel functionally (concurrently across host
+  /// threads); model and accumulate time. The report is invariant to the
+  /// host thread count: each block profiles into its own KernelProfiler and
+  /// the per-block stats are merged in block-index order.
   LaunchReport launch(const LaunchConfig& cfg,
                       const std::function<void(BlockCtx&)>& kernel);
 
@@ -122,6 +136,7 @@ class GpuSimulator {
 
  private:
   DeviceSpec dev_;
+  ThreadPool* host_pool_ = nullptr;
   KernelStats total_stats_;
   double total_seconds_ = 0.0;
   std::map<std::string, NamedTotals> per_kernel_;

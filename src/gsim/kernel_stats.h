@@ -54,6 +54,9 @@ struct KernelStats {
     svb_unique_bytes += o.svb_unique_bytes;
     amatrix_access_bytes += o.amatrix_access_bytes;
     amatrix_unique_bytes += o.amatrix_unique_bytes;
+    // The texture path is a whole-kernel property; any block declaring the
+    // global path (false) moves the merged launch off the texture path.
+    amatrix_via_texture = amatrix_via_texture && o.amatrix_via_texture;
     desc_bytes += o.desc_bytes;
     smem_bytes += o.smem_bytes;
     flops += o.flops;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/timer.h"
 #include "gsim/cpu_model.h"
 #include "icd/convergence.h"
 
@@ -29,6 +30,7 @@ Image2D computeGolden(const OwnedProblem& problem, double equits) {
 
 RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
                       RunConfig config) {
+  const WallTimer host_wall;
   RunResult result;
   result.image = problem.fbpInitialImage();
   Sinogram e = problem.initialError(result.image);
@@ -103,6 +105,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
 
   if (result.curve.empty())
     result.final_rmse_hu = rmseHu(result.image, golden);
+  result.host_seconds = host_wall.seconds();
   return result;
 }
 

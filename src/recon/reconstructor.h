@@ -50,6 +50,9 @@ struct RunResult {
   /// Modeled wall-clock on the paper's machine for this algorithm
   /// (16-core Xeon for PSV, single core for sequential, Titan X for GPU).
   double modeled_seconds = 0.0;
+  /// Real host wall-clock of the run (functional execution + modeling),
+  /// for tracking actual speedups of the simulator itself across PRs.
+  double host_seconds = 0.0;
   WorkCounters work;
   std::vector<ConvergencePoint> curve;
   std::optional<GpuRunStats> gpu_stats;

@@ -108,9 +108,15 @@ void Svb::gather(const Sinogram& src) {
 }
 
 void Svb::applyDeltaTo(Sinogram& dst, const Svb& original) const {
+  applyDeltaTo(dst, original, 0, 1);
+}
+
+void Svb::applyDeltaTo(Sinogram& dst, const Svb& original, int stripe,
+                       int num_stripes) const {
   MBIR_CHECK(original.plan_ == plan_ && original.layout_ == layout_);
   MBIR_CHECK(dst.views() == plan_->numViews());
-  for (int v = 0; v < plan_->numViews(); ++v) {
+  MBIR_CHECK(num_stripes >= 1 && stripe >= 0 && stripe < num_stripes);
+  for (int v = stripe; v < plan_->numViews(); v += num_stripes) {
     const int w = plan_->width(v);
     if (w == 0) continue;
     float* out = dst.row(v).data() + plan_->lo(v);

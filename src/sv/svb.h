@@ -97,6 +97,14 @@ class Svb {
   /// atomic writeback kernel.
   void applyDeltaTo(Sinogram& dst, const Svb& original) const;
 
+  /// Striped variant for concurrent writeback: only views v with
+  /// v % num_stripes == stripe are applied. SVBs of different SVs overlap
+  /// in sinogram space, so concurrent writers partition the destination by
+  /// view stripe — each sinogram element then has exactly one writer and
+  /// the (deterministic) result matches applying every SVB serially.
+  void applyDeltaTo(Sinogram& dst, const Svb& original, int stripe,
+                    int num_stripes) const;
+
   std::span<float> raw() { return buf_.span(); }
   std::span<const float> raw() const { return buf_.span(); }
 

@@ -2,9 +2,11 @@
 // transactions, timing model monotonicity, and the CPU machine models.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "gsim/cpu_model.h"
 #include "gsim/device.h"
 #include "gsim/executor.h"
@@ -235,18 +237,34 @@ TEST(Timing, BandwidthReportConsistent) {
 
 TEST(Executor, RunsAllBlocksAndAggregates) {
   GpuSimulator sim;
-  int visited = 0;
+  std::atomic<int> visited{0};  // blocks run concurrently on the host pool
   const auto report = sim.launch(
       {.name = "k", .num_blocks = 7, .resources = {256, 32, 0}},
       [&](BlockCtx& ctx) {
         ++visited;
         ctx.prof.addFlops(100.0);
       });
-  EXPECT_EQ(visited, 7);
+  EXPECT_EQ(visited.load(), 7);
   EXPECT_DOUBLE_EQ(report.stats.flops, 700.0);
   EXPECT_EQ(report.stats.grid_blocks, 7);
   EXPECT_GT(sim.totalModeledSeconds(), 0.0);
   EXPECT_EQ(sim.perKernel().at("k").launches, 1);
+}
+
+TEST(Executor, BlockCtxCarriesPerBlockProfiler) {
+  // Each block reports through its own profiler; the merged report still
+  // sees every block's traffic, keyed nowhere by thread identity.
+  GpuSimulator sim;
+  ThreadPool pool(3);
+  sim.setHostPool(&pool);
+  const auto report = sim.launch(
+      {.name = "k", .num_blocks = 11, .resources = {256, 32, 0}},
+      [&](BlockCtx& ctx) {
+        ctx.prof.addFlops(double(ctx.block_idx));
+        if (ctx.block_idx == 4) ctx.prof.setImbalance(3.0);
+      });
+  EXPECT_DOUBLE_EQ(report.stats.flops, 55.0);  // 0 + 1 + ... + 10
+  EXPECT_DOUBLE_EQ(report.stats.imbalance_factor, 3.0);
 }
 
 TEST(Executor, ResetClearsTotals) {

@@ -1,0 +1,179 @@
+// Determinism of host-parallel simulated kernel execution: the gsim
+// executor and GPU-ICD must produce bit-identical functional results,
+// KernelStats, and modeled seconds for any host thread count, and the
+// chunk-plan LRU cache must be a pure wall-clock optimization.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "gpuicd/gpu_icd.h"
+#include "gsim/executor.h"
+#include "sv/svb.h"
+#include "test_util.h"
+
+namespace mbir {
+namespace {
+
+void expectStatsBitIdentical(const gsim::KernelStats& a,
+                             const gsim::KernelStats& b) {
+  EXPECT_EQ(a.svb_access_bytes, b.svb_access_bytes);
+  EXPECT_EQ(a.svb_access_time_bytes, b.svb_access_time_bytes);
+  EXPECT_EQ(a.svb_unique_bytes, b.svb_unique_bytes);
+  EXPECT_EQ(a.amatrix_access_bytes, b.amatrix_access_bytes);
+  EXPECT_EQ(a.amatrix_unique_bytes, b.amatrix_unique_bytes);
+  EXPECT_EQ(a.amatrix_via_texture, b.amatrix_via_texture);
+  EXPECT_EQ(a.desc_bytes, b.desc_bytes);
+  EXPECT_EQ(a.smem_bytes, b.smem_bytes);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.atomic_ops, b.atomic_ops);
+  EXPECT_EQ(a.atomic_ops_weighted, b.atomic_ops_weighted);
+  EXPECT_EQ(a.l2_working_set_bytes, b.l2_working_set_bytes);
+  EXPECT_EQ(a.imbalance_factor, b.imbalance_factor);
+  EXPECT_EQ(a.grid_blocks, b.grid_blocks);
+  EXPECT_EQ(a.launches, b.launches);
+}
+
+// ---------- executor ----------
+
+gsim::LaunchReport launchWithPool(ThreadPool* pool) {
+  gsim::GpuSimulator sim;
+  sim.setHostPool(pool);
+  return sim.launch(
+      {.name = "k", .num_blocks = 29, .resources = {256, 32, 0}},
+      [](gsim::BlockCtx& ctx) {
+        // Block-dependent accounting exercises the ordered per-block merge
+        // (floating-point sums would differ under any reordering).
+        ctx.prof.addFlops(1.0 / double(ctx.block_idx + 1));
+        ctx.prof.svbAccess(7 + ctx.block_idx % 5, 4, ctx.block_idx % 2 == 0,
+                           false);
+        ctx.prof.svbAtomic(ctx.block_idx, 1.0 + 0.1 * double(ctx.block_idx));
+        if (ctx.block_idx == 17) ctx.prof.setImbalance(2.5);
+        ctx.prof.setL2WorkingSet(double(ctx.block_idx) * 100.0);
+      });
+}
+
+TEST(ExecutorDeterminism, ReportInvariantToHostThreadCount) {
+  ThreadPool p1(1), p2(2), p4(4);
+  const auto r1 = launchWithPool(&p1);
+  const auto r2 = launchWithPool(&p2);
+  const auto r4 = launchWithPool(&p4);
+  expectStatsBitIdentical(r1.stats, r2.stats);
+  expectStatsBitIdentical(r1.stats, r4.stats);
+  EXPECT_EQ(r1.time.total, r2.time.total);
+  EXPECT_EQ(r1.time.total, r4.time.total);
+}
+
+TEST(ExecutorDeterminism, RepeatedLaunchIsBitIdentical) {
+  ThreadPool pool(4);
+  const auto a = launchWithPool(&pool);
+  const auto b = launchWithPool(&pool);
+  expectStatsBitIdentical(a.stats, b.stats);
+  EXPECT_EQ(a.time.total, b.time.total);
+}
+
+// ---------- Svb striped writeback ----------
+
+TEST(SvbStriped, StripeUnionEqualsFullApply) {
+  const auto g = test::tinyGeometry();
+  const SvGrid grid(g.image_size, {.sv_side = 8, .boundary_overlap = 1});
+  const SvbPlan plan(g, grid.sv(6));
+
+  Sinogram global(g);
+  Rng rng(11);
+  for (float& v : global.flat()) v = float(rng.uniform());
+
+  Svb svb(plan, SvbLayout::kPadded);
+  svb.gather(global);
+  Svb orig(plan, SvbLayout::kPadded);
+  std::memcpy(orig.raw().data(), svb.raw().data(),
+              svb.raw().size() * sizeof(float));
+  for (int v = 0; v < plan.numViews(); ++v)
+    for (int c = 0; c < plan.width(v); ++c)
+      svb.rowData(v)[c] += float(v) * 0.25f + float(c);
+
+  Sinogram full = global;
+  svb.applyDeltaTo(full, orig);
+
+  const int stripes = 5;
+  Sinogram striped = global;
+  for (int s = 0; s < stripes; ++s) svb.applyDeltaTo(striped, orig, s, stripes);
+
+  EXPECT_EQ(0, std::memcmp(full.flat().data(), striped.flat().data(),
+                           full.flat().size() * sizeof(float)));
+}
+
+// ---------- GPU-ICD ----------
+
+GpuRunStats runGpuWith(ThreadPool* pool, int chunk_cache_capacity, Image2D& x,
+                       int iterations = 3) {
+  const OwnedProblem& problem = test::tinyProblem();
+  GpuIcdOptions opt;
+  opt.tunables.sv.sv_side = 8;  // fits the 32^2 test image
+  opt.device = gsim::scaleCachesToProblem(opt.device, 48.0 / 720.0);
+  opt.max_iterations = iterations;
+  opt.host_pool = pool;
+  opt.chunk_cache_capacity = chunk_cache_capacity;
+  x = problem.fbpInitialImage();
+  Sinogram e = problem.initialError(x);
+  GpuIcd icd(problem.view(), opt);
+  return icd.run(x, e);
+}
+
+void expectRunsBitIdentical(const GpuRunStats& sa, const Image2D& xa,
+                            const GpuRunStats& sb, const Image2D& xb) {
+  EXPECT_EQ(0, std::memcmp(xa.flat().data(), xb.flat().data(),
+                           xa.flat().size() * sizeof(float)));
+  EXPECT_EQ(sa.equits, sb.equits);
+  EXPECT_EQ(sa.modeled_seconds, sb.modeled_seconds);
+  EXPECT_EQ(sa.work.voxel_updates, sb.work.voxel_updates);
+  EXPECT_EQ(sa.work.theta_elements, sb.work.theta_elements);
+  EXPECT_EQ(sa.work.error_update_elements, sb.work.error_update_elements);
+  expectStatsBitIdentical(sa.kernel_stats, sb.kernel_stats);
+}
+
+TEST(GpuIcdDeterminism, BitIdenticalAcrossThreadCounts) {
+  ThreadPool p1(1), p2(2), p4(4);
+  Image2D x1, x2, x4;
+  const auto s1 = runGpuWith(&p1, 128, x1);
+  const auto s2 = runGpuWith(&p2, 128, x2);
+  const auto s4 = runGpuWith(&p4, 128, x4);
+  ASSERT_GT(s1.work.voxel_updates, 0u);
+  expectRunsBitIdentical(s1, x1, s2, x2);
+  expectRunsBitIdentical(s1, x1, s4, x4);
+}
+
+TEST(GpuIcdDeterminism, SerialPoolMatchesGlobalPool) {
+  ThreadPool p1(1);
+  Image2D xs, xg;
+  const auto ss = runGpuWith(&p1, 128, xs);
+  const auto sg = runGpuWith(nullptr, 128, xg);  // process-wide pool
+  expectRunsBitIdentical(ss, xs, sg, xg);
+}
+
+TEST(GpuIcdDeterminism, ChunkCacheIsPureOptimization) {
+  ThreadPool p2(2);
+  Image2D xc, xn;
+  const auto cached = runGpuWith(&p2, 128, xc);
+  const auto uncached = runGpuWith(&p2, 0, xn);
+  expectRunsBitIdentical(cached, xc, uncached, xn);
+  // Iteration 1 visits every SV, so by iteration 2 the top-fraction
+  // selection must re-use cached plans.
+  EXPECT_GT(cached.chunk_cache_hits, 0u);
+  EXPECT_EQ(uncached.chunk_cache_hits, 0u);
+  EXPECT_GT(uncached.chunk_cache_misses, cached.chunk_cache_misses);
+}
+
+TEST(GpuIcdDeterminism, TinyCacheCapacityStillCorrect) {
+  // Capacity below the batch size: the cache must pin the live batch and
+  // still produce identical results.
+  ThreadPool p2(2);
+  Image2D xa, xb;
+  const auto a = runGpuWith(&p2, 1, xa);
+  const auto b = runGpuWith(&p2, 128, xb);
+  expectRunsBitIdentical(a, xa, b, xb);
+}
+
+}  // namespace
+}  // namespace mbir
