@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <fstream>
+
+#include "core/error.h"
+#include "obs/json.h"
 
 namespace mbir::bench {
 
@@ -54,13 +58,52 @@ RunResult runGpu(const OwnedProblem& problem, const Image2D& golden,
 }
 
 void emit(const AsciiTable& table, const std::string& bench_name,
-          double host_wall_seconds) {
+          double host_wall_seconds, const BenchContext* ctx,
+          const std::vector<std::pair<std::string, double>>& numbers) {
   std::printf("\n%s\n", table.render().c_str());
   const std::string path = bench_name + ".csv";
   table.writeCsv(path);
   std::printf("[bench] wrote %s\n", path.c_str());
   if (host_wall_seconds >= 0.0)
     std::printf("[bench] host_wall_seconds=%.3f\n", host_wall_seconds);
+
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "gpumbir.bench/1");
+  w.kv("bench", bench_name);
+  if (ctx) {
+    w.key("config").beginObject();
+    w.kv("image_size", ctx->cfg.geometry.image_size);
+    w.kv("num_views", ctx->cfg.geometry.num_views);
+    w.kv("num_channels", ctx->cfg.geometry.num_channels);
+    w.kv("dose_i0", ctx->cfg.noise.i0);
+    w.kv("cases", ctx->num_cases);
+    w.kv("seed", std::uint64_t(ctx->cfg.seed));
+    w.kv("golden_equits", ctx->golden_equits);
+    w.endObject();
+  }
+  w.key("columns").beginArray();
+  for (const std::string& h : table.headers()) w.value(h);
+  w.endArray();
+  w.key("rows").beginArray();
+  for (const auto& row : table.rows()) {
+    w.beginArray();
+    for (const std::string& cell : row) w.value(cell);
+    w.endArray();
+  }
+  w.endArray();
+  if (host_wall_seconds >= 0.0) w.kv("host_wall_seconds", host_wall_seconds);
+  w.key("numbers").beginObject();
+  for (const auto& [k, v] : numbers) w.kv(k, v);
+  w.endObject();
+  w.endObject();
+
+  const std::string json_path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(json_path, std::ios::binary);
+  MBIR_CHECK_MSG(out.good(), "cannot open bench report: " + json_path);
+  out << w.str() << '\n';
+  MBIR_CHECK_MSG(out.good(), "failed writing bench report: " + json_path);
+  std::printf("[bench] wrote %s\n", json_path.c_str());
 }
 
 }  // namespace mbir::bench

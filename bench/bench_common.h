@@ -11,6 +11,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cli.h"
 #include "core/table.h"
@@ -46,11 +48,14 @@ GpuTunables paperTunables();
 RunResult runGpu(const OwnedProblem& problem, const Image2D& golden,
                  const GpuTunables& tunables, const OptimFlags& flags = {});
 
-/// Print the table and write it next to the binary as <name>.csv. When
-/// `host_wall_seconds` >= 0, also print the bench's real host wall-clock
-/// alongside the modeled numbers (a "host_wall_seconds=" line BENCH_*.json
-/// runs can scrape to track real speedup of the simulator itself).
+/// Print the table, write it next to the binary as <name>.csv, and write a
+/// machine-readable BENCH_<name>.json (schema "gpumbir.bench/1": bench
+/// name, suite config when `ctx` is given, the table's columns/rows, the
+/// real host wall-clock when >= 0, and any extra named scalar measurements).
+/// When `host_wall_seconds` >= 0 it is also printed as a
+/// "host_wall_seconds=" line for quick scraping.
 void emit(const AsciiTable& table, const std::string& bench_name,
-          double host_wall_seconds = -1.0);
+          double host_wall_seconds = -1.0, const BenchContext* ctx = nullptr,
+          const std::vector<std::pair<std::string, double>>& numbers = {});
 
 }  // namespace mbir::bench

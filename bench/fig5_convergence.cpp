@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   };
   add("PSV-ICD (CPU)", psv);
   add("GPU-ICD", gpu);
-  emit(t, "fig5_convergence");
+  emit(t, "fig5_convergence", -1.0, ctx.get());
 
   auto time_to_10hu = [](const RunResult& r) {
     for (const auto& pt : r.curve)

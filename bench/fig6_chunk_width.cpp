@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
               AsciiTable::fmt(speedup, 2) + "x",
               w % 32 == 0 ? "warp multiple (aligned)" : "non-multiple"});
   }
-  emit(t, "fig6_chunk_width");
+  emit(t, "fig6_chunk_width", -1.0, ctx.get());
   std::printf("best width %d at %.2fx (paper: W=32 at 2.1x)\n", best_w,
               best_speedup);
   return 0;

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
               AsciiTable::fmt(r.equits, 2), AsciiTable::fmt(bw.l2_gbs, 0),
               AsciiTable::fmt(r.modeled_seconds / r.equits, 4)});
   }
-  emit(t, "fig7a_sv_side");
+  emit(t, "fig7a_sv_side", -1.0, ctx.get());
   std::printf("best side %d (paper: 33; small sides suffer atomic "
               "contention, large sides exceed L2 and converge slower)\n",
               best_side);

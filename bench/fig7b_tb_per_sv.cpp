@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
               AsciiTable::fmt(r.equits, 2),
               AsciiTable::fmt(t1 / r.modeled_seconds, 2) + "x"});
   }
-  emit(t, "fig7b_tb_per_sv");
+  emit(t, "fig7b_tb_per_sv", -1.0, ctx.get());
   std::printf("(paper: performance saturates after ~32 threadblocks/SV)\n");
   return 0;
 }

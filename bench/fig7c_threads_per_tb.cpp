@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
               AsciiTable::fmt(occ.fraction * 100.0, 1),
               AsciiTable::fmt(r.equits, 2)});
   }
-  emit(t, "fig7c_threads_per_tb");
+  emit(t, "fig7c_threads_per_tb", -1.0, ctx.get());
   std::printf("best threads/block: %d (paper: 256)\n", best_threads);
   return 0;
 }

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
               AsciiTable::fmt(r.equits, 2),
               AsciiTable::fmt(r.gpu_stats->kernels_launched)});
   }
-  emit(t, "fig7d_batch_size");
+  emit(t, "fig7d_batch_size", -1.0, ctx.get());
 
   // Ablation: SV selection fraction (paper: GPU-ICD raises PSV-ICD's 20%
   // to 25% to keep the checkerboard groups populated).
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
               AsciiTable::fmt(r.equits, 2),
               AsciiTable::fmt(r.gpu_stats->batches_skipped_by_threshold)});
   }
-  emit(f, "fig7d_sv_fraction");
+  emit(f, "fig7d_sv_fraction", -1.0, ctx.get());
   std::printf("(paper: too-small batches pay launch overhead; too-large "
               "batches slow algorithmic convergence)\n");
   return 0;

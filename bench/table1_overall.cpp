@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   RunningStats seq_equits, psv_equits, gpu_equits;
   RunningStats psv_tpe, gpu_tpe, seq_tpe;
   int converged = 0;
+  std::size_t cache_hits = 0, cache_misses = 0;
 
   WallTimer wall;
   for (int i = 0; i < ctx->num_cases; ++i) {
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
     seq_tpe.add(seq.modeled_seconds / seq.equits);
     psv_tpe.add(psv.modeled_seconds / psv.equits);
     gpu_tpe.add(gpu.modeled_seconds / gpu.equits);
+    if (gpu.gpu_stats) {
+      cache_hits += gpu.gpu_stats->chunk_cache_hits;
+      cache_misses += gpu.gpu_stats->chunk_cache_misses;
+    }
 
     std::printf("[case %2d] seq %.2fs/%.1feq  psv %.4fs/%.1feq  gpu %.4fs/%.1feq\n",
                 i, seq.modeled_seconds, seq.equits, psv.modeled_seconds,
@@ -90,12 +95,22 @@ int main(int argc, char** argv) {
             AsciiTable::fmt(gpu_equits.mean(), 1),
             AsciiTable::fmt(gpu_tpe.mean(), 4),
             AsciiTable::fmt(gpu_host.mean(), 3), "611.79x / 5.9 / 0.07"});
-  emit(t, "table1_overall", wall.seconds());
+  const double cache_lookups = double(cache_hits + cache_misses);
+  const double cache_hit_rate =
+      cache_lookups > 0 ? double(cache_hits) / cache_lookups : 0.0;
+  emit(t, "table1_overall", wall.seconds(), ctx.get(),
+       {{"gpu_over_psv_geomean", gpu_over_psv.geomean()},
+        {"gpu_chunk_cache_hits", double(cache_hits)},
+        {"gpu_chunk_cache_misses", double(cache_misses)},
+        {"gpu_chunk_cache_hit_rate", cache_hit_rate},
+        {"converged_cases", double(converged)}});
 
   std::printf(
       "GPU-ICD over PSV-ICD: %.2fx geomean (paper: 4.43x); "
       "PSV/GPU time-per-equit ratio %.2fx (paper: 5.86x)\n",
       gpu_over_psv.geomean(), psv_tpe.mean() / gpu_tpe.mean());
+  std::printf("GPU chunk-plan cache: %zu hits / %zu misses (%.1f%% hit rate)\n",
+              cache_hits, cache_misses, 100.0 * cache_hit_rate);
   std::printf("%d/%d cases converged below 10 HU; wall time %.1fs\n",
               converged, ctx->num_cases, wall.seconds());
   return converged == ctx->num_cases ? 0 : 1;

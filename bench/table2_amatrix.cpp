@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
               c.texture ? AsciiTable::fmt(bw.tex_hit_rate * 100.0, 1) : "-",
               AsciiTable::fmt(r.equits, 1), c.paper});
   }
-  emit(t, "table2_amatrix");
+  emit(t, "table2_amatrix", -1.0, ctx.get());
   std::printf("best/worst config ratio: %.2fx (paper: 0.48/0.41 = 1.17x)\n",
               worst / best);
   return 0;

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     t.addRow({a.name, AsciiTable::fmt(r.modeled_seconds / base.modeled_seconds, 3) + "x",
               AsciiTable::fmt(r.equits, 1), a.paper});
   }
-  emit(t, "table3_optimizations");
+  emit(t, "table3_optimizations", -1.0, ctx.get());
 
   const auto bw = gsim::bandwidthReport(base.gpu_stats->kernel_stats,
                                         base.modeled_seconds);
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   b.addRow({"device memory", AsciiTable::fmt(bw.dram_gbs, 0), "152"});
   b.addRow({"total", AsciiTable::fmt(bw.total_gbs, 0),
             "1802 (5.36x of the 336 GB/s peak)"});
-  emit(b, "table3_bandwidths");
+  emit(b, "table3_bandwidths", -1.0, ctx.get());
   std::printf("total/device-peak ratio: %.2fx (paper: 5.36x)\n",
               bw.total_gbs / 336.0);
   return 0;

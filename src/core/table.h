@@ -23,6 +23,10 @@ class AsciiTable {
   /// Write headers+rows as CSV to `path` (throws mbir::Error on I/O failure).
   void writeCsv(const std::string& path) const;
 
+  /// Raw cells, for machine-readable exports (BENCH_*.json).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

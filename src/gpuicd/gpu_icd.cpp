@@ -10,6 +10,7 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "gpuicd/conflicts.h"
+#include "obs/obs.h"
 #include "gsim/occupancy.h"
 #include "icd/update_order.h"
 #include "icd/voxel_update.h"
@@ -53,6 +54,14 @@ struct GpuIcd::Impl {
   std::list<int> chunk_lru;
   std::unordered_map<int, CachedChunks> chunk_cache;
 
+  // gpuicd.* instruments (null = metrics off), resolved once at
+  // construction so the batch path does no registry lookups.
+  obs::Counter* m_cache_hits = nullptr;
+  obs::Counter* m_cache_misses = nullptr;
+  obs::Counter* m_batches = nullptr;
+  obs::Counter* m_batches_skipped = nullptr;
+  obs::Counter* m_iterations = nullptr;
+
   Impl(const Problem& p, GpuIcdOptions o)
       : problem(p),
         opt(std::move(o)),
@@ -63,6 +72,15 @@ struct GpuIcd::Impl {
     MBIR_CHECK(opt.max_iterations >= 1);
     MBIR_CHECK(opt.chunk_cache_capacity >= 0);
     sim.setHostPool(opt.host_pool);
+    sim.setRecorder(opt.recorder);
+    if (opt.recorder && opt.recorder->metricsOn()) {
+      obs::MetricsRegistry& m = opt.recorder->metrics();
+      m_cache_hits = &m.counter("gpuicd.chunk_cache.hits");
+      m_cache_misses = &m.counter("gpuicd.chunk_cache.misses");
+      m_batches = &m.counter("gpuicd.batch.count");
+      m_batches_skipped = &m.counter("gpuicd.batch.skipped_by_threshold");
+      m_iterations = &m.counter("gpuicd.iteration.count");
+    }
     plans.reserve(std::size_t(grid.count()));
     for (int i = 0; i < grid.count(); ++i)
       plans.emplace_back(p.A.geometry(), grid.sv(i));
@@ -467,10 +485,12 @@ struct GpuIcd::Impl {
     auto it = chunk_cache.find(sv_id);
     if (it != chunk_cache.end()) {
       ++stats.chunk_cache_hits;
+      if (m_cache_hits) m_cache_hits->add();
       chunk_lru.splice(chunk_lru.begin(), chunk_lru, it->second.lru_it);
       return it->second.plan.get();
     }
     ++stats.chunk_cache_misses;
+    if (m_cache_misses) m_cache_misses->add();
     chunk_lru.push_front(sv_id);
     auto [pos, inserted] = chunk_cache.emplace(
         sv_id, CachedChunks{buildChunkPlan(sv_id), chunk_lru.begin()});
@@ -499,6 +519,7 @@ struct GpuIcd::Impl {
           b.chunks = cachedChunkPlan(id, int(ids.size()), stats);
         } else {
           ++stats.chunk_cache_misses;
+          if (m_cache_misses) m_cache_misses->add();
           b.owned_chunks = buildChunkPlan(id);
           b.chunks = b.owned_chunks.get();
         }
@@ -509,6 +530,7 @@ struct GpuIcd::Impl {
     launchSvbGen(batch, e);
     launchUpdateKernel(batch, iter, x, stats);
     launchWriteback(batch, e);
+    if (m_batches) m_batches->add();
     stats.kernels_launched += 3;
     stats.work.svs_processed += ids.size();
     std::size_t gather = 0;
@@ -538,7 +560,14 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
   const double voxels_per_equit = double(x.numVoxels());
   const GpuTunables& tn = im.opt.tunables;
 
+  obs::Recorder* rec = im.opt.recorder;
+  const bool tracing = rec && rec->traceOn();
+
   for (int iter = 1; iter <= im.opt.max_iterations; ++iter) {
+    const double iter_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
+    const double iter_modeled_s = im.sim.totalModeledSeconds();
+    const std::size_t iter_updates0 = stats.work.voxel_updates;
+
     const std::vector<int> selected =
         selectSuperVoxels(iter, std::size_t(im.grid.count()), im.magnitude,
                           tn.sv_fraction, rng);
@@ -562,6 +591,7 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
                      std::max(1, group_universe / 4));
         if (im.opt.flags.batch_threshold && int(ids.size()) < threshold) {
           ++stats.batches_skipped_by_threshold;
+          if (im.m_batches_skipped) im.m_batches_skipped->add();
           continue;
         }
         im.runBatch(ids, iter, x, e, stats);
@@ -571,6 +601,30 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
     stats.iterations = iter;
     stats.equits = double(stats.work.voxel_updates) / voxels_per_equit;
     stats.modeled_seconds = im.sim.totalModeledSeconds();
+    if (im.m_iterations) im.m_iterations->add();
+    if (tracing) {
+      const std::vector<std::pair<std::string, double>> args = {
+          {"iteration", double(iter)},
+          {"selected_svs", double(selected.size())},
+          {"voxel_updates", double(stats.work.voxel_updates - iter_updates0)},
+          {"equits", stats.equits}};
+      obs::TraceEvent host_ev;
+      host_ev.name = "gpuicd.iteration";
+      host_ev.cat = "gpuicd";
+      host_ev.clock = obs::Clock::kHost;
+      host_ev.ts_us = iter_host_us;
+      host_ev.dur_us = rec->trace().nowHostUs() - iter_host_us;
+      host_ev.num_args = args;
+      obs::TraceEvent dev_ev;
+      dev_ev.name = "gpuicd.iteration";
+      dev_ev.cat = "gpuicd";
+      dev_ev.clock = obs::Clock::kModeled;
+      dev_ev.ts_us = iter_modeled_s * 1e6;
+      dev_ev.dur_us = (stats.modeled_seconds - iter_modeled_s) * 1e6;
+      dev_ev.num_args = args;
+      rec->trace().record(std::move(host_ev));
+      rec->trace().record(std::move(dev_ev));
+    }
     if (on_iteration &&
         !on_iteration(GpuIterationInfo{iter, stats.equits,
                                        stats.modeled_seconds, x})) {

@@ -29,6 +29,10 @@
 #include "icd/work.h"
 #include "sv/supervoxel.h"
 
+namespace mbir::obs {
+class Recorder;
+}  // namespace mbir::obs
+
 namespace mbir {
 
 class ThreadPool;
@@ -50,6 +54,11 @@ struct GpuIcdOptions {
   /// static per SV, so steady-state iterations skip chunk construction
   /// entirely). 0 disables caching: rebuild per batch, minimal host memory.
   int chunk_cache_capacity = 128;
+  /// Observability sink (nullptr = off): per-iteration spans on both
+  /// clocks, `gpuicd.*` metrics (chunk-cache hits/misses, batches), and —
+  /// forwarded to the simulator — per-launch `gsim.launch.*` telemetry.
+  /// Purely observational; results are bit-identical either way.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct GpuIterationInfo {

@@ -1,11 +1,56 @@
 #include "gsim/executor.h"
 
+#include <thread>
 #include <vector>
 
 #include "core/error.h"
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 
 namespace mbir::gsim {
+
+namespace {
+
+/// Host wall-time of one simulated block, for optional per-block spans.
+struct BlockSpan {
+  double t0_us = 0.0;
+  double t1_us = 0.0;
+  int tid = 0;  ///< hashed host worker thread id
+};
+
+int hostThreadTid() {
+  return int(std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fff);
+}
+
+/// KernelStats + time breakdown as span args (same set on both clocks).
+void fillLaunchArgs(obs::TraceEvent& ev, const LaunchReport& report) {
+  const KernelStats& s = report.stats;
+  ev.num_args = {{"blocks", double(s.grid_blocks)},
+                 {"occupancy", report.occupancy.fraction},
+                 {"svb_access_bytes", s.svb_access_bytes},
+                 {"svb_unique_bytes", s.svb_unique_bytes},
+                 {"amatrix_access_bytes", s.amatrix_access_bytes},
+                 {"amatrix_unique_bytes", s.amatrix_unique_bytes},
+                 {"desc_bytes", s.desc_bytes},
+                 {"smem_bytes", s.smem_bytes},
+                 {"flops", s.flops},
+                 {"atomic_ops", s.atomic_ops},
+                 {"atomic_ops_weighted", s.atomic_ops_weighted},
+                 {"l2_working_set_bytes", s.l2_working_set_bytes},
+                 {"imbalance_factor", s.imbalance_factor},
+                 {"modeled_seconds", report.time.total},
+                 {"t_tex", report.time.tex},
+                 {"t_l2", report.time.l2},
+                 {"t_dram", report.time.dram},
+                 {"t_smem", report.time.smem},
+                 {"t_compute", report.time.compute},
+                 {"t_atomic", report.time.atomic}};
+  ev.str_args = {{"bottleneck", report.time.bottleneck},
+                 {"amatrix_path", s.amatrix_via_texture ? "texture" : "global"},
+                 {"occupancy_limiter", report.occupancy.limiter}};
+}
+
+}  // namespace
 
 int KernelProfiler::transactions(int elements, int elem_bytes, bool aligned) const {
   if (elements <= 0) return 0;
@@ -89,16 +134,54 @@ void KernelProfiler::setL2WorkingSet(double bytes) {
   stats_.l2_working_set_bytes = bytes;
 }
 
+void GpuSimulator::setRecorder(obs::Recorder* rec) {
+  rec_ = rec;
+  inst_ = {};
+  if (rec_ && rec_->metricsOn()) {
+    obs::MetricsRegistry& m = rec_->metrics();
+    inst_.launches = &m.counter("gsim.launch.count");
+    inst_.blocks = &m.counter("gsim.launch.blocks");
+    inst_.svb_access_bytes = &m.counter("gsim.launch.svb_access_bytes");
+    inst_.svb_unique_bytes = &m.counter("gsim.launch.svb_unique_bytes");
+    inst_.amatrix_access_bytes = &m.counter("gsim.launch.amatrix_access_bytes");
+    inst_.flops = &m.counter("gsim.launch.flops");
+    inst_.atomic_ops = &m.counter("gsim.launch.atomic_ops");
+    inst_.occupancy = &m.gauge("gsim.launch.occupancy");
+    inst_.modeled_seconds = &m.histogram("gsim.launch.modeled_seconds");
+  }
+}
+
 LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
                                   const std::function<void(BlockCtx&)>& kernel) {
   MBIR_CHECK(cfg.num_blocks >= 1);
   LaunchReport report;
   report.occupancy = computeOccupancy(dev_, cfg.resources);
 
+  const bool tracing = rec_ && rec_->traceOn();
+  const bool block_spans = rec_ && rec_->blockSpansOn();
+  const double host_t0_us = tracing ? rec_->trace().nowHostUs() : 0.0;
+  const double modeled_t0_s = total_seconds_;
+  std::vector<BlockSpan> bspans;
+  if (block_spans) bspans.resize(std::size_t(cfg.num_blocks));
+
+  // Per-block span capture writes only the block's own slot, so it is as
+  // race-free as the profiler array and adds nothing when disabled.
+  const auto run_block = [&](BlockCtx& ctx) {
+    if (block_spans) {
+      BlockSpan& bs = bspans[std::size_t(ctx.block_idx)];
+      bs.tid = hostThreadTid();
+      bs.t0_us = rec_->trace().nowHostUs();
+      kernel(ctx);
+      bs.t1_us = rec_->trace().nowHostUs();
+    } else {
+      kernel(ctx);
+    }
+  };
+
   if (cfg.num_blocks == 1) {
     KernelProfiler prof(dev_);
     BlockCtx ctx{0, 1, prof};
-    kernel(ctx);
+    run_block(ctx);
     report.stats = prof.stats();
   } else {
     // Every block gets a private profiler so blocks can run on any host
@@ -110,7 +193,7 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
     ThreadPool& pool = host_pool_ ? *host_pool_ : globalThreadPool();
     pool.parallelFor(0, cfg.num_blocks, [&](int b) {
       BlockCtx ctx{b, cfg.num_blocks, profs[std::size_t(b)]};
-      kernel(ctx);
+      run_block(ctx);
     });
     for (const KernelProfiler& p : profs) report.stats += p.stats();
   }
@@ -124,6 +207,49 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
   nt.stats += report.stats;
   nt.seconds += report.time.total;
   nt.launches += 1;
+
+  if (inst_.launches) {
+    inst_.launches->add();
+    inst_.blocks->add(std::uint64_t(cfg.num_blocks));
+    inst_.svb_access_bytes->add(std::uint64_t(report.stats.svb_access_bytes));
+    inst_.svb_unique_bytes->add(std::uint64_t(report.stats.svb_unique_bytes));
+    inst_.amatrix_access_bytes->add(
+        std::uint64_t(report.stats.amatrix_access_bytes));
+    inst_.flops->add(std::uint64_t(report.stats.flops));
+    inst_.atomic_ops->add(std::uint64_t(report.stats.atomic_ops));
+    inst_.occupancy->set(report.occupancy.fraction);
+    inst_.modeled_seconds->observe(report.time.total);
+  }
+  if (tracing) {
+    const std::string span_name = "gsim.launch." + cfg.name;
+    obs::TraceEvent host_ev;
+    host_ev.name = span_name;
+    host_ev.cat = "gsim";
+    host_ev.clock = obs::Clock::kHost;
+    host_ev.ts_us = host_t0_us;
+    host_ev.dur_us = rec_->trace().nowHostUs() - host_t0_us;
+    fillLaunchArgs(host_ev, report);
+    obs::TraceEvent dev_ev;
+    dev_ev.name = span_name;
+    dev_ev.cat = "gsim";
+    dev_ev.clock = obs::Clock::kModeled;
+    dev_ev.ts_us = modeled_t0_s * 1e6;
+    dev_ev.dur_us = report.time.total * 1e6;
+    fillLaunchArgs(dev_ev, report);
+    rec_->trace().record(std::move(host_ev));
+    rec_->trace().record(std::move(dev_ev));
+    for (std::size_t b = 0; b < bspans.size(); ++b) {
+      obs::TraceEvent bev;
+      bev.name = "gsim.block." + cfg.name;
+      bev.cat = "gsim.block";
+      bev.clock = obs::Clock::kHost;
+      bev.ts_us = bspans[b].t0_us;
+      bev.dur_us = bspans[b].t1_us - bspans[b].t0_us;
+      bev.tid = bspans[b].tid;
+      bev.num_args = {{"block_idx", double(b)}};
+      rec_->trace().record(std::move(bev));
+    }
+  }
   return report;
 }
 

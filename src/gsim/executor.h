@@ -28,6 +28,13 @@ namespace mbir {
 class ThreadPool;
 }
 
+namespace mbir::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Recorder;
+}  // namespace mbir::obs
+
 namespace mbir::gsim {
 
 /// Accounting interface kernels report through.
@@ -119,6 +126,13 @@ class GpuSimulator {
   /// Purely a wall-clock knob: results are identical for any pool.
   void setHostPool(ThreadPool* pool) { host_pool_ = pool; }
 
+  /// Observability sink (nullptr = off, the default): every launch records
+  /// one span per clock (host wall time + modeled device time) with its
+  /// KernelStats and time breakdown as args, optional per-block host-clock
+  /// spans, and `gsim.launch.*` metrics. Purely observational — launch
+  /// results are bit-identical with or without a recorder.
+  void setRecorder(obs::Recorder* rec);
+
   /// Run every block of the kernel functionally (concurrently across host
   /// threads); model and accumulate time. The report is invariant to the
   /// host thread count: each block profiles into its own KernelProfiler and
@@ -135,8 +149,24 @@ class GpuSimulator {
   void resetTotals();
 
  private:
+  /// gsim.launch.* instruments, resolved once in setRecorder so the launch
+  /// path never does registry lookups.
+  struct Instruments {
+    obs::Counter* launches = nullptr;
+    obs::Counter* blocks = nullptr;
+    obs::Counter* svb_access_bytes = nullptr;
+    obs::Counter* svb_unique_bytes = nullptr;
+    obs::Counter* amatrix_access_bytes = nullptr;
+    obs::Counter* flops = nullptr;
+    obs::Counter* atomic_ops = nullptr;
+    obs::Gauge* occupancy = nullptr;
+    obs::Histogram* modeled_seconds = nullptr;
+  };
+
   DeviceSpec dev_;
   ThreadPool* host_pool_ = nullptr;
+  obs::Recorder* rec_ = nullptr;
+  Instruments inst_;
   KernelStats total_stats_;
   double total_seconds_ = 0.0;
   std::map<std::string, NamedTotals> per_kernel_;

@@ -2,6 +2,7 @@
 
 #include "core/rng.h"
 #include "icd/voxel_update.h"
+#include "obs/obs.h"
 
 namespace mbir {
 
@@ -33,7 +34,18 @@ IcdRunStats SequentialIcd::run(Image2D& x, Sinogram& e, const SweepCallback& on_
     nnz[voxel] = acc;
   }
 
+  obs::Recorder* rec = options_.recorder;
+  const bool tracing = rec && rec->traceOn();
+  obs::Counter* m_sweeps = nullptr;
+  obs::Counter* m_updates = nullptr;
+  if (rec && rec->metricsOn()) {
+    m_sweeps = &rec->metrics().counter("seq.sweep.count");
+    m_updates = &rec->metrics().counter("seq.voxel.updates");
+  }
+
   while (equits.equits() < options_.max_equits) {
+    const double sweep_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
+    const std::size_t sweep_updates0 = stats.work.voxel_updates;
     if (options_.randomize_order) rng.shuffle(order);
     for (int voxel : order) {
       const int row = voxel / n;
@@ -51,6 +63,24 @@ IcdRunStats SequentialIcd::run(Image2D& x, Sinogram& e, const SweepCallback& on_
     ++stats.sweeps;
     stats.equits = equits.equits();
     stats.voxel_updates = equits.updates();
+    if (m_sweeps) {
+      m_sweeps->add();
+      m_updates->add(
+          std::uint64_t(stats.work.voxel_updates - sweep_updates0));
+    }
+    if (tracing) {
+      obs::TraceEvent ev;
+      ev.name = "seq.sweep";
+      ev.cat = "seq";
+      ev.clock = obs::Clock::kHost;
+      ev.ts_us = sweep_host_us;
+      ev.dur_us = rec->trace().nowHostUs() - sweep_host_us;
+      ev.num_args = {{"sweep", double(stats.sweeps)},
+                     {"equits", stats.equits},
+                     {"voxel_updates",
+                      double(stats.work.voxel_updates - sweep_updates0)}};
+      rec->trace().record(std::move(ev));
+    }
     if (on_sweep && !on_sweep(x, stats)) {
       stats.stopped_by_callback = true;
       break;

@@ -12,6 +12,10 @@
 #include "icd/problem.h"
 #include "icd/work.h"
 
+namespace mbir::obs {
+class Recorder;
+}  // namespace mbir::obs
+
 namespace mbir {
 
 struct SequentialIcdOptions {
@@ -22,6 +26,9 @@ struct SequentialIcdOptions {
   /// Apply the zero-skipping rule.
   bool zero_skip = true;
   std::uint64_t seed = 7;
+  /// Observability sink (nullptr = off): per-sweep host-clock spans and
+  /// `seq.*` counters. Purely observational.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct IcdRunStats {

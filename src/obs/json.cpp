@@ -1,0 +1,377 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.h"
+
+namespace mbir::obs {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::formatNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values print as integers (counter values stay exact and the
+  // documents stay diffable); everything else round-trips via %.17g.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::beforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  MBIR_CHECK_MSG(stack_.empty() || stack_.back() == '[',
+                 "JSON object members need a key before the value");
+  if (!first_in_container_) out_ += ',';
+  first_in_container_ = false;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ += '{';
+  stack_.push_back('{');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  MBIR_CHECK(!stack_.empty() && stack_.back() == '{' && !after_key_);
+  stack_.pop_back();
+  out_ += '}';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ += '[';
+  stack_.push_back('[');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  MBIR_CHECK(!stack_.empty() && stack_.back() == '[');
+  stack_.pop_back();
+  out_ += ']';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  MBIR_CHECK_MSG(!stack_.empty() && stack_.back() == '{' && !after_key_,
+                 "JSON key outside an object");
+  if (!first_in_container_) out_ += ',';
+  first_in_container_ = false;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  out_ += formatNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object_v.find(k);
+  return it == object_v.end() ? nullptr : &it->second;
+}
+
+double JsonValue::asNumber() const {
+  MBIR_CHECK_MSG(type == Type::kNumber, "JSON value is not a number");
+  return num_v;
+}
+
+const std::string& JsonValue::asString() const {
+  MBIR_CHECK_MSG(type == Type::kString, "JSON value is not a string");
+  return str_v;
+}
+
+bool JsonValue::asBool() const {
+  MBIR_CHECK_MSG(type == Type::kBool, "JSON value is not a bool");
+  return bool_v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue v = parseValue();
+    skipWs();
+    MBIR_CHECK_MSG(pos_ == s_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  char peek() const {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail("unexpected character");
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool consumeLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parseValue() {
+    skipWs();
+    const char c = peek();
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.str_v = parseString();
+        return v;
+      }
+      case 't': {
+        JsonValue v;
+        if (!consumeLiteral("true")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.bool_v = true;
+        return v;
+      }
+      case 'f': {
+        JsonValue v;
+        if (!consumeLiteral("false")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.bool_v = false;
+        return v;
+      }
+      case 'n': {
+        if (!consumeLiteral("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      v.object_v[key] = parseValue();
+      skipWs();
+      const char c = next();
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_v.push_back(parseValue());
+      skipWs();
+      const char c = next();
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void appendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += char(cp);
+    } else if (cp < 0x800) {
+      out += char(0xC0 | (cp >> 6));
+      out += char(0x80 | (cp & 0x3F));
+    } else {
+      out += char(0xE0 | (cp >> 12));
+      out += char(0x80 | ((cp >> 6) & 0x3F));
+      out += char(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          appendUtf8(out, cp);  // surrogate pairs are out of scope here
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) fail("malformed number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.num_v = d;
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(std::string_view text) {
+  return Parser(text).parseDocument();
+}
+
+}  // namespace mbir::obs

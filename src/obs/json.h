@@ -1,0 +1,92 @@
+// Minimal JSON support for the observability subsystem.
+//
+// JsonWriter is a streaming builder used by every machine-readable artifact
+// this repo emits (Chrome trace files, run reports, BENCH_*.json). The
+// parser exists so ctest can validate those artifacts structurally (schema
+// tests parse what the recorder wrote) without an external dependency; it
+// accepts strict JSON only and throws mbir::Error on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbir::obs {
+
+/// Streaming JSON builder. Containers are opened/closed explicitly; the
+/// writer tracks comma placement. Keys must be written before values inside
+/// objects (unbalanced use trips an MBIR_CHECK).
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);  ///< non-finite values are written as null
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(std::int64_t(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document built so far. Complete (all containers closed) documents
+  /// only — the writer does not verify completeness.
+  const std::string& str() const { return out_; }
+
+  static std::string escape(std::string_view s);
+  static std::string formatNumber(double v);
+
+ private:
+  void beforeValue();
+
+  std::string out_;
+  std::vector<char> stack_;  // '{' or '[' per open container
+  bool first_in_container_ = true;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> array_v;
+  std::map<std::string, JsonValue> object_v;
+
+  bool isNull() const { return type == Type::kNull; }
+  bool isObject() const { return type == Type::kObject; }
+  bool isArray() const { return type == Type::kArray; }
+  bool isNumber() const { return type == Type::kNumber; }
+  bool isString() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+
+  /// Checked accessors (throw mbir::Error on type mismatch).
+  double asNumber() const;
+  const std::string& asString() const;
+  bool asBool() const;
+};
+
+/// Parse a complete JSON document (throws mbir::Error on syntax errors or
+/// trailing garbage).
+JsonValue parseJson(std::string_view text);
+
+}  // namespace mbir::obs

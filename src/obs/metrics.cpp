@@ -1,0 +1,81 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "obs/json.h"
+
+namespace mbir::obs {
+
+double Histogram::bucketUpperBound(int i) {
+  MBIR_CHECK(i >= 0 && i < kBuckets);
+  return std::pow(10.0, double(i + kMinExponent));
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard lock(mu_);
+  if (s_.count == 0 || v < s_.min) s_.min = v;
+  if (s_.count == 0 || v > s_.max) s_.max = v;
+  ++s_.count;
+  s_.sum += v;
+  int b = 0;
+  while (b < kBuckets - 1 && v > bucketUpperBound(b)) ++b;
+  ++s_.buckets[std::size_t(b)];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard lock(mu_);
+  return s_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  MBIR_CHECK_MSG(!gauges_.count(name) && !histograms_.count(name),
+                 "metric name registered with a different kind: " << name);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  MBIR_CHECK_MSG(!counters_.count(name) && !histograms_.count(name),
+                 "metric name registered with a different kind: " << name);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  MBIR_CHECK_MSG(!counters_.count(name) && !gauges_.count(name),
+                 "metric name registered with a different kind: " << name);
+  return histograms_[name];
+}
+
+std::uint64_t MetricsRegistry::counterValue(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::writeJson(JsonWriter& w) const {
+  std::lock_guard lock(mu_);
+  w.beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [name, c] : counters_) w.kv(name, c.value());
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, g] : gauges_) w.kv(name, g.value());
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h.snapshot();
+    w.key(name).beginObject();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+}
+
+}  // namespace mbir::obs

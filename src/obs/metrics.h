@@ -1,0 +1,94 @@
+// Thread-safe metrics registry: counters, gauges and histograms addressed
+// by stable dotted names (`gsim.launch.svb_access_bytes`,
+// `gpuicd.chunk_cache.hits`, ... — DESIGN.md §observability documents the
+// naming scheme).
+//
+// Instruments are registered on first use and live for the registry's
+// lifetime; references returned by counter()/gauge()/histogram() stay valid
+// (node-based storage), so hot paths look an instrument up once and then
+// update it lock-free. Updates are relaxed atomics (counters/gauges) or a
+// short mutex (histograms): safe from any worker thread, and purely
+// observational — nothing in the registry feeds back into reconstruction,
+// so enabling metrics cannot perturb determinism.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mbir::obs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram on a decade scale: bucket i counts observations
+/// <= 10^(i + kMinExponent); the last bucket is the overflow. One scale
+/// serves both seconds (1 ns .. 10^10 s) and byte counts.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 20;
+  static constexpr int kMinExponent = -9;
+
+  /// Inclusive upper bound of bucket i (the last bucket is unbounded).
+  static double bucketUpperBound(int i);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot s_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by dotted name. References remain valid for the
+  /// registry's lifetime. A name may only be used for one instrument kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Current value of a counter, 0 when it was never registered.
+  std::uint64_t counterValue(const std::string& name) const;
+
+  /// Serialize every instrument, sorted by name:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///    {"count":..,"sum":..,"min":..,"max":..}, ...}}
+  void writeJson(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mu_;  // guards registration only
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mbir::obs

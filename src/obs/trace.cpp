@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "core/error.h"
+#include "obs/json.h"
+
+namespace mbir::obs {
+
+void TraceRecorder::record(TraceEvent ev) {
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::toJson() const {
+  const std::vector<TraceEvent> events = snapshot();
+  JsonWriter w;
+  w.beginObject();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").beginArray();
+  // Name the two clock tracks so Perfetto shows them as labelled processes.
+  const struct {
+    Clock clock;
+    const char* name;
+  } tracks[] = {{Clock::kHost, "host wall clock"},
+                {Clock::kModeled, "modeled device clock"}};
+  for (const auto& t : tracks) {
+    w.beginObject();
+    w.kv("ph", "M");
+    w.kv("pid", int(t.clock));
+    w.kv("tid", 0);
+    w.kv("name", "process_name");
+    w.key("args").beginObject().kv("name", t.name).endObject();
+    w.endObject();
+    w.beginObject();
+    w.kv("ph", "M");
+    w.kv("pid", int(t.clock));
+    w.kv("tid", 0);
+    w.kv("name", "process_sort_index");
+    w.key("args").beginObject().kv("sort_index", int(t.clock)).endObject();
+    w.endObject();
+  }
+  for (const TraceEvent& ev : events) {
+    w.beginObject();
+    w.kv("ph", "X");
+    w.kv("pid", int(ev.clock));
+    w.kv("tid", ev.tid);
+    w.kv("name", ev.name);
+    if (!ev.cat.empty()) w.kv("cat", ev.cat);
+    w.kv("ts", ev.ts_us);
+    w.kv("dur", ev.dur_us);
+    if (!ev.num_args.empty() || !ev.str_args.empty()) {
+      w.key("args").beginObject();
+      for (const auto& [k, v] : ev.num_args) w.kv(k, v);
+      for (const auto& [k, v] : ev.str_args) w.kv(k, v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+void TraceRecorder::writeFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  MBIR_CHECK_MSG(out.good(), "cannot open trace file for writing: " << path);
+  const std::string json = toJson();
+  out.write(json.data(), std::streamsize(json.size()));
+  out.flush();
+  MBIR_CHECK_MSG(out.good(), "failed writing trace file: " << path);
+}
+
+}  // namespace mbir::obs

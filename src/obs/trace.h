@@ -1,0 +1,74 @@
+// Structured trace recorder emitting Chrome trace-event JSON — the format
+// Perfetto and chrome://tracing open directly.
+//
+// Two clocks, rendered as two trace "processes":
+//   * pid 1 — real host wall time (microseconds since the recorder's
+//     epoch): what the simulator actually spent executing kernels
+//     functionally on host threads.
+//   * pid 2 — modeled device time (microseconds of simulated Titan X
+//     time, gsim's timing model): where the *modeled* run spends its
+//     time — the clock the paper's tables are written in.
+// The same span name can appear on both tracks (e.g. a kernel launch),
+// letting one trace answer both "what is the simulator doing" and "what
+// would the GPU be doing".
+//
+// record() is thread-safe (short mutex append); events carry complete
+// ("ph":"X") spans with numeric/string args — KernelStats counters,
+// occupancy, RMSE, ... — attached per span.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mbir::obs {
+
+/// Which clock a span is measured on. Values double as the trace pid.
+enum class Clock : int { kHost = 1, kModeled = 2 };
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  Clock clock = Clock::kHost;
+  double ts_us = 0.0;   ///< span start (microseconds on `clock`)
+  double dur_us = 0.0;  ///< span duration
+  int tid = 0;          ///< track within the clock's process
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds of host wall time since the recorder was created.
+  double nowHostUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Append one complete span (thread-safe).
+  void record(TraceEvent ev);
+
+  std::size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Serialize as a Chrome trace-event document:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}, with process_name
+  /// metadata naming the host-clock and modeled-clock tracks.
+  std::string toJson() const;
+
+  /// toJson() to a file (throws mbir::Error on I/O failure).
+  void writeFile(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mbir::obs

@@ -9,6 +9,7 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "icd/update_order.h"
+#include "obs/obs.h"
 #include "icd/voxel_update.h"
 #include "prior/neighborhood.h"
 #include "sv/svb.h"
@@ -135,7 +136,21 @@ PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
   std::atomic<std::size_t> total_updates{0};
   const double voxels_per_equit = double(x.numVoxels());
 
+  obs::Recorder* rec = options_.recorder;
+  const bool tracing = rec && rec->traceOn();
+  obs::Counter* m_iterations = nullptr;
+  obs::Counter* m_svs = nullptr;
+  obs::Counter* m_locks = nullptr;
+  if (rec && rec->metricsOn()) {
+    obs::MetricsRegistry& m = rec->metrics();
+    m_iterations = &m.counter("psv.iteration.count");
+    m_svs = &m.counter("psv.sv.processed");
+    m_locks = &m.counter("psv.lock.acquisitions");
+  }
+
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    const double iter_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
+    const std::size_t iter_locks0 = stats.work.lock_acquisitions;
     const std::vector<int> selected = selectSuperVoxels(
         iter, std::size_t(grid_.count()), magnitude, options_.sv_fraction, rng);
 
@@ -204,6 +219,24 @@ PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
 
     stats.iterations = iter;
     stats.equits = double(total_updates.load()) / voxels_per_equit;
+    if (m_iterations) {
+      m_iterations->add();
+      m_svs->add(std::uint64_t(selected.size()));
+      m_locks->add(
+          std::uint64_t(stats.work.lock_acquisitions - iter_locks0));
+    }
+    if (tracing) {
+      obs::TraceEvent ev;
+      ev.name = "psv.iteration";
+      ev.cat = "psv";
+      ev.clock = obs::Clock::kHost;
+      ev.ts_us = iter_host_us;
+      ev.dur_us = rec->trace().nowHostUs() - iter_host_us;
+      ev.num_args = {{"iteration", double(iter)},
+                     {"selected_svs", double(selected.size())},
+                     {"equits", stats.equits}};
+      rec->trace().record(std::move(ev));
+    }
     if (on_iteration &&
         !on_iteration(PsvIterationInfo{iter, stats.equits, stats.work, x})) {
       stats.stopped_by_callback = true;

@@ -22,6 +22,10 @@
 #include "icd/work.h"
 #include "sv/supervoxel.h"
 
+namespace mbir::obs {
+class Recorder;
+}  // namespace mbir::obs
+
 namespace mbir {
 
 struct PsvIcdOptions {
@@ -34,6 +38,9 @@ struct PsvIcdOptions {
   std::uint64_t seed = 11;
   /// 0 = use the global pool's size.
   unsigned num_threads = 0;
+  /// Observability sink (nullptr = off): per-iteration host-clock spans and
+  /// `psv.*` counters. Purely observational.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct PsvIterationInfo {

@@ -5,6 +5,7 @@
 #include "core/timer.h"
 #include "gsim/cpu_model.h"
 #include "icd/convergence.h"
+#include "recon/run_report.h"
 
 namespace mbir {
 
@@ -32,15 +33,72 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
                       RunConfig config) {
   const WallTimer host_wall;
   RunResult result;
+  if (config.obs.enabled())
+    result.recorder = std::make_shared<obs::Recorder>(config.obs);
+  obs::Recorder* rec = result.recorder.get();
+  const bool tracing = rec && rec->traceOn();
+  obs::Counter* m_iterations = nullptr;
+  obs::Gauge* m_rmse = nullptr;
+  if (rec && rec->metricsOn()) {
+    m_iterations = &rec->metrics().counter("recon.iteration.count");
+    m_rmse = &rec->metrics().gauge("recon.rmse_hu");
+  }
+
+  const double setup_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
   result.image = problem.fbpInitialImage();
   Sinogram e = problem.initialError(result.image);
   const Problem p = problem.view();
+  if (tracing) {
+    obs::TraceEvent ev;
+    ev.name = "recon.setup";
+    ev.cat = "recon";
+    ev.clock = obs::Clock::kHost;
+    ev.ts_us = setup_t0_us;
+    ev.dur_us = rec->trace().nowHostUs() - setup_t0_us;
+    ev.num_args = {{"image_size", double(result.image.size())}};
+    rec->trace().record(std::move(ev));
+  }
 
+  // Per-iteration spans on both clocks, engine-agnostic: host time between
+  // callbacks, modeled time between the engine's cumulative timestamps.
+  int track_iter = 0;
+  double prev_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
+  double prev_modeled_s = 0.0;
   const auto track = [&](const Image2D& x, double equits,
                          double modeled_seconds) -> bool {
     const double rmse = rmseHu(x, golden);
     result.curve.push_back({equits, modeled_seconds, rmse});
     result.final_rmse_hu = rmse;
+    ++track_iter;
+    if (m_iterations) {
+      m_iterations->add();
+      m_rmse->set(rmse);
+    }
+    if (tracing) {
+      const double now_us = rec->trace().nowHostUs();
+      const std::vector<std::pair<std::string, double>> args = {
+          {"iteration", double(track_iter)},
+          {"equits", equits},
+          {"rmse_hu", rmse}};
+      obs::TraceEvent host_ev;
+      host_ev.name = "recon.iteration";
+      host_ev.cat = "recon";
+      host_ev.clock = obs::Clock::kHost;
+      host_ev.ts_us = prev_host_us;
+      host_ev.dur_us = now_us - prev_host_us;
+      host_ev.num_args = args;
+      obs::TraceEvent dev_ev;
+      dev_ev.name = "recon.iteration";
+      dev_ev.cat = "recon";
+      dev_ev.clock = obs::Clock::kModeled;
+      dev_ev.ts_us = prev_modeled_s * 1e6;
+      dev_ev.dur_us = (modeled_seconds - prev_modeled_s) * 1e6;
+      dev_ev.num_args = args;
+      rec->trace().record(std::move(host_ev));
+      rec->trace().record(std::move(dev_ev));
+      prev_host_us = now_us;
+      prev_modeled_s = modeled_seconds;
+    }
     if (config.stop_rmse_hu > 0.0 && rmse < config.stop_rmse_hu) {
       result.converged = true;
       return false;  // stop
@@ -52,6 +110,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
     case Algorithm::kSequentialIcd: {
       SequentialIcdOptions opt = config.seq;
       opt.max_equits = config.max_equits;
+      opt.recorder = rec;
       SequentialIcd icd(p, opt);
       IcdRunStats stats = icd.run(
           result.image, e, [&](const Image2D& x, const IcdRunStats& progress) {
@@ -69,6 +128,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
     case Algorithm::kPsvIcd: {
       PsvIcdOptions opt = config.psv;
       opt.max_iterations = 2000;  // callback-driven; cap is a safety net
+      opt.recorder = rec;
       PsvIcd icd(p, opt);
       PsvRunStats run_stats = icd.run(
           result.image, e, [&](const PsvIterationInfo& info) {
@@ -85,6 +145,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
     case Algorithm::kGpuIcd: {
       GpuIcdOptions opt = config.gpu;
       opt.max_iterations = 2000;
+      opt.recorder = rec;
       if (config.scale_gpu_caches) {
         // SVB size scales with views (see gsim::scaleCachesToProblem docs).
         const double ratio = double(problem.geometry().num_views) / 720.0;
@@ -106,6 +167,20 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
   if (result.curve.empty())
     result.final_rmse_hu = rmseHu(result.image, golden);
   result.host_seconds = host_wall.seconds();
+
+  if (rec) {
+    if (rec->metricsOn()) {
+      rec->metrics().gauge("recon.equits").set(result.equits);
+      rec->metrics().gauge("recon.final_rmse_hu").set(result.final_rmse_hu);
+      rec->metrics().gauge("recon.modeled_seconds").set(result.modeled_seconds);
+    }
+    // Report first: it embeds the trace summary, and nothing below records
+    // new events, so the counts it captures are final.
+    if (!config.obs.report_path.empty())
+      writeRunReport(config.obs.report_path, result, config);
+    if (rec->traceOn() && !config.obs.trace_path.empty())
+      rec->trace().writeFile(config.obs.trace_path);
+  }
   return result;
 }
 

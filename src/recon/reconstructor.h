@@ -8,11 +8,13 @@
 // that's Fig. 5's data.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "gpuicd/gpu_icd.h"
 #include "icd/sequential_icd.h"
+#include "obs/obs.h"
 #include "psv/psv_icd.h"
 #include "recon/problem_setup.h"
 
@@ -34,6 +36,13 @@ struct RunConfig {
   /// Scale the simulated GPU's caches to this problem's sinogram size
   /// (DESIGN.md §1); on by default for reduced geometries.
   bool scale_gpu_caches = true;
+  /// Observability: when enabled, reconstruct() creates an obs::Recorder,
+  /// threads it through the selected engine (and the GPU simulator),
+  /// records reconstructor-phase and per-iteration spans on both clocks,
+  /// and exports the trace / run report to the configured paths
+  /// (DESIGN.md §observability). Disabled by default: outputs are
+  /// bit-identical to a config without observability.
+  obs::ObsConfig obs;
 };
 
 struct ConvergencePoint {
@@ -58,6 +67,10 @@ struct RunResult {
   std::optional<GpuRunStats> gpu_stats;
   std::optional<PsvRunStats> psv_stats;
   std::optional<IcdRunStats> seq_stats;
+  /// The run's observability session (null unless RunConfig::obs enabled):
+  /// metrics registry + trace, inspectable after the run regardless of
+  /// whether files were exported.
+  std::shared_ptr<obs::Recorder> recorder;
 };
 
 /// Compute the golden reference (sequential ICD for `equits` from FBP init).

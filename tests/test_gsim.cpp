@@ -331,5 +331,107 @@ TEST(CpuModel, SequentialSlowerPerElementThanPsvCore) {
   EXPECT_GT(sequentialReference().element_ns, 4.0 * xeon16Core().element_ns);
 }
 
+// KernelStats::operator+= merge semantics: traffic/work counters sum,
+// whole-kernel properties AND- or max-merge (a launch is only on the
+// texture path if every block is; the L2 working set and grid size are
+// launch-wide maxima, not sums).
+TEST(KernelStatsMerge, TrafficAndWorkCountersSum) {
+  KernelStats a;
+  a.svb_access_bytes = 10;
+  a.svb_access_time_bytes = 11;
+  a.svb_unique_bytes = 12;
+  a.amatrix_access_bytes = 13;
+  a.amatrix_unique_bytes = 14;
+  a.desc_bytes = 15;
+  a.smem_bytes = 16;
+  a.flops = 17;
+  a.atomic_ops = 18;
+  a.atomic_ops_weighted = 19;
+  a.launches = 2;
+  KernelStats b;
+  b.svb_access_bytes = 100;
+  b.svb_access_time_bytes = 110;
+  b.svb_unique_bytes = 120;
+  b.amatrix_access_bytes = 130;
+  b.amatrix_unique_bytes = 140;
+  b.desc_bytes = 150;
+  b.smem_bytes = 160;
+  b.flops = 170;
+  b.atomic_ops = 180;
+  b.atomic_ops_weighted = 190;
+  b.launches = 3;
+
+  a += b;
+  EXPECT_DOUBLE_EQ(a.svb_access_bytes, 110);
+  EXPECT_DOUBLE_EQ(a.svb_access_time_bytes, 121);
+  EXPECT_DOUBLE_EQ(a.svb_unique_bytes, 132);
+  EXPECT_DOUBLE_EQ(a.amatrix_access_bytes, 143);
+  EXPECT_DOUBLE_EQ(a.amatrix_unique_bytes, 154);
+  EXPECT_DOUBLE_EQ(a.desc_bytes, 165);
+  EXPECT_DOUBLE_EQ(a.smem_bytes, 176);
+  EXPECT_DOUBLE_EQ(a.flops, 187);
+  EXPECT_DOUBLE_EQ(a.atomic_ops, 198);
+  EXPECT_DOUBLE_EQ(a.atomic_ops_weighted, 209);
+  EXPECT_EQ(a.launches, 5);
+}
+
+TEST(KernelStatsMerge, TexturePathAndMerges) {
+  KernelStats tex;  // defaults: amatrix_via_texture = true
+  KernelStats glob;
+  glob.amatrix_via_texture = false;
+
+  KernelStats m1 = tex;
+  m1 += tex;
+  EXPECT_TRUE(m1.amatrix_via_texture);
+
+  KernelStats m2 = tex;
+  m2 += glob;  // any global-path block moves the launch off texture
+  EXPECT_FALSE(m2.amatrix_via_texture);
+
+  KernelStats m3 = glob;
+  m3 += tex;  // ...regardless of merge order
+  EXPECT_FALSE(m3.amatrix_via_texture);
+}
+
+TEST(KernelStatsMerge, LaunchWidePropertiesMaxMerge) {
+  KernelStats a;
+  a.l2_working_set_bytes = 1000;
+  a.imbalance_factor = 1.5;
+  a.grid_blocks = 40;
+  KernelStats b;
+  b.l2_working_set_bytes = 500;
+  b.imbalance_factor = 2.5;
+  b.grid_blocks = 80;
+
+  KernelStats ab = a;
+  ab += b;
+  EXPECT_DOUBLE_EQ(ab.l2_working_set_bytes, 1000);
+  EXPECT_DOUBLE_EQ(ab.imbalance_factor, 2.5);
+  EXPECT_EQ(ab.grid_blocks, 80);
+
+  KernelStats ba = b;  // max-merge is symmetric
+  ba += a;
+  EXPECT_DOUBLE_EQ(ba.l2_working_set_bytes, 1000);
+  EXPECT_DOUBLE_EQ(ba.imbalance_factor, 2.5);
+  EXPECT_EQ(ba.grid_blocks, 80);
+}
+
+TEST(KernelStatsMerge, MergeWithDefaultIsIdentityForCounters) {
+  KernelStats a;
+  a.svb_access_bytes = 7;
+  a.flops = 9;
+  a.imbalance_factor = 1.25;
+  a.grid_blocks = 3;
+  a.launches = 1;
+  KernelStats merged = a;
+  merged += KernelStats{};
+  EXPECT_DOUBLE_EQ(merged.svb_access_bytes, 7);
+  EXPECT_DOUBLE_EQ(merged.flops, 9);
+  EXPECT_TRUE(merged.amatrix_via_texture);
+  EXPECT_DOUBLE_EQ(merged.imbalance_factor, 1.25);
+  EXPECT_EQ(merged.grid_blocks, 3);
+  EXPECT_EQ(merged.launches, 1);
+}
+
 }  // namespace
 }  // namespace mbir::gsim

@@ -1,0 +1,328 @@
+// Observability subsystem tests: JSON writer/parser round-trips, metrics
+// registry semantics (including thread-safety), trace recorder output, and
+// schema validation of the artifacts a real instrumented reconstruction
+// writes (Chrome trace + run report).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "recon/run_report.h"
+#include "test_util.h"
+
+using namespace mbir;
+using namespace mbir::obs;
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, WriterRoundTrip) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("name", "gsim.launch");
+  w.kv("count", std::uint64_t(42));
+  w.kv("ratio", 0.25);
+  w.kv("enabled", true);
+  w.key("nested").beginObject().kv("x", -3).endObject();
+  w.key("arr").beginArray().value(1).value(2.5).value("s").endArray();
+  w.key("none").null();
+  w.endObject();
+
+  const JsonValue v = parseJson(w.str());
+  ASSERT_TRUE(v.isObject());
+  EXPECT_EQ(v.find("name")->asString(), "gsim.launch");
+  EXPECT_EQ(v.find("count")->asNumber(), 42.0);
+  EXPECT_EQ(v.find("ratio")->asNumber(), 0.25);
+  EXPECT_TRUE(v.find("enabled")->asBool());
+  EXPECT_EQ(v.find("nested")->find("x")->asNumber(), -3.0);
+  const JsonValue& arr = *v.find("arr");
+  ASSERT_TRUE(arr.isArray());
+  ASSERT_EQ(arr.array_v.size(), 3u);
+  EXPECT_EQ(arr.array_v[1].asNumber(), 2.5);
+  EXPECT_EQ(arr.array_v[2].asString(), "s");
+  EXPECT_TRUE(v.find("none")->isNull());
+}
+
+TEST(Json, EscapingRoundTrip) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  JsonWriter w;
+  w.beginObject().kv("s", nasty).endObject();
+  EXPECT_EQ(parseJson(w.str()).find("s")->asString(), nasty);
+}
+
+TEST(Json, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(JsonWriter::formatNumber(42.0), "42");
+  EXPECT_EQ(JsonWriter::formatNumber(-7.0), "-7");
+  EXPECT_NE(JsonWriter::formatNumber(0.5).find('.'), std::string::npos);
+}
+
+TEST(Json, NonFiniteWritesNull) {
+  JsonWriter w;
+  w.beginObject()
+      .kv("inf", std::numeric_limits<double>::infinity())
+      .kv("nan", std::nan(""))
+      .endObject();
+  const JsonValue v = parseJson(w.str());
+  EXPECT_TRUE(v.find("inf")->isNull());
+  EXPECT_TRUE(v.find("nan")->isNull());
+}
+
+TEST(Json, ParserRejectsMalformed) {
+  EXPECT_THROW(parseJson("{"), Error);
+  EXPECT_THROW(parseJson("{\"a\":1,}"), Error);
+  EXPECT_THROW(parseJson("[1 2]"), Error);
+  EXPECT_THROW(parseJson("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(parseJson("\"unterminated"), Error);
+  EXPECT_THROW(parseJson(""), Error);
+}
+
+TEST(Json, ParserUnicodeEscape) {
+  EXPECT_EQ(parseJson("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.b.count");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  EXPECT_EQ(reg.counterValue("a.b.count"), 10u);
+  EXPECT_EQ(reg.counterValue("never.registered"), 0u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("a.b.count"), &c);
+
+  reg.gauge("a.g").set(1.5);
+  EXPECT_EQ(reg.gauge("a.g").value(), 1.5);
+
+  Histogram& h = reg.histogram("a.h");
+  h.observe(1e-3);
+  h.observe(2.0);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, 2.001);
+  EXPECT_DOUBLE_EQ(s.min, 1e-3);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST(Metrics, NameKindCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), Error);
+  EXPECT_THROW(reg.histogram("x"), Error);
+}
+
+TEST(Metrics, CountersAreThreadSafe) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("mt.count");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kAdds);
+}
+
+TEST(Metrics, WriteJsonParses) {
+  MetricsRegistry reg;
+  reg.counter("c.one").add(3);
+  reg.gauge("g.one").set(0.5);
+  reg.histogram("h.one").observe(2.0);
+  JsonWriter w;
+  reg.writeJson(w);
+  const JsonValue v = parseJson(w.str());
+  EXPECT_EQ(v.find("counters")->find("c.one")->asNumber(), 3.0);
+  EXPECT_EQ(v.find("gauges")->find("g.one")->asNumber(), 0.5);
+  const JsonValue& h = *v.find("histograms")->find("h.one");
+  EXPECT_EQ(h.find("count")->asNumber(), 1.0);
+  EXPECT_EQ(h.find("max")->asNumber(), 2.0);
+}
+
+// --------------------------------------------------------------- trace
+
+TEST(Trace, RecorderEmitsBothClockTracks) {
+  TraceRecorder tr;
+  TraceEvent host;
+  host.name = "span.host";
+  host.cat = "test";
+  host.clock = Clock::kHost;
+  host.ts_us = 1.0;
+  host.dur_us = 2.0;
+  host.num_args = {{"k", 7.0}};
+  host.str_args = {{"s", "v"}};
+  tr.record(host);
+  TraceEvent dev = host;
+  dev.name = "span.modeled";
+  dev.clock = Clock::kModeled;
+  tr.record(dev);
+  EXPECT_EQ(tr.size(), 2u);
+
+  const JsonValue doc = parseJson(tr.toJson());
+  EXPECT_EQ(doc.find("displayTimeUnit")->asString(), "ms");
+  const JsonValue& evs = *doc.find("traceEvents");
+  ASSERT_TRUE(evs.isArray());
+
+  bool saw_host_meta = false, saw_modeled_meta = false;
+  bool saw_host_span = false, saw_modeled_span = false;
+  for (const JsonValue& e : evs.array_v) {
+    const std::string ph = e.find("ph")->asString();
+    const int pid = int(e.find("pid")->asNumber());
+    if (ph == "M" && e.find("name")->asString() == "process_name") {
+      if (pid == 1) saw_host_meta = true;
+      if (pid == 2) saw_modeled_meta = true;
+    }
+    if (ph == "X" && e.find("name")->asString() == "span.host" && pid == 1) {
+      saw_host_span = true;
+      EXPECT_EQ(e.find("args")->find("k")->asNumber(), 7.0);
+      EXPECT_EQ(e.find("args")->find("s")->asString(), "v");
+      EXPECT_EQ(e.find("dur")->asNumber(), 2.0);
+    }
+    if (ph == "X" && e.find("name")->asString() == "span.modeled" && pid == 2)
+      saw_modeled_span = true;
+  }
+  EXPECT_TRUE(saw_host_meta);
+  EXPECT_TRUE(saw_modeled_meta);
+  EXPECT_TRUE(saw_host_span);
+  EXPECT_TRUE(saw_modeled_span);
+}
+
+TEST(Trace, HostSpanRecordsAndNullRecorderIsNoop) {
+  ObsConfig cfg;
+  cfg.trace = true;
+  Recorder rec(cfg);
+  {
+    HostSpan span(&rec, "unit.span", "test");
+    span.addArg("n", 1.0);
+  }
+  ASSERT_EQ(rec.trace().size(), 1u);
+  const TraceEvent ev = rec.trace().snapshot()[0];
+  EXPECT_EQ(ev.name, "unit.span");
+  EXPECT_GE(ev.dur_us, 0.0);
+
+  {
+    HostSpan none(nullptr, "x", "y");
+    none.addArg("n", 1.0);
+  }  // must not crash or record anywhere
+}
+
+// ------------------------------------------- end-to-end schema validation
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+TEST(ObsSchema, InstrumentedReconstructionWritesValidArtifacts) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/gpumbir_obs_trace.json";
+  const std::string report_path = dir + "/gpumbir_obs_report.json";
+
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kGpuIcd;
+  cfg.gpu.tunables.sv.sv_side = 8;
+  cfg.max_equits = 6.0;
+  cfg.obs.metrics = true;
+  cfg.obs.trace = true;
+  cfg.obs.trace_path = trace_path;
+  cfg.obs.report_path = report_path;
+  const RunResult r =
+      reconstruct(test::tinyProblem(), test::tinyGolden(), cfg);
+  ASSERT_TRUE(r.recorder);
+
+  // ---- run report ----
+  const JsonValue report = parseJson(slurp(report_path));
+  EXPECT_EQ(report.find("schema")->asString(), "gpumbir.run_report/1");
+  EXPECT_EQ(report.find("algorithm")->asString(), "GPU-ICD");
+  EXPECT_GT(report.find("equits")->asNumber(), 0.0);
+  EXPECT_GE(report.find("final_rmse_hu")->asNumber(), 0.0);
+  EXPECT_GT(report.find("modeled_seconds")->asNumber(), 0.0);
+  EXPECT_GE(report.find("host_seconds")->asNumber(), 0.0);
+
+  const JsonValue& work = *report.find("work");
+  for (const auto& [k, v] : work.object_v)
+    EXPECT_GE(v.asNumber(), 0.0) << "work." << k;
+  EXPECT_GT(work.find("voxel_updates")->asNumber(), 0.0);
+
+  const JsonValue& curve = *report.find("curve");
+  ASSERT_TRUE(curve.isArray());
+  ASSERT_FALSE(curve.array_v.empty());
+  for (const JsonValue& p : curve.array_v) {
+    EXPECT_GE(p.find("equits")->asNumber(), 0.0);
+    EXPECT_GE(p.find("modeled_seconds")->asNumber(), 0.0);
+    EXPECT_GE(p.find("rmse_hu")->asNumber(), 0.0);
+  }
+
+  const JsonValue& gpu = *report.find("gpu");
+  EXPECT_GT(gpu.find("kernels_launched")->asNumber(), 0.0);
+  const JsonValue& cache = *gpu.find("chunk_cache");
+  EXPECT_GE(cache.find("hits")->asNumber(), 0.0);
+  EXPECT_GE(cache.find("misses")->asNumber(), 0.0);
+  EXPECT_GT(gpu.find("per_kernel")->object_v.count("mbir_update"), 0u);
+
+  const JsonValue& counters = *report.find("metrics")->find("counters");
+  EXPECT_GE(counters.find("gpuicd.iteration.count")->asNumber(), 1.0);
+  EXPECT_GE(counters.find("gsim.launch.count")->asNumber(), 1.0);
+  EXPECT_GE(counters.find("recon.iteration.count")->asNumber(), 1.0);
+  for (const auto& [k, v] : counters.object_v)
+    EXPECT_GE(v.asNumber(), 0.0) << "counter " << k;
+
+  EXPECT_GT(report.find("trace")->find("events")->asNumber(), 0.0);
+
+  // ---- trace file ----
+  const JsonValue trace = parseJson(slurp(trace_path));
+  EXPECT_EQ(trace.find("displayTimeUnit")->asString(), "ms");
+  const JsonValue& evs = *trace.find("traceEvents");
+  ASSERT_TRUE(evs.isArray());
+  bool meta_pid1 = false, meta_pid2 = false;
+  bool recon_iter_pid1 = false, recon_iter_pid2 = false;
+  bool gsim_launch_span = false, gpuicd_iter_span = false;
+  for (const JsonValue& e : evs.array_v) {
+    const std::string ph = e.find("ph")->asString();
+    const std::string name = e.find("name")->asString();
+    const int pid = int(e.find("pid")->asNumber());
+    if (ph == "M") {
+      if (name == "process_name" && pid == 1) meta_pid1 = true;
+      if (name == "process_name" && pid == 2) meta_pid2 = true;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    EXPECT_GE(e.find("ts")->asNumber(), 0.0) << name;
+    EXPECT_GE(e.find("dur")->asNumber(), 0.0) << name;
+    if (name == "recon.iteration" && pid == 1) recon_iter_pid1 = true;
+    if (name == "recon.iteration" && pid == 2) recon_iter_pid2 = true;
+    if (name.rfind("gsim.launch.", 0) == 0) gsim_launch_span = true;
+    if (name == "gpuicd.iteration") gpuicd_iter_span = true;
+  }
+  EXPECT_TRUE(meta_pid1);
+  EXPECT_TRUE(meta_pid2);
+  EXPECT_TRUE(recon_iter_pid1);
+  EXPECT_TRUE(recon_iter_pid2);
+  EXPECT_TRUE(gsim_launch_span);
+  EXPECT_TRUE(gpuicd_iter_span);
+
+  // The in-memory report serialization matches what was written.
+  EXPECT_EQ(runReportJson(r, cfg) + "\n", slurp(report_path));
+
+  std::remove(trace_path.c_str());
+  std::remove(report_path.c_str());
+}

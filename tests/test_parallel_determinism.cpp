@@ -10,6 +10,7 @@
 #include "core/thread_pool.h"
 #include "gpuicd/gpu_icd.h"
 #include "gsim/executor.h"
+#include "obs/obs.h"
 #include "sv/svb.h"
 #include "test_util.h"
 
@@ -107,7 +108,7 @@ TEST(SvbStriped, StripeUnionEqualsFullApply) {
 // ---------- GPU-ICD ----------
 
 GpuRunStats runGpuWith(ThreadPool* pool, int chunk_cache_capacity, Image2D& x,
-                       int iterations = 3) {
+                       int iterations = 3, obs::Recorder* recorder = nullptr) {
   const OwnedProblem& problem = test::tinyProblem();
   GpuIcdOptions opt;
   opt.tunables.sv.sv_side = 8;  // fits the 32^2 test image
@@ -115,6 +116,7 @@ GpuRunStats runGpuWith(ThreadPool* pool, int chunk_cache_capacity, Image2D& x,
   opt.max_iterations = iterations;
   opt.host_pool = pool;
   opt.chunk_cache_capacity = chunk_cache_capacity;
+  opt.recorder = recorder;
   x = problem.fbpInitialImage();
   Sinogram e = problem.initialError(x);
   GpuIcd icd(problem.view(), opt);
@@ -173,6 +175,51 @@ TEST(GpuIcdDeterminism, TinyCacheCapacityStillCorrect) {
   const auto a = runGpuWith(&p2, 1, xa);
   const auto b = runGpuWith(&p2, 128, xb);
   expectRunsBitIdentical(a, xa, b, xb);
+}
+
+// ---------- observability is purely observational ----------
+
+TEST(GpuIcdDeterminism, ObservabilityDoesNotPerturbResults) {
+  // Full tracing + metrics (including per-block spans, the most invasive
+  // option) must leave images, stats, and modeled seconds bit-identical to
+  // an uninstrumented run, for any host thread count.
+  obs::ObsConfig ocfg;
+  ocfg.metrics = true;
+  ocfg.trace = true;
+  ocfg.block_spans = true;
+
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    Image2D x_plain, x_obs;
+    const auto plain = runGpuWith(&pool, 128, x_plain);
+    obs::Recorder rec(ocfg);
+    const auto observed = runGpuWith(&pool, 128, x_obs, 3, &rec);
+    expectRunsBitIdentical(plain, x_plain, observed, x_obs);
+    EXPECT_EQ(plain.chunk_cache_hits, observed.chunk_cache_hits);
+    EXPECT_EQ(plain.chunk_cache_misses, observed.chunk_cache_misses);
+    // ...and the recorder did actually observe the run.
+    EXPECT_GT(rec.metrics().counterValue("gsim.launch.count"), 0u);
+    EXPECT_GT(rec.metrics().counterValue("gpuicd.chunk_cache.hits"), 0u);
+    EXPECT_GT(rec.trace().size(), 0u);
+  }
+}
+
+TEST(GpuIcdDeterminism, RecorderSeesSameCountsForAnyThreadCount) {
+  obs::ObsConfig ocfg;
+  ocfg.metrics = true;
+  Image2D x1, x4;
+  ThreadPool p1(1), p4(4);
+  obs::Recorder r1(ocfg), r4(ocfg);
+  runGpuWith(&p1, 128, x1, 3, &r1);
+  runGpuWith(&p4, 128, x4, 3, &r4);
+  for (const char* name :
+       {"gsim.launch.count", "gsim.launch.blocks", "gsim.launch.flops",
+        "gsim.launch.svb_access_bytes", "gpuicd.chunk_cache.hits",
+        "gpuicd.chunk_cache.misses", "gpuicd.batch.count",
+        "gpuicd.iteration.count"}) {
+    EXPECT_EQ(r1.metrics().counterValue(name), r4.metrics().counterValue(name))
+        << name;
+  }
 }
 
 }  // namespace
