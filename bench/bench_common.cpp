@@ -1,12 +1,23 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "core/error.h"
 #include "obs/json.h"
 
 namespace mbir::bench {
+
+namespace {
+std::string g_output_dir = "results";
+}  // namespace
+
+const std::string& outputDir() { return g_output_dir; }
+
+void setOutputDir(std::string dir) {
+  g_output_dir = dir.empty() ? "." : std::move(dir);
+}
 
 std::unique_ptr<BenchContext> BenchContext::fromCli(CliArgs& args,
                                                     const std::string& summary,
@@ -18,7 +29,9 @@ std::unique_ptr<BenchContext> BenchContext::fromCli(CliArgs& args,
   args.describe("cases", "number of suite cases", std::to_string(default_cases));
   args.describe("seed", "suite seed", "2026");
   args.describe("golden-equits", "equits for the golden reference", "40");
+  args.describe("outdir", "directory for CSV/JSON artifacts", "results");
   if (args.helpRequested(summary)) return nullptr;
+  setOutputDir(args.getString("outdir", outputDir()));
 
   auto ctx = std::make_unique<BenchContext>();
   ctx->cfg.geometry.image_size = args.getInt("size", 128);
@@ -61,7 +74,8 @@ void emit(const AsciiTable& table, const std::string& bench_name,
           double host_wall_seconds, const BenchContext* ctx,
           const std::vector<std::pair<std::string, double>>& numbers) {
   std::printf("\n%s\n", table.render().c_str());
-  const std::string path = bench_name + ".csv";
+  std::filesystem::create_directories(outputDir());
+  const std::string path = outputDir() + "/" + bench_name + ".csv";
   table.writeCsv(path);
   std::printf("[bench] wrote %s\n", path.c_str());
   if (host_wall_seconds >= 0.0)
@@ -98,7 +112,7 @@ void emit(const AsciiTable& table, const std::string& bench_name,
   w.endObject();
   w.endObject();
 
-  const std::string json_path = "BENCH_" + bench_name + ".json";
+  const std::string json_path = outputDir() + "/BENCH_" + bench_name + ".json";
   std::ofstream out(json_path, std::ios::binary);
   MBIR_CHECK_MSG(out.good(), "cannot open bench report: " + json_path);
   out << w.str() << '\n';

@@ -39,6 +39,13 @@ struct BenchContext {
   OwnedProblem representativeCase() const { return suite->makeCase(0); }
 };
 
+/// Directory emit() writes CSV/JSON artifacts into (created on demand).
+/// Defaults to "results" — running a bench from the repo root refreshes the
+/// committed reproduction results in results/. Overridable per run with
+/// --outdir (parsed by BenchContext::fromCli) or directly here.
+const std::string& outputDir();
+void setOutputDir(std::string dir);
+
 /// Paper's Table-1 GPU-ICD tunables (SV side 33, W 32, 40 TB/SV, 256
 /// threads, batch 32, 25%).
 GpuTunables paperTunables();

@@ -68,10 +68,16 @@ void ThreadPool::parallelFor(int begin, int end,
     return;
   }
 
+  // Completion is tracked per call, not via the pool-global wait(): several
+  // threads may drive independent parallelFor calls on one pool at once
+  // (the batch scheduler's device drivers do), and none of them may block
+  // on another call's tasks.
   std::atomic<int> next{begin};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex err_mu;
+  std::mutex call_mu;  // guards first_error and helpers_left
+  std::condition_variable call_cv;
+  int helpers_left = 0;
 
   auto body = [&] {
     for (;;) {
@@ -81,7 +87,7 @@ void ThreadPool::parallelFor(int begin, int end,
       try {
         for (int i = start; i < stop; ++i) fn(i);
       } catch (...) {
-        std::lock_guard lock(err_mu);
+        std::lock_guard lock(call_mu);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;
@@ -90,9 +96,22 @@ void ThreadPool::parallelFor(int begin, int end,
   };
 
   const unsigned tasks = std::min<unsigned>(size(), unsigned((n + grain - 1) / grain));
-  for (unsigned t = 1; t < tasks; ++t) submit(body);
+  helpers_left = int(tasks) - 1;
+  for (unsigned t = 1; t < tasks; ++t) {
+    submit([&] {
+      body();
+      // Notify under the lock: the waiter owns call_cv on its stack and
+      // destroys it as soon as it sees helpers_left == 0, so the notify
+      // must complete before this thread releases the mutex.
+      std::lock_guard lock(call_mu);
+      if (--helpers_left == 0) call_cv.notify_all();
+    });
+  }
   body();  // caller participates
-  wait();
+  {
+    std::unique_lock lock(call_mu);
+    call_cv.wait(lock, [&] { return helpers_left == 0; });
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -32,7 +32,11 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end) across the pool with dynamic
   /// self-scheduling in blocks of `grain`. Blocks until complete.
-  /// Exceptions from fn propagate (first one wins).
+  /// Exceptions from fn propagate (first one wins). Completion is tracked
+  /// per call, so any number of external threads can run parallelFor on the
+  /// same pool concurrently without waiting on each other's work (the batch
+  /// scheduler's device drivers rely on this). Must not be called from
+  /// inside a pool task of the same pool.
   void parallelFor(int begin, int end, const std::function<void(int)>& fn,
                    int grain = 1);
 

@@ -73,6 +73,7 @@ struct GpuIcd::Impl {
     MBIR_CHECK(opt.chunk_cache_capacity >= 0);
     sim.setHostPool(opt.host_pool);
     sim.setRecorder(opt.recorder);
+    sim.setTracePid(opt.trace_pid);
     if (opt.recorder && opt.recorder->metricsOn()) {
       obs::MetricsRegistry& m = opt.recorder->metrics();
       m_cache_hits = &m.counter("gpuicd.chunk_cache.hits");
@@ -619,6 +620,7 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
       dev_ev.name = "gpuicd.iteration";
       dev_ev.cat = "gpuicd";
       dev_ev.clock = obs::Clock::kModeled;
+      dev_ev.pid = im.opt.trace_pid;
       dev_ev.ts_us = iter_modeled_s * 1e6;
       dev_ev.dur_us = (stats.modeled_seconds - iter_modeled_s) * 1e6;
       dev_ev.num_args = args;

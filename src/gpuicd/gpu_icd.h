@@ -59,6 +59,10 @@ struct GpuIcdOptions {
   /// forwarded to the simulator — per-launch `gsim.launch.*` telemetry.
   /// Purely observational; results are bit-identical either way.
   obs::Recorder* recorder = nullptr;
+  /// Trace process for modeled-clock spans (0 = the shared modeled-clock
+  /// process). The batch scheduler sets this to the assigned device's pid
+  /// so each simulated device renders as its own trace process.
+  int trace_pid = 0;
 };
 
 struct GpuIterationInfo {

@@ -233,6 +233,7 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
     dev_ev.name = span_name;
     dev_ev.cat = "gsim";
     dev_ev.clock = obs::Clock::kModeled;
+    dev_ev.pid = trace_pid_;
     dev_ev.ts_us = modeled_t0_s * 1e6;
     dev_ev.dur_us = report.time.total * 1e6;
     fillLaunchArgs(dev_ev, report);

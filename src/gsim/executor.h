@@ -133,6 +133,14 @@ class GpuSimulator {
   /// results are bit-identical with or without a recorder.
   void setRecorder(obs::Recorder* rec);
 
+  /// Trace process this instance's modeled-clock spans belong to (0 = the
+  /// shared "modeled device clock" process). A multi-device scheduler gives
+  /// every device instance its own pid (named via
+  /// obs::TraceRecorder::nameProcess) so per-device timelines stay apart.
+  /// Purely observational.
+  void setTracePid(int pid) { trace_pid_ = pid; }
+  int tracePid() const { return trace_pid_; }
+
   /// Run every block of the kernel functionally (concurrently across host
   /// threads); model and accumulate time. The report is invariant to the
   /// host thread count: each block profiles into its own KernelProfiler and
@@ -166,6 +174,7 @@ class GpuSimulator {
   DeviceSpec dev_;
   ThreadPool* host_pool_ = nullptr;
   obs::Recorder* rec_ = nullptr;
+  int trace_pid_ = 0;
   Instruments inst_;
   KernelStats total_stats_;
   double total_seconds_ = 0.0;

@@ -250,7 +250,19 @@ class Parser {
     }
   }
 
+  /// RAII nesting guard: the parser is recursive-descent, so unbounded
+  /// nesting ("[[[[...") would exhaust the stack instead of throwing. 200
+  /// levels is far beyond any document this repo emits.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) p_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
   JsonValue parseObject() {
+    DepthGuard depth(*this);
     expect('{');
     JsonValue v;
     v.type = JsonValue::Type::kObject;
@@ -264,7 +276,12 @@ class Parser {
       std::string key = parseString();
       skipWs();
       expect(':');
-      v.object_v[key] = parseValue();
+      JsonValue member = parseValue();
+      // Strict: a duplicate key is a malformed document, not a last-wins
+      // overwrite (the writers never emit one; silently dropping a member
+      // would hide bugs in artifacts this repo reads back).
+      if (!v.object_v.emplace(std::move(key), std::move(member)).second)
+        fail("duplicate object key");
       skipWs();
       const char c = next();
       if (c == '}') return v;
@@ -273,6 +290,7 @@ class Parser {
   }
 
   JsonValue parseArray() {
+    DepthGuard depth(*this);
     expect('[');
     JsonValue v;
     v.type = JsonValue::Type::kArray;
@@ -310,6 +328,8 @@ class Parser {
       const char c = next();
       if (c == '"') return out;
       if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20)
+          fail("unescaped control character in string");
         out += c;
         continue;
       }
@@ -355,17 +375,42 @@ class Parser {
     }
     if (pos_ == start) fail("expected a value");
     const std::string text(s_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double d = std::strtod(text.c_str(), &end);
-    if (end != text.c_str() + text.size()) fail("malformed number");
+    // Enforce the strict JSON grammar before handing to strtod (which would
+    // also accept "+1", "01", "1.", ".5", hex, "inf", ...):
+    //   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    const char* p = text.c_str();
+    if (*p == '-') ++p;
+    if (*p == '0') {
+      ++p;
+    } else if (*p >= '1' && *p <= '9') {
+      while (*p >= '0' && *p <= '9') ++p;
+    } else {
+      fail("malformed number");
+    }
+    if (*p == '.') {
+      ++p;
+      if (*p < '0' || *p > '9') fail("malformed number");
+      while (*p >= '0' && *p <= '9') ++p;
+    }
+    if (*p == 'e' || *p == 'E') {
+      ++p;
+      if (*p == '+' || *p == '-') ++p;
+      if (*p < '0' || *p > '9') fail("malformed number");
+      while (*p >= '0' && *p <= '9') ++p;
+    }
+    if (*p != '\0') fail("malformed number");
+    const double d = std::strtod(text.c_str(), nullptr);
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
     v.num_v = d;
     return v;
   }
 
+  static constexpr int kMaxDepth = 200;
+
   std::string_view s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -4,7 +4,9 @@
 // this repo emits (Chrome trace files, run reports, BENCH_*.json). The
 // parser exists so ctest can validate those artifacts structurally (schema
 // tests parse what the recorder wrote) without an external dependency; it
-// accepts strict JSON only and throws mbir::Error on malformed input.
+// accepts strict JSON only and throws mbir::Error on malformed input —
+// including duplicate object keys, unescaped control characters, and
+// nesting beyond 200 levels (fuzzed by tests/test_json_fuzz.cpp).
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,18 @@ void TraceRecorder::record(TraceEvent ev) {
   events_.push_back(std::move(ev));
 }
 
+void TraceRecorder::nameProcess(int pid, std::string name, int sort_index) {
+  std::lock_guard lock(mu_);
+  for (ProcessMeta& p : processes_) {
+    if (p.pid == pid) {
+      p.name = std::move(name);
+      p.sort_index = sort_index;
+      return;
+    }
+  }
+  processes_.push_back({pid, std::move(name), sort_index});
+}
+
 std::size_t TraceRecorder::size() const {
   std::lock_guard lock(mu_);
   return events_.size();
@@ -23,37 +35,44 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 }
 
 std::string TraceRecorder::toJson() const {
-  const std::vector<TraceEvent> events = snapshot();
+  std::vector<TraceEvent> events;
+  std::vector<ProcessMeta> processes;
+  {
+    std::lock_guard lock(mu_);
+    events = events_;
+    processes = processes_;
+  }
   JsonWriter w;
   w.beginObject();
   w.kv("displayTimeUnit", "ms");
   w.key("traceEvents").beginArray();
-  // Name the two clock tracks so Perfetto shows them as labelled processes.
-  const struct {
-    Clock clock;
-    const char* name;
-  } tracks[] = {{Clock::kHost, "host wall clock"},
-                {Clock::kModeled, "modeled device clock"}};
-  for (const auto& t : tracks) {
+  // Name the clock tracks (and any registered extra processes, e.g. one per
+  // scheduler device) so Perfetto shows them as labelled processes.
+  const auto name_process = [&w](int pid, const std::string& name,
+                                 int sort_index) {
     w.beginObject();
     w.kv("ph", "M");
-    w.kv("pid", int(t.clock));
+    w.kv("pid", pid);
     w.kv("tid", 0);
     w.kv("name", "process_name");
-    w.key("args").beginObject().kv("name", t.name).endObject();
+    w.key("args").beginObject().kv("name", name).endObject();
     w.endObject();
     w.beginObject();
     w.kv("ph", "M");
-    w.kv("pid", int(t.clock));
+    w.kv("pid", pid);
     w.kv("tid", 0);
     w.kv("name", "process_sort_index");
-    w.key("args").beginObject().kv("sort_index", int(t.clock)).endObject();
+    w.key("args").beginObject().kv("sort_index", sort_index).endObject();
     w.endObject();
-  }
+  };
+  name_process(int(Clock::kHost), "host wall clock", int(Clock::kHost));
+  name_process(int(Clock::kModeled), "modeled device clock",
+               int(Clock::kModeled));
+  for (const ProcessMeta& p : processes) name_process(p.pid, p.name, p.sort_index);
   for (const TraceEvent& ev : events) {
     w.beginObject();
     w.kv("ph", "X");
-    w.kv("pid", int(ev.clock));
+    w.kv("pid", ev.pid != 0 ? ev.pid : int(ev.clock));
     w.kv("tid", ev.tid);
     w.kv("name", ev.name);
     if (!ev.cat.empty()) w.kv("cat", ev.cat);

@@ -36,6 +36,11 @@ struct TraceEvent {
   double ts_us = 0.0;   ///< span start (microseconds on `clock`)
   double dur_us = 0.0;  ///< span duration
   int tid = 0;          ///< track within the clock's process
+  /// Trace process override; 0 = derive from `clock` (pid 1/2). The batch
+  /// scheduler gives every simulated device its own process (see
+  /// TraceRecorder::nameProcess) so multi-device runs render one modeled
+  /// timeline per device.
+  int pid = 0;
   std::vector<std::pair<std::string, double>> num_args;
   std::vector<std::pair<std::string, std::string>> str_args;
 };
@@ -54,6 +59,12 @@ class TraceRecorder {
   /// Append one complete span (thread-safe).
   void record(TraceEvent ev);
 
+  /// Register an extra trace process (beyond the two built-in clock
+  /// processes) with a display name and sort position — one per simulated
+  /// device in a scheduler batch. Re-registering a pid overwrites its name.
+  /// Thread-safe.
+  void nameProcess(int pid, std::string name, int sort_index = 0);
+
   std::size_t size() const;
   std::vector<TraceEvent> snapshot() const;
 
@@ -66,9 +77,16 @@ class TraceRecorder {
   void writeFile(const std::string& path) const;
 
  private:
+  struct ProcessMeta {
+    int pid = 0;
+    std::string name;
+    int sort_index = 0;
+  };
+
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::vector<ProcessMeta> processes_;
 };
 
 }  // namespace mbir::obs

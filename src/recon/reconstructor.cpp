@@ -33,9 +33,11 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
                       RunConfig config) {
   const WallTimer host_wall;
   RunResult result;
-  if (config.obs.enabled())
+  obs::Recorder* rec = config.external_recorder;
+  if (!rec && config.obs.enabled()) {
     result.recorder = std::make_shared<obs::Recorder>(config.obs);
-  obs::Recorder* rec = result.recorder.get();
+    rec = result.recorder.get();
+  }
   const bool tracing = rec && rec->traceOn();
   obs::Counter* m_iterations = nullptr;
   obs::Gauge* m_rmse = nullptr;
@@ -66,6 +68,10 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
   double prev_modeled_s = 0.0;
   const auto track = [&](const Image2D& x, double equits,
                          double modeled_seconds) -> bool {
+    if (config.cancel && config.cancel->load(std::memory_order_acquire)) {
+      result.cancelled = true;
+      return false;  // stop; partial image/curve up to here is kept
+    }
     const double rmse = rmseHu(x, golden);
     result.curve.push_back({equits, modeled_seconds, rmse});
     result.final_rmse_hu = rmse;
@@ -91,6 +97,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       dev_ev.name = "recon.iteration";
       dev_ev.cat = "recon";
       dev_ev.clock = obs::Clock::kModeled;
+      dev_ev.pid = config.trace_pid;
       dev_ev.ts_us = prev_modeled_s * 1e6;
       dev_ev.dur_us = (modeled_seconds - prev_modeled_s) * 1e6;
       dev_ev.num_args = args;
@@ -146,6 +153,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       GpuIcdOptions opt = config.gpu;
       opt.max_iterations = 2000;
       opt.recorder = rec;
+      if (config.trace_pid != 0) opt.trace_pid = config.trace_pid;
       if (config.scale_gpu_caches) {
         // SVB size scales with views (see gsim::scaleCachesToProblem docs).
         const double ratio = double(problem.geometry().num_views) / 720.0;
@@ -175,11 +183,14 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       rec->metrics().gauge("recon.modeled_seconds").set(result.modeled_seconds);
     }
     // Report first: it embeds the trace summary, and nothing below records
-    // new events, so the counts it captures are final.
-    if (!config.obs.report_path.empty())
-      writeRunReport(config.obs.report_path, result, config);
-    if (rec->traceOn() && !config.obs.trace_path.empty())
-      rec->trace().writeFile(config.obs.trace_path);
+    // new events, so the counts it captures are final. External sessions
+    // are exported by their owner, not here.
+    if (!config.external_recorder) {
+      if (!config.obs.report_path.empty())
+        writeRunReport(config.obs.report_path, result, config);
+      if (rec->traceOn() && !config.obs.trace_path.empty())
+        rec->trace().writeFile(config.obs.trace_path);
+    }
   }
   return result;
 }

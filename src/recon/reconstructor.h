@@ -8,6 +8,7 @@
 // that's Fig. 5's data.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -43,6 +44,20 @@ struct RunConfig {
   /// (DESIGN.md §observability). Disabled by default: outputs are
   /// bit-identical to a config without observability.
   obs::ObsConfig obs;
+  /// Record into this caller-owned session instead of creating one
+  /// (`obs` is then ignored and no files are exported — the owner decides
+  /// when/where). Used by the batch scheduler so concurrent jobs share one
+  /// trace/metrics session; registration is mutex-guarded, updates atomic.
+  obs::Recorder* external_recorder = nullptr;
+  /// Cooperative cancellation: checked at every iteration boundary; when
+  /// the flag is set the run stops and RunResult::cancelled is true. The
+  /// partial image/curve up to that iteration are still returned. nullptr
+  /// (default) = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Trace process modeled-clock spans are attributed to (0 = the shared
+  /// "modeled device clock" process). The batch scheduler gives each
+  /// simulated device its own pid so per-device timelines render apart.
+  int trace_pid = 0;
 };
 
 struct ConvergencePoint {
@@ -54,6 +69,8 @@ struct ConvergencePoint {
 struct RunResult {
   Image2D image;
   bool converged = false;
+  /// Stopped early because RunConfig::cancel was set.
+  bool cancelled = false;
   double equits = 0.0;
   double final_rmse_hu = 0.0;
   /// Modeled wall-clock on the paper's machine for this algorithm

@@ -1,0 +1,268 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <fstream>
+#include <thread>
+
+#include "core/error.h"
+#include "core/timer.h"
+#include "obs/json.h"
+
+namespace mbir::sched {
+
+namespace {
+
+/// sched.* instruments, resolved once before the driver threads start so
+/// the per-job path never touches the registry mutex.
+struct Instruments {
+  obs::Counter* completed = nullptr;
+  obs::Counter* cancelled = nullptr;
+  obs::Counter* failed = nullptr;
+  obs::Histogram* queue_wait = nullptr;
+  obs::Histogram* job_host_seconds = nullptr;
+};
+
+Instruments resolveInstruments(obs::Recorder* rec) {
+  Instruments inst;
+  if (rec && rec->metricsOn()) {
+    obs::MetricsRegistry& m = rec->metrics();
+    inst.completed = &m.counter("sched.jobs.completed");
+    inst.cancelled = &m.counter("sched.jobs.cancelled");
+    inst.failed = &m.counter("sched.jobs.failed");
+    inst.queue_wait = &m.histogram("sched.queue_wait_modeled_s");
+    inst.job_host_seconds = &m.histogram("sched.job.host_seconds");
+  }
+  return inst;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(SchedulerOptions options) : opt_(std::move(options)) {
+  MBIR_CHECK_MSG(opt_.num_devices >= 1, "scheduler needs at least one device");
+}
+
+BatchScheduler::~BatchScheduler() = default;
+
+int BatchScheduler::submit(const OwnedProblem& problem, const Image2D& golden,
+                           RunConfig config, std::string name) {
+  MBIR_CHECK_MSG(!ran_, "submit() after runAll()");
+  const int id = int(jobs_.size());
+  Job& job = jobs_.emplace_back();
+  job.problem = &problem;
+  job.golden = &golden;
+  job.config = std::move(config);
+  job.name = name.empty() ? "job" + std::to_string(id) : std::move(name);
+  job.future = job.promise.get_future().share();
+  job.result.job_id = id;
+  job.result.device = id % opt_.num_devices;
+  job.result.name = job.name;
+  return id;
+}
+
+std::shared_future<const JobResult*> BatchScheduler::future(int job_id) {
+  MBIR_CHECK_MSG(job_id >= 0 && job_id < jobCount(), "unknown job id");
+  return jobs_[std::size_t(job_id)].future;
+}
+
+void BatchScheduler::cancel(int job_id) {
+  MBIR_CHECK_MSG(job_id >= 0 && job_id < jobCount(), "unknown job id");
+  jobs_[std::size_t(job_id)].cancel_flag.store(true, std::memory_order_release);
+}
+
+void BatchScheduler::driveDevice(int device) {
+  obs::Recorder* rec = opt_.recorder;
+  const Instruments inst = resolveInstruments(rec);
+  const bool tracing = rec && rec->traceOn();
+  double clock_s = 0.0;  // this device's cumulative modeled clock
+  for (std::size_t i = std::size_t(device); i < jobs_.size();
+       i += std::size_t(opt_.num_devices)) {
+    Job& job = jobs_[i];
+    JobResult& r = job.result;
+    r.queue_wait_modeled_s = clock_s;
+    r.device_start_modeled_s = clock_s;
+    const double host_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
+    const WallTimer job_wall;
+
+    RunConfig rc = job.config;
+    rc.cancel = &job.cancel_flag;
+    rc.external_recorder = rec;
+    rc.trace_pid = tracePid(device);
+    if (opt_.host_pool && !rc.gpu.host_pool) rc.gpu.host_pool = opt_.host_pool;
+    try {
+      r.run = reconstruct(*job.problem, *job.golden, rc);
+      r.cancelled = r.run.cancelled;
+    } catch (const std::exception& e) {
+      r.failed = true;
+      r.error = e.what();
+    } catch (...) {
+      r.failed = true;
+      r.error = "unknown exception";
+    }
+    r.host_seconds = job_wall.seconds();
+    clock_s += r.run.modeled_seconds;
+    r.device_end_modeled_s = clock_s;
+
+    if (inst.completed) {
+      inst.completed->add();
+      if (r.cancelled) inst.cancelled->add();
+      if (r.failed) inst.failed->add();
+      inst.queue_wait->observe(r.queue_wait_modeled_s);
+      inst.job_host_seconds->observe(r.host_seconds);
+    }
+    if (tracing) {
+      const std::vector<std::pair<std::string, double>> num_args = {
+          {"job_id", double(r.job_id)},
+          {"device", double(device)},
+          {"equits", r.run.equits},
+          {"rmse_hu", r.run.final_rmse_hu},
+          {"queue_wait_modeled_s", r.queue_wait_modeled_s}};
+      const std::vector<std::pair<std::string, std::string>> str_args = {
+          {"job", job.name}, {"algorithm", algorithmName(rc.algorithm)}};
+      obs::TraceEvent host_ev;
+      host_ev.name = "sched.job";
+      host_ev.cat = "sched";
+      host_ev.clock = obs::Clock::kHost;
+      host_ev.ts_us = host_t0_us;
+      host_ev.dur_us = rec->trace().nowHostUs() - host_t0_us;
+      host_ev.num_args = num_args;
+      host_ev.str_args = str_args;
+      obs::TraceEvent dev_ev;
+      dev_ev.name = "sched.job." + job.name;
+      dev_ev.cat = "sched";
+      dev_ev.clock = obs::Clock::kModeled;
+      dev_ev.pid = tracePid(device);
+      dev_ev.ts_us = r.device_start_modeled_s * 1e6;
+      dev_ev.dur_us = (r.device_end_modeled_s - r.device_start_modeled_s) * 1e6;
+      dev_ev.num_args = num_args;
+      dev_ev.str_args = str_args;
+      rec->trace().record(std::move(host_ev));
+      rec->trace().record(std::move(dev_ev));
+    }
+    job.promise.set_value(&r);
+  }
+  report_.device_modeled_s[std::size_t(device)] = clock_s;
+}
+
+const BatchReport& BatchScheduler::runAll() {
+  MBIR_CHECK_MSG(!ran_, "runAll() called twice");
+  ran_ = true;
+  obs::Recorder* rec = opt_.recorder;
+  const int D = opt_.num_devices;
+  report_.device_modeled_s.assign(std::size_t(D), 0.0);
+  if (rec && rec->traceOn()) {
+    for (int d = 0; d < D; ++d)
+      rec->trace().nameProcess(tracePid(d),
+                               "device " + std::to_string(d) + " (modeled)",
+                               /*sort_index=*/tracePid(d));
+  }
+  if (rec && rec->metricsOn()) {
+    rec->metrics().gauge("sched.devices").set(double(D));
+    rec->metrics().gauge("sched.jobs.submitted").set(double(jobCount()));
+  }
+
+  const WallTimer batch_wall;
+  if (D == 1) {
+    driveDevice(0);  // no point spawning a thread for a single device
+  } else {
+    std::vector<std::thread> drivers;
+    drivers.reserve(std::size_t(D));
+    for (int d = 0; d < D; ++d) drivers.emplace_back([this, d] { driveDevice(d); });
+    for (std::thread& t : drivers) t.join();
+  }
+  report_.host_seconds = batch_wall.seconds();
+
+  report_.jobs_total = jobCount();
+  double wait_sum = 0.0;
+  for (const Job& job : jobs_) {
+    const JobResult& r = job.result;
+    if (r.run.converged) ++report_.jobs_converged;
+    if (r.cancelled) ++report_.jobs_cancelled;
+    if (r.failed) ++report_.jobs_failed;
+    report_.modeled_device_seconds_total += r.run.modeled_seconds;
+    wait_sum += r.queue_wait_modeled_s;
+    report_.queue_wait_max_s = std::max(report_.queue_wait_max_s, r.queue_wait_modeled_s);
+  }
+  if (report_.jobs_total > 0) {
+    report_.jobs_per_host_second =
+        report_.host_seconds > 0.0 ? report_.jobs_total / report_.host_seconds : 0.0;
+    report_.modeled_device_seconds_per_job =
+        report_.modeled_device_seconds_total / report_.jobs_total;
+    report_.queue_wait_mean_s = wait_sum / report_.jobs_total;
+  }
+  report_.makespan_modeled_s =
+      *std::max_element(report_.device_modeled_s.begin(), report_.device_modeled_s.end());
+  return report_;
+}
+
+const JobResult& BatchScheduler::result(int job_id) const {
+  MBIR_CHECK_MSG(ran_, "result() before runAll()");
+  MBIR_CHECK_MSG(job_id >= 0 && job_id < jobCount(), "unknown job id");
+  return jobs_[std::size_t(job_id)].result;
+}
+
+const BatchReport& BatchScheduler::report() const {
+  MBIR_CHECK_MSG(ran_, "report() before runAll()");
+  return report_;
+}
+
+std::string BatchScheduler::reportJson() const {
+  MBIR_CHECK_MSG(ran_, "reportJson() before runAll()");
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "gpumbir.batch_report/1");
+  w.kv("num_devices", opt_.num_devices);
+  w.kv("jobs_total", report_.jobs_total);
+  w.kv("jobs_converged", report_.jobs_converged);
+  w.kv("jobs_cancelled", report_.jobs_cancelled);
+  w.kv("jobs_failed", report_.jobs_failed);
+  w.kv("host_seconds", report_.host_seconds);
+  w.kv("jobs_per_host_second", report_.jobs_per_host_second);
+  w.kv("modeled_device_seconds_total", report_.modeled_device_seconds_total);
+  w.kv("modeled_device_seconds_per_job", report_.modeled_device_seconds_per_job);
+  w.kv("makespan_modeled_s", report_.makespan_modeled_s);
+  w.key("queue_wait_modeled_s").beginObject();
+  w.kv("mean", report_.queue_wait_mean_s);
+  w.kv("max", report_.queue_wait_max_s);
+  w.endObject();
+  w.key("device_modeled_s").beginArray();
+  for (double s : report_.device_modeled_s) w.value(s);
+  w.endArray();
+  w.key("jobs").beginArray();
+  for (const Job& job : jobs_) {
+    const JobResult& r = job.result;
+    w.beginObject();
+    w.kv("job_id", r.job_id);
+    w.kv("name", r.name);
+    w.kv("device", r.device);
+    w.kv("algorithm", algorithmName(job.config.algorithm));
+    w.kv("converged", r.run.converged);
+    w.kv("cancelled", r.cancelled);
+    w.kv("failed", r.failed);
+    if (r.failed) w.kv("error", r.error);
+    w.kv("equits", r.run.equits);
+    w.kv("final_rmse_hu", r.run.final_rmse_hu);
+    w.kv("modeled_seconds", r.run.modeled_seconds);
+    w.kv("host_seconds", r.host_seconds);
+    w.kv("queue_wait_modeled_s", r.queue_wait_modeled_s);
+    w.kv("device_start_modeled_s", r.device_start_modeled_s);
+    w.kv("device_end_modeled_s", r.device_end_modeled_s);
+    w.endObject();
+  }
+  w.endArray();
+  const obs::Recorder* rec = opt_.recorder;
+  if (rec && rec->metricsOn()) {
+    w.key("metrics");
+    rec->metrics().writeJson(w);
+  }
+  w.endObject();
+  return w.str();
+}
+
+void BatchScheduler::writeReportJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  MBIR_CHECK_MSG(out.good(), "cannot open batch report file: " + path);
+  out << reportJson() << '\n';
+  MBIR_CHECK_MSG(out.good(), "failed writing batch report: " + path);
+}
+
+}  // namespace mbir::sched

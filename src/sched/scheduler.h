@@ -1,0 +1,157 @@
+// Batched multi-job reconstruction scheduler over multi-device gsim.
+//
+// A BatchScheduler accepts a queue of independent reconstruction jobs (each
+// an OwnedProblem + golden + RunConfig) and shards them across D simulated
+// GPU devices. Every job constructs its own engine — for GPU-ICD that means
+// its own gsim::GpuSimulator instance with independent caches and modeled
+// clock — so devices never share simulated state; the scheduler adds the
+// per-device *cumulative* modeled clock on top (job k's modeled queue wait
+// is the device clock when it starts). One driver thread per device walks
+// that device's jobs in submission order; the functional kernel work of all
+// devices lands on one shared host ThreadPool (safe because parallelFor
+// completion is tracked per call — see core/thread_pool.h).
+//
+// Determinism: job -> device assignment is round-robin by job id (job i runs
+// on device i % D), each device runs its jobs in submission order, and the
+// per-job reconstruction is exactly reconstruct() — so results (images,
+// stats, modeled seconds) are bit-identical to running the same jobs
+// serially, for any device count and any host thread count, as long as the
+// per-job config is itself deterministic (sequential ICD, GPU-ICD, or
+// PSV-ICD with num_threads == 1; see DESIGN.md §7). Asserted by
+// tests/test_sched.cpp.
+//
+// Observability: with a shared obs::Recorder, each device registers as its
+// own trace process (pid = base_trace_pid + d) so per-device modeled
+// timelines render side by side, and the scheduler records sched.* metrics
+// (queue-wait histogram, per-job host seconds, completion counters).
+// Purely observational: results are bit-identical with or without it.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "recon/reconstructor.h"
+
+namespace mbir::sched {
+
+struct SchedulerOptions {
+  /// Number of simulated devices jobs are sharded across (>= 1).
+  int num_devices = 1;
+  /// Shared host pool the simulated kernel blocks of every device execute
+  /// on (nullptr = the process-wide pool). Injected as each GPU job's
+  /// host_pool unless the job set its own. Wall-clock only: results are
+  /// bit-identical for any pool size.
+  ThreadPool* host_pool = nullptr;
+  /// Shared observability session for the whole batch (nullptr = off).
+  /// Passed to every job as RunConfig::external_recorder.
+  obs::Recorder* recorder = nullptr;
+  /// Trace pid of device 0; device d renders as pid base_trace_pid + d
+  /// (pids 1/2 are the builtin host/modeled clock processes).
+  int base_trace_pid = 10;
+};
+
+/// Outcome of one job. Stable address once runAll() starts (futures resolve
+/// to pointers into the scheduler; valid while the scheduler lives).
+struct JobResult {
+  int job_id = -1;
+  int device = -1;
+  std::string name;
+  bool cancelled = false;  ///< stopped by cancel() at an iteration boundary
+  bool failed = false;     ///< reconstruct() threw
+  std::string error;       ///< exception message when failed
+  /// Modeled seconds this job waited behind earlier jobs on its device
+  /// (= the device's cumulative modeled clock when it started).
+  double queue_wait_modeled_s = 0.0;
+  double device_start_modeled_s = 0.0;
+  double device_end_modeled_s = 0.0;
+  /// Real host wall-clock of this job's reconstruct() call.
+  double host_seconds = 0.0;
+  RunResult run;
+};
+
+/// Aggregate throughput report for one runAll().
+struct BatchReport {
+  int jobs_total = 0;
+  int jobs_converged = 0;
+  int jobs_cancelled = 0;
+  int jobs_failed = 0;
+  /// Real host wall-clock of the whole batch (all devices in flight).
+  double host_seconds = 0.0;
+  double jobs_per_host_second = 0.0;
+  /// Sum of per-job modeled seconds across all devices.
+  double modeled_device_seconds_total = 0.0;
+  double modeled_device_seconds_per_job = 0.0;
+  /// Largest per-device cumulative modeled clock = batch completion time on
+  /// the modeled hardware.
+  double makespan_modeled_s = 0.0;
+  /// Modeled queue-wait distribution over jobs.
+  double queue_wait_mean_s = 0.0;
+  double queue_wait_max_s = 0.0;
+  /// Final cumulative modeled clock per device.
+  std::vector<double> device_modeled_s;
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(SchedulerOptions options = {});
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueue a job; returns its id. Job i is assigned to device
+  /// i % num_devices (deterministic). `problem` and `golden` are borrowed
+  /// and must outlive runAll(). Must be called before runAll().
+  int submit(const OwnedProblem& problem, const Image2D& golden,
+             RunConfig config, std::string name = {});
+
+  int jobCount() const { return int(jobs_.size()); }
+  int numDevices() const { return opt_.num_devices; }
+
+  /// Future resolving to the job's result when it finishes (during
+  /// runAll()). Valid to request before or after runAll().
+  std::shared_future<const JobResult*> future(int job_id);
+
+  /// Request cooperative cancellation: the job stops at its next iteration
+  /// boundary (JobResult::cancelled). Callable any time — before runAll()
+  /// or from another thread while the batch is in flight.
+  void cancel(int job_id);
+
+  /// Run every queued job to completion across the devices (blocking).
+  /// One driver thread per device; call at most once.
+  const BatchReport& runAll();
+
+  /// Completed-job access (after runAll()).
+  const JobResult& result(int job_id) const;
+  const BatchReport& report() const;
+
+  /// Machine-readable batch report (schema gpumbir.batch_report/1):
+  /// aggregates + one entry per job. After runAll().
+  std::string reportJson() const;
+  void writeReportJson(const std::string& path) const;
+
+ private:
+  struct Job {
+    const OwnedProblem* problem = nullptr;
+    const Image2D* golden = nullptr;
+    RunConfig config;
+    std::string name;
+    std::atomic<bool> cancel_flag{false};
+    std::promise<const JobResult*> promise;
+    std::shared_future<const JobResult*> future;
+    JobResult result;
+  };
+
+  void driveDevice(int device);
+  int tracePid(int device) const { return opt_.base_trace_pid + device; }
+
+  SchedulerOptions opt_;
+  std::deque<Job> jobs_;  // deque: Jobs hold atomics/promises, never relocate
+  BatchReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace mbir::sched

@@ -1,0 +1,135 @@
+// Golden regression fixtures: every engine's reconstruction of the tiny
+// suite case is pinned to a committed fingerprint (FNV-1a-64 of the image's
+// float bit patterns) plus its RMSE / equits / modeled seconds. Any change
+// to numerics — intended or not — trips this test; intended changes
+// regenerate the fixture:
+//
+//   GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression
+//
+// The fixture (tests/fixtures/golden_regression.json) is reviewed like
+// code: a diff there is a statement that the numbers moved on purpose.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "test_support.h"
+
+namespace mbir {
+namespace {
+
+constexpr const char* kFixturePath =
+    GPUMBIR_FIXTURE_DIR "/golden_regression.json";
+
+struct EngineRecord {
+  std::string key;
+  std::uint64_t image_hash = 0;
+  double rmse_hu = 0.0;
+  double equits = 0.0;
+  double modeled_seconds = 0.0;
+};
+
+std::string hashHex(std::uint64_t h) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// Fixed-budget runs (no RMSE stop) so the pinned numbers do not depend on
+// the convergence threshold; PSV runs single-threaded, the only
+// deterministic PSV mode.
+std::vector<EngineRecord> computeCurrent() {
+  std::vector<EngineRecord> records;
+  const auto run = [&](const std::string& key, RunConfig cfg) {
+    cfg.stop_rmse_hu = -1.0;
+    const RunResult r =
+        reconstruct(test::tinyProblem(), test::tinyGolden(), cfg);
+    records.push_back({key, test::imageHash(r.image), r.final_rmse_hu,
+                       r.equits, r.modeled_seconds});
+  };
+  run("seq", test::tinyRunConfig(Algorithm::kSequentialIcd, 4.0));
+  RunConfig psv = test::tinyRunConfig(Algorithm::kPsvIcd, 4.0);
+  psv.psv.num_threads = 1;
+  run("psv_1t", psv);
+  run("gpu", test::tinyRunConfig(Algorithm::kGpuIcd, 4.0));
+  RunConfig gpu_exact = test::tinyRunConfig(Algorithm::kGpuIcd, 4.0);
+  gpu_exact.gpu.flags.quantize_amatrix = false;
+  run("gpu_exact_amatrix", gpu_exact);
+  return records;
+}
+
+void writeFixture(const std::vector<EngineRecord>& records) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "gpumbir.golden_regression/1");
+  w.key("engines").beginObject();
+  for (const EngineRecord& r : records) {
+    w.key(r.key).beginObject();
+    w.kv("image_hash", hashHex(r.image_hash));
+    w.kv("rmse_hu", r.rmse_hu);
+    w.kv("equits", r.equits);
+    w.kv("modeled_seconds", r.modeled_seconds);
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+  std::ofstream out(kFixturePath, std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot write " << kFixturePath;
+  out << w.str() << '\n';
+}
+
+TEST(GoldenRegression, EnginesMatchCommittedFixtures) {
+  const std::vector<EngineRecord> current = computeCurrent();
+
+  if (std::getenv("GPUMBIR_REGEN_GOLDEN")) {
+    writeFixture(current);
+    GTEST_SKIP() << "regenerated " << kFixturePath;
+  }
+
+  std::ifstream in(kFixturePath, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << kFixturePath
+      << " — regenerate with GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue doc = obs::parseJson(ss.str());
+  ASSERT_EQ(doc.find("schema")->asString(), "gpumbir.golden_regression/1");
+  const obs::JsonValue* engines = doc.find("engines");
+  ASSERT_TRUE(engines && engines->isObject());
+  ASSERT_EQ(engines->object_v.size(), current.size())
+      << "fixture engine set diverged — regenerate";
+
+  for (const EngineRecord& r : current) {
+    SCOPED_TRACE(r.key);
+    const obs::JsonValue* e = engines->find(r.key);
+    ASSERT_NE(e, nullptr) << "engine missing from fixture";
+    // The image fingerprint is the real regression tripwire: bit-exact.
+    EXPECT_EQ(e->find("image_hash")->asString(), hashHex(r.image_hash))
+        << "image bits changed; if intended, regenerate the fixture with\n"
+        << "  GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression";
+    // Scalars are written with full round-trip precision, so equality is
+    // exact as well; failures here with a matching hash mean the stats
+    // pipeline (not the image) drifted.
+    EXPECT_EQ(e->find("rmse_hu")->asNumber(), r.rmse_hu);
+    EXPECT_EQ(e->find("equits")->asNumber(), r.equits);
+    EXPECT_EQ(e->find("modeled_seconds")->asNumber(), r.modeled_seconds);
+  }
+}
+
+TEST(GoldenRegression, FingerprintIsRunToRunStable) {
+  // Two fresh computations in one process must agree bit-for-bit — guards
+  // the fixture protocol itself against hidden run-to-run nondeterminism.
+  const auto a = computeCurrent();
+  const auto b = computeCurrent();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].image_hash, b[i].image_hash) << a[i].key;
+    EXPECT_EQ(a[i].modeled_seconds, b[i].modeled_seconds) << a[i].key;
+  }
+}
+
+}  // namespace
+}  // namespace mbir

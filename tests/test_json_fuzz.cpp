@@ -1,0 +1,263 @@
+// Fuzz/property tests for the obs JSON writer + strict parser.
+//
+// Round-trip property: any document emitted by JsonWriter from a randomized
+// (seeded Rng, no wall-clock) value tree parses back to the same tree.
+// Robustness property: a corpus of malformed inputs — truncations, bad
+// escapes, duplicate keys, unterminated containers, deep nesting, raw
+// control bytes — must be *rejected* with mbir::Error, never crash, and
+// never be silently accepted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "obs/json.h"
+
+namespace mbir::obs {
+namespace {
+
+// ---------- randomized round-trip ----------
+
+// Random value tree, bounded in depth and fanout so documents stay small.
+JsonValue randomValue(Rng& rng, int depth) {
+  JsonValue v;
+  // Leaves only at the depth limit; containers get rarer as we go deeper.
+  const std::uint64_t kind = rng.below(depth >= 4 ? 4 : 6);
+  switch (kind) {
+    case 0:
+      v.type = JsonValue::Type::kNull;
+      break;
+    case 1:
+      v.type = JsonValue::Type::kBool;
+      v.bool_v = rng.below(2) == 1;
+      break;
+    case 2: {
+      v.type = JsonValue::Type::kNumber;
+      // Mix of integers and reals, positive and negative, wide magnitude.
+      const double mag = rng.uniform(-9, 9);
+      double x = rng.uniform(-1.0, 1.0) * std::pow(10.0, mag);
+      if (rng.below(2) == 0) x = double(std::int64_t(x * 1000.0));
+      v.num_v = x;
+      break;
+    }
+    case 3: {
+      v.type = JsonValue::Type::kString;
+      const std::uint64_t len = rng.below(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters that need escaping.
+        const char* alphabet =
+            "abcXYZ012 _-/\\\"\n\t\r{}[]:,\x01\x1f";
+        v.str_v.push_back(alphabet[rng.below(27)]);
+      }
+      break;
+    }
+    case 4: {
+      v.type = JsonValue::Type::kArray;
+      const std::uint64_t n = rng.below(5);
+      for (std::uint64_t i = 0; i < n; ++i)
+        v.array_v.push_back(randomValue(rng, depth + 1));
+      break;
+    }
+    default: {
+      v.type = JsonValue::Type::kObject;
+      const std::uint64_t n = rng.below(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string key = "k" + std::to_string(rng.below(1000));
+        v.object_v[key] = randomValue(rng, depth + 1);  // dup keys collapse
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+void writeValue(JsonWriter& w, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: w.null(); break;
+    case JsonValue::Type::kBool: w.value(v.bool_v); break;
+    case JsonValue::Type::kNumber: w.value(v.num_v); break;
+    case JsonValue::Type::kString: w.value(v.str_v); break;
+    case JsonValue::Type::kArray:
+      w.beginArray();
+      for (const JsonValue& e : v.array_v) writeValue(w, e);
+      w.endArray();
+      break;
+    case JsonValue::Type::kObject:
+      w.beginObject();
+      for (const auto& [k, e] : v.object_v) {
+        w.key(k);
+        writeValue(w, e);
+      }
+      w.endObject();
+      break;
+  }
+}
+
+void expectSameTree(const JsonValue& a, const JsonValue& b,
+                    const std::string& path) {
+  ASSERT_EQ(int(a.type), int(b.type)) << path;
+  switch (a.type) {
+    case JsonValue::Type::kNull: break;
+    case JsonValue::Type::kBool: EXPECT_EQ(a.bool_v, b.bool_v) << path; break;
+    case JsonValue::Type::kNumber:
+      // formatNumber emits full round-trip precision for finite values.
+      EXPECT_EQ(a.num_v, b.num_v) << path;
+      break;
+    case JsonValue::Type::kString: EXPECT_EQ(a.str_v, b.str_v) << path; break;
+    case JsonValue::Type::kArray:
+      ASSERT_EQ(a.array_v.size(), b.array_v.size()) << path;
+      for (std::size_t i = 0; i < a.array_v.size(); ++i)
+        expectSameTree(a.array_v[i], b.array_v[i],
+                       path + "[" + std::to_string(i) + "]");
+      break;
+    case JsonValue::Type::kObject:
+      ASSERT_EQ(a.object_v.size(), b.object_v.size()) << path;
+      for (const auto& [k, e] : a.object_v) {
+        auto it = b.object_v.find(k);
+        ASSERT_NE(it, b.object_v.end()) << path << "." << k;
+        expectSameTree(e, it->second, path + "." + k);
+      }
+      break;
+  }
+}
+
+TEST(JsonFuzz, RandomDocumentsRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng = Rng::forStream(0x15f2, seed);
+    JsonValue doc = randomValue(rng, 0);
+    JsonWriter w;
+    writeValue(w, doc);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + w.str());
+    JsonValue parsed;
+    ASSERT_NO_THROW(parsed = parseJson(w.str()));
+    expectSameTree(doc, parsed, "$");
+  }
+}
+
+TEST(JsonFuzz, EveryTruncationOfValidDocumentIsRejected) {
+  Rng rng = Rng::forStream(0xdead, 7);
+  JsonWriter w;
+  // Force a container root so every proper prefix is incomplete.
+  JsonValue doc;
+  doc.type = JsonValue::Type::kObject;
+  doc.object_v["a"] = randomValue(rng, 1);
+  doc.object_v["b"] = randomValue(rng, 1);
+  doc.object_v["long_key_so_prefixes_cut_strings"] = randomValue(rng, 1);
+  writeValue(w, doc);
+  const std::string& full = w.str();
+  ASSERT_NO_THROW(parseJson(full));
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);
+    EXPECT_THROW(parseJson(prefix), Error) << "prefix length " << cut;
+  }
+}
+
+TEST(JsonFuzz, RandomMutationsNeverCrash) {
+  // Flip, insert, or delete random bytes in a valid document: the parser
+  // must either accept (mutation kept it valid) or throw Error — any other
+  // exception or a crash fails the test.
+  Rng gen = Rng::forStream(0xbeef, 1);
+  JsonWriter w;
+  writeValue(w, randomValue(gen, 0));
+  const std::string base =
+      w.str().empty() ? "{\"k\":[1,2,{\"x\":null}]}" : w.str();
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng = Rng::forStream(0xf00d, seed);
+    std::string s = "{\"k\":[1,2,{\"x\":null}],\"m\":\"abc\"}";
+    const std::uint64_t edits = 1 + rng.below(4);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      if (s.empty()) break;
+      const std::uint64_t pos = rng.below(s.size());
+      switch (rng.below(3)) {
+        case 0: s[pos] = char(rng.below(256)); break;
+        case 1: s.insert(pos, 1, char(rng.below(128))); break;
+        default: s.erase(pos, 1); break;
+      }
+    }
+    try {
+      parseJson(s);
+    } catch (const Error&) {
+      // rejected: fine
+    }
+    (void)base;
+  }
+}
+
+// ---------- malformed corpus ----------
+
+TEST(JsonStrict, RejectsMalformedCorpus) {
+  const char* corpus[] = {
+      "",                      // empty
+      "   ",                   // whitespace only
+      "{",                     // unterminated object
+      "[1, 2",                 // unterminated array
+      "\"abc",                 // unterminated string
+      "{\"a\" 1}",             // missing colon
+      "{\"a\":1,}",            // trailing comma
+      "[1,,2]",                // empty element
+      "[1] 2",                 // trailing garbage
+      "{} {}",                 // two documents
+      "nul",                   // truncated keyword
+      "tru",                   //
+      "+1",                    // leading plus
+      "01",                    // leading zero
+      "1.",                    // bare trailing dot
+      ".5",                    // bare leading dot
+      "1e",                    // empty exponent
+      "'a'",                   // single quotes
+      "{a:1}",                 // unquoted key
+      "\"\\x41\"",             // invalid escape
+      "\"\\u12\"",             // short unicode escape
+      "\"\\u12zz\"",           // non-hex unicode escape
+      "\"\\\"",                // escape then EOF
+      "{\"a\":1,\"a\":2}",     // duplicate key
+      "{\"a\":{\"b\":1,\"b\":2}}",  // nested duplicate key
+      "\"a\nb\"",              // raw newline in string
+      "\"a\tb\"",              // raw tab in string
+      "[1 2]",                 // missing comma
+      "{\"a\":}",              // missing value
+      "-",                     // lone minus
+      "[}",                    // mismatched close
+      "{]",                    //
+  };
+  for (const char* bad : corpus) {
+    EXPECT_THROW(parseJson(bad), Error) << "input: " << bad;
+  }
+}
+
+TEST(JsonStrict, RejectsRawControlByteInString) {
+  std::string s = "\"ab\"";
+  s[2] = '\x01';
+  EXPECT_THROW(parseJson(s), Error);
+}
+
+TEST(JsonStrict, DeepNestingIsRejectedNotStackOverflow) {
+  // Well beyond the 200-level cap: must throw, not smash the stack.
+  const int depth = 100000;
+  std::string arrays(std::size_t(depth), '[');
+  EXPECT_THROW(parseJson(arrays), Error);
+  std::string closed = arrays + std::string(std::size_t(depth), ']');
+  EXPECT_THROW(parseJson(closed), Error);
+  std::string objects;
+  for (int i = 0; i < 300; ++i) objects += "{\"k\":";
+  objects += "1";
+  for (int i = 0; i < 300; ++i) objects += "}";
+  EXPECT_THROW(parseJson(objects), Error);
+}
+
+TEST(JsonStrict, NestingJustUnderTheCapParses) {
+  std::string s(199, '[');
+  s += "1";
+  s += std::string(199, ']');
+  EXPECT_NO_THROW(parseJson(s));
+}
+
+TEST(JsonStrict, AcceptsEscapesAndUnicode) {
+  const JsonValue v = parseJson("\"a\\n\\t\\\\\\\"\\u0041\"");
+  EXPECT_EQ(v.asString(), "a\n\t\\\"A");
+}
+
+}  // namespace
+}  // namespace mbir::obs

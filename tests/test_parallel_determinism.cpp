@@ -12,29 +12,12 @@
 #include "gsim/executor.h"
 #include "obs/obs.h"
 #include "sv/svb.h"
-#include "test_util.h"
+#include "test_support.h"
 
 namespace mbir {
 namespace {
 
-void expectStatsBitIdentical(const gsim::KernelStats& a,
-                             const gsim::KernelStats& b) {
-  EXPECT_EQ(a.svb_access_bytes, b.svb_access_bytes);
-  EXPECT_EQ(a.svb_access_time_bytes, b.svb_access_time_bytes);
-  EXPECT_EQ(a.svb_unique_bytes, b.svb_unique_bytes);
-  EXPECT_EQ(a.amatrix_access_bytes, b.amatrix_access_bytes);
-  EXPECT_EQ(a.amatrix_unique_bytes, b.amatrix_unique_bytes);
-  EXPECT_EQ(a.amatrix_via_texture, b.amatrix_via_texture);
-  EXPECT_EQ(a.desc_bytes, b.desc_bytes);
-  EXPECT_EQ(a.smem_bytes, b.smem_bytes);
-  EXPECT_EQ(a.flops, b.flops);
-  EXPECT_EQ(a.atomic_ops, b.atomic_ops);
-  EXPECT_EQ(a.atomic_ops_weighted, b.atomic_ops_weighted);
-  EXPECT_EQ(a.l2_working_set_bytes, b.l2_working_set_bytes);
-  EXPECT_EQ(a.imbalance_factor, b.imbalance_factor);
-  EXPECT_EQ(a.grid_blocks, b.grid_blocks);
-  EXPECT_EQ(a.launches, b.launches);
-}
+using test::expectStatsBitIdentical;
 
 // ---------- executor ----------
 
@@ -110,9 +93,7 @@ TEST(SvbStriped, StripeUnionEqualsFullApply) {
 GpuRunStats runGpuWith(ThreadPool* pool, int chunk_cache_capacity, Image2D& x,
                        int iterations = 3, obs::Recorder* recorder = nullptr) {
   const OwnedProblem& problem = test::tinyProblem();
-  GpuIcdOptions opt;
-  opt.tunables.sv.sv_side = 8;  // fits the 32^2 test image
-  opt.device = gsim::scaleCachesToProblem(opt.device, 48.0 / 720.0);
+  GpuIcdOptions opt = test::tinyGpuOptions();
   opt.max_iterations = iterations;
   opt.host_pool = pool;
   opt.chunk_cache_capacity = chunk_cache_capacity;
@@ -123,17 +104,7 @@ GpuRunStats runGpuWith(ThreadPool* pool, int chunk_cache_capacity, Image2D& x,
   return icd.run(x, e);
 }
 
-void expectRunsBitIdentical(const GpuRunStats& sa, const Image2D& xa,
-                            const GpuRunStats& sb, const Image2D& xb) {
-  EXPECT_EQ(0, std::memcmp(xa.flat().data(), xb.flat().data(),
-                           xa.flat().size() * sizeof(float)));
-  EXPECT_EQ(sa.equits, sb.equits);
-  EXPECT_EQ(sa.modeled_seconds, sb.modeled_seconds);
-  EXPECT_EQ(sa.work.voxel_updates, sb.work.voxel_updates);
-  EXPECT_EQ(sa.work.theta_elements, sb.work.theta_elements);
-  EXPECT_EQ(sa.work.error_update_elements, sb.work.error_update_elements);
-  expectStatsBitIdentical(sa.kernel_stats, sb.kernel_stats);
-}
+using test::expectGpuRunsBitIdentical;
 
 TEST(GpuIcdDeterminism, BitIdenticalAcrossThreadCounts) {
   ThreadPool p1(1), p2(2), p4(4);
@@ -142,8 +113,8 @@ TEST(GpuIcdDeterminism, BitIdenticalAcrossThreadCounts) {
   const auto s2 = runGpuWith(&p2, 128, x2);
   const auto s4 = runGpuWith(&p4, 128, x4);
   ASSERT_GT(s1.work.voxel_updates, 0u);
-  expectRunsBitIdentical(s1, x1, s2, x2);
-  expectRunsBitIdentical(s1, x1, s4, x4);
+  expectGpuRunsBitIdentical(s1, x1, s2, x2);
+  expectGpuRunsBitIdentical(s1, x1, s4, x4);
 }
 
 TEST(GpuIcdDeterminism, SerialPoolMatchesGlobalPool) {
@@ -151,7 +122,7 @@ TEST(GpuIcdDeterminism, SerialPoolMatchesGlobalPool) {
   Image2D xs, xg;
   const auto ss = runGpuWith(&p1, 128, xs);
   const auto sg = runGpuWith(nullptr, 128, xg);  // process-wide pool
-  expectRunsBitIdentical(ss, xs, sg, xg);
+  expectGpuRunsBitIdentical(ss, xs, sg, xg);
 }
 
 TEST(GpuIcdDeterminism, ChunkCacheIsPureOptimization) {
@@ -159,7 +130,7 @@ TEST(GpuIcdDeterminism, ChunkCacheIsPureOptimization) {
   Image2D xc, xn;
   const auto cached = runGpuWith(&p2, 128, xc);
   const auto uncached = runGpuWith(&p2, 0, xn);
-  expectRunsBitIdentical(cached, xc, uncached, xn);
+  expectGpuRunsBitIdentical(cached, xc, uncached, xn);
   // Iteration 1 visits every SV, so by iteration 2 the top-fraction
   // selection must re-use cached plans.
   EXPECT_GT(cached.chunk_cache_hits, 0u);
@@ -174,7 +145,7 @@ TEST(GpuIcdDeterminism, TinyCacheCapacityStillCorrect) {
   Image2D xa, xb;
   const auto a = runGpuWith(&p2, 1, xa);
   const auto b = runGpuWith(&p2, 128, xb);
-  expectRunsBitIdentical(a, xa, b, xb);
+  expectGpuRunsBitIdentical(a, xa, b, xb);
 }
 
 // ---------- observability is purely observational ----------
@@ -194,7 +165,7 @@ TEST(GpuIcdDeterminism, ObservabilityDoesNotPerturbResults) {
     const auto plain = runGpuWith(&pool, 128, x_plain);
     obs::Recorder rec(ocfg);
     const auto observed = runGpuWith(&pool, 128, x_obs, 3, &rec);
-    expectRunsBitIdentical(plain, x_plain, observed, x_obs);
+    expectGpuRunsBitIdentical(plain, x_plain, observed, x_obs);
     EXPECT_EQ(plain.chunk_cache_hits, observed.chunk_cache_hits);
     EXPECT_EQ(plain.chunk_cache_misses, observed.chunk_cache_misses);
     // ...and the recorder did actually observe the run.

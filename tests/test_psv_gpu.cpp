@@ -12,7 +12,7 @@
 #include "geom/projector.h"
 #include "icd/cost.h"
 #include "psv/psv_icd.h"
-#include "test_util.h"
+#include "test_support.h"
 
 namespace mbir {
 namespace {
@@ -38,9 +38,7 @@ class EngineFixture : public ::testing::Test {
   GpuRunStats runGpu(GpuIcdOptions opt, double max_equits, Image2D& x_out) {
     x_out = problem_->fbpInitialImage();
     Sinogram e = problem_->initialError(x_out);
-    opt.tunables.sv.sv_side = 8;  // fits the 32^2 test image
-    opt.device = gsim::scaleCachesToProblem(opt.device, 48.0 / 720.0);
-    GpuIcd icd(problem_->view(), opt);
+    GpuIcd icd(problem_->view(), test::tinyGpuOptions(std::move(opt)));
     return icd.run(x_out, e, [&](const GpuIterationInfo& info) {
       return info.equits < max_equits;
     });

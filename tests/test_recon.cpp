@@ -8,7 +8,7 @@
 #include "icd/cost.h"
 #include "recon/reconstructor.h"
 #include "recon/suite.h"
-#include "test_util.h"
+#include "test_support.h"
 
 namespace mbir {
 namespace {
@@ -98,11 +98,7 @@ class AlgorithmParam : public ::testing::TestWithParam<Algorithm> {};
 TEST_P(AlgorithmParam, ReconstructConvergesUnderThreshold) {
   const auto& p = test::tinyProblem();
   const Image2D& golden = test::tinyGolden();
-  RunConfig cfg;
-  cfg.algorithm = GetParam();
-  cfg.psv.sv.sv_side = 8;
-  cfg.gpu.tunables.sv.sv_side = 8;
-  cfg.max_equits = 25.0;
+  const RunConfig cfg = test::tinyRunConfig(GetParam());
   const RunResult r = reconstruct(p, golden, cfg);
   EXPECT_TRUE(r.converged) << algorithmName(GetParam());
   EXPECT_LT(r.final_rmse_hu, kConvergedRmseHu);
@@ -123,12 +119,7 @@ INSTANTIATE_TEST_SUITE_P(All, AlgorithmParam,
 TEST(ReconIntegration, AlgorithmsAgreePairwise) {
   const auto& p = test::tinyProblem();
   const Image2D& golden = test::tinyGolden();
-  RunConfig cfg;
-  cfg.psv.sv.sv_side = 8;
-  cfg.gpu.tunables.sv.sv_side = 8;
-  cfg.max_equits = 25.0;
-
-  cfg.algorithm = Algorithm::kSequentialIcd;
+  RunConfig cfg = test::tinyRunConfig(Algorithm::kSequentialIcd);
   const auto seq = reconstruct(p, golden, cfg);
   cfg.algorithm = Algorithm::kPsvIcd;
   const auto psv = reconstruct(p, golden, cfg);
@@ -150,10 +141,7 @@ TEST(ReconIntegration, AlgorithmsAgreePairwise) {
 TEST(ReconIntegration, CurveTimesAreMonotone) {
   const auto& p = test::tinyProblem();
   const Image2D& golden = test::tinyGolden();
-  RunConfig cfg;
-  cfg.algorithm = Algorithm::kGpuIcd;
-  cfg.gpu.tunables.sv.sv_side = 8;
-  const auto r = reconstruct(p, golden, cfg);
+  const auto r = reconstruct(p, golden, test::tinyRunConfig(Algorithm::kGpuIcd));
   for (std::size_t i = 1; i < r.curve.size(); ++i) {
     EXPECT_GE(r.curve[i].equits, r.curve[i - 1].equits);
     EXPECT_GE(r.curve[i].modeled_seconds, r.curve[i - 1].modeled_seconds);
@@ -175,10 +163,7 @@ TEST(ReconIntegration, StopRmseDisabledRunsToMaxEquits) {
 TEST(ReconIntegration, GpuStatsExposed) {
   const auto& p = test::tinyProblem();
   const Image2D& golden = test::tinyGolden();
-  RunConfig cfg;
-  cfg.algorithm = Algorithm::kGpuIcd;
-  cfg.gpu.tunables.sv.sv_side = 8;
-  const auto r = reconstruct(p, golden, cfg);
+  const auto r = reconstruct(p, golden, test::tinyRunConfig(Algorithm::kGpuIcd));
   ASSERT_TRUE(r.gpu_stats.has_value());
   EXPECT_GT(r.gpu_stats->kernels_launched, 0);
   EXPECT_EQ(r.gpu_stats->per_kernel.count("mbir_update"), 1u);
