@@ -40,10 +40,14 @@ std::uint64_t imageHash(const Image2D& img) {
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("max-devices", "largest simulated device count swept", "4");
+  args.describe("race-check",
+                "1 = device-semantics race checking on every launch "
+                "(fatal on diagnosis); for overhead A/B runs", "0");
   auto ctx = BenchContext::fromCli(
       args, "Batch throughput: a job suite across 1..D simulated devices.", 8);
   if (!ctx) return 0;
   const int max_devices = args.getInt("max-devices", 4);
+  const bool race_check = args.getInt("race-check", 0) != 0;
 
   // Build the job set once: one GPU-ICD reconstruction per suite case, at
   // the paper's Table-1 tunables. Problems/goldens are borrowed by every
@@ -59,6 +63,8 @@ int main(int argc, char** argv) {
   RunConfig job_cfg;
   job_cfg.algorithm = Algorithm::kGpuIcd;
   job_cfg.gpu.tunables = paperTunables();
+  job_cfg.gpu.race_check = {.enabled = race_check, .throw_on_race = race_check};
+  if (race_check) std::printf("[bench] race checking ON (fatal)\n");
 
   AsciiTable t({"devices", "jobs", "host wall (s)", "jobs/host-s",
                 "modeled s/job", "modeled makespan (s)", "makespan speedup",

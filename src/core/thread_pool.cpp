@@ -38,6 +38,12 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock lock(mu_);
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -50,7 +56,16 @@ void ThreadPool::workerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must not escape the worker thread (std::terminate)
+    // or leave in_flight_ short — catch, stash the first error for wait(),
+    // and keep the completion accounting exact. parallelFor's helpers do
+    // their own per-call catch and never reach this path with an exception.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mu_);
       if (--in_flight_ == 0) cv_done_.notify_all();

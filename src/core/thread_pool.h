@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -24,10 +25,13 @@ class ThreadPool {
 
   unsigned size() const { return unsigned(workers_.size()); }
 
-  /// Enqueue a task; returns immediately.
+  /// Enqueue a task; returns immediately. A task that throws does not kill
+  /// the worker (or the process): the first exception is stashed and
+  /// rethrown by the next wait().
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished; rethrows the first
+  /// exception any task threw since the last wait().
   void wait();
 
   /// Run fn(i) for i in [begin, end) across the pool with dynamic
@@ -50,6 +54,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   int in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // from submit()ed tasks; guarded by mu_
 };
 
 /// Process-wide pool (lazily constructed); benches and PSV-ICD share it.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <set>
+#include <utility>
 
 #include "core/error.h"
 
@@ -79,6 +82,70 @@ double interSvConflictMultiplier(const std::vector<const SvbPlan*>& batch,
   }
   if (sum_w <= 0.0) return 1.0;
   return std::max(1.0, sum_w2 / sum_w);
+}
+
+namespace {
+
+/// Does SV `a`'s sweep conflict with SV `b`'s at device semantics? True
+/// when a's rect expanded by the 1-voxel read ring (clamped to the image)
+/// intersects b's written rect, or vice versa. Write/write overlap is
+/// subsumed: touching write rects always intersect the other's ring.
+bool svSweepsConflict(const SuperVoxel& a, const SuperVoxel& b, int n) {
+  const auto ring_hits = [n](const SuperVoxel& u, const SuperVoxel& v) {
+    const int r0 = std::max(0, u.row0 - 1), r1 = std::min(n, u.row1 + 1);
+    const int c0 = std::max(0, u.col0 - 1), c1 = std::min(n, u.col1 + 1);
+    return r0 < v.row1 && v.row0 < r1 && c0 < v.col1 && v.col0 < c1;
+  };
+  return ring_hits(a, b) || ring_hits(b, a);
+}
+
+}  // namespace
+
+int scheduleImageConflicts(const SvGrid& grid, const std::vector<int>& group,
+                           gsim::RaceDetector* detector) {
+  const int n = grid.imageSize();
+
+  // Implementation 1: analytic rect intersection over all pairs.
+  int analytic = 0;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    for (std::size_t j = i + 1; j < group.size(); ++j)
+      if (svSweepsConflict(grid.sv(group[i]), grid.sv(group[j]), n))
+        ++analytic;
+
+  // Implementation 2: the race detector over the same geometry, declared
+  // exactly like the mbir_update kernel — one block per SV, write rows of
+  // the rect, read rows of the clamped ring.
+  gsim::RaceDetector scratch(
+      {.enabled = true, .throw_on_race = false,
+       .max_reports = int(3 * group.size() * group.size() + 1)});
+  gsim::RaceDetector& det = detector ? *detector : scratch;
+  const std::size_t races_before = det.races().size();
+  const int image = det.bufferId("image");
+  std::vector<gsim::BlockAccessLog> logs(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const SuperVoxel& sv = grid.sv(group[i]);
+    for (int r = sv.row0; r < sv.row1; ++r)
+      logs[i].write(image, std::int64_t(r) * n + sv.col0,
+                    std::int64_t(r) * n + sv.col1);
+    const int rr0 = std::max(0, sv.row0 - 1), rr1 = std::min(n, sv.row1 + 1);
+    const int rc0 = std::max(0, sv.col0 - 1), rc1 = std::min(n, sv.col1 + 1);
+    for (int r = rr0; r < rr1; ++r)
+      logs[i].read(image, std::int64_t(r) * n + rc0,
+                   std::int64_t(r) * n + rc1);
+  }
+  det.checkLaunch("schedule_check", logs);
+
+  // One conflicting pair can produce several diagnoses (read/write in both
+  // directions plus write/write); count distinct block pairs.
+  std::set<std::pair<int, int>> pairs;
+  const std::vector<gsim::RaceReport>& races = det.races();
+  for (std::size_t k = races_before; k < races.size(); ++k)
+    pairs.insert({races[k].block_a, races[k].block_b});
+  MBIR_CHECK_MSG(int(pairs.size()) == analytic,
+                 "schedule cross-check disagreement: analytic="
+                     << analytic << " detector=" << pairs.size()
+                     << " over " << group.size() << " SVs");
+  return analytic;
 }
 
 double staticPartitionImbalance(const std::vector<int>& work_per_voxel,

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "geom/system_matrix.h"
+#include "gsim/race_check.h"
+#include "sv/supervoxel.h"
 #include "sv/svb.h"
 
 namespace mbir {
@@ -36,5 +38,21 @@ double interSvConflictMultiplier(const std::vector<const SvbPlan*>& batch,
 /// ranges in order.
 double staticPartitionImbalance(const std::vector<int>& work_per_voxel,
                                 int blocks);
+
+/// Cross-check of the checkerboard schedule's race-freedom claim (paper
+/// §4.2): number of SV pairs in `group` whose concurrent sweeps would
+/// conflict at device semantics — one SV's written rect intersecting
+/// another's written rect or 1-voxel read ring (clamped at image edges).
+/// Computed twice, independently: analytically from the SV rectangles, and
+/// by declaring the same geometry to a gsim::RaceDetector as one synthetic
+/// launch (one block per SV) — exactly the declarations the mbir_update
+/// kernel makes. Disagreement between the two implementations is an
+/// mbir::Error. When `detector` is non-null the synthetic launch runs on it
+/// (buffer "image", kernel "schedule_check"), so its totals and report
+/// include the check; otherwise a scratch detector is used.
+/// Zero for every group checkerboardGroups() emits while
+/// boundary_overlap <= (sv_side - 1) / 2.
+int scheduleImageConflicts(const SvGrid& grid, const std::vector<int>& group,
+                           gsim::RaceDetector* detector = nullptr);
 
 }  // namespace mbir

@@ -31,6 +31,11 @@ struct BatchSv {
   std::unique_ptr<Svb> e_svb;
   std::unique_ptr<Svb> e_orig;
   std::unique_ptr<Svb> w_svb;
+  // Race-check buffer ids of this SV's private SVBs, resolved host-side in
+  // runBatch (kernel code must not mutate the detector's registry
+  // concurrently). -1 when checking is off. SVB buffers are declared at
+  // view-row granularity: element v = the SVB's row for view v.
+  int rb_e = -1, rb_eorig = -1, rb_w = -1;
 };
 
 /// Grid scale of the SVB-generation and writeback kernels (blocks per SV).
@@ -62,6 +67,11 @@ struct GpuIcd::Impl {
   obs::Counter* m_batches_skipped = nullptr;
   obs::Counter* m_iterations = nullptr;
 
+  // Race-check buffer ids of the shared global buffers (-1 = checking off).
+  // Image elements are flat row-major voxel indices; sinogram elements are
+  // view * num_channels + channel.
+  int rb_image = -1, rb_sino_e = -1, rb_sino_w = -1;
+
   Impl(const Problem& p, GpuIcdOptions o)
       : problem(p),
         opt(std::move(o)),
@@ -74,6 +84,13 @@ struct GpuIcd::Impl {
     sim.setHostPool(opt.host_pool);
     sim.setRecorder(opt.recorder);
     sim.setTracePid(opt.trace_pid);
+    sim.setRaceCheck(opt.race_check);
+    if (sim.raceCheckOn()) {
+      gsim::RaceDetector& rd = sim.raceDetector();
+      rb_image = rd.bufferId("image");
+      rb_sino_e = rd.bufferId("sino.e");
+      rb_sino_w = rd.bufferId("sino.w");
+    }
     if (opt.recorder && opt.recorder->metricsOn()) {
       obs::MetricsRegistry& m = opt.recorder->metrics();
       m_cache_hits = &m.counter("gpuicd.chunk_cache.hits");
@@ -140,7 +157,11 @@ struct GpuIcd::Impl {
         b.w_svb->gather(problem.weights);
       }
       // Accounting: per view row — read global e, write e_svb + e_orig,
-      // read global w, write w_svb (5 streams).
+      // read global w, write w_svb (5 streams). Race declarations mirror
+      // the device kernel's striping: block `sub` owns view rows
+      // v ≡ sub (mod kAuxBlocksPerSv), so same-SV blocks write disjoint
+      // SVB rows and only *read* the shared global sinogram.
+      const int channels = problem.A.numChannels();
       for (int v = sub; v < b.plan->numViews(); v += kAuxBlocksPerSv) {
         const int w = b.plan->width(v);
         if (w == 0) continue;
@@ -149,6 +170,15 @@ struct GpuIcd::Impl {
         ctx.prof.svbAccess(w, 4, true, true);
         ctx.prof.svbAccess(w, 4, false, true);
         ctx.prof.svbAccess(w, 4, true, true);
+        if (ctx.prof.raceCheckOn()) {
+          const std::int64_t glo =
+              std::int64_t(v) * channels + b.plan->lo(v);
+          ctx.prof.raceRead(rb_sino_e, glo, glo + w);
+          ctx.prof.raceRead(rb_sino_w, glo, glo + w);
+          ctx.prof.raceWrite(b.rb_e, v, v + 1);
+          ctx.prof.raceWrite(b.rb_eorig, v, v + 1);
+          ctx.prof.raceWrite(b.rb_w, v, v + 1);
+        }
       }
     });
   }
@@ -193,6 +223,28 @@ struct GpuIcd::Impl {
       BatchSv& b = batch[bi];
       ctx.prof.setAmatrixViaTexture(fl.amatrix_via_texture);
       ctx.prof.setL2WorkingSet(working_set);
+      if (ctx.prof.raceCheckOn()) {
+        // The checkerboard claim under check: an SV sweep writes only its
+        // own rect and reads at most a 1-voxel ring around it, so blocks
+        // of one launch (= one checkerboard group) must not overlap. The
+        // SV's private SVBs see one declaring block per launch (the
+        // group's other blocks share them through atomics the functional
+        // sweep also models), so they cannot conflict here by design.
+        const SuperVoxel& sv = grid.sv(b.sv_id);
+        const int n = x.size();
+        for (int r = sv.row0; r < sv.row1; ++r)
+          ctx.prof.raceWrite(rb_image, std::int64_t(r) * n + sv.col0,
+                             std::int64_t(r) * n + sv.col1);
+        const int rr0 = std::max(0, sv.row0 - 1);
+        const int rr1 = std::min(n, sv.row1 + 1);
+        const int rc0 = std::max(0, sv.col0 - 1);
+        const int rc1 = std::min(n, sv.col1 + 1);
+        for (int r = rr0; r < rr1; ++r)
+          ctx.prof.raceRead(rb_image, std::int64_t(r) * n + rc0,
+                            std::int64_t(r) * n + rc1);
+        ctx.prof.raceAtomic(b.rb_e, 0, b.plan->numViews());
+        ctx.prof.raceRead(b.rb_w, 0, b.plan->numViews());
+      }
       // Per-SV RNG stream: reproducible for any block schedule, unlike a
       // shared generator threaded through the batch.
       Rng sv_rng = Rng::forStream(opt.seed, std::uint64_t(iter),
@@ -455,6 +507,7 @@ struct GpuIcd::Impl {
       // every batch SVB's delta to them in batch order. Each sinogram
       // element has exactly one writer and a fixed accumulation order —
       // concurrency-safe and bit-identical to the serial writeback.
+      const int channels = problem.A.numChannels();
       for (BatchSv& b : batch) {
         b.e_svb->applyDeltaTo(e, *b.e_orig, ctx.block_idx, stripes);
         for (int v = ctx.block_idx; v < b.plan->numViews(); v += stripes) {
@@ -464,6 +517,18 @@ struct GpuIcd::Impl {
           ctx.prof.svbAccess(w, 4, true, true);   // original SVB
           ctx.prof.globalAtomic(w, conflict);     // atomicAdd per element
           ctx.prof.addFlops(2.0 * w);
+          if (ctx.prof.raceCheckOn()) {
+            // Declared as plain writes, not atomics: the functional
+            // writeback relies on the view striping making every sinogram
+            // element single-writer (a stronger invariant than the real
+            // kernel's atomicAdd), and that is exactly what the detector
+            // verifies here.
+            ctx.prof.raceRead(b.rb_e, v, v + 1);
+            ctx.prof.raceRead(b.rb_eorig, v, v + 1);
+            const std::int64_t glo =
+                std::int64_t(v) * channels + b.plan->lo(v);
+            ctx.prof.raceWrite(rb_sino_e, glo, glo + w);
+          }
         }
       }
     });
@@ -525,6 +590,15 @@ struct GpuIcd::Impl {
           b.chunks = b.owned_chunks.get();
         }
       }
+      if (sim.raceCheckOn()) {
+        // Host-side: kernel blocks run concurrently and must not mutate
+        // the detector's buffer registry.
+        gsim::RaceDetector& rd = sim.raceDetector();
+        const std::string tag = std::to_string(id);
+        b.rb_e = rd.bufferId("svb.e/" + tag);
+        b.rb_eorig = rd.bufferId("svb.eorig/" + tag);
+        b.rb_w = rd.bufferId("svb.w/" + tag);
+      }
       b.plan = &plan;
       batch.push_back(std::move(b));
     }
@@ -575,6 +649,13 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
     const auto groups = im.grid.checkerboardGroups(selected);
 
     for (const auto& group : groups) {
+      // Cross-check (race checking only): the analytical checkerboard
+      // schedule and the race detector must agree on this group's
+      // conflict count before any of its batches launch. Concurrency
+      // within a launch never exceeds one batch, so a group clean as a
+      // whole is clean for every batch split of it.
+      if (im.sim.raceCheckOn() && group.size() > 1)
+        scheduleImageConflicts(im.grid, group, &im.sim.raceDetector());
       for (std::size_t i = 0; i < group.size(); i += std::size_t(tn.svs_per_batch)) {
         const std::size_t end =
             std::min(group.size(), i + std::size_t(tn.svs_per_batch));
@@ -638,6 +719,11 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
   stats.modeled_seconds = im.sim.totalModeledSeconds();
   stats.kernel_stats = im.sim.totalStats();
   stats.per_kernel = im.sim.perKernel();
+  stats.race_check_enabled = im.sim.raceCheckOn();
+  const gsim::RaceCheckTotals race_totals = im.sim.raceDetector().totals();
+  stats.race_launches_checked = race_totals.launches_checked;
+  stats.race_ranges_checked = race_totals.ranges_checked;
+  stats.race_reports = race_totals.races_found;
   return stats;
 }
 

@@ -63,6 +63,11 @@ struct GpuIcdOptions {
   /// process). The batch scheduler sets this to the assigned device's pid
   /// so each simulated device renders as its own trace process.
   int trace_pid = 0;
+  /// Device-semantics race checking (gsim/race_check.h): every launch's
+  /// per-block access declarations are intersected, independent of host
+  /// interleaving. Defaults from GPUMBIR_RACE_CHECK; off costs one branch
+  /// per declaration site and results are bit-identical either way.
+  gsim::RaceCheckConfig race_check = gsim::RaceCheckConfig::fromEnv();
 };
 
 struct GpuIterationInfo {
@@ -89,6 +94,12 @@ struct GpuRunStats {
   gsim::KernelStats kernel_stats;
   /// Per-kernel-name time/stats breakdown.
   std::map<std::string, gsim::NamedTotals> per_kernel;
+  /// Device-semantics race checking (zeros when disabled). Diagnoses are
+  /// readable via GpuIcd::simulator().raceDetector().
+  bool race_check_enabled = false;
+  std::uint64_t race_launches_checked = 0;
+  std::uint64_t race_ranges_checked = 0;
+  std::uint64_t race_reports = 0;
 };
 
 class GpuIcd {

@@ -148,6 +148,9 @@ void GpuSimulator::setRecorder(obs::Recorder* rec) {
     inst_.atomic_ops = &m.counter("gsim.launch.atomic_ops");
     inst_.occupancy = &m.gauge("gsim.launch.occupancy");
     inst_.modeled_seconds = &m.histogram("gsim.launch.modeled_seconds");
+    inst_.race_launches_checked = &m.counter("gsim.race.launches_checked");
+    inst_.race_ranges_checked = &m.counter("gsim.race.ranges_checked");
+    inst_.race_races_found = &m.counter("gsim.race.races_found");
   }
 }
 
@@ -178,8 +181,16 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
     }
   };
 
+  // When race checking is on, every block logs its declared accesses into
+  // its own slot (same isolation argument as the profiler array); the
+  // whole launch is intersected after the blocks join.
+  const bool race_on = race_.config().enabled;
+  std::vector<BlockAccessLog> race_logs;
+  if (race_on) race_logs.resize(std::size_t(cfg.num_blocks));
+
   if (cfg.num_blocks == 1) {
     KernelProfiler prof(dev_);
+    if (race_on) prof.setRaceLog(&race_logs[0]);
     BlockCtx ctx{0, 1, prof};
     run_block(ctx);
     report.stats = prof.stats();
@@ -189,7 +200,10 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
     // report bit-identical for any pool size.
     std::vector<KernelProfiler> profs;
     profs.reserve(std::size_t(cfg.num_blocks));
-    for (int b = 0; b < cfg.num_blocks; ++b) profs.emplace_back(dev_);
+    for (int b = 0; b < cfg.num_blocks; ++b) {
+      profs.emplace_back(dev_);
+      if (race_on) profs.back().setRaceLog(&race_logs[std::size_t(b)]);
+    }
     ThreadPool& pool = host_pool_ ? *host_pool_ : globalThreadPool();
     pool.parallelFor(0, cfg.num_blocks, [&](int b) {
       BlockCtx ctx{b, cfg.num_blocks, profs[std::size_t(b)]};
@@ -200,6 +214,13 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
   report.stats.launches = 1;
   report.stats.grid_blocks = cfg.num_blocks;
   report.time = modelKernelTime(dev_, report.stats, report.occupancy);
+
+  int races_found = 0;
+  std::size_t race_ranges = 0;
+  if (race_on) {
+    for (const BlockAccessLog& log : race_logs) race_ranges += log.size();
+    races_found = race_.checkLaunch(cfg.name, race_logs);
+  }
 
   total_stats_ += report.stats;
   total_seconds_ += report.time.total;
@@ -219,6 +240,11 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
     inst_.atomic_ops->add(std::uint64_t(report.stats.atomic_ops));
     inst_.occupancy->set(report.occupancy.fraction);
     inst_.modeled_seconds->observe(report.time.total);
+    if (race_on) {
+      inst_.race_launches_checked->add();
+      inst_.race_ranges_checked->add(std::uint64_t(race_ranges));
+      inst_.race_races_found->add(std::uint64_t(races_found));
+    }
   }
   if (tracing) {
     const std::string span_name = "gsim.launch." + cfg.name;
@@ -251,6 +277,15 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
       rec_->trace().record(std::move(bev));
     }
   }
+  // Diagnose after totals/metrics/trace so the launch stays observable even
+  // when the diagnosis is fatal; the report (all diagnoses so far) remains
+  // readable via raceDetector() from a catch block.
+  if (races_found > 0 && race_.config().throw_on_race) {
+    const std::vector<RaceReport>& races = race_.races();
+    MBIR_CHECK_MSG(false, races.empty()
+                              ? "race detected in kernel '" + cfg.name + "'"
+                              : RaceDetector::describe(races.back()));
+  }
   return report;
 }
 
@@ -258,6 +293,8 @@ void GpuSimulator::resetTotals() {
   total_stats_ = KernelStats{};
   total_seconds_ = 0.0;
   per_kernel_.clear();
+  // Race diagnoses are per-run state too; buffer registrations survive.
+  race_.reset();
 }
 
 }  // namespace mbir::gsim

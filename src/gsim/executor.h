@@ -22,6 +22,7 @@
 #include "gsim/device.h"
 #include "gsim/kernel_stats.h"
 #include "gsim/occupancy.h"
+#include "gsim/race_check.h"
 #include "gsim/timing.h"
 
 namespace mbir {
@@ -80,6 +81,28 @@ class KernelProfiler {
 
   void setL2WorkingSet(double bytes);
 
+  // Race-check declarations (no-ops — one branch — unless the executor
+  // attached a BlockAccessLog for this launch). Buffer ids come from
+  // GpuSimulator::raceDetector()->bufferId(), resolved host-side before the
+  // launch; [lo, hi) are half-open element ranges of that buffer.
+  void raceRead(int buffer, std::int64_t lo, std::int64_t hi) {
+    if (race_log_) race_log_->read(buffer, lo, hi);
+  }
+  void raceWrite(int buffer, std::int64_t lo, std::int64_t hi) {
+    if (race_log_) race_log_->write(buffer, lo, hi);
+  }
+  void raceAtomic(int buffer, std::int64_t lo, std::int64_t hi) {
+    if (race_log_) race_log_->atomic(buffer, lo, hi);
+  }
+  /// Grid-wide phase boundary (cooperative grid sync): accesses in
+  /// different phases never conflict. Every block must declare the same
+  /// phase sequence, like every block reaching the same barrier.
+  void racePhase(int phase) {
+    if (race_log_) race_log_->setPhase(phase);
+  }
+  bool raceCheckOn() const { return race_log_ != nullptr; }
+  void setRaceLog(BlockAccessLog* log) { race_log_ = log; }
+
   const KernelStats& stats() const { return stats_; }
 
  private:
@@ -88,6 +111,7 @@ class KernelProfiler {
 
   const DeviceSpec& dev_;
   KernelStats stats_;
+  BlockAccessLog* race_log_ = nullptr;
 };
 
 /// Context passed to kernel code for one threadblock.
@@ -118,9 +142,23 @@ struct NamedTotals {
 
 class GpuSimulator {
  public:
-  explicit GpuSimulator(DeviceSpec spec = titanXMaxwell()) : dev_(std::move(spec)) {}
+  /// Race checking auto-enables from GPUMBIR_RACE_CHECK=1 so any existing
+  /// binary can be run checked without a code change; setRaceCheck()
+  /// overrides either way.
+  explicit GpuSimulator(DeviceSpec spec = titanXMaxwell())
+      : dev_(std::move(spec)), race_(RaceCheckConfig::fromEnv()) {}
 
   const DeviceSpec& device() const { return dev_; }
+
+  /// Reconfigure device-semantics race checking (gsim/race_check.h). Resets
+  /// the detector; off by default and one branch per declaration when off.
+  void setRaceCheck(const RaceCheckConfig& cfg) { race_.reconfigure(cfg); }
+  bool raceCheckOn() const { return race_.config().enabled; }
+  /// The per-simulator detector — buffer registration for kernels and
+  /// report/totals readout for callers. Valid whether or not checking is
+  /// enabled (everything is cheap and empty when off).
+  RaceDetector& raceDetector() { return race_; }
+  const RaceDetector& raceDetector() const { return race_; }
 
   /// Host thread pool blocks execute on (nullptr = process-wide pool).
   /// Purely a wall-clock knob: results are identical for any pool.
@@ -169,9 +207,13 @@ class GpuSimulator {
     obs::Counter* atomic_ops = nullptr;
     obs::Gauge* occupancy = nullptr;
     obs::Histogram* modeled_seconds = nullptr;
+    obs::Counter* race_launches_checked = nullptr;
+    obs::Counter* race_ranges_checked = nullptr;
+    obs::Counter* race_races_found = nullptr;
   };
 
   DeviceSpec dev_;
+  RaceDetector race_;
   ThreadPool* host_pool_ = nullptr;
   obs::Recorder* rec_ = nullptr;
   int trace_pid_ = 0;

@@ -1,0 +1,238 @@
+#include "gsim/race_check.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <tuple>
+
+#include "core/error.h"
+#include "obs/json.h"
+
+namespace mbir::gsim {
+
+namespace {
+
+bool envFlag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+/// Two same-phase, same-buffer accesses by distinct blocks conflict unless
+/// both are reads or both are atomics. Read-vs-atomic counts: a plain load
+/// concurrent with an atomic RMW is undefined ordering at device semantics.
+bool kindsConflict(AccessKind a, AccessKind b) {
+  if (a == AccessKind::kRead && b == AccessKind::kRead) return false;
+  if (a == AccessKind::kAtomic && b == AccessKind::kAtomic) return false;
+  return true;
+}
+
+/// One range tagged with its owning block, the sweep's working unit.
+struct TaggedRange {
+  AccessRange r;
+  int block = 0;
+};
+
+}  // namespace
+
+const char* accessKindName(AccessKind k) {
+  switch (k) {
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kAtomic: return "atomic";
+  }
+  return "?";
+}
+
+RaceCheckConfig RaceCheckConfig::fromEnv() {
+  RaceCheckConfig cfg;
+  cfg.enabled = envFlag("GPUMBIR_RACE_CHECK", false);
+  cfg.throw_on_race = envFlag("GPUMBIR_RACE_CHECK_THROW", cfg.enabled);
+  return cfg;
+}
+
+void BlockAccessLog::push(int buffer, std::int64_t lo, std::int64_t hi,
+                          AccessKind kind) {
+  if (lo >= hi) return;  // empty ranges carry no accesses
+  // Cheap coalescing: kernels declare rows/stripes in order, so extending
+  // the previous range covers the common case and keeps logs short.
+  if (!ranges_.empty()) {
+    AccessRange& last = ranges_.back();
+    if (last.buffer == buffer && last.kind == kind && last.phase == phase_ &&
+        lo <= last.hi && hi >= last.lo) {
+      last.lo = std::min(last.lo, lo);
+      last.hi = std::max(last.hi, hi);
+      return;
+    }
+  }
+  ranges_.push_back({lo, hi, buffer, phase_, kind});
+}
+
+void BlockAccessLog::setPhase(int phase) {
+  MBIR_CHECK_MSG(phase >= phase_, "block phases must be monotonic");
+  phase_ = phase;
+}
+
+void BlockAccessLog::clear() {
+  ranges_.clear();
+  phase_ = 0;
+}
+
+void RaceDetector::reconfigure(const RaceCheckConfig& cfg) {
+  std::lock_guard lock(mu_);
+  cfg_ = cfg;
+  buffer_ids_.clear();
+  buffer_names_.clear();
+  races_.clear();
+  totals_ = RaceCheckTotals{};
+}
+
+int RaceDetector::bufferId(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = buffer_ids_.emplace(name, int(buffer_names_.size()));
+  if (inserted) buffer_names_.push_back(name);
+  return it->second;
+}
+
+const std::string& RaceDetector::bufferName(int id) const {
+  std::lock_guard lock(mu_);
+  MBIR_CHECK(id >= 0 && std::size_t(id) < buffer_names_.size());
+  return buffer_names_[std::size_t(id)];
+}
+
+int RaceDetector::checkLaunch(const std::string& kernel,
+                              const std::vector<BlockAccessLog>& logs) {
+  // Flatten, then sort by (buffer, phase, lo): conflicts only exist inside
+  // one (buffer, phase) run, and within a run a sweep over lo with an
+  // active list pruned by hi finds every overlapping pair without the
+  // all-pairs quadratic blowup.
+  std::vector<TaggedRange> flat;
+  std::size_t total = 0;
+  for (const BlockAccessLog& log : logs) total += log.ranges_.size();
+  flat.reserve(total);
+  for (std::size_t b = 0; b < logs.size(); ++b)
+    for (const AccessRange& r : logs[b].ranges_) flat.push_back({r, int(b)});
+  std::sort(flat.begin(), flat.end(),
+            [](const TaggedRange& a, const TaggedRange& b) {
+              return std::tie(a.r.buffer, a.r.phase, a.r.lo, a.block) <
+                     std::tie(b.r.buffer, b.r.phase, b.r.lo, b.block);
+            });
+
+  // Deduplicate diagnoses: a kernel sweeping many rows would otherwise
+  // report the same logical race once per row pair.
+  using Key = std::tuple<int, int, int, int, AccessKind, AccessKind>;
+  std::set<Key> seen;
+  int found = 0;
+  std::vector<RaceReport> local;
+
+  std::vector<const TaggedRange*> active;
+  int run_buffer = -1, run_phase = -1;
+  for (const TaggedRange& cur : flat) {
+    if (cur.r.buffer != run_buffer || cur.r.phase != run_phase) {
+      active.clear();
+      run_buffer = cur.r.buffer;
+      run_phase = cur.r.phase;
+    }
+    // Drop ranges that end at or before the sweep line.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](const TaggedRange* t) {
+                                  return t->r.hi <= cur.r.lo;
+                                }),
+                 active.end());
+    for (const TaggedRange* prev : active) {
+      if (prev->block == cur.block) continue;
+      if (!kindsConflict(prev->r.kind, cur.r.kind)) continue;
+      const int a = std::min(prev->block, cur.block);
+      const int b = std::max(prev->block, cur.block);
+      const AccessKind ka = prev->block == a ? prev->r.kind : cur.r.kind;
+      const AccessKind kb = prev->block == a ? cur.r.kind : prev->r.kind;
+      if (!seen.insert({cur.r.buffer, cur.r.phase, a, b, ka, kb}).second)
+        continue;
+      RaceReport rep;
+      rep.kernel = kernel;
+      rep.buffer = bufferName(cur.r.buffer);
+      rep.block_a = a;
+      rep.block_b = b;
+      rep.kind_a = ka;
+      rep.kind_b = kb;
+      rep.lo = std::max(prev->r.lo, cur.r.lo);
+      rep.hi = std::min(prev->r.hi, cur.r.hi);
+      rep.phase = cur.r.phase;
+      local.push_back(std::move(rep));
+      ++found;
+    }
+    active.push_back(&cur);
+  }
+
+  std::lock_guard lock(mu_);
+  totals_.launches_checked += 1;
+  totals_.blocks_checked += logs.size();
+  totals_.ranges_checked += total;
+  totals_.races_found += std::uint64_t(found);
+  for (RaceReport& rep : local) {
+    if (int(races_.size()) >= cfg_.max_reports) break;
+    races_.push_back(std::move(rep));
+  }
+  return found;
+}
+
+RaceCheckTotals RaceDetector::totals() const {
+  std::lock_guard lock(mu_);
+  return totals_;
+}
+
+void RaceDetector::reset() {
+  std::lock_guard lock(mu_);
+  races_.clear();
+  totals_ = RaceCheckTotals{};
+}
+
+std::string RaceDetector::describe(const RaceReport& r) {
+  return "race in kernel '" + r.kernel + "': blocks " +
+         std::to_string(r.block_a) + " (" + accessKindName(r.kind_a) +
+         ") and " + std::to_string(r.block_b) + " (" +
+         accessKindName(r.kind_b) + ") overlap on buffer '" + r.buffer +
+         "' elements [" + std::to_string(r.lo) + ", " + std::to_string(r.hi) +
+         ") in phase " + std::to_string(r.phase);
+}
+
+std::string RaceDetector::reportJson() const {
+  std::lock_guard lock(mu_);
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "gpumbir.race_report/1");
+  w.key("totals").beginObject();
+  w.kv("launches_checked", totals_.launches_checked);
+  w.kv("blocks_checked", totals_.blocks_checked);
+  w.kv("ranges_checked", totals_.ranges_checked);
+  w.kv("races_found", totals_.races_found);
+  w.endObject();
+  w.kv("races_reported", std::uint64_t(races_.size()));
+  w.key("races").beginArray();
+  for (const RaceReport& r : races_) {
+    w.beginObject();
+    w.kv("kernel", r.kernel);
+    w.kv("buffer", r.buffer);
+    w.kv("block_a", r.block_a);
+    w.kv("block_b", r.block_b);
+    w.kv("kind_a", accessKindName(r.kind_a));
+    w.kv("kind_b", accessKindName(r.kind_b));
+    w.kv("lo", r.lo);
+    w.kv("hi", r.hi);
+    w.kv("phase", r.phase);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+void RaceDetector::writeReportJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  MBIR_CHECK_MSG(out.good(), "cannot open race report path: " + path);
+  out << reportJson() << "\n";
+  MBIR_CHECK_MSG(out.good(), "failed writing race report: " + path);
+}
+
+}  // namespace mbir::gsim

@@ -1,0 +1,162 @@
+// Device-semantics race detection for simulated kernel launches.
+//
+// Host-level TSan checks pthread semantics: it can only see races that the
+// host scheduler happens to expose, and host locks that do not exist on the
+// device can mask real device races. This layer checks the CUDA-level
+// invariant directly, independent of host interleaving: within one launch,
+// two *blocks* may not touch overlapping element ranges of the same buffer
+// unless both accesses are reads, both are atomics, or a grid-wide phase
+// boundary separates them. Kernels declare their memory behaviour as
+// (buffer, element range, read/write/atomic) through the KernelProfiler —
+// the same channel they already report traffic on — and the executor
+// collects one BlockAccessLog per block, then hands the launch to the
+// RaceDetector, which sorts the declared ranges and intersects them.
+//
+// Everything is opt-in (RaceCheckConfig, or GPUMBIR_RACE_CHECK=1 in the
+// environment) and costs a single pointer test per declaration site when
+// disabled. Diagnoses carry kernel name, block pair, buffer and overlapping
+// element range, and are exported as a `gpumbir.race_report/1` JSON
+// artifact. The conflict rules intentionally mirror the paper's §4.2
+// schedule argument; gpuicd/conflicts.h cross-checks the analytical
+// checkerboard schedule against this detector (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbir::gsim {
+
+enum class AccessKind : std::uint8_t { kRead = 0, kWrite = 1, kAtomic = 2 };
+
+const char* accessKindName(AccessKind k);
+
+struct RaceCheckConfig {
+  bool enabled = false;
+  /// Throw mbir::Error from launch() on the first diagnosed race (after it
+  /// has been recorded). Defaults on when enabled via the environment so a
+  /// race anywhere fails the enclosing test run.
+  bool throw_on_race = false;
+  /// Cap on stored diagnoses; checking (and the races_found counter) keeps
+  /// going past it so a noisy kernel cannot exhaust memory.
+  int max_reports = 64;
+
+  /// GPUMBIR_RACE_CHECK=1 enables; GPUMBIR_RACE_CHECK_THROW=0/1 overrides
+  /// throw_on_race (default: throw when enabled).
+  static RaceCheckConfig fromEnv();
+};
+
+/// One declared access: half-open element range [lo, hi) of a registered
+/// buffer, in the block's current phase.
+struct AccessRange {
+  std::int64_t lo = 0, hi = 0;
+  int buffer = 0;
+  int phase = 0;
+  AccessKind kind = AccessKind::kRead;
+};
+
+/// Access set of one simulated block within one launch. Filled through the
+/// KernelProfiler race* methods; owned and handed to the detector by the
+/// executor.
+class BlockAccessLog {
+ public:
+  void read(int buffer, std::int64_t lo, std::int64_t hi) {
+    push(buffer, lo, hi, AccessKind::kRead);
+  }
+  void write(int buffer, std::int64_t lo, std::int64_t hi) {
+    push(buffer, lo, hi, AccessKind::kWrite);
+  }
+  void atomic(int buffer, std::int64_t lo, std::int64_t hi) {
+    push(buffer, lo, hi, AccessKind::kAtomic);
+  }
+
+  /// Enter grid-wide phase `phase` (monotonic per block). A phase boundary
+  /// models a device-wide barrier between launches-within-a-launch
+  /// (cooperative grid sync): accesses in different phases never conflict.
+  void setPhase(int phase);
+
+  bool empty() const { return ranges_.size() == 0; }
+  std::size_t size() const { return ranges_.size(); }
+  void clear();
+
+ private:
+  friend class RaceDetector;
+  void push(int buffer, std::int64_t lo, std::int64_t hi, AccessKind kind);
+
+  std::vector<AccessRange> ranges_;
+  int phase_ = 0;
+};
+
+/// One diagnosed race: two blocks of `kernel` touched the overlapping
+/// element range [lo, hi) of `buffer` in the same phase with a conflicting
+/// kind pair.
+struct RaceReport {
+  std::string kernel;
+  std::string buffer;
+  int block_a = 0, block_b = 0;
+  AccessKind kind_a = AccessKind::kRead, kind_b = AccessKind::kRead;
+  std::int64_t lo = 0, hi = 0;
+  int phase = 0;
+};
+
+struct RaceCheckTotals {
+  std::uint64_t launches_checked = 0;
+  std::uint64_t blocks_checked = 0;
+  std::uint64_t ranges_checked = 0;
+  std::uint64_t races_found = 0;
+};
+
+/// Shadow-range race checker. One detector per GpuSimulator (the scheduler
+/// therefore gets one per simulated device); also usable standalone — the
+/// PSV engine and the conflict-schedule cross-check feed it BlockAccessLogs
+/// directly. Thread-safe: bufferId() is called from kernel code on any host
+/// worker thread.
+class RaceDetector {
+ public:
+  explicit RaceDetector(RaceCheckConfig cfg = {}) : cfg_(cfg) {}
+
+  const RaceCheckConfig& config() const { return cfg_; }
+
+  /// Swap in a new config and clear all state (diagnoses, totals, buffer
+  /// registry). The detector itself is neither copyable nor movable (it
+  /// owns a mutex), so reconfiguration happens in place.
+  void reconfigure(const RaceCheckConfig& cfg);
+
+  /// Find-or-create a stable id for a named buffer ("image", "sino.e",
+  /// "svb.e/7", ...). Ranges of different buffers never conflict.
+  int bufferId(const std::string& name);
+  const std::string& bufferName(int id) const;
+
+  /// Intersect the per-block access sets of one launch and record every
+  /// diagnosed race (deduplicated per block pair / buffer / kind pair /
+  /// phase). Returns the number of new diagnoses; never throws — the
+  /// caller decides whether a diagnosis is fatal (config().throw_on_race).
+  int checkLaunch(const std::string& kernel,
+                  const std::vector<BlockAccessLog>& logs);
+
+  const std::vector<RaceReport>& races() const { return races_; }
+  RaceCheckTotals totals() const;
+  void reset();
+
+  /// Human-readable one-liner for error messages and logs.
+  static std::string describe(const RaceReport& r);
+
+  /// Machine-readable artifact, schema `gpumbir.race_report/1`.
+  std::string reportJson() const;
+  void writeReportJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  RaceCheckConfig cfg_;
+  std::map<std::string, int> buffer_ids_;
+  // deque: bufferName() hands out references that must survive later
+  // bufferId() insertions.
+  std::deque<std::string> buffer_names_;
+  std::vector<RaceReport> races_;
+  RaceCheckTotals totals_;
+};
+
+}  // namespace mbir::gsim

@@ -1,5 +1,7 @@
 #include "icd/sequential_icd.h"
 
+#include <algorithm>
+
 #include "core/rng.h"
 #include "icd/voxel_update.h"
 #include "obs/obs.h"
@@ -43,6 +45,17 @@ IcdRunStats SequentialIcd::run(Image2D& x, Sinogram& e, const SweepCallback& on_
     m_updates = &rec->metrics().counter("seq.voxel.updates");
   }
 
+  // Single-threaded baseline: each sweep is one "block" touching the whole
+  // image and error sinogram — trivially race-free, but declared so all
+  // three engines exercise the same checking channel.
+  gsim::RaceDetector race(options_.race_check);
+  const bool race_on = race.config().enabled;
+  int rb_image = -1, rb_sino_e = -1;
+  if (race_on) {
+    rb_image = race.bufferId("image");
+    rb_sino_e = race.bufferId("sino.e");
+  }
+
   while (equits.equits() < options_.max_equits) {
     const double sweep_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
     const std::size_t sweep_updates0 = stats.work.voxel_updates;
@@ -59,6 +72,15 @@ IcdRunStats SequentialIcd::run(Image2D& x, Sinogram& e, const SweepCallback& on_
         stats.work.theta_elements += nnz[std::size_t(voxel)];
         stats.work.error_update_elements += nnz[std::size_t(voxel)];
       }
+    }
+    if (race_on) {
+      std::vector<gsim::BlockAccessLog> logs(1);
+      logs[0].read(rb_image, 0, std::int64_t(num_voxels));
+      logs[0].write(rb_image, 0, std::int64_t(num_voxels));
+      logs[0].write(rb_sino_e, 0,
+                    std::int64_t(problem_.A.numViews()) *
+                        std::int64_t(problem_.A.numChannels()));
+      race.checkLaunch("seq_sweep", logs);
     }
     ++stats.sweeps;
     stats.equits = equits.equits();
@@ -90,6 +112,11 @@ IcdRunStats SequentialIcd::run(Image2D& x, Sinogram& e, const SweepCallback& on_
   }
   stats.equits = equits.equits();
   stats.voxel_updates = equits.updates();
+  stats.race_check_enabled = race_on;
+  const gsim::RaceCheckTotals race_totals = race.totals();
+  stats.race_launches_checked = race_totals.launches_checked;
+  stats.race_ranges_checked = race_totals.ranges_checked;
+  stats.race_reports = race_totals.races_found;
   return stats;
 }
 

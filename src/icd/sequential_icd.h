@@ -8,6 +8,7 @@
 
 #include "geom/image.h"
 #include "geom/sinogram.h"
+#include "gsim/race_check.h"
 #include "icd/convergence.h"
 #include "icd/problem.h"
 #include "icd/work.h"
@@ -29,6 +30,12 @@ struct SequentialIcdOptions {
   /// Observability sink (nullptr = off): per-sweep host-clock spans and
   /// `seq.*` counters. Purely observational.
   obs::Recorder* recorder = nullptr;
+  /// Device-semantics race checking. Sequential ICD is single-threaded, so
+  /// each sweep is declared as a trivial one-block launch — always clean;
+  /// wired so all three engines report through the same channel and the
+  /// baseline exercises the disabled/enabled paths. Defaults from
+  /// GPUMBIR_RACE_CHECK.
+  gsim::RaceCheckConfig race_check = gsim::RaceCheckConfig::fromEnv();
 };
 
 struct IcdRunStats {
@@ -37,6 +44,11 @@ struct IcdRunStats {
   int sweeps = 0;
   bool stopped_by_callback = false;
   WorkCounters work;  ///< consumed by gsim's CPU timing models
+  /// Device-semantics race checking (zeros when disabled).
+  bool race_check_enabled = false;
+  std::uint64_t race_launches_checked = 0;
+  std::uint64_t race_ranges_checked = 0;
+  std::uint64_t race_reports = 0;
 };
 
 /// Called after each full sweep with cumulative progress; return false to

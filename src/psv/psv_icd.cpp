@@ -148,6 +148,16 @@ PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
     m_locks = &m.counter("psv.lock.acquisitions");
   }
 
+  // Standalone race detector (PSV does not run through GpuSimulator): each
+  // iteration's concurrent SV sweeps form one logical launch.
+  gsim::RaceDetector race(options_.race_check);
+  const bool race_on = race.config().enabled;
+  int rb_image = -1, rb_sino_e = -1;
+  if (race_on) {
+    rb_image = race.bufferId("image");
+    rb_sino_e = race.bufferId("sino.e");
+  }
+
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
     const double iter_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
     const std::size_t iter_locks0 = stats.work.lock_acquisitions;
@@ -217,6 +227,42 @@ PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
       }
     });
 
+    if (race_on) {
+      // Declarations derive from static geometry, so they are built
+      // host-side after the sweep rather than inside the workers. Per SV
+      // "block": image rect + clamped read ring, all atomic (every image
+      // access above goes through std::atomic_ref — adjacent SVs genuinely
+      // share boundary voxels); the lock-serialized global-sinogram
+      // gather/writeback as atomic over the SV's band; the private SVBs as
+      // plain writes. A write/anything diagnosis therefore means an SVB
+      // stopped being private or an image access bypassed the atomics.
+      const int channels = A.numChannels();
+      std::vector<gsim::BlockAccessLog> logs(selected.size());
+      for (std::size_t si = 0; si < selected.size(); ++si) {
+        const int sv_id = selected[si];
+        const SuperVoxel& sv = grid_.sv(sv_id);
+        const SvbPlan& plan = plans[std::size_t(sv_id)];
+        const int rr0 = std::max(0, sv.row0 - 1);
+        const int rr1 = std::min(image_size, sv.row1 + 1);
+        const int rc0 = std::max(0, sv.col0 - 1);
+        const int rc1 = std::min(image_size, sv.col1 + 1);
+        for (int r = rr0; r < rr1; ++r)
+          logs[si].atomic(rb_image, std::int64_t(r) * image_size + rc0,
+                          std::int64_t(r) * image_size + rc1);
+        for (int v = 0; v < plan.numViews(); ++v) {
+          const int w = plan.width(v);
+          if (w == 0) continue;
+          const std::int64_t glo = std::int64_t(v) * channels + plan.lo(v);
+          logs[si].atomic(rb_sino_e, glo, glo + w);
+        }
+        logs[si].write(race.bufferId("svb/" + std::to_string(sv_id)), 0,
+                       plan.numViews());
+      }
+      const int found = race.checkLaunch("psv_sweep", logs);
+      if (found > 0 && race.config().throw_on_race)
+        MBIR_CHECK_MSG(false, gsim::RaceDetector::describe(race.races().back()));
+    }
+
     stats.iterations = iter;
     stats.equits = double(total_updates.load()) / voxels_per_equit;
     if (m_iterations) {
@@ -243,6 +289,11 @@ PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
       break;
     }
   }
+  stats.race_check_enabled = race_on;
+  const gsim::RaceCheckTotals race_totals = race.totals();
+  stats.race_launches_checked = race_totals.launches_checked;
+  stats.race_ranges_checked = race_totals.ranges_checked;
+  stats.race_reports = race_totals.races_found;
   return stats;
 }
 

@@ -18,6 +18,7 @@
 
 #include "geom/image.h"
 #include "geom/sinogram.h"
+#include "gsim/race_check.h"
 #include "icd/problem.h"
 #include "icd/work.h"
 #include "sv/supervoxel.h"
@@ -41,6 +42,14 @@ struct PsvIcdOptions {
   /// Observability sink (nullptr = off): per-iteration host-clock spans and
   /// `psv.*` counters. Purely observational.
   obs::Recorder* recorder = nullptr;
+  /// Device-semantics race checking: each iteration's concurrent SV sweeps
+  /// are declared to a gsim::RaceDetector as one launch (one block per SV).
+  /// Image and global-sinogram accesses are declared atomic — PSV-ICD
+  /// really does tolerate boundary staleness through relaxed atomics and a
+  /// sinogram lock — so the check guards the SVB-privacy claim and will
+  /// flag any future scheme that drops the atomics. Defaults from
+  /// GPUMBIR_RACE_CHECK.
+  gsim::RaceCheckConfig race_check = gsim::RaceCheckConfig::fromEnv();
 };
 
 struct PsvIterationInfo {
@@ -58,6 +67,11 @@ struct PsvRunStats {
   int iterations = 0;
   bool stopped_by_callback = false;
   WorkCounters work;
+  /// Device-semantics race checking (zeros when disabled).
+  bool race_check_enabled = false;
+  std::uint64_t race_launches_checked = 0;
+  std::uint64_t race_ranges_checked = 0;
+  std::uint64_t race_reports = 0;
 };
 
 class PsvIcd {

@@ -46,6 +46,16 @@ void writeWorkCounters(JsonWriter& w, const WorkCounters& c) {
   w.endObject();
 }
 
+void writeRaceCheck(JsonWriter& w, bool enabled, std::uint64_t launches,
+                    std::uint64_t ranges, std::uint64_t races) {
+  w.beginObject();
+  w.kv("enabled", enabled);
+  w.kv("launches_checked", launches);
+  w.kv("ranges_checked", ranges);
+  w.kv("races_found", races);
+  w.endObject();
+}
+
 }  // namespace
 
 std::string runReportJson(const RunResult& result, const RunConfig& config) {
@@ -91,6 +101,9 @@ std::string runReportJson(const RunResult& result, const RunConfig& config) {
     w.kv("hits", std::uint64_t(g.chunk_cache_hits));
     w.kv("misses", std::uint64_t(g.chunk_cache_misses));
     w.endObject();
+    w.key("race_check");
+    writeRaceCheck(w, g.race_check_enabled, g.race_launches_checked,
+                   g.race_ranges_checked, g.race_reports);
     w.key("kernel_stats");
     writeKernelStats(w, g.kernel_stats);
     w.key("per_kernel").beginObject();
@@ -110,6 +123,9 @@ std::string runReportJson(const RunResult& result, const RunConfig& config) {
     const PsvRunStats& p = *result.psv_stats;
     w.key("psv").beginObject();
     w.kv("iterations", p.iterations);
+    w.key("race_check");
+    writeRaceCheck(w, p.race_check_enabled, p.race_launches_checked,
+                   p.race_ranges_checked, p.race_reports);
     w.endObject();
   }
 
@@ -117,6 +133,9 @@ std::string runReportJson(const RunResult& result, const RunConfig& config) {
     const IcdRunStats& s = *result.seq_stats;
     w.key("seq").beginObject();
     w.kv("sweeps", s.sweeps);
+    w.key("race_check");
+    writeRaceCheck(w, s.race_check_enabled, s.race_launches_checked,
+                   s.race_ranges_checked, s.race_reports);
     w.endObject();
   }
 

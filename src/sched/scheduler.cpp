@@ -1,6 +1,7 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <thread>
 
@@ -246,6 +247,35 @@ std::string BatchScheduler::reportJson() const {
     w.kv("queue_wait_modeled_s", r.queue_wait_modeled_s);
     w.kv("device_start_modeled_s", r.device_start_modeled_s);
     w.kv("device_end_modeled_s", r.device_end_modeled_s);
+    // Per-job race-check summary (each job owns its engine and therefore
+    // its own detector; the per-device view is the union over the device's
+    // jobs). Emitted from whichever engine the job ran.
+    {
+      bool enabled = false;
+      std::uint64_t launches = 0, ranges = 0, races = 0;
+      if (r.run.gpu_stats) {
+        enabled = r.run.gpu_stats->race_check_enabled;
+        launches = r.run.gpu_stats->race_launches_checked;
+        ranges = r.run.gpu_stats->race_ranges_checked;
+        races = r.run.gpu_stats->race_reports;
+      } else if (r.run.psv_stats) {
+        enabled = r.run.psv_stats->race_check_enabled;
+        launches = r.run.psv_stats->race_launches_checked;
+        ranges = r.run.psv_stats->race_ranges_checked;
+        races = r.run.psv_stats->race_reports;
+      } else if (r.run.seq_stats) {
+        enabled = r.run.seq_stats->race_check_enabled;
+        launches = r.run.seq_stats->race_launches_checked;
+        ranges = r.run.seq_stats->race_ranges_checked;
+        races = r.run.seq_stats->race_reports;
+      }
+      w.key("race_check").beginObject();
+      w.kv("enabled", enabled);
+      w.kv("launches_checked", launches);
+      w.kv("ranges_checked", ranges);
+      w.kv("races_found", races);
+      w.endObject();
+    }
     w.endObject();
   }
   w.endArray();

@@ -205,6 +205,42 @@ TEST(ThreadPool, SubmitAndWait) {
   EXPECT_EQ(done.load(), 10);
 }
 
+TEST(ThreadPool, SubmittedTaskExceptionRethrownByWait) {
+  // A throwing submit()ed task used to escape workerLoop and call
+  // std::terminate; it must instead be stashed and rethrown by wait(),
+  // with sibling tasks still completing.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&, i] {
+      if (i == 3) throw Error("planted submit failure");
+      done++;
+    });
+  EXPECT_THROW(pool.wait(), Error);
+  EXPECT_EQ(done.load(), 7);
+}
+
+TEST(ThreadPool, PoolUsableAfterTaskException) {
+  // The error is cleared once rethrown: later batches start clean and a
+  // clean wait() does not replay the old exception.
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait(), Error);
+
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&] { done++; });
+  pool.wait();  // must not throw
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ThreadPool, FirstSubmitExceptionWinsOthersSwallowed) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i)
+    pool.submit([] { throw Error("planted"); });
+  EXPECT_THROW(pool.wait(), Error);
+  pool.wait();  // all tasks drained; only one exception surfaced
+}
+
 TEST(AlignedBuffer, AlignmentAndZeroInit) {
   AlignedBuffer<float> buf(1000);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kDefaultAlignment, 0u);

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "gpuicd/conflicts.h"
 #include "icd/convergence.h"
 #include "recon/reconstructor.h"
 #include "recon/suite.h"
+#include "sv/supervoxel.h"
 #include "test_util.h"
 
 namespace mbir {
@@ -159,6 +163,75 @@ TEST_P(OverlapSweep, OverlapNeverBreaksCorrectness) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Overlaps, OverlapSweep, ::testing::Values(0, 1, 2, 3));
+
+// ---------- race-freedom sweep (DESIGN.md §8) ----------
+
+// The checkerboard schedule's race-freedom claim must hold for every SV
+// geometry, not just the defaults: run GPU-ICD with the device-semantics
+// race detector in fatal mode (any diagnosed race throws mid-run) and
+// independently re-derive the claim from the SV rectangles.
+
+struct RaceSweepCase {
+  int sv_side, overlap;
+};
+
+std::string raceCaseName(const ::testing::TestParamInfo<RaceSweepCase>& info) {
+  return "side" + std::to_string(info.param.sv_side) + "_ov" +
+         std::to_string(info.param.overlap);
+}
+
+class RaceFreedomSweep : public ::testing::TestWithParam<RaceSweepCase> {};
+
+TEST_P(RaceFreedomSweep, AllGpuLaunchesRaceFree) {
+  const auto& p = GetParam();
+  const auto& problem = test::tinyProblem();
+  const Image2D& golden = test::tinyGolden();
+  RunConfig cfg;
+  cfg.algorithm = Algorithm::kGpuIcd;
+  cfg.max_equits = 12.0;
+  cfg.gpu.tunables.sv.sv_side = p.sv_side;
+  cfg.gpu.tunables.sv.boundary_overlap = p.overlap;
+  cfg.gpu.race_check = {
+      .enabled = true, .throw_on_race = true, .max_reports = 64};
+  // throw_on_race means a single diagnosed race anywhere aborts the run.
+  const RunResult r = reconstruct(problem, golden, cfg);
+  ASSERT_TRUE(r.gpu_stats);
+  EXPECT_TRUE(r.gpu_stats->race_check_enabled);
+  EXPECT_GT(r.gpu_stats->race_launches_checked, 0u);
+  EXPECT_GT(r.gpu_stats->race_ranges_checked, 0u);
+  EXPECT_EQ(r.gpu_stats->race_reports, 0u);
+}
+
+TEST_P(RaceFreedomSweep, CheckerboardGroupsConflictFree) {
+  // Analytic + detector cross-check of the same claim, over both the tiny
+  // image and a larger grid with more SVs per group. All swept cases keep
+  // overlap <= (sv_side - 1) / 2, the bound under which the schedule is
+  // provably clean.
+  const auto& p = GetParam();
+  ASSERT_LE(p.overlap, (p.sv_side - 1) / 2);
+  for (const int image_size : {32, 64}) {
+    const SvGrid grid(image_size,
+                      {.sv_side = p.sv_side, .boundary_overlap = p.overlap});
+    std::vector<int> all(std::size_t(grid.count()));
+    for (int i = 0; i < grid.count(); ++i) all[std::size_t(i)] = i;
+    for (const std::vector<int>& group : grid.checkerboardGroups(all)) {
+      if (group.size() < 2) continue;
+      EXPECT_EQ(scheduleImageConflicts(grid, group), 0)
+          << "size=" << image_size << " side=" << p.sv_side
+          << " ov=" << p.overlap;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, RaceFreedomSweep,
+                         ::testing::Values(RaceSweepCase{5, 0},
+                                           RaceSweepCase{5, 2},
+                                           RaceSweepCase{8, 0},
+                                           RaceSweepCase{8, 1},
+                                           RaceSweepCase{8, 3},
+                                           RaceSweepCase{11, 2},
+                                           RaceSweepCase{16, 5}),
+                         raceCaseName);
 
 }  // namespace
 }  // namespace mbir

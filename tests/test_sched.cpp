@@ -334,5 +334,52 @@ TEST(SchedDeterminism, ObservabilityDoesNotPerturbResults) {
   EXPECT_EQ(run_batch(nullptr), run_batch(&rec));
 }
 
+TEST(Sched, RaceCheckedBatchIsCleanAndBitIdentical) {
+  // A 2-device batch with fatal race checking on every job: each device's
+  // simulator carries its own detector, every launch on every device is
+  // checked, all come out clean, and checking does not perturb results —
+  // the batch stays bit-identical to the serial unchecked baseline.
+  RunConfig checked = test::tinyRunConfig(Algorithm::kGpuIcd, 4.0);
+  checked.stop_rmse_hu = -1.0;
+  checked.gpu.race_check = {
+      .enabled = true, .throw_on_race = true, .max_reports = 64};
+  RunConfig unchecked = checked;
+  unchecked.gpu.race_check = {};
+
+  const std::vector<RunResult> serial =
+      serialBaseline(std::vector<RunConfig>(4, unchecked));
+
+  SchedulerOptions opt;
+  opt.num_devices = 2;
+  BatchScheduler s(opt);
+  for (int i = 0; i < 4; ++i)
+    s.submit(test::tinyProblem(), test::tinyGolden(), checked);
+  s.runAll();
+
+  for (int i = 0; i < 4; ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    const JobResult& r = s.result(i);
+    ASSERT_FALSE(r.failed) << r.error;
+    ASSERT_TRUE(r.run.gpu_stats);
+    EXPECT_TRUE(r.run.gpu_stats->race_check_enabled);
+    EXPECT_GT(r.run.gpu_stats->race_launches_checked, 0u);
+    EXPECT_EQ(r.run.gpu_stats->race_reports, 0u);
+    test::expectRunResultsBitIdentical(serial[std::size_t(i)], r.run);
+  }
+
+  // The batch report carries the per-job race-check summary.
+  const obs::JsonValue doc = obs::parseJson(s.reportJson());
+  const obs::JsonValue* jobs = doc.find("jobs");
+  ASSERT_TRUE(jobs && jobs->isArray());
+  ASSERT_EQ(jobs->array_v.size(), 4u);
+  for (const obs::JsonValue& j : jobs->array_v) {
+    const obs::JsonValue* rc = j.find("race_check");
+    ASSERT_TRUE(rc && rc->isObject());
+    EXPECT_TRUE(rc->find("enabled")->asBool());
+    EXPECT_GT(rc->find("launches_checked")->asNumber(), 0.0);
+    EXPECT_EQ(rc->find("races_found")->asNumber(), 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace mbir
