@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/hash.h"
 #include "core/timer.h"
 #include "sched/scheduler.h"
 
@@ -23,17 +24,8 @@ using namespace mbir::bench;
 
 namespace {
 
-std::uint64_t imageHash(const Image2D& img) {
-  // FNV-1a over the raw float bits: equal hash <=> bit-identical image.
-  const float* p = img.view2d().data();
-  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(p);
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < img.numVoxels() * sizeof(float); ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+// FNV-1a over the raw float bits: equal hash <=> bit-identical image.
+std::uint64_t imageHash(const Image2D& img) { return fnv1a64(img.flat()); }
 
 }  // namespace
 

@@ -1,112 +1,219 @@
-// Batch service: run a queue of heterogeneous reconstruction jobs through
-// sched::BatchScheduler across several simulated devices, with a shared
-// observability session — the pattern a hospital/checkpoint deployment
-// would use to saturate a multi-GPU box with independent slices.
+// Online reconstruction service demo: an in-process svc::Server on a
+// loopback port, driven through the real wire protocol by svc::Client —
+// the same path recon_server/reconctl use, in one binary so the whole
+// acceptance story is reproducible with no shell plumbing.
 //
-// Demonstrates: submit/future/cancel, per-device modeled timelines in one
-// Perfetto trace (each device renders as its own "process"), the aggregate
-// throughput report, and the determinism contract (the batch result is
-// bit-identical to running the jobs one by one).
+// The demo walks the service's load-bearing behaviors in order:
+//   1. Mixed-priority online dispatch: concurrent submissions race in over
+//      2 simulated devices and the priority lane orders the backlog.
+//   2. Admission control: the queue bound fills and further submits are
+//      rejected explicitly (backpressure, not unbounded queueing).
+//   3. Deadlines: an expired queued job is failed fast, never run.
+//   4. Deterministic lane: deterministic submissions reproduce
+//      sched::BatchScheduler::runAll bit-for-bit (image hashes compared).
+//   5. Graceful drain: the svc_report/1 summary + Perfetto trace land on
+//      disk with every thread joined.
 //
-//   ./batch_service [--size 96] [--views 135] [--channels 192]
-//                   [--jobs 6] [--devices 2]
+//   ./batch_service [--size 64] [--views 96] [--channels 128]
+//                   [--jobs 8] [--devices 2] [--queue-cap 4]
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cli.h"
+#include "core/hash.h"
 #include "obs/obs.h"
-#include "recon/suite.h"
+#include "recon/case_library.h"
 #include "sched/scheduler.h"
+#include "svc/client.h"
+#include "svc/server.h"
 
 using namespace mbir;
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  args.describe("size", "image size (pixels per side)", "96");
-  args.describe("views", "number of view angles", "135");
-  args.describe("channels", "detector channels", "192");
-  args.describe("jobs", "number of queued reconstructions", "6");
+  args.describe("size", "image size (pixels per side)", "64");
+  args.describe("views", "number of view angles", "96");
+  args.describe("channels", "detector channels", "128");
+  args.describe("jobs", "concurrent mixed-priority submissions", "8");
   args.describe("devices", "simulated device count", "2");
+  args.describe("queue-cap", "admission queue bound", "4");
   if (args.helpRequested(
-          "Batch reconstruction service over multi-device gsim."))
+          "Online reconstruction service demo (gpumbir.svc/1 over loopback)."))
     return 0;
 
   SuiteConfig cfg;
-  cfg.geometry.image_size = args.getInt("size", 96);
-  cfg.geometry.num_views = args.getInt("views", 135);
-  cfg.geometry.num_channels = args.getInt("channels", 192);
-  const int num_jobs = args.getInt("jobs", 6);
+  cfg.geometry.image_size = args.getInt("size", 64);
+  cfg.geometry.num_views = args.getInt("views", 96);
+  cfg.geometry.num_channels = args.getInt("channels", 128);
+  const int num_jobs = args.getInt("jobs", 8);
   const int num_devices = args.getInt("devices", 2);
+  const int queue_cap = args.getInt("queue-cap", 4);
 
-  std::printf("Building %d-case suite (%dx%d, %d views)...\n", num_jobs,
+  std::printf("Preparing case library (%dx%d, %d views)...\n",
               cfg.geometry.image_size, cfg.geometry.image_size,
               cfg.geometry.num_views);
-  Suite suite(cfg);
-  std::vector<OwnedProblem> problems;
-  std::vector<Image2D> goldens;
-  for (int i = 0; i < num_jobs; ++i) {
-    problems.push_back(suite.makeCase(i));
-    goldens.push_back(computeGolden(problems.back()));
-  }
+  CaseLibrary library(cfg, /*golden_equits=*/12.0);
+  svc::CaseLibraryJobSource source(library);
 
-  // One observability session for the whole batch: every device shows up as
-  // its own modeled-clock process in the trace, and sched.* metrics
-  // aggregate queue waits and completions across devices.
   obs::ObsConfig obs_cfg;
   obs_cfg.metrics = true;
   obs_cfg.trace = true;
   obs::Recorder recorder(obs_cfg);
 
-  sched::SchedulerOptions opt;
-  opt.num_devices = num_devices;
-  opt.recorder = &recorder;
-  sched::BatchScheduler scheduler(opt);
+  svc::ServerOptions opt;
+  opt.dispatch.num_devices = num_devices;
+  opt.dispatch.queue_capacity = queue_cap;
+  opt.dispatch.recorder = &recorder;
+  opt.base_config.algorithm = Algorithm::kGpuIcd;
+  opt.base_config.max_equits = 6.0;
+  svc::Server server(opt, source);
+  std::printf("Service up on 127.0.0.1:%u (%d devices, queue cap %d)\n\n",
+              unsigned(server.port()), num_devices, queue_cap);
 
-  // Heterogeneous queue: mostly GPU-ICD jobs at different tunables, with a
-  // sequential reference run mixed in.
-  for (int i = 0; i < num_jobs; ++i) {
-    RunConfig rc;
-    if (i % 3 == 2) {
-      rc.algorithm = Algorithm::kSequentialIcd;
-      rc.max_equits = 8.0;
-    } else {
-      rc.algorithm = Algorithm::kGpuIcd;
-      rc.gpu.tunables.sv.sv_side = (i % 2 == 0) ? 17 : 25;
+  // --- 1. Concurrent mixed-priority submissions over the wire. -----------
+  std::printf("Phase 1: %d concurrent mixed-priority submissions\n",
+              num_jobs);
+  std::vector<int> accepted_ids;
+  {
+    std::vector<std::thread> submitters;
+    std::vector<svc::Client::SubmitResult> outcomes(
+        static_cast<std::size_t>(num_jobs));
+    for (int i = 0; i < num_jobs; ++i) {
+      submitters.emplace_back([&, i] {
+        svc::Client client(server.port());
+        svc::SubmitParams p;
+        p.case_index = i % 4;
+        p.priority = i % 3;  // mixed priorities
+        p.name = "wave" + std::to_string(i);
+        outcomes[std::size_t(i)] = client.submit(p);
+      });
     }
-    const int id = scheduler.submit(problems[std::size_t(i)],
-                                    goldens[std::size_t(i)], rc,
-                                    "slice" + std::to_string(i));
-    std::printf("  queued job %d (%s) -> device %d\n", id,
-                algorithmName(rc.algorithm), id % num_devices);
+    for (std::thread& t : submitters) t.join();
+    int rejected = 0;
+    for (const auto& o : outcomes)
+      if (o.accepted)
+        accepted_ids.push_back(o.job_id);
+      else
+        ++rejected;
+    std::printf("  accepted %zu, rejected %d (queue cap %d + %d devices "
+                "absorb the burst)\n",
+                accepted_ids.size(), rejected, queue_cap, num_devices);
   }
 
-  const sched::BatchReport& rep = scheduler.runAll();
-
-  std::printf("\nPer-job outcomes:\n");
-  for (int i = 0; i < scheduler.jobCount(); ++i) {
-    const sched::JobResult& r = scheduler.result(i);
-    std::printf(
-        "  job %d on device %d: %s, RMSE %.1f HU in %.1f equits, "
-        "modeled %.3fs after %.3fs queue wait\n",
-        r.job_id, r.device, r.run.converged ? "converged" : "stopped",
-        r.run.final_rmse_hu, r.run.equits, r.run.modeled_seconds,
-        r.queue_wait_modeled_s);
+  svc::Client client(server.port());
+  for (int id : accepted_ids) {
+    const svc::Client::JobInfo info = client.result(id);
+    std::printf("  job %d [%s] on device %d: RMSE %.1f HU, %.1f equits\n",
+                info.job_id, info.state.c_str(), info.device,
+                info.final_rmse_hu, info.equits);
   }
 
-  std::printf("\nBatch: %d jobs (%d converged) on %d devices\n",
-              rep.jobs_total, rep.jobs_converged, num_devices);
-  std::printf("  host wall          %.2f s (%.2f jobs/s)\n", rep.host_seconds,
-              rep.jobs_per_host_second);
-  std::printf("  modeled makespan   %.3f s (sum over devices %.3f s)\n",
-              rep.makespan_modeled_s, rep.modeled_device_seconds_total);
-  std::printf("  modeled queue wait %.3f s mean, %.3f s max\n",
-              rep.queue_wait_mean_s, rep.queue_wait_max_s);
+  // --- 2. Admission overflow: flood an idle-but-small queue. -------------
+  std::printf("\nPhase 2: admission control at queue cap %d\n", queue_cap);
+  {
+    int accepted = 0, rejected = 0;
+    std::vector<int> flood_ids;
+    for (int i = 0; i < queue_cap + num_devices + 4; ++i) {
+      svc::SubmitParams p;
+      p.case_index = 0;
+      p.name = "flood" + std::to_string(i);
+      const auto o = client.submit(p);
+      if (o.accepted) {
+        ++accepted;
+        flood_ids.push_back(o.job_id);
+      } else {
+        ++rejected;
+        std::printf("  rejected: %s\n", o.error.c_str());
+        break;  // one observed rejection is the point
+      }
+    }
+    std::printf("  accepted %d before backpressure\n", accepted);
+    for (int id : flood_ids) client.result(id);  // let the flood finish
+  }
 
-  recorder.trace().writeFile("batch_trace.json");
-  scheduler.writeReportJson("batch_report.json");
-  std::printf(
-      "\nWrote batch_trace.json (open at ui.perfetto.dev — one process per "
-      "device)\nand batch_report.json (schema gpumbir.batch_report/1).\n");
+  // --- 3. Deadline fail-fast. --------------------------------------------
+  std::printf("\nPhase 3: deadline expiry\n");
+  {
+    // A 0 ms deadline job behind a real one: expired at dispatch, never run.
+    svc::SubmitParams blocker;
+    blocker.case_index = 0;
+    blocker.name = "blocker";
+    std::vector<int> blocker_ids;
+    for (int d = 0; d < num_devices; ++d)
+      blocker_ids.push_back(client.submit(blocker).job_id);
+    svc::SubmitParams late;
+    late.case_index = 1;
+    late.deadline_ms = 0.0;
+    late.name = "late";
+    const int late_id = client.submit(late).job_id;
+    for (int id : blocker_ids) client.result(id);
+    const svc::Client::JobInfo info = client.result(late_id);
+    std::printf("  job '%s' -> %s (service time %.3f s)\n",
+                info.name.c_str(), info.state.c_str(), info.service_host_s);
+  }
+
+  // --- 4. Deterministic lane vs offline batch scheduler. -----------------
+  std::printf("\nPhase 4: deterministic lane == BatchScheduler::runAll\n");
+  {
+    const int det_jobs = 4;
+    std::vector<int> det_ids;
+    for (int i = 0; i < det_jobs; ++i) {
+      svc::SubmitParams p;
+      p.case_index = i;
+      p.deterministic = true;
+      p.name = "det" + std::to_string(i);
+      det_ids.push_back(client.submit(p).job_id);
+    }
+    std::vector<std::string> svc_hashes;
+    for (int id : det_ids)
+      svc_hashes.push_back(client.result(id).image_hash);
+
+    sched::SchedulerOptions soff;
+    soff.num_devices = num_devices;
+    sched::BatchScheduler offline(soff);
+    for (int i = 0; i < det_jobs; ++i) {
+      const CaseLibrary::Case c = library.get(i);
+      svc::SubmitParams p;
+      p.case_index = i;
+      offline.submit(c.problem, c.golden,
+                     svc::makeRunConfig(opt.base_config, p));
+    }
+    offline.runAll();
+    bool all_match = true;
+    for (int i = 0; i < det_jobs; ++i) {
+      const std::string off_hash =
+          hashToHex(fnv1a64(offline.result(i).run.image.flat()));
+      const bool match = off_hash == svc_hashes[std::size_t(i)];
+      all_match = all_match && match;
+      std::printf("  det job %d: svc %s, offline %s%s\n", i,
+                  svc_hashes[std::size_t(i)].c_str(), off_hash.c_str(),
+                  match ? "" : "  <-- MISMATCH");
+    }
+    if (!all_match) {
+      std::fprintf(stderr, "deterministic lane diverged from runAll\n");
+      return 1;
+    }
+    std::printf("  bit-identical across the online/offline split\n");
+  }
+
+  // --- 5. Graceful drain + artifacts. ------------------------------------
+  std::printf("\nPhase 5: drain\n");
+  client.drain();
+  server.dispatcher().writeReportJson("svc_report.json");
+  recorder.trace().writeFile("svc_trace.json");
+  server.stop();
+  const svc::SvcReport& rep = server.dispatcher().drain();  // cached report
+  std::printf("  %llu submitted / %llu rejected; %llu done, %llu "
+              "deadline-missed; makespan %.3f modeled s\n",
+              (unsigned long long)rep.jobs_submitted,
+              (unsigned long long)rep.admission_rejected,
+              (unsigned long long)rep.jobs_done,
+              (unsigned long long)rep.jobs_deadline_missed,
+              rep.makespan_modeled_s);
+  std::printf("\nWrote svc_report.json (schema gpumbir.svc_report/1) and "
+              "svc_trace.json\n(open at ui.perfetto.dev — one process per "
+              "device).\n");
   return rep.jobs_failed == 0 ? 0 : 1;
 }

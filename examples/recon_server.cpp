@@ -1,0 +1,119 @@
+// Online reconstruction server: hosts the gpumbir.svc/1 service on
+// 127.0.0.1, dispatching submitted jobs across simulated devices until a
+// client issues `drain` or the process receives SIGINT/SIGTERM. Either way
+// it exits cleanly: stop admission, run the queue dry, write the
+// gpumbir.svc_report/1 report (and optionally the Perfetto trace), join
+// every thread, exit 0.
+//
+//   ./recon_server [--port 0] [--devices 2] [--queue-cap 16]
+//                  [--size 64] [--views 96] [--channels 128]
+//                  [--golden-equits 12] [--max-equits 10] [--sv-side 0]
+//                  [--port-file PATH] [--report svc_report.json]
+//                  [--trace PATH]
+//
+// Drive it with ./reconctl (see --help there), e.g.
+//   ./recon_server --port-file /tmp/port &
+//   ./reconctl submit --port-file /tmp/port --case 0 --priority 5 --wait
+//   ./reconctl drain --port-file /tmp/port
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/cli.h"
+#include "core/signal.h"
+#include "obs/obs.h"
+#include "svc/server.h"
+
+using namespace mbir;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("port", "TCP port on 127.0.0.1 (0 = kernel-assigned)", "0");
+  args.describe("devices", "simulated device count", "2");
+  args.describe("queue-cap", "admission queue bound (jobs)", "16");
+  args.describe("size", "image size of served cases (pixels per side)", "64");
+  args.describe("views", "view angles of served cases", "96");
+  args.describe("channels", "detector channels of served cases", "128");
+  args.describe("golden-equits", "equits for cached golden references", "12");
+  args.describe("max-equits", "default per-job equit budget", "10");
+  args.describe("sv-side", "default SV side for gpu/psv jobs (0 = builtin)",
+                "0");
+  args.describe("port-file", "write the bound port number to this file", "");
+  args.describe("report", "write gpumbir.svc_report/1 here on exit",
+                "svc_report.json");
+  args.describe("trace", "write a Perfetto trace here on exit", "");
+  if (args.helpRequested("Online reconstruction service (gpumbir.svc/1)."))
+    return 0;
+
+  // The signal handler must be installed before any worker thread exists so
+  // every thread inherits the disposition.
+  ShutdownSignal& shutdown = ShutdownSignal::instance();
+
+  SuiteConfig suite_cfg;
+  suite_cfg.geometry.image_size = args.getInt("size", 64);
+  suite_cfg.geometry.num_views = args.getInt("views", 96);
+  suite_cfg.geometry.num_channels = args.getInt("channels", 128);
+  CaseLibrary library(suite_cfg, args.getDouble("golden-equits", 12.0));
+  svc::CaseLibraryJobSource source(library);
+
+  obs::ObsConfig obs_cfg;
+  obs_cfg.metrics = true;
+  obs_cfg.trace = !args.getString("trace", "").empty();
+  obs::Recorder recorder(obs_cfg);
+
+  svc::ServerOptions opt;
+  opt.port = std::uint16_t(args.getInt("port", 0));
+  opt.dispatch.num_devices = args.getInt("devices", 2);
+  opt.dispatch.queue_capacity = args.getInt("queue-cap", 16);
+  opt.dispatch.recorder = &recorder;
+  opt.base_config.algorithm = Algorithm::kGpuIcd;
+  opt.base_config.max_equits = args.getDouble("max-equits", 10.0);
+  const int sv_side = args.getInt("sv-side", 0);
+  if (sv_side > 0) {
+    opt.base_config.gpu.tunables.sv.sv_side = sv_side;
+    opt.base_config.psv.sv.sv_side = sv_side;
+  }
+
+  svc::Server server(opt, source);
+  std::printf("recon_server: listening on 127.0.0.1:%u (%d devices, queue "
+              "cap %d)\n",
+              unsigned(server.port()), opt.dispatch.num_devices,
+              opt.dispatch.queue_capacity);
+  std::fflush(stdout);
+
+  const std::string port_file = args.getString("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << '\n';
+  }
+
+  // Serve until a client drains us or the OS asks us to go.
+  while (!server.drainRequested() &&
+         !shutdown.waitFor(std::chrono::milliseconds(200))) {
+  }
+  if (shutdown.requested() && !server.drainRequested())
+    std::printf("recon_server: signal %d, draining...\n",
+                shutdown.signalNumber());
+
+  const svc::SvcReport& rep = server.drainAndReport();
+  const std::string report_path = args.getString("report", "svc_report.json");
+  if (!report_path.empty()) server.dispatcher().writeReportJson(report_path);
+  const std::string trace_path = args.getString("trace", "");
+  if (!trace_path.empty()) recorder.trace().writeFile(trace_path);
+  server.stop();
+
+  std::printf("recon_server: drained. %llu submitted / %llu rejected; "
+              "%llu done, %llu cancelled, %llu failed, %llu deadline-missed "
+              "(%.2f jobs/s over %.1f s)\n",
+              (unsigned long long)rep.jobs_submitted,
+              (unsigned long long)rep.admission_rejected,
+              (unsigned long long)rep.jobs_done,
+              (unsigned long long)rep.jobs_cancelled,
+              (unsigned long long)rep.jobs_failed,
+              (unsigned long long)rep.jobs_deadline_missed,
+              rep.jobs_per_host_second, rep.host_seconds);
+  if (!report_path.empty())
+    std::printf("recon_server: wrote %s\n", report_path.c_str());
+  return rep.jobs_failed == 0 ? 0 : 1;
+}

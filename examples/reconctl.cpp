@@ -1,0 +1,208 @@
+// Control CLI for a running recon_server: one verb per invocation.
+//
+//   ./reconctl <ping|submit|status|result|cancel|drain> --port N [...]
+//
+//   ./reconctl ping    --port 45123
+//   ./reconctl submit  --port 45123 --case 0 --priority 5 --deadline-ms 2000
+//   ./reconctl submit  --port 45123 --case 1 --deterministic --wait
+//   ./reconctl status  --port 45123 [--job 3]
+//   ./reconctl result  --port 45123 --job 3
+//   ./reconctl cancel  --port 45123 --job 3
+//   ./reconctl drain   --port 45123 --out svc_report.json
+//
+// --port-file PATH (as written by recon_server --port-file) can replace
+// --port everywhere. Exit code 0 = the verb succeeded (for submit: the job
+// was accepted; an admission rejection exits 2 so scripts can back off).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/cli.h"
+#include "core/error.h"
+#include "svc/client.h"
+
+using namespace mbir;
+
+namespace {
+
+/// Serialize a parsed JsonValue back to JSON (object keys come out sorted —
+/// the parser stores members in a std::map — which is fine for a report).
+void writeJsonValue(obs::JsonWriter& w, const obs::JsonValue& v) {
+  using Type = obs::JsonValue::Type;
+  switch (v.type) {
+    case Type::kNull: w.null(); break;
+    case Type::kBool: w.value(v.bool_v); break;
+    case Type::kNumber: w.value(v.num_v); break;
+    case Type::kString: w.value(v.str_v); break;
+    case Type::kArray:
+      w.beginArray();
+      for (const obs::JsonValue& e : v.array_v) writeJsonValue(w, e);
+      w.endArray();
+      break;
+    case Type::kObject:
+      w.beginObject();
+      for (const auto& [k, e] : v.object_v) {
+        w.key(k);
+        writeJsonValue(w, e);
+      }
+      w.endObject();
+      break;
+  }
+}
+
+std::uint16_t resolvePort(const CliArgs& args) {
+  const std::string port_file = args.getString("port-file", "");
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    int port = 0;
+    if (!(in >> port) || port <= 0 || port > 65535)
+      throw Error("cannot read a port from " + port_file);
+    return std::uint16_t(port);
+  }
+  const int port = args.getInt("port", 0);
+  if (port <= 0 || port > 65535)
+    throw Error("need --port or --port-file (see --help)");
+  return std::uint16_t(port);
+}
+
+void printJob(const svc::Client::JobInfo& info) {
+  std::printf("job %d [%s] %s", info.job_id, info.state.c_str(),
+              info.name.c_str());
+  if (info.device >= 0) std::printf(" on device %d", info.device);
+  if (info.terminal() && info.dispatch_seq >= 0)
+    std::printf(": %s, RMSE %.1f HU in %.1f equits, modeled %.3f s",
+                info.converged ? "converged" : "stopped", info.final_rmse_hu,
+                info.equits, info.modeled_seconds);
+  if (!info.image_hash.empty())
+    std::printf(", image %s", info.image_hash.c_str());
+  if (!info.error.empty()) std::printf(", error: %s", info.error.c_str());
+  std::printf("\n");
+}
+
+int run(const CliArgs& args, const std::string& verb) {
+  svc::Client client(resolvePort(args));
+
+  if (verb == "ping") {
+    if (!client.ping()) {
+      std::fprintf(stderr, "ping failed\n");
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+
+  if (verb == "submit") {
+    svc::SubmitParams p;
+    p.case_index = args.getInt("case", 0);
+    p.algorithm = args.getString("algorithm", "gpu");
+    p.max_equits = args.getDouble("max-equits", 0.0);
+    if (args.has("stop-rmse"))
+      p.stop_rmse_hu = args.getDouble("stop-rmse", 0.0);
+    p.sv_side = args.getInt("sv-side", 0);
+    p.priority = args.getInt("priority", 0);
+    p.deadline_ms = args.getDouble("deadline-ms", -1.0);
+    p.deterministic = args.getBool("deterministic", false);
+    p.name = args.getString("name", "");
+    const svc::Client::SubmitResult out = client.submit(p);
+    if (!out.accepted) {
+      std::fprintf(stderr, "%s: %s\n",
+                   out.rejected ? "rejected" : "error", out.error.c_str());
+      return out.rejected ? 2 : 1;
+    }
+    std::printf("accepted job %d\n", out.job_id);
+    if (args.getBool("wait", false)) printJob(client.result(out.job_id));
+    return 0;
+  }
+
+  if (verb == "status") {
+    if (args.has("job")) {
+      printJob(client.jobStatus(args.getInt("job", -1)));
+      return 0;
+    }
+    const svc::Client::ServerStatus s = client.serverStatus();
+    std::printf("devices %d, queue %d/%d, running %d, accepting %s\n"
+                "submitted %lld, rejected %lld, finished %lld\n",
+                s.num_devices, s.queued, s.queue_capacity, s.running,
+                s.accepting ? "yes" : "no", (long long)s.submitted,
+                (long long)s.rejected, (long long)s.finished);
+    return 0;
+  }
+
+  if (verb == "result") {
+    if (!args.has("job")) throw Error("result needs --job");
+    printJob(client.result(args.getInt("job", -1)));
+    return 0;
+  }
+
+  if (verb == "cancel") {
+    if (!args.has("job")) throw Error("cancel needs --job");
+    const bool did = client.cancel(args.getInt("job", -1));
+    std::printf(did ? "cancelled\n" : "already terminal\n");
+    return 0;
+  }
+
+  if (verb == "drain") {
+    const obs::JsonValue report = client.drain();
+    auto count = [&](const char* k) {
+      const obs::JsonValue* v = report.find(k);
+      return v && v->isNumber() ? (long long)v->num_v : 0ll;
+    };
+    std::printf("drained: %lld submitted / %lld rejected; %lld done, "
+                "%lld cancelled, %lld failed, %lld deadline-missed\n",
+                count("jobs_submitted"), count("admission_rejected"),
+                count("jobs_done"), count("jobs_cancelled"),
+                count("jobs_failed"), count("jobs_deadline_missed"));
+    const std::string out_path = args.getString("out", "");
+    if (!out_path.empty()) {
+      obs::JsonWriter w;
+      writeJsonValue(w, report);
+      std::ofstream out(out_path, std::ios::binary);
+      out << w.str() << '\n';
+      if (!out.good()) throw Error("failed writing " + out_path);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "unknown verb '%s' (ping|submit|status|result|cancel|drain)\n",
+               verb.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("port", "server port on 127.0.0.1", "");
+  args.describe("port-file", "read the port from this file instead", "");
+  args.describe("case", "submit: case index to reconstruct", "0");
+  args.describe("algorithm", "submit: gpu|seq|psv", "gpu");
+  args.describe("max-equits", "submit: equit budget (0 = server default)",
+                "0");
+  args.describe("stop-rmse", "submit: RMSE stop threshold override (HU)", "");
+  args.describe("sv-side", "submit: SV side override (0 = server default)",
+                "0");
+  args.describe("priority", "submit: higher runs first", "0");
+  args.describe("deadline-ms", "submit: fail fast if not started in time",
+                "-1");
+  args.describe("deterministic", "submit: FIFO round-robin lane", "false");
+  args.describe("name", "submit: job label", "");
+  args.describe("wait", "submit: block until the job finishes", "false");
+  args.describe("job", "status/result/cancel: job id", "");
+  args.describe("out", "drain: write the report JSON here", "");
+  if (args.helpRequested("Control a running recon_server (gpumbir.svc/1)."))
+    return 0;
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: reconctl <ping|submit|status|result|cancel|drain> "
+                 "--port N [options]\n");
+    return 1;
+  }
+  try {
+    return run(args, args.positional().front());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reconctl: %s\n", e.what());
+    return 1;
+  }
+}

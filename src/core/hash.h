@@ -1,0 +1,39 @@
+// FNV-1a 64-bit hashing over raw bytes — the repo's stable fingerprint for
+// bit-identity checks (golden fixtures, batch determinism asserts, and the
+// service protocol's image_hash field). Equal hash <=> bit-identical bytes
+// for all practical purposes; any single-ULP drift in a float buffer
+// changes the fingerprint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+namespace mbir {
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::span<const float> v) {
+  return fnv1a64(v.data(), v.size() * sizeof(float));
+}
+
+/// Fixed-width lowercase hex rendering ("0123abcd..."), used where a hash
+/// crosses a JSON boundary (doubles only hold 53 bits exactly, so hashes
+/// are transported as strings).
+inline std::string hashToHex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace mbir

@@ -1,0 +1,61 @@
+#include "core/signal.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "core/error.h"
+
+namespace mbir {
+
+namespace {
+ShutdownSignal* g_instance = nullptr;
+
+extern "C" void shutdownSignalHandler(int sig) {
+  // Async-signal-safe: one atomic store and one write(2). g_instance is set
+  // before sigaction() installs this handler.
+  if (g_instance) g_instance->trigger(sig);
+}
+}  // namespace
+
+ShutdownSignal::ShutdownSignal() {
+  MBIR_CHECK_MSG(::pipe(pipe_fds_) == 0, "self-pipe creation failed");
+  for (int fd : pipe_fds_) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);  // handler write never blocks
+  }
+}
+
+ShutdownSignal& ShutdownSignal::instance() {
+  static ShutdownSignal* inst = [] {
+    auto* s = new ShutdownSignal();  // lives for the process
+    g_instance = s;
+    struct sigaction sa = {};
+    sa.sa_handler = shutdownSignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    return s;
+  }();
+  return *inst;
+}
+
+void ShutdownSignal::trigger(int sig) {
+  int expected = 0;
+  sig_.compare_exchange_strong(expected, sig, std::memory_order_release);
+  const char byte = 's';
+  [[maybe_unused]] const auto n = ::write(pipe_fds_[1], &byte, 1);
+}
+
+bool ShutdownSignal::waitFor(std::chrono::milliseconds timeout) const {
+  if (requested()) return true;
+  struct pollfd pfd = {};
+  pfd.fd = pipe_fds_[0];
+  pfd.events = POLLIN;
+  ::poll(&pfd, 1, int(timeout.count()));  // byte left unread: level-triggered
+  return requested();
+}
+
+}  // namespace mbir

@@ -1,0 +1,47 @@
+// Shared SIGINT/SIGTERM handling for long-running binaries (recon_server,
+// service benches): instead of letting a signal kill the process mid-write
+// (half-emitted JSON artifacts, leaked worker threads), binaries install
+// this helper once and poll/wait on it, then drain and exit cleanly.
+//
+// Implementation is the classic self-pipe: the async-signal-safe handler
+// writes one byte to a pipe and records the signal number in an atomic;
+// waiters poll() the pipe's read end (level-triggered — the byte is never
+// consumed, so any number of waiters observe the shutdown) or just test
+// requested() between units of work.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace mbir {
+
+class ShutdownSignal {
+ public:
+  /// Install the process-wide SIGINT/SIGTERM handler (idempotent; the
+  /// instance lives for the process). Call once near the top of main().
+  static ShutdownSignal& instance();
+
+  /// True once a shutdown signal arrived (or trigger() was called).
+  bool requested() const { return sig_.load(std::memory_order_acquire) != 0; }
+
+  /// The first signal received (SIGINT/SIGTERM), 0 when none yet.
+  int signalNumber() const { return sig_.load(std::memory_order_acquire); }
+
+  /// Block up to `timeout` for a shutdown request; returns requested().
+  bool waitFor(std::chrono::milliseconds timeout) const;
+
+  /// Programmatic shutdown request (tests, or an in-process drain verb):
+  /// behaves exactly as if `sig` had been delivered.
+  void trigger(int sig);
+
+  ShutdownSignal(const ShutdownSignal&) = delete;
+  ShutdownSignal& operator=(const ShutdownSignal&) = delete;
+
+ private:
+  ShutdownSignal();
+
+  std::atomic<int> sig_{0};
+  int pipe_fds_[2] = {-1, -1};
+};
+
+}  // namespace mbir

@@ -143,6 +143,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  beforeValue();
+  out_ += json;
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------
@@ -314,11 +320,29 @@ class Parser {
     } else if (cp < 0x800) {
       out += char(0xC0 | (cp >> 6));
       out += char(0x80 | (cp & 0x3F));
-    } else {
+    } else if (cp < 0x10000) {
       out += char(0xE0 | (cp >> 12));
       out += char(0x80 | ((cp >> 6) & 0x3F));
       out += char(0x80 | (cp & 0x3F));
+    } else {
+      out += char(0xF0 | (cp >> 18));
+      out += char(0x80 | ((cp >> 12) & 0x3F));
+      out += char(0x80 | ((cp >> 6) & 0x3F));
+      out += char(0x80 | (cp & 0x3F));
     }
+  }
+
+  unsigned parseHex4() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = next();
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return cp;
   }
 
   std::string parseString() {
@@ -344,16 +368,21 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = next();
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
-            else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
-            else fail("bad \\u escape");
+          unsigned cp = parseHex4();
+          // Surrogate handling: a high surrogate must be followed by an
+          // escaped low surrogate (combined into one code point, encoded as
+          // 4-byte UTF-8); anything unpaired is rejected — emitting CESU-8
+          // or lone surrogates would hand invalid UTF-8 to wire peers.
+          if (cp >= 0xDC00 && cp <= 0xDFFF) fail("unpaired low surrogate");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (next() != '\\' || next() != 'u')
+              fail("high surrogate not followed by \\u low surrogate");
+            const unsigned lo = parseHex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              fail("high surrogate not followed by a low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
           }
-          appendUtf8(out, cp);  // surrogate pairs are out of scope here
+          appendUtf8(out, cp);
           break;
         }
         default: fail("bad escape character");
@@ -400,6 +429,11 @@ class Parser {
     }
     if (*p != '\0') fail("malformed number");
     const double d = std::strtod(text.c_str(), nullptr);
+    // A grammatically valid literal can still overflow to ±inf ("1e999").
+    // Strict parsing means a finite number or a rejection — a silent inf
+    // would flow into protocol fields that every consumer assumes finite
+    // (the writer, symmetrically, never emits non-finite numbers).
+    if (!std::isfinite(d)) fail("number out of range");
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
     v.num_v = d;

@@ -5,8 +5,12 @@
 // parser exists so ctest can validate those artifacts structurally (schema
 // tests parse what the recorder wrote) without an external dependency; it
 // accepts strict JSON only and throws mbir::Error on malformed input —
-// including duplicate object keys, unescaped control characters, and
-// nesting beyond 200 levels (fuzzed by tests/test_json_fuzz.cpp).
+// including duplicate object keys, unescaped control characters, numbers
+// that overflow to infinity, unpaired UTF-16 surrogate escapes, and nesting
+// beyond 200 levels (fuzzed by tests/test_json_fuzz.cpp). Since PR 5 both
+// ends also serve as the service wire format (src/svc), so the strictness
+// guarantees are load-bearing at a trust boundary, not just for artifacts
+// this repo wrote itself.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +41,11 @@ class JsonWriter {
   JsonWriter& value(std::string_view v);
   JsonWriter& value(const char* v) { return value(std::string_view(v)); }
   JsonWriter& null();
+
+  /// Splice a pre-serialized complete JSON value (e.g. a nested report
+  /// document built by another writer) in value position. The caller owns
+  /// the claim that `json` is well formed.
+  JsonWriter& raw(std::string_view json);
 
   /// Shorthand for key(k).value(v).
   template <typename T>

@@ -1,0 +1,30 @@
+#include "recon/case_library.h"
+
+#include "core/error.h"
+
+namespace mbir {
+
+CaseLibrary::CaseLibrary(SuiteConfig config, double golden_equits)
+    : suite_(std::move(config)), golden_equits_(golden_equits) {
+  MBIR_CHECK_MSG(golden_equits_ > 0.0, "golden_equits must be positive");
+}
+
+CaseLibrary::Case CaseLibrary::get(int index) {
+  MBIR_CHECK_MSG(index >= 0, "case index must be >= 0, got " << index);
+  std::lock_guard lock(mu_);
+  auto it = cache_.find(index);
+  if (it == cache_.end()) {
+    auto entry = std::make_unique<Entry>(
+        Entry{suite_.makeCase(index), Image2D{}});
+    entry->golden = computeGolden(entry->problem, golden_equits_);
+    it = cache_.emplace(index, std::move(entry)).first;
+  }
+  return Case{it->second->problem, it->second->golden};
+}
+
+int CaseLibrary::builtCount() const {
+  std::lock_guard lock(mu_);
+  return int(cache_.size());
+}
+
+}  // namespace mbir

@@ -1,0 +1,54 @@
+// Thread-safe lazy library of reconstruction cases: Suite cases plus their
+// golden reference images, built on first use and cached for the process
+// lifetime. This is what an online deployment holds behind the service
+// (src/svc): submit requests name a case index, concurrent connection
+// threads resolve it here, and the borrowed problem/golden references stay
+// valid for as long as the library lives.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "recon/reconstructor.h"
+#include "recon/suite.h"
+
+namespace mbir {
+
+class CaseLibrary {
+ public:
+  /// `golden_equits` controls the cost/fidelity of the cached golden images
+  /// (the paper's protocol uses 40; services on reduced geometries can use
+  /// less — every consumer of a case sees the same golden either way).
+  explicit CaseLibrary(SuiteConfig config, double golden_equits = 40.0);
+
+  const Suite& suite() const { return suite_; }
+  double goldenEquits() const { return golden_equits_; }
+
+  struct Case {
+    const OwnedProblem& problem;
+    const Image2D& golden;
+  };
+
+  /// Case `index` (deterministic in (suite seed, index)); built and cached
+  /// on first request. References are stable for the library's lifetime.
+  /// Throws mbir::Error for a negative index.
+  Case get(int index);
+
+  /// Number of distinct cases built so far.
+  int builtCount() const;
+
+ private:
+  struct Entry {
+    OwnedProblem problem;
+    Image2D golden;
+  };
+
+  Suite suite_;
+  double golden_equits_;
+  mutable std::mutex mu_;  // guards cache_; builds happen under it, so the
+                           // first request for a case serializes with peers
+  std::map<int, std::unique_ptr<Entry>> cache_;
+};
+
+}  // namespace mbir

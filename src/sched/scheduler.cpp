@@ -38,6 +38,69 @@ Instruments resolveInstruments(obs::Recorder* rec) {
 
 }  // namespace
 
+double runJobOnDevice(const DeviceRunContext& ctx, const OwnedProblem& problem,
+                      const Image2D& golden, const RunConfig& config,
+                      const std::atomic<bool>& cancel_flag,
+                      double device_clock_s, JobResult& r) {
+  obs::Recorder* rec = ctx.recorder;
+  const bool tracing = rec && rec->traceOn();
+  r.device = ctx.device;
+  r.queue_wait_modeled_s = device_clock_s;
+  r.device_start_modeled_s = device_clock_s;
+  const double host_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
+  const WallTimer job_wall;
+
+  RunConfig rc = config;
+  rc.cancel = &cancel_flag;
+  rc.external_recorder = rec;
+  rc.trace_pid = ctx.trace_pid;
+  if (ctx.host_pool && !rc.gpu.host_pool) rc.gpu.host_pool = ctx.host_pool;
+  try {
+    r.run = reconstruct(problem, golden, rc);
+    r.cancelled = r.run.cancelled;
+  } catch (const std::exception& e) {
+    r.failed = true;
+    r.error = e.what();
+  } catch (...) {
+    r.failed = true;
+    r.error = "unknown exception";
+  }
+  r.host_seconds = job_wall.seconds();
+  const double clock_after = device_clock_s + r.run.modeled_seconds;
+  r.device_end_modeled_s = clock_after;
+
+  if (tracing) {
+    const std::vector<std::pair<std::string, double>> num_args = {
+        {"job_id", double(r.job_id)},
+        {"device", double(ctx.device)},
+        {"equits", r.run.equits},
+        {"rmse_hu", r.run.final_rmse_hu},
+        {"queue_wait_modeled_s", r.queue_wait_modeled_s}};
+    const std::vector<std::pair<std::string, std::string>> str_args = {
+        {"job", r.name}, {"algorithm", algorithmName(rc.algorithm)}};
+    obs::TraceEvent host_ev;
+    host_ev.name = ctx.span_prefix + ".job";
+    host_ev.cat = ctx.span_prefix;
+    host_ev.clock = obs::Clock::kHost;
+    host_ev.ts_us = host_t0_us;
+    host_ev.dur_us = rec->trace().nowHostUs() - host_t0_us;
+    host_ev.num_args = num_args;
+    host_ev.str_args = str_args;
+    obs::TraceEvent dev_ev;
+    dev_ev.name = ctx.span_prefix + ".job." + r.name;
+    dev_ev.cat = ctx.span_prefix;
+    dev_ev.clock = obs::Clock::kModeled;
+    dev_ev.pid = ctx.trace_pid;
+    dev_ev.ts_us = r.device_start_modeled_s * 1e6;
+    dev_ev.dur_us = (r.device_end_modeled_s - r.device_start_modeled_s) * 1e6;
+    dev_ev.num_args = num_args;
+    dev_ev.str_args = str_args;
+    rec->trace().record(std::move(host_ev));
+    rec->trace().record(std::move(dev_ev));
+  }
+  return clock_after;
+}
+
 BatchScheduler::BatchScheduler(SchedulerOptions options) : opt_(std::move(options)) {
   MBIR_CHECK_MSG(opt_.num_devices >= 1, "scheduler needs at least one device");
 }
@@ -73,35 +136,18 @@ void BatchScheduler::cancel(int job_id) {
 void BatchScheduler::driveDevice(int device) {
   obs::Recorder* rec = opt_.recorder;
   const Instruments inst = resolveInstruments(rec);
-  const bool tracing = rec && rec->traceOn();
+  DeviceRunContext ctx;
+  ctx.recorder = rec;
+  ctx.host_pool = opt_.host_pool;
+  ctx.device = device;
+  ctx.trace_pid = tracePid(device);
   double clock_s = 0.0;  // this device's cumulative modeled clock
   for (std::size_t i = std::size_t(device); i < jobs_.size();
        i += std::size_t(opt_.num_devices)) {
     Job& job = jobs_[i];
     JobResult& r = job.result;
-    r.queue_wait_modeled_s = clock_s;
-    r.device_start_modeled_s = clock_s;
-    const double host_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
-    const WallTimer job_wall;
-
-    RunConfig rc = job.config;
-    rc.cancel = &job.cancel_flag;
-    rc.external_recorder = rec;
-    rc.trace_pid = tracePid(device);
-    if (opt_.host_pool && !rc.gpu.host_pool) rc.gpu.host_pool = opt_.host_pool;
-    try {
-      r.run = reconstruct(*job.problem, *job.golden, rc);
-      r.cancelled = r.run.cancelled;
-    } catch (const std::exception& e) {
-      r.failed = true;
-      r.error = e.what();
-    } catch (...) {
-      r.failed = true;
-      r.error = "unknown exception";
-    }
-    r.host_seconds = job_wall.seconds();
-    clock_s += r.run.modeled_seconds;
-    r.device_end_modeled_s = clock_s;
+    clock_s = runJobOnDevice(ctx, *job.problem, *job.golden, job.config,
+                             job.cancel_flag, clock_s, r);
 
     if (inst.completed) {
       inst.completed->add();
@@ -109,35 +155,6 @@ void BatchScheduler::driveDevice(int device) {
       if (r.failed) inst.failed->add();
       inst.queue_wait->observe(r.queue_wait_modeled_s);
       inst.job_host_seconds->observe(r.host_seconds);
-    }
-    if (tracing) {
-      const std::vector<std::pair<std::string, double>> num_args = {
-          {"job_id", double(r.job_id)},
-          {"device", double(device)},
-          {"equits", r.run.equits},
-          {"rmse_hu", r.run.final_rmse_hu},
-          {"queue_wait_modeled_s", r.queue_wait_modeled_s}};
-      const std::vector<std::pair<std::string, std::string>> str_args = {
-          {"job", job.name}, {"algorithm", algorithmName(rc.algorithm)}};
-      obs::TraceEvent host_ev;
-      host_ev.name = "sched.job";
-      host_ev.cat = "sched";
-      host_ev.clock = obs::Clock::kHost;
-      host_ev.ts_us = host_t0_us;
-      host_ev.dur_us = rec->trace().nowHostUs() - host_t0_us;
-      host_ev.num_args = num_args;
-      host_ev.str_args = str_args;
-      obs::TraceEvent dev_ev;
-      dev_ev.name = "sched.job." + job.name;
-      dev_ev.cat = "sched";
-      dev_ev.clock = obs::Clock::kModeled;
-      dev_ev.pid = tracePid(device);
-      dev_ev.ts_us = r.device_start_modeled_s * 1e6;
-      dev_ev.dur_us = (r.device_end_modeled_s - r.device_start_modeled_s) * 1e6;
-      dev_ev.num_args = num_args;
-      dev_ev.str_args = str_args;
-      rec->trace().record(std::move(host_ev));
-      rec->trace().record(std::move(dev_ev));
     }
     job.promise.set_value(&r);
   }

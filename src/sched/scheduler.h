@@ -55,6 +55,8 @@ struct SchedulerOptions {
 
 /// Outcome of one job. Stable address once runAll() starts (futures resolve
 /// to pointers into the scheduler; valid while the scheduler lives).
+/// Also the per-job record of the online service dispatcher (src/svc),
+/// which runs jobs through the same runJobOnDevice() plumbing.
 struct JobResult {
   int job_id = -1;
   int device = -1;
@@ -93,6 +95,34 @@ struct BatchReport {
   /// Final cumulative modeled clock per device.
   std::vector<double> device_modeled_s;
 };
+
+/// Everything one simulated device needs to run a job: the plumbing the
+/// scheduler (and the online service dispatcher, src/svc) applies on top of
+/// a caller-provided RunConfig.
+struct DeviceRunContext {
+  obs::Recorder* recorder = nullptr;  ///< shared session (nullptr = off)
+  ThreadPool* host_pool = nullptr;    ///< injected unless the job set its own
+  int device = 0;
+  int trace_pid = 0;
+  /// Trace span naming: "<prefix>.job" on the host clock and
+  /// "<prefix>.job.<name>" on the device's modeled clock ("sched" for the
+  /// batch scheduler, "svc" for the online service).
+  std::string span_prefix = "sched";
+};
+
+/// Run one job on a simulated device: applies the context to the job's
+/// RunConfig (cancel flag, shared recorder, device trace pid, host pool),
+/// isolates failures (a throwing job is recorded, never propagated),
+/// advances the device's cumulative modeled clock from `device_clock_s`,
+/// and records the host/modeled trace spans. Fills `out` (queue wait,
+/// run outcome, host seconds) — out.job_id/name/device are the caller's —
+/// and returns the device clock after the job. This is the single execution
+/// path shared by BatchScheduler::runAll and svc::Dispatcher, so offline
+/// and online dispatch cannot drift semantically.
+double runJobOnDevice(const DeviceRunContext& ctx, const OwnedProblem& problem,
+                      const Image2D& golden, const RunConfig& config,
+                      const std::atomic<bool>& cancel_flag,
+                      double device_clock_s, JobResult& out);
 
 class BatchScheduler {
  public:

@@ -1,0 +1,102 @@
+// Client side of gpumbir.svc/1: a blocking loopback connection plus typed
+// wrappers for every verb. One Client is one TCP connection with strictly
+// request/response framing — share it across threads only with external
+// serialization (or open one Client per thread; the server handles
+// connections independently).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "geom/image.h"
+#include "obs/json.h"
+#include "svc/protocol.h"
+
+namespace mbir::svc {
+
+class Client {
+ public:
+  /// Connect to 127.0.0.1:port (throws mbir::Error on failure).
+  explicit Client(std::uint16_t port,
+                  std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// Send one raw payload, read one response frame, parse it. Throws
+  /// mbir::Error on transport failure or malformed response JSON. This is
+  /// the escape hatch the fuzz tests and reconctl's raw mode use; the
+  /// typed wrappers below cover normal operation.
+  obs::JsonValue call(std::string_view payload);
+
+  /// Raw socket fd (tests use it to send deliberately broken frames).
+  int fd() const { return fd_; }
+
+  bool ping();
+
+  struct SubmitResult {
+    bool accepted = false;
+    int job_id = -1;
+    bool rejected = false;  ///< admission backpressure (queue full / drain)
+    std::string error;
+  };
+  /// Never throws on an ok:false response — admission rejection is an
+  /// expected outcome, reported in the return value.
+  SubmitResult submit(const SubmitParams& params);
+
+  struct ServerStatus {
+    bool accepting = true;
+    int queued = 0;
+    int running = 0;
+    std::int64_t submitted = 0;
+    std::int64_t rejected = 0;
+    std::int64_t finished = 0;
+    int num_devices = 0;
+    int queue_capacity = 0;
+  };
+  ServerStatus serverStatus();
+
+  struct JobInfo {
+    int job_id = -1;
+    std::string state;  ///< jobStateName() string
+    std::string name;
+    int device = -1;
+    int dispatch_seq = -1;
+    double queue_wait_host_s = 0.0;
+    double service_host_s = 0.0;
+    double e2e_host_s = 0.0;
+    bool converged = false;
+    double equits = 0.0;
+    double final_rmse_hu = 0.0;
+    double modeled_seconds = 0.0;
+    double queue_wait_modeled_s = 0.0;
+    std::string error;
+    std::string image_hash;  ///< 16 hex chars when the job has an image
+    std::optional<Image2D> image;  ///< result(include_image=true) only
+    bool terminal() const {
+      return state != "queued" && state != "running";
+    }
+  };
+  /// Point-in-time snapshot (throws mbir::Error for unknown ids).
+  JobInfo jobStatus(int job_id);
+  /// Blocks until the job is terminal; optionally transfers the image.
+  JobInfo result(int job_id, bool include_image = false);
+
+  /// True if the cancel took effect (false: job was already terminal).
+  bool cancel(int job_id);
+
+  /// Drain the service; returns the parsed gpumbir.svc_report/1 document.
+  obs::JsonValue drain();
+
+ private:
+  obs::JsonValue callChecked(std::string_view payload, const char* verb);
+
+  int fd_ = -1;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace mbir::svc

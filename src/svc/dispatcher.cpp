@@ -1,0 +1,513 @@
+#include "svc/dispatcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "core/error.h"
+#include "core/hash.h"
+#include "obs/json.h"
+
+namespace mbir::svc {
+
+namespace {
+
+double secondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+DistSummary summarize(std::vector<double> v) {
+  DistSummary s;
+  s.count = v.size();
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  s.mean = sum / double(v.size());
+  s.max = v.back();
+  // Nearest-rank percentiles (exact order statistics, no interpolation).
+  auto rank = [&](double p) {
+    const std::size_t r = std::size_t(std::ceil(p * double(v.size())));
+    return v[std::min(v.size() - 1, r == 0 ? 0 : r - 1)];
+  };
+  s.p50 = rank(0.50);
+  s.p99 = rank(0.99);
+  return s;
+}
+
+void writeDistSummary(obs::JsonWriter& w, const DistSummary& s) {
+  w.beginObject();
+  w.kv("count", std::int64_t(s.count));
+  w.kv("mean", s.mean);
+  w.kv("max", s.max);
+  w.kv("p50", s.p50);
+  w.kv("p99", s.p99);
+  w.endObject();
+}
+
+}  // namespace
+
+const char* jobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+    case JobState::kDeadlineMissed: return "deadline_missed";
+  }
+  return "?";
+}
+
+bool isTerminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+Dispatcher::Dispatcher(DispatcherOptions options) : opt_(std::move(options)) {
+  MBIR_CHECK_MSG(opt_.num_devices >= 1, "dispatcher needs at least one device");
+  MBIR_CHECK_MSG(opt_.queue_capacity >= 1, "queue capacity must be >= 1");
+  det_lane_.resize(std::size_t(opt_.num_devices));
+  device_clock_.assign(std::size_t(opt_.num_devices), 0.0);
+
+  obs::Recorder* rec = opt_.recorder;
+  if (rec && rec->metricsOn()) {
+    obs::MetricsRegistry& m = rec->metrics();
+    inst_.submitted = &m.counter("svc.jobs.submitted");
+    inst_.rejected = &m.counter("svc.admission.rejected");
+    inst_.done = &m.counter("svc.jobs.done");
+    inst_.cancelled = &m.counter("svc.jobs.cancelled");
+    inst_.failed = &m.counter("svc.jobs.failed");
+    inst_.deadline_missed = &m.counter("svc.jobs.deadline_missed");
+    inst_.queue_depth = &m.gauge("svc.queue.depth");
+    inst_.queue_wait = &m.histogram("svc.queue_wait_host_s");
+    inst_.service_time = &m.histogram("svc.job.service_host_s");
+    inst_.e2e = &m.histogram("svc.job.e2e_host_s");
+    m.gauge("svc.devices").set(double(opt_.num_devices));
+    m.gauge("svc.queue.capacity").set(double(opt_.queue_capacity));
+  }
+  if (rec && rec->traceOn()) {
+    for (int d = 0; d < opt_.num_devices; ++d)
+      rec->trace().nameProcess(tracePid(d),
+                               "svc device " + std::to_string(d) + " (modeled)",
+                               /*sort_index=*/tracePid(d));
+  }
+
+  devices_.reserve(std::size_t(opt_.num_devices));
+  for (int d = 0; d < opt_.num_devices; ++d)
+    devices_.emplace_back([this, d] { deviceLoop(d); });
+}
+
+Dispatcher::~Dispatcher() {
+  std::lock_guard drain_lock(drain_mu_);
+  if (joined_) return;
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    // Hard stop: running jobs get the cooperative flag so the device
+    // threads return at the next iteration boundary; queued jobs never run.
+    for (Job& job : jobs_)
+      if (!isTerminal(job.state)) job.cancel.store(true, std::memory_order_release);
+    cv_work_.notify_all();
+  }
+  for (std::thread& t : devices_) t.join();
+  joined_ = true;
+}
+
+SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
+  MBIR_CHECK_MSG(spec.problem && spec.golden, "job needs a problem and golden");
+  SubmitOutcome out;
+  std::lock_guard lock(mu_);
+  if (!accepting_) {
+    out.reason = "service is draining";
+    ++rejected_;
+    if (inst_.rejected) inst_.rejected->add();
+    return out;
+  }
+  if (queued_ >= opt_.queue_capacity) {
+    out.reason = "admission queue full (" +
+                 std::to_string(opt_.queue_capacity) + " queued)";
+    ++rejected_;
+    if (inst_.rejected) inst_.rejected->add();
+    return out;
+  }
+
+  const int id = int(jobs_.size());
+  Job& job = jobs_.emplace_back();
+  job.id = id;
+  job.spec = spec;
+  job.admit_tp = std::chrono::steady_clock::now();
+  if (spec.deadline_ms >= 0.0) {
+    job.has_deadline = true;
+    job.deadline_tp =
+        job.admit_tp + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(spec.deadline_ms));
+  }
+  job.result.job_id = id;
+  job.result.name =
+      spec.name.empty() ? "job" + std::to_string(id) : spec.name;
+  if (spec.deterministic) {
+    job.det_seq = det_count_++;
+    det_lane_[std::size_t(job.det_seq % opt_.num_devices)].push_back(id);
+  } else {
+    prio_pending_.push_back(id);
+  }
+  ++queued_;
+  ++accepted_;
+  queue_depth_max_ = std::max(queue_depth_max_, queued_);
+  if (inst_.submitted) inst_.submitted->add();
+  if (inst_.queue_depth) inst_.queue_depth->set(double(queued_));
+  cv_work_.notify_all();
+
+  out.accepted = true;
+  out.job_id = id;
+  return out;
+}
+
+bool Dispatcher::cancel(int job_id) {
+  std::lock_guard lock(mu_);
+  if (job_id < 0 || job_id >= int(jobs_.size())) return false;
+  Job& job = jobs_[std::size_t(job_id)];
+  if (isTerminal(job.state)) return false;
+  if (job.state == JobState::kQueued && !job.spec.deterministic) {
+    // Drop it from the pending set right now, freeing its admission slot.
+    prio_pending_.erase(
+        std::find(prio_pending_.begin(), prio_pending_.end(), job_id));
+    finalizeQueuedLocked(job, JobState::kCancelled);
+    return true;
+  }
+  // Running jobs stop cooperatively; queued deterministic-lane jobs keep
+  // their schedule slot and run with the flag set (BatchScheduler parity).
+  job.cancel.store(true, std::memory_order_release);
+  return true;
+}
+
+bool Dispatcher::knownJob(int job_id) const {
+  std::lock_guard lock(mu_);
+  return job_id >= 0 && job_id < int(jobs_.size());
+}
+
+JobStatus Dispatcher::status(int job_id) const {
+  std::lock_guard lock(mu_);
+  MBIR_CHECK_MSG(job_id >= 0 && job_id < int(jobs_.size()),
+                 "unknown job id " << job_id);
+  return snapshotLocked(jobs_[std::size_t(job_id)]);
+}
+
+Dispatcher::Stats Dispatcher::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.accepting = accepting_;
+  s.queued = queued_;
+  s.running = running_;
+  s.submitted = accepted_;
+  s.rejected = rejected_;
+  s.finished = finished_;
+  return s;
+}
+
+JobStatus Dispatcher::waitTerminal(int job_id) const {
+  std::unique_lock lock(mu_);
+  MBIR_CHECK_MSG(job_id >= 0 && job_id < int(jobs_.size()),
+                 "unknown job id " << job_id);
+  const Job& job = jobs_[std::size_t(job_id)];
+  cv_done_.wait(lock, [&] { return isTerminal(job.state); });
+  return snapshotLocked(job);
+}
+
+std::optional<Image2D> Dispatcher::image(int job_id) const {
+  std::lock_guard lock(mu_);
+  MBIR_CHECK_MSG(job_id >= 0 && job_id < int(jobs_.size()),
+                 "unknown job id " << job_id);
+  const Job& job = jobs_[std::size_t(job_id)];
+  // The run writes job.result without the lock; only a terminal state
+  // (published under the lock) guarantees those writes are visible here.
+  if (!isTerminal(job.state) || !job.has_image) return std::nullopt;
+  return job.result.run.image;
+}
+
+Dispatcher::Job* Dispatcher::pickJobLocked(int device) {
+  const auto now = std::chrono::steady_clock::now();
+  auto transition = [&](Job& job) {
+    job.state = JobState::kRunning;
+    job.dispatch_seq = dispatch_count_++;
+    job.queue_wait_host_s = secondsBetween(job.admit_tp, now);
+    job.device = device;
+    --queued_;
+    ++running_;
+    if (inst_.queue_depth) inst_.queue_depth->set(double(queued_));
+    // Peers idle in drain mode only exit once the queue is empty — tell them.
+    if (draining_ && queued_ == 0) cv_work_.notify_all();
+    return &job;
+  };
+
+  // Deterministic lane first: this device's det jobs, strictly in
+  // submission order (deadlines/priorities do not apply in this lane).
+  std::deque<int>& lane = det_lane_[std::size_t(device)];
+  if (!lane.empty()) {
+    Job& job = jobs_[std::size_t(lane.front())];
+    lane.pop_front();
+    return transition(job);
+  }
+
+  // Priority lane: fail expired jobs fast, then take the highest priority
+  // (ties to the earliest submission).
+  Job* best = nullptr;
+  for (std::size_t i = 0; i < prio_pending_.size();) {
+    Job& job = jobs_[std::size_t(prio_pending_[i])];
+    if (job.has_deadline && now >= job.deadline_tp) {
+      prio_pending_.erase(prio_pending_.begin() + long(i));
+      finalizeQueuedLocked(job, JobState::kDeadlineMissed);
+      continue;
+    }
+    if (!best || job.spec.priority > best->spec.priority) best = &job;
+    ++i;
+  }
+  if (!best) return nullptr;
+  prio_pending_.erase(
+      std::find(prio_pending_.begin(), prio_pending_.end(), best->id));
+  return transition(*best);
+}
+
+void Dispatcher::finalizeQueuedLocked(Job& job, JobState state) {
+  job.state = state;
+  const auto now = std::chrono::steady_clock::now();
+  job.queue_wait_host_s = secondsBetween(job.admit_tp, now);
+  job.e2e_host_s = job.queue_wait_host_s;
+  --queued_;
+  if (inst_.queue_depth) inst_.queue_depth->set(double(queued_));
+  if (draining_ && queued_ == 0) cv_work_.notify_all();
+  noteTerminalLocked(job);
+}
+
+void Dispatcher::noteTerminalLocked(Job& job) {
+  ++finished_;
+  switch (job.state) {
+    case JobState::kDone:
+      if (inst_.done) inst_.done->add();
+      break;
+    case JobState::kCancelled:
+      if (inst_.cancelled) inst_.cancelled->add();
+      break;
+    case JobState::kFailed:
+      if (inst_.failed) inst_.failed->add();
+      break;
+    case JobState::kDeadlineMissed:
+      if (inst_.deadline_missed) inst_.deadline_missed->add();
+      break;
+    default:
+      break;
+  }
+  if (inst_.queue_wait) inst_.queue_wait->observe(job.queue_wait_host_s);
+  if (inst_.e2e) inst_.e2e->observe(job.e2e_host_s);
+  if (job.dispatch_seq >= 0 && inst_.service_time)
+    inst_.service_time->observe(job.service_host_s);
+  cv_done_.notify_all();
+}
+
+void Dispatcher::deviceLoop(int device) {
+  sched::DeviceRunContext ctx;
+  ctx.recorder = opt_.recorder;
+  ctx.host_pool = opt_.host_pool;
+  ctx.device = device;
+  ctx.trace_pid = tracePid(device);
+  ctx.span_prefix = "svc";
+  double clock_s = 0.0;  // this device's cumulative modeled clock
+
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] {
+        if (stop_) return true;
+        job = pickJobLocked(device);
+        if (job) return true;
+        return draining_ && queued_ == 0;
+      });
+      if (stop_ || !job) break;
+    }
+
+    const WallTimer service_wall;
+    clock_s = sched::runJobOnDevice(ctx, *job->spec.problem, *job->spec.golden,
+                                    job->spec.config, job->cancel, clock_s,
+                                    job->result);
+
+    std::lock_guard lock(mu_);
+    device_clock_[std::size_t(device)] = clock_s;
+    job->service_host_s = service_wall.seconds();
+    job->e2e_host_s = job->queue_wait_host_s + job->service_host_s;
+    const sched::JobResult& r = job->result;
+    if (!r.failed && r.run.image.numVoxels() > 0) {
+      job->has_image = true;
+      job->image_hash = fnv1a64(r.run.image.flat());
+    }
+    job->state = r.failed      ? JobState::kFailed
+                 : r.cancelled ? JobState::kCancelled
+                               : JobState::kDone;
+    --running_;
+    noteTerminalLocked(*job);
+  }
+}
+
+JobStatus Dispatcher::snapshotLocked(const Job& job) const {
+  JobStatus s;
+  s.job_id = job.id;
+  s.state = job.state;
+  s.name = job.result.name;
+  s.priority = job.spec.priority;
+  s.deterministic = job.spec.deterministic;
+  s.deadline_ms = job.spec.deadline_ms;
+  s.device = job.device;
+  s.dispatch_seq = job.dispatch_seq;
+  s.queue_wait_host_s = job.queue_wait_host_s;
+  s.service_host_s = job.service_host_s;
+  s.e2e_host_s = job.e2e_host_s;
+  if (isTerminal(job.state) && job.dispatch_seq >= 0) {
+    // Run-outcome fields are written off-lock during the run; they are
+    // published by the terminal-state transition (which holds the lock).
+    s.converged = job.result.run.converged;
+    s.equits = job.result.run.equits;
+    s.final_rmse_hu = job.result.run.final_rmse_hu;
+    s.modeled_seconds = job.result.run.modeled_seconds;
+    s.queue_wait_modeled_s = job.result.queue_wait_modeled_s;
+    s.error = job.result.error;
+    s.image_hash = job.image_hash;
+    s.has_image = job.has_image;
+  }
+  return s;
+}
+
+const SvcReport& Dispatcher::drain() {
+  std::lock_guard drain_lock(drain_mu_);
+  if (joined_) return report_;  // idempotent: repeat callers share the report
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+    cv_work_.notify_all();
+  }
+  {
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+  }
+  for (std::thread& t : devices_) t.join();
+  joined_ = true;
+
+  // Threads are gone; every job is terminal and fully published.
+  SvcReport& rep = report_;
+  rep.num_devices = opt_.num_devices;
+  rep.queue_capacity = opt_.queue_capacity;
+  rep.jobs_submitted = accepted_;
+  rep.admission_rejected = rejected_;
+  rep.queue_depth_max = queue_depth_max_;
+  rep.device_modeled_s = device_clock_;
+  rep.makespan_modeled_s =
+      device_clock_.empty()
+          ? 0.0
+          : *std::max_element(device_clock_.begin(), device_clock_.end());
+  std::vector<double> queue_wait, service, e2e;
+  for (const Job& job : jobs_) {
+    rep.jobs.push_back(snapshotLocked(job));
+    const JobStatus& s = rep.jobs.back();
+    switch (s.state) {
+      case JobState::kDone:
+        ++rep.jobs_done;
+        if (s.converged) ++rep.jobs_converged;
+        break;
+      case JobState::kCancelled: ++rep.jobs_cancelled; break;
+      case JobState::kFailed: ++rep.jobs_failed; break;
+      case JobState::kDeadlineMissed: ++rep.jobs_deadline_missed; break;
+      default: break;
+    }
+    queue_wait.push_back(s.queue_wait_host_s);
+    e2e.push_back(s.e2e_host_s);
+    if (s.dispatch_seq >= 0) {
+      service.push_back(s.service_host_s);
+      rep.modeled_device_seconds_total += s.modeled_seconds;
+    }
+  }
+  rep.queue_wait_host_s = summarize(std::move(queue_wait));
+  rep.service_host_s = summarize(std::move(service));
+  rep.e2e_host_s = summarize(std::move(e2e));
+  rep.host_seconds = lifetime_.seconds();
+  rep.jobs_per_host_second =
+      rep.host_seconds > 0.0 ? double(rep.jobs_done) / rep.host_seconds : 0.0;
+
+  drained_.store(true, std::memory_order_release);
+  return report_;
+}
+
+std::string Dispatcher::reportJson() const {
+  MBIR_CHECK_MSG(drained(), "reportJson() before drain()");
+  const SvcReport& rep = report_;
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", kReportSchema);
+  w.kv("num_devices", rep.num_devices);
+  w.kv("queue_capacity", rep.queue_capacity);
+  w.kv("jobs_submitted", std::int64_t(rep.jobs_submitted));
+  w.kv("admission_rejected", std::int64_t(rep.admission_rejected));
+  w.kv("jobs_done", std::int64_t(rep.jobs_done));
+  w.kv("jobs_converged", std::int64_t(rep.jobs_converged));
+  w.kv("jobs_cancelled", std::int64_t(rep.jobs_cancelled));
+  w.kv("jobs_failed", std::int64_t(rep.jobs_failed));
+  w.kv("jobs_deadline_missed", std::int64_t(rep.jobs_deadline_missed));
+  w.kv("queue_depth_max", rep.queue_depth_max);
+  w.kv("host_seconds", rep.host_seconds);
+  w.kv("jobs_per_host_second", rep.jobs_per_host_second);
+  w.key("queue_wait_host_s");
+  writeDistSummary(w, rep.queue_wait_host_s);
+  w.key("service_host_s");
+  writeDistSummary(w, rep.service_host_s);
+  w.key("e2e_host_s");
+  writeDistSummary(w, rep.e2e_host_s);
+  w.kv("modeled_device_seconds_total", rep.modeled_device_seconds_total);
+  w.kv("makespan_modeled_s", rep.makespan_modeled_s);
+  w.key("device_modeled_s").beginArray();
+  for (double s : rep.device_modeled_s) w.value(s);
+  w.endArray();
+  w.key("jobs").beginArray();
+  for (const JobStatus& s : rep.jobs) {
+    w.beginObject();
+    w.kv("job_id", s.job_id);
+    w.kv("name", s.name);
+    w.kv("state", jobStateName(s.state));
+    w.kv("priority", s.priority);
+    w.kv("deterministic", s.deterministic);
+    if (s.deadline_ms >= 0.0) w.kv("deadline_ms", s.deadline_ms);
+    w.kv("device", s.device);
+    w.kv("dispatch_seq", s.dispatch_seq);
+    w.kv("queue_wait_host_s", s.queue_wait_host_s);
+    w.kv("service_host_s", s.service_host_s);
+    w.kv("e2e_host_s", s.e2e_host_s);
+    if (s.dispatch_seq >= 0) {
+      w.kv("converged", s.converged);
+      w.kv("equits", s.equits);
+      w.kv("final_rmse_hu", s.final_rmse_hu);
+      w.kv("modeled_seconds", s.modeled_seconds);
+      w.kv("queue_wait_modeled_s", s.queue_wait_modeled_s);
+    }
+    if (!s.error.empty()) w.kv("error", s.error);
+    // uint64 hashes cross the wire as hex strings: a JSON number (double)
+    // only carries 53 bits exactly.
+    if (s.has_image) w.kv("image_hash", hashToHex(s.image_hash));
+    w.endObject();
+  }
+  w.endArray();
+  const obs::Recorder* rec = opt_.recorder;
+  if (rec && rec->metricsOn()) {
+    w.key("metrics");
+    rec->metrics().writeJson(w);
+  }
+  w.endObject();
+  return w.str();
+}
+
+void Dispatcher::writeReportJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  MBIR_CHECK_MSG(out.good(), "cannot open svc report file: " + path);
+  out << reportJson() << '\n';
+  MBIR_CHECK_MSG(out.good(), "failed writing svc report: " + path);
+}
+
+}  // namespace mbir::svc

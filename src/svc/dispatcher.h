@@ -1,0 +1,270 @@
+// Online dispatch over the multi-device simulated-GPU substrate: the
+// always-on counterpart of sched::BatchScheduler. Jobs stream in through
+// submit() while device threads run; there is no runAll() barrier.
+//
+// Three properties the batch scheduler does not have:
+//
+//  * Admission control. The queue of not-yet-running jobs is bounded
+//    (queue_capacity); a submit that would exceed it is rejected
+//    explicitly (SubmitOutcome::accepted == false, svc.admission.rejected
+//    metric) — backpressure instead of unbounded growth.
+//  * Deadline-aware priority dispatch. A free device pulls the
+//    highest-priority queued job (ties in submission order), after failing
+//    fast every queued job whose host-clock deadline already expired —
+//    expired jobs transition to kDeadlineMissed without ever running, so a
+//    late job cannot waste device time.
+//  * A deterministic lane. Jobs submitted with deterministic == true bypass
+//    priority/deadline logic entirely: they are assigned round-robin by
+//    deterministic sequence number (det job s -> device s % D) and each
+//    device runs its deterministic jobs in submission order — exactly
+//    BatchScheduler::runAll's schedule. A deterministic-only job stream is
+//    therefore bit-identical (images, stats, modeled clocks) to the same
+//    jobs through runAll, or run serially (tests/test_svc.cpp asserts it).
+//    Devices prefer their deterministic lane over the priority lane.
+//
+// Execution itself is sched::runJobOnDevice — the same plumbing
+// (per-device modeled clocks, failure isolation, cooperative cancellation,
+// shared obs::Recorder with per-device trace pids) as the batch scheduler,
+// so online and offline results cannot drift.
+//
+// drain() stops admission, runs the queue dry, joins the device threads and
+// builds the SvcReport (schema gpumbir.svc_report/1). The destructor hard-
+// stops instead: it cancels everything and joins without running out the
+// queue.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/timer.h"
+#include "sched/scheduler.h"
+#include "svc/protocol.h"
+
+namespace mbir::svc {
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,            ///< ran to its stop criterion (converged or budget)
+  kCancelled,       ///< cancelled queued, or cooperatively stopped mid-run
+  kFailed,          ///< reconstruct() threw
+  kDeadlineMissed,  ///< expired while queued; failed fast, never ran
+};
+const char* jobStateName(JobState s);
+bool isTerminal(JobState s);
+
+struct JobSpec {
+  const OwnedProblem* problem = nullptr;  ///< borrowed; must outlive drain
+  const Image2D* golden = nullptr;        ///< borrowed; must outlive drain
+  RunConfig config;
+  std::string name;
+  int priority = 0;          ///< higher first (priority lane only)
+  double deadline_ms = -1.0; ///< host ms from admission; < 0 = none
+  bool deterministic = false;
+};
+
+struct SubmitOutcome {
+  bool accepted = false;
+  int job_id = -1;
+  std::string reason;  ///< set when rejected
+};
+
+/// Point-in-time snapshot of one job (copied under the dispatcher lock;
+/// run-outcome fields are meaningful only once the state is terminal).
+struct JobStatus {
+  int job_id = -1;
+  JobState state = JobState::kQueued;
+  std::string name;
+  int priority = 0;
+  bool deterministic = false;
+  double deadline_ms = -1.0;
+  int device = -1;        ///< -1 until dispatched
+  int dispatch_seq = -1;  ///< global dispatch order; -1 = never dispatched
+  double queue_wait_host_s = 0.0;
+  double service_host_s = 0.0;
+  double e2e_host_s = 0.0;
+  // Terminal summary (from the run, when the job was dispatched):
+  bool converged = false;
+  double equits = 0.0;
+  double final_rmse_hu = 0.0;
+  double modeled_seconds = 0.0;
+  double queue_wait_modeled_s = 0.0;
+  std::string error;
+  /// FNV-1a over the result image bits; set when the job produced an image.
+  std::uint64_t image_hash = 0;
+  bool has_image = false;
+};
+
+struct DispatcherOptions {
+  int num_devices = 1;
+  /// Maximum number of queued (admitted, not yet dispatched) jobs; a
+  /// submit beyond it is rejected. Running jobs do not count.
+  int queue_capacity = 16;
+  ThreadPool* host_pool = nullptr;
+  obs::Recorder* recorder = nullptr;
+  int base_trace_pid = 10;  ///< device d renders as pid base + d
+};
+
+struct DistSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0, max = 0.0, p50 = 0.0, p99 = 0.0;
+};
+
+/// Drain-time summary (schema gpumbir.svc_report/1 via reportJson()).
+struct SvcReport {
+  int num_devices = 0;
+  int queue_capacity = 0;
+  std::uint64_t jobs_submitted = 0;   ///< accepted
+  std::uint64_t admission_rejected = 0;
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_converged = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_deadline_missed = 0;
+  int queue_depth_max = 0;
+  double host_seconds = 0.0;  ///< dispatcher construction -> drain complete
+  double jobs_per_host_second = 0.0;  ///< done jobs / host_seconds
+  DistSummary queue_wait_host_s;
+  DistSummary service_host_s;
+  DistSummary e2e_host_s;
+  double modeled_device_seconds_total = 0.0;
+  double makespan_modeled_s = 0.0;
+  std::vector<double> device_modeled_s;
+  std::vector<JobStatus> jobs;
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  int numDevices() const { return opt_.num_devices; }
+  int queueCapacity() const { return opt_.queue_capacity; }
+
+  /// Admit a job (any thread, any time before drain). Rejected — never
+  /// queued unboundedly — when the admission queue is full or the
+  /// dispatcher is draining.
+  SubmitOutcome submit(const JobSpec& spec);
+
+  /// Cooperative cancel. Queued priority-lane jobs are finalized
+  /// immediately (freeing their queue slot); running jobs stop at the next
+  /// iteration boundary; queued deterministic-lane jobs keep their slot in
+  /// the schedule and run with the flag set (exactly what
+  /// BatchScheduler::cancel does, preserving lane bit-identity). Returns
+  /// false for unknown ids or already-terminal jobs.
+  bool cancel(int job_id);
+
+  bool knownJob(int job_id) const;
+  JobStatus status(int job_id) const;
+
+  struct Stats {
+    bool accepting = true;
+    int queued = 0;
+    int running = 0;
+    std::uint64_t submitted = 0;  ///< accepted
+    std::uint64_t rejected = 0;
+    std::uint64_t finished = 0;   ///< any terminal state
+  };
+  Stats stats() const;
+
+  /// Block until the job reaches a terminal state; returns the snapshot.
+  JobStatus waitTerminal(int job_id) const;
+
+  /// Copy of a finished job's image (nullopt when the job never ran).
+  std::optional<Image2D> image(int job_id) const;
+
+  /// Stop admission, run every queued job to termination, join the device
+  /// threads, build the report. Safe to call from any thread (including a
+  /// server connection handler); concurrent/repeat callers all get the
+  /// same report.
+  const SvcReport& drain();
+  bool drained() const { return drained_.load(std::memory_order_acquire); }
+
+  /// Machine-readable report (schema gpumbir.svc_report/1). After drain().
+  std::string reportJson() const;
+  void writeReportJson(const std::string& path) const;
+
+ private:
+  struct Job {
+    int id = -1;
+    JobSpec spec;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point admit_tp;
+    std::chrono::steady_clock::time_point deadline_tp;
+    JobState state = JobState::kQueued;
+    std::atomic<bool> cancel{false};
+    int det_seq = -1;
+    int dispatch_seq = -1;
+    int device = -1;  ///< set under the lock at dispatch (result.device is
+                      ///< rewritten off-lock by the run; never read it live)
+    double queue_wait_host_s = 0.0;
+    double service_host_s = 0.0;
+    double e2e_host_s = 0.0;
+    std::uint64_t image_hash = 0;
+    bool has_image = false;
+    sched::JobResult result;
+  };
+
+  void deviceLoop(int device);
+  /// Select this device's next job; also fails expired / drops cancelled
+  /// queued priority-lane jobs encountered during the scan.
+  Job* pickJobLocked(int device);
+  void finalizeQueuedLocked(Job& job, JobState state);
+  void noteTerminalLocked(Job& job);
+  JobStatus snapshotLocked(const Job& job) const;
+  int tracePid(int device) const { return opt_.base_trace_pid + device; }
+
+  DispatcherOptions opt_;
+  WallTimer lifetime_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_work_;  ///< queue / shutdown changes
+  mutable std::condition_variable cv_done_;  ///< job became terminal
+  std::deque<Job> jobs_;  // deque: jobs hold atomics, must never relocate
+  std::vector<std::deque<int>> det_lane_;  ///< per-device FIFO of det job ids
+  std::vector<int> prio_pending_;          ///< queued priority-lane job ids
+  std::vector<double> device_clock_;       ///< cumulative modeled clock
+  int det_count_ = 0;
+  int dispatch_count_ = 0;
+  int queued_ = 0;
+  int running_ = 0;
+  int queue_depth_max_ = 0;
+  std::uint64_t accepted_ = 0, rejected_ = 0, finished_ = 0;
+  bool accepting_ = true;
+  bool draining_ = false;
+  bool stop_ = false;
+
+  std::vector<std::thread> devices_;
+  bool joined_ = false;  ///< device threads joined (guarded by drain_mu_)
+
+  std::mutex drain_mu_;  ///< serializes drain() / destructor teardown
+  std::atomic<bool> drained_{false};
+  SvcReport report_;
+
+  // svc.* instruments, resolved once at construction (nullptr = metrics off).
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* done = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* service_time = nullptr;
+    obs::Histogram* e2e = nullptr;
+  } inst_;
+};
+
+}  // namespace mbir::svc

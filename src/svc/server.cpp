@@ -1,0 +1,276 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/error.h"
+#include "core/hash.h"
+
+namespace mbir::svc {
+
+namespace {
+
+void writeJobStatus(obs::JsonWriter& w, const JobStatus& s) {
+  w.kv("job_id", s.job_id);
+  w.kv("name", s.name);
+  w.kv("state", jobStateName(s.state));
+  w.kv("priority", s.priority);
+  w.kv("deterministic", s.deterministic);
+  if (s.deadline_ms >= 0.0) w.kv("deadline_ms", s.deadline_ms);
+  w.kv("device", s.device);
+  w.kv("dispatch_seq", s.dispatch_seq);
+  w.kv("queue_wait_host_s", s.queue_wait_host_s);
+  w.kv("service_host_s", s.service_host_s);
+  w.kv("e2e_host_s", s.e2e_host_s);
+  if (isTerminal(s.state) && s.dispatch_seq >= 0) {
+    w.kv("converged", s.converged);
+    w.kv("equits", s.equits);
+    w.kv("final_rmse_hu", s.final_rmse_hu);
+    w.kv("modeled_seconds", s.modeled_seconds);
+    w.kv("queue_wait_modeled_s", s.queue_wait_modeled_s);
+  }
+  if (!s.error.empty()) w.kv("error", s.error);
+  if (s.has_image) w.kv("image_hash", hashToHex(s.image_hash));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, JobSource& source)
+    : opt_(std::move(options)), source_(source), dispatcher_(opt_.dispatch) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MBIR_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("bind(127.0.0.1:" + std::to_string(opt_.port) + "): " + err);
+  }
+  MBIR_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+                 "listen(): " << std::strerror(errno));
+
+  socklen_t len = sizeof addr;
+  MBIR_CHECK_MSG(
+      ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+      "getsockname(): " << std::strerror(errno));
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::acceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener shut down (or hard failure): acceptor exits
+    }
+    std::lock_guard lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    reapConnectionsLocked();
+    Connection& conn = connections_.emplace_back();
+    conn.fd = fd;
+    conn.thread = std::thread([this, &conn] { handleConnection(conn); });
+  }
+}
+
+void Server::reapConnectionsLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      it->thread.join();
+      ::close(it->fd);  // closed exactly once, after the thread is gone
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::handleConnection(Connection& conn) {
+  std::string payload;
+  while (true) {
+    const FrameStatus st = readFrame(conn.fd, payload, opt_.max_frame_bytes);
+    if (st == FrameStatus::kOversized) {
+      // The body was never read, so the stream cannot be resynced: report
+      // and drop the connection.
+      writeFrame(conn.fd,
+                 errorResponse("frame exceeds " +
+                               std::to_string(opt_.max_frame_bytes) +
+                               " byte limit"));
+      break;
+    }
+    if (st != FrameStatus::kOk) break;  // closed / truncated / read error
+
+    std::string response;
+    try {
+      const Request req = parseRequest(payload);
+      response = handleRequest(req);
+    } catch (const std::exception& e) {
+      response = errorResponse(e.what());
+    }
+    if (!writeFrame(conn.fd, response)) break;
+  }
+  conn.done.store(true, std::memory_order_release);
+}
+
+std::string Server::handleRequest(const Request& req) {
+  if (req.verb == "submit") return handleSubmit(req);
+  if (req.verb == "status") return handleStatus(req);
+  if (req.verb == "cancel") return handleCancel(req);
+  if (req.verb == "result") return handleResult(req);
+  if (req.verb == "drain") return handleDrain();
+  if (req.verb == "ping") {
+    obs::JsonWriter w;
+    beginResponse(w, true);
+    w.kv("verb", "ping");
+    w.endObject();
+    return w.str();
+  }
+  return errorResponse("unknown verb '" + req.verb + "'");
+}
+
+std::string Server::handleSubmit(const Request& req) {
+  const SubmitParams p = parseSubmitParams(req);
+  const JobSource::Case c = source_.get(p.case_index);
+
+  JobSpec spec;
+  spec.problem = &c.problem;
+  spec.golden = &c.golden;
+  spec.config = makeRunConfig(opt_.base_config, p);
+  spec.name = p.name;
+  spec.priority = p.priority;
+  spec.deadline_ms = p.deadline_ms;
+  spec.deterministic = p.deterministic;
+
+  const SubmitOutcome out = dispatcher_.submit(spec);
+  if (!out.accepted) return errorResponse(out.reason, /*rejected=*/true);
+
+  obs::JsonWriter w;
+  beginResponse(w, true);
+  w.kv("verb", "submit");
+  w.kv("job_id", out.job_id);
+  w.endObject();
+  return w.str();
+}
+
+std::string Server::handleStatus(const Request& req) {
+  obs::JsonWriter w;
+  if (req.has("job")) {
+    const int id = int(req.getInt("job", -1));
+    if (!dispatcher_.knownJob(id))
+      return errorResponse("unknown job id " + std::to_string(id));
+    beginResponse(w, true);
+    w.kv("verb", "status");
+    writeJobStatus(w, dispatcher_.status(id));
+    w.endObject();
+    return w.str();
+  }
+  const Dispatcher::Stats s = dispatcher_.stats();
+  beginResponse(w, true);
+  w.kv("verb", "status");
+  w.kv("accepting", s.accepting);
+  w.kv("queued", s.queued);
+  w.kv("running", s.running);
+  w.kv("submitted", std::int64_t(s.submitted));
+  w.kv("rejected", std::int64_t(s.rejected));
+  w.kv("finished", std::int64_t(s.finished));
+  w.kv("num_devices", dispatcher_.numDevices());
+  w.kv("queue_capacity", dispatcher_.queueCapacity());
+  w.endObject();
+  return w.str();
+}
+
+std::string Server::handleCancel(const Request& req) {
+  if (!req.has("job")) throw Error("cancel needs a 'job' field");
+  const int id = int(req.getInt("job", -1));
+  if (!dispatcher_.knownJob(id))
+    return errorResponse("unknown job id " + std::to_string(id));
+  const bool cancelled = dispatcher_.cancel(id);
+  obs::JsonWriter w;
+  beginResponse(w, true);
+  w.kv("verb", "cancel");
+  w.kv("job_id", id);
+  w.kv("cancelled", cancelled);  // false = the job was already terminal
+  w.endObject();
+  return w.str();
+}
+
+std::string Server::handleResult(const Request& req) {
+  if (!req.has("job")) throw Error("result needs a 'job' field");
+  const int id = int(req.getInt("job", -1));
+  if (!dispatcher_.knownJob(id))
+    return errorResponse("unknown job id " + std::to_string(id));
+  const bool include_image = req.getBool("include_image", false);
+
+  // Blocks this connection (only) until the job is terminal.
+  const JobStatus s = dispatcher_.waitTerminal(id);
+  obs::JsonWriter w;
+  beginResponse(w, true);
+  w.kv("verb", "result");
+  writeJobStatus(w, s);
+  if (include_image && s.has_image) {
+    const std::optional<Image2D> img = dispatcher_.image(id);
+    MBIR_CHECK(img.has_value());
+    w.key("image").beginObject();
+    w.kv("size", img->size());
+    // float -> double is exact and the writer prints doubles round-trip
+    // (%.17g), so the client reassembles bit-identical pixels.
+    w.key("pixels").beginArray();
+    for (float v : img->flat()) w.value(double(v));
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  return w.str();
+}
+
+std::string Server::handleDrain() {
+  drainAndReport();
+  obs::JsonWriter w;
+  beginResponse(w, true);
+  w.kv("verb", "drain");
+  w.key("report");
+  w.raw(dispatcher_.reportJson());
+  w.endObject();
+  return w.str();
+}
+
+const SvcReport& Server::drainAndReport() {
+  const SvcReport& rep = dispatcher_.drain();
+  drain_requested_.store(true, std::memory_order_release);
+  return rep;
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the acceptor out of accept() ...
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // ... then every connection out of readFrame(); join before closing so
+  // an fd is never reused while its thread might still touch it.
+  std::lock_guard lock(conn_mu_);
+  for (Connection& conn : connections_) ::shutdown(conn.fd, SHUT_RDWR);
+  for (Connection& conn : connections_) conn.thread.join();
+  for (Connection& conn : connections_) ::close(conn.fd);
+  connections_.clear();
+}
+
+}  // namespace mbir::svc

@@ -221,6 +221,16 @@ TEST(JsonStrict, RejectsMalformedCorpus) {
       "-",                     // lone minus
       "[}",                    // mismatched close
       "{]",                    //
+      "1e999",                 // overflows to inf
+      "-1e999",                // overflows to -inf
+      "1e100000",              // huge exponent
+      "[1, 1e999]",            // overflow nested in a valid container
+      "\"\\ud800\"",           // lone high surrogate
+      "\"\\udc00\"",           // lone low surrogate
+      "\"\\ud800x\"",          // high surrogate then raw char
+      "\"\\ud800\\u0041\"",    // high surrogate then non-surrogate escape
+      "\"\\ud800\\ud800\"",    // high surrogate pair (no low)
+      "\"\\ud83d\"",           // truncated emoji pair
   };
   for (const char* bad : corpus) {
     EXPECT_THROW(parseJson(bad), Error) << "input: " << bad;
@@ -257,6 +267,32 @@ TEST(JsonStrict, NestingJustUnderTheCapParses) {
 TEST(JsonStrict, AcceptsEscapesAndUnicode) {
   const JsonValue v = parseJson("\"a\\n\\t\\\\\\\"\\u0041\"");
   EXPECT_EQ(v.asString(), "a\n\t\\\"A");
+}
+
+TEST(JsonStrict, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 (emoji) and U+1D11E (musical symbol): 4-byte UTF-8, not CESU-8.
+  EXPECT_EQ(parseJson("\"\\ud83d\\ude00\"").asString(), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(parseJson("\"\\ud834\\udd1e\"").asString(), "\xF0\x9D\x84\x9E");
+  // BMP escapes are unaffected.
+  EXPECT_EQ(parseJson("\"\\u20ac\"").asString(), "\xE2\x82\xAC");
+}
+
+TEST(JsonStrict, HugeButFiniteNumbersParse) {
+  EXPECT_NO_THROW(parseJson("1e308"));
+  EXPECT_NO_THROW(parseJson("-1.7976931348623157e308"));
+  EXPECT_NO_THROW(parseJson("1e-400"));  // underflow to 0/denormal is finite
+}
+
+TEST(JsonWriterRaw, SplicesNestedDocuments) {
+  JsonWriter inner;
+  inner.beginObject().kv("x", 1).endObject();
+  JsonWriter outer;
+  outer.beginObject().kv("ok", true);
+  outer.key("report").raw(inner.str());
+  outer.endObject();
+  const JsonValue doc = parseJson(outer.str());
+  ASSERT_TRUE(doc.find("report") && doc.find("report")->isObject());
+  EXPECT_EQ(doc.find("report")->find("x")->asNumber(), 1.0);
 }
 
 }  // namespace

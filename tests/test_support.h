@@ -10,28 +10,20 @@
 #include <cstdint>
 #include <cstring>
 
+#include "core/hash.h"
 #include "gpuicd/gpu_icd.h"
 #include "recon/reconstructor.h"
 #include "test_util.h"
 
 namespace mbir::test {
 
-/// FNV-1a 64-bit over raw bytes — stable fingerprint for golden fixtures.
-inline std::uint64_t fnv1a64(const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+// Hashing lives in core/hash.h (shared with the service's image_hash and
+// the bench determinism asserts); re-exported here for existing tests.
+using mbir::fnv1a64;
 
 /// Bit-level fingerprint of an image (hashes the float bit patterns, so any
 /// single-ULP drift changes it).
-inline std::uint64_t imageHash(const Image2D& x) {
-  return fnv1a64(x.flat().data(), x.flat().size() * sizeof(float));
-}
+inline std::uint64_t imageHash(const Image2D& x) { return fnv1a64(x.flat()); }
 
 /// GPU-ICD options sized for the tiny 32^2 test problem: 8-pixel SVs and
 /// simulated caches scaled to the 48-view sinogram (DESIGN.md §1).

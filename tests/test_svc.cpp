@@ -1,0 +1,534 @@
+// Integration tests for the online reconstruction service (src/svc): wire
+// framing, protocol parsing, admission control, deadline fail-fast,
+// priority ordering, the deterministic lane's bit-identity to the offline
+// batch scheduler, cancellation, graceful drain, and malformed-frame fuzz
+// over a real loopback connection.
+//
+// Flake resistance: anything that must observe a "busy" service first parks
+// the device(s) on long blocker jobs (RMSE stop disabled, large equit cap)
+// and polls status until they are actually running; blockers are then
+// cancelled cooperatively to let the test finish fast. No sleeps are used
+// as synchronization.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+#include "core/error.h"
+#include "core/hash.h"
+#include "sched/scheduler.h"
+#include "svc/client.h"
+#include "svc/server.h"
+#include "test_support.h"
+
+namespace mbir::test {
+namespace {
+
+using svc::Client;
+using svc::SubmitParams;
+
+/// Serves tinyProblem()/tinyGolden() for every case index (the problem is
+/// identical across indices; determinism comparisons only need the configs
+/// to match). Indices >= 100 throw, to exercise the server's error path.
+class TinySource : public svc::JobSource {
+ public:
+  Case get(int case_index) override {
+    if (case_index >= 100) throw Error("case index out of range");
+    return Case{tinyProblem(), tinyGolden()};
+  }
+};
+
+RunConfig tinyBaseConfig() {
+  RunConfig cfg = tinyRunConfig(Algorithm::kGpuIcd, /*max_equits=*/3.0);
+  cfg.stop_rmse_hu = 0.0;  // fixed-work jobs: budget-bound, reproducible
+  return cfg;
+}
+
+struct TestService {
+  explicit TestService(int devices, int queue_cap) {
+    svc::ServerOptions opt;
+    opt.dispatch.num_devices = devices;
+    opt.dispatch.queue_capacity = queue_cap;
+    opt.base_config = tinyBaseConfig();
+    server = std::make_unique<svc::Server>(opt, source);
+  }
+  Client connect() { return Client(server->port()); }
+
+  TinySource source;
+  std::unique_ptr<svc::Server> server;
+};
+
+/// A job that runs until cancelled (RMSE stop off, huge budget).
+SubmitParams blockerParams(const std::string& name) {
+  SubmitParams p;
+  p.max_equits = 10000.0;
+  p.stop_rmse_hu = 0.0;
+  p.name = name;
+  return p;
+}
+
+/// Poll until the job reports `state` (the submit->dispatch handoff is
+/// asynchronous); tight loop with a yield, bounded by the test timeout.
+void awaitState(Client& client, int job_id, const std::string& state) {
+  while (client.jobStatus(job_id).state != state)
+    std::this_thread::yield();
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(SvcFraming, RoundTripsThroughAPipe) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  ASSERT_TRUE(svc::writeFrame(fds[1], R"({"x":1})"));
+  ASSERT_TRUE(svc::writeFrame(fds[1], ""));  // empty payload is legal framing
+  std::string payload;
+  EXPECT_EQ(svc::FrameStatus::kOk, svc::readFrame(fds[0], payload));
+  EXPECT_EQ(R"({"x":1})", payload);
+  EXPECT_EQ(svc::FrameStatus::kOk, svc::readFrame(fds[0], payload));
+  EXPECT_EQ("", payload);
+  ::close(fds[1]);
+  EXPECT_EQ(svc::FrameStatus::kClosed, svc::readFrame(fds[0], payload));
+  ::close(fds[0]);
+}
+
+TEST(SvcFraming, TruncatedHeaderAndPayloadAreDistinguishedFromClose) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  // Two header bytes, then EOF: mid-header truncation.
+  ASSERT_EQ(2, ::write(fds[1], "\x00\x00", 2));
+  ::close(fds[1]);
+  std::string payload;
+  EXPECT_EQ(svc::FrameStatus::kTruncated, svc::readFrame(fds[0], payload));
+  ::close(fds[0]);
+
+  ASSERT_EQ(0, ::pipe(fds));
+  // Header declares 8 bytes; only 3 arrive.
+  ASSERT_EQ(4, ::write(fds[1], "\x00\x00\x00\x08", 4));
+  ASSERT_EQ(3, ::write(fds[1], "abc", 3));
+  ::close(fds[1]);
+  EXPECT_EQ(svc::FrameStatus::kTruncated, svc::readFrame(fds[0], payload));
+  ::close(fds[0]);
+}
+
+TEST(SvcFraming, OversizedDeclaredLengthIsRejectedWithoutReadingTheBody) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  const std::string frame = svc::encodeFrame("0123456789");
+  ASSERT_EQ(ssize_t(frame.size()),
+            ::write(fds[1], frame.data(), frame.size()));
+  std::string payload;
+  EXPECT_EQ(svc::FrameStatus::kOversized,
+            svc::readFrame(fds[0], payload, /*max_bytes=*/4));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(SvcProtocol, MakeRunConfigMapsAlgorithmsAndPinsPsvThreads) {
+  RunConfig base = tinyBaseConfig();
+  base.psv.num_threads = 8;  // a service must not inherit racy PSV
+
+  SubmitParams p;
+  p.algorithm = "psv";
+  p.max_equits = 7.0;
+  p.sv_side = 4;
+  RunConfig cfg = svc::makeRunConfig(base, p);
+  EXPECT_EQ(Algorithm::kPsvIcd, cfg.algorithm);
+  EXPECT_EQ(1, cfg.psv.num_threads);
+  EXPECT_DOUBLE_EQ(7.0, cfg.max_equits);
+  EXPECT_EQ(4, cfg.psv.sv.sv_side);
+  EXPECT_EQ(4, cfg.gpu.tunables.sv.sv_side);
+
+  p.algorithm = "seq";
+  EXPECT_EQ(Algorithm::kSequentialIcd,
+            svc::makeRunConfig(base, p).algorithm);
+  p.algorithm = "gpu";
+  EXPECT_EQ(Algorithm::kGpuIcd, svc::makeRunConfig(base, p).algorithm);
+  p.algorithm = "warp9";
+  EXPECT_THROW(svc::makeRunConfig(base, p), Error);
+}
+
+TEST(SvcProtocol, RequestFieldAccessIsStrictlyTyped) {
+  const svc::Request req = svc::parseRequest(
+      R"({"schema":"gpumbir.svc/1","verb":"submit","case":2,)"
+      R"("priority":"high"})");
+  EXPECT_EQ("submit", req.verb);
+  EXPECT_EQ(2, req.getInt("case", 0));
+  EXPECT_EQ(5, req.getInt("absent", 5));
+  EXPECT_THROW(req.getInt("priority", 0), Error);  // string, not number
+  EXPECT_THROW(svc::parseRequest(R"({"verb":"submit"})"), Error);  // no schema
+  EXPECT_THROW(svc::parseRequest(R"({"schema":"gpumbir.svc/2","verb":"x"})"),
+               Error);
+  EXPECT_THROW(svc::parseRequest("[1,2]"), Error);
+  EXPECT_THROW(
+      svc::parseRequest(
+          R"({"schema":"gpumbir.svc/1","verb":"submit","case":2.5})")
+          .getInt("case", 0),
+      Error);  // non-integral int field
+}
+
+// ---------------------------------------------------------------------------
+// Round trip / status / result
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, SubmitStatusResultRoundTrip) {
+  TestService service(/*devices=*/1, /*queue_cap=*/4);
+  Client client = service.connect();
+  ASSERT_TRUE(client.ping());
+
+  SubmitParams p;
+  p.name = "hello";
+  const Client::SubmitResult out = client.submit(p);
+  ASSERT_TRUE(out.accepted);
+  EXPECT_GE(out.job_id, 0);
+
+  const Client::JobInfo info = client.result(out.job_id);
+  EXPECT_EQ("done", info.state);
+  EXPECT_EQ("hello", info.name);
+  EXPECT_EQ(0, info.device);
+  EXPECT_NEAR(3.0, info.equits, 1.0);
+  EXPECT_GT(info.modeled_seconds, 0.0);
+  EXPECT_EQ(16u, info.image_hash.size());
+
+  // status for an unknown job is an error, not a crash.
+  EXPECT_THROW(client.jobStatus(12345), Error);
+  // and the reported hash matches a local reconstruction bit for bit.
+  const RunResult local =
+      reconstruct(tinyProblem(), tinyGolden(), tinyBaseConfig());
+  EXPECT_EQ(hashToHex(fnv1a64(local.image.flat())), info.image_hash);
+
+  const Client::ServerStatus st = client.serverStatus();
+  EXPECT_EQ(1, st.num_devices);
+  EXPECT_EQ(1, st.submitted);
+  EXPECT_EQ(1, st.finished);
+}
+
+TEST(SvcServer, ResultCanCarryTheImageExactly) {
+  TestService service(1, 4);
+  Client client = service.connect();
+  const int id = client.submit(SubmitParams{}).job_id;
+  const Client::JobInfo info = client.result(id, /*include_image=*/true);
+  ASSERT_TRUE(info.image.has_value());
+  // float -> JSON double -> float must be bit-exact.
+  EXPECT_EQ(info.image_hash, hashToHex(fnv1a64(info.image->flat())));
+}
+
+TEST(SvcServer, BadCaseIndexAndUnknownVerbSurfaceAsErrors) {
+  TestService service(1, 4);
+  Client client = service.connect();
+  SubmitParams p;
+  p.case_index = 100;  // TinySource throws for this
+  const Client::SubmitResult out = client.submit(p);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_FALSE(out.rejected);  // an error, not admission backpressure
+  EXPECT_NE(std::string::npos, out.error.find("out of range"));
+
+  const obs::JsonValue resp =
+      client.call(R"({"schema":"gpumbir.svc/1","verb":"transmogrify"})");
+  EXPECT_FALSE(resp.find("ok")->bool_v);
+  ASSERT_TRUE(client.ping());  // connection survives protocol errors
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, AdmissionQueueOverflowRejectsExplicitly) {
+  const int kQueueCap = 2;
+  TestService service(/*devices=*/1, kQueueCap);
+  Client client = service.connect();
+
+  // Park the device, then fill the queue exactly to the bound.
+  const int blocker = client.submit(blockerParams("blocker")).job_id;
+  awaitState(client, blocker, "running");
+  std::vector<int> queued;
+  for (int i = 0; i < kQueueCap; ++i) {
+    const auto out = client.submit(SubmitParams{});
+    ASSERT_TRUE(out.accepted) << out.error;
+    queued.push_back(out.job_id);
+  }
+
+  // The next submit must bounce, flagged as backpressure.
+  const auto overflow = client.submit(SubmitParams{});
+  EXPECT_FALSE(overflow.accepted);
+  EXPECT_TRUE(overflow.rejected);
+  EXPECT_NE(std::string::npos, overflow.error.find("queue full"));
+
+  // Cancelling a queued job frees its slot immediately.
+  EXPECT_TRUE(client.cancel(queued.back()));
+  EXPECT_TRUE(client.submit(SubmitParams{}).accepted);
+
+  EXPECT_TRUE(client.cancel(blocker));
+  const obs::JsonValue report = client.drain();
+  EXPECT_EQ(1.0, report.find("admission_rejected")->num_v);
+  EXPECT_EQ(double(kQueueCap), report.find("queue_depth_max")->num_v);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, ExpiredDeadlineFailsFastWithoutRunning) {
+  TestService service(/*devices=*/1, /*queue_cap=*/4);
+  Client client = service.connect();
+  const int blocker = client.submit(blockerParams("blocker")).job_id;
+  awaitState(client, blocker, "running");
+
+  SubmitParams late;
+  late.deadline_ms = 0.0;  // already expired when the device frees up
+  late.name = "late";
+  const int late_id = client.submit(late).job_id;
+
+  SubmitParams fine;
+  fine.deadline_ms = 60000.0;  // comfortably alive
+  fine.name = "fine";
+  const int fine_id = client.submit(fine).job_id;
+
+  EXPECT_TRUE(client.cancel(blocker));
+  const Client::JobInfo late_info = client.result(late_id);
+  EXPECT_EQ("deadline_missed", late_info.state);
+  EXPECT_EQ(-1, late_info.device);          // never dispatched
+  EXPECT_EQ(0.0, late_info.service_host_s); // never ran
+  EXPECT_TRUE(late_info.image_hash.empty());
+
+  const Client::JobInfo fine_info = client.result(fine_id);
+  EXPECT_EQ("done", fine_info.state);
+
+  const obs::JsonValue report = client.drain();
+  EXPECT_EQ(1.0, report.find("jobs_deadline_missed")->num_v);
+}
+
+// ---------------------------------------------------------------------------
+// Priority ordering
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, PriorityLaneDispatchesHighestFirstTiesInSubmitOrder) {
+  TestService service(/*devices=*/1, /*queue_cap=*/8);
+  Client client = service.connect();
+  const int blocker = client.submit(blockerParams("blocker")).job_id;
+  awaitState(client, blocker, "running");
+
+  auto prio = [&](int priority, const std::string& name) {
+    SubmitParams p;
+    p.priority = priority;
+    p.name = name;
+    return client.submit(p).job_id;
+  };
+  const int low = prio(1, "low");
+  const int high = prio(5, "high");
+  const int mid = prio(3, "mid");
+  const int high2 = prio(5, "high2");  // same priority, later submit
+
+  EXPECT_TRUE(client.cancel(blocker));
+  const int s_low = client.result(low).dispatch_seq;
+  const int s_high = client.result(high).dispatch_seq;
+  const int s_mid = client.result(mid).dispatch_seq;
+  const int s_high2 = client.result(high2).dispatch_seq;
+  EXPECT_LT(s_high, s_high2);  // tie broken by submission order
+  EXPECT_LT(s_high2, s_mid);
+  EXPECT_LT(s_mid, s_low);
+  client.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic lane
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, DeterministicLaneIsBitIdenticalToBatchSchedulerRunAll) {
+  const int kDevices = 2;
+  const int kJobs = 4;
+  TestService service(kDevices, /*queue_cap=*/8);
+  Client client = service.connect();
+
+  // Heterogeneous deterministic jobs: budgets and engines vary per job.
+  std::vector<SubmitParams> specs;
+  for (int i = 0; i < kJobs; ++i) {
+    SubmitParams p;
+    p.deterministic = true;
+    p.algorithm = (i % 2 == 0) ? "gpu" : "seq";
+    p.max_equits = 2.0 + i;
+    p.name = "det" + std::to_string(i);
+    specs.push_back(p);
+  }
+  std::vector<int> ids;
+  for (const SubmitParams& p : specs) {
+    const auto out = client.submit(p);
+    ASSERT_TRUE(out.accepted) << out.error;
+    ids.push_back(out.job_id);
+  }
+  std::vector<Client::JobInfo> online;
+  for (int id : ids) online.push_back(client.result(id));
+
+  // The same jobs through the offline scheduler at the same device count.
+  sched::SchedulerOptions opt;
+  opt.num_devices = kDevices;
+  sched::BatchScheduler offline(opt);
+  for (const SubmitParams& p : specs)
+    offline.submit(tinyProblem(), tinyGolden(),
+                   svc::makeRunConfig(tinyBaseConfig(), p), p.name);
+  offline.runAll();
+
+  for (int i = 0; i < kJobs; ++i) {
+    const sched::JobResult& off = offline.result(i);
+    SCOPED_TRACE("job " + std::to_string(i));
+    // det job s runs on device s % D — the batch scheduler's assignment.
+    EXPECT_EQ(off.device, online[std::size_t(i)].device);
+    // Images are bit-identical (hash of float bits)...
+    EXPECT_EQ(hashToHex(fnv1a64(off.run.image.flat())),
+              online[std::size_t(i)].image_hash);
+    // ...and so are the modeled clocks: same per-device schedule.
+    EXPECT_EQ(off.run.modeled_seconds,
+              online[std::size_t(i)].modeled_seconds);
+    EXPECT_EQ(off.queue_wait_modeled_s,
+              online[std::size_t(i)].queue_wait_modeled_s);
+  }
+  client.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, CancelMidQueueNeverRunsAndCancelRunningStopsCooperatively) {
+  TestService service(/*devices=*/1, /*queue_cap=*/4);
+  Client client = service.connect();
+  const int blocker = client.submit(blockerParams("blocker")).job_id;
+  awaitState(client, blocker, "running");
+
+  const int queued = client.submit(SubmitParams{}).job_id;
+  EXPECT_TRUE(client.cancel(queued));
+  const Client::JobInfo q = client.result(queued);
+  EXPECT_EQ("cancelled", q.state);
+  EXPECT_EQ(-1, q.dispatch_seq);  // finalized in the queue, never dispatched
+
+  EXPECT_TRUE(client.cancel(blocker));
+  const Client::JobInfo b = client.result(blocker);
+  EXPECT_EQ("cancelled", b.state);
+  EXPECT_GE(b.dispatch_seq, 0);       // it ran, then stopped cooperatively
+  EXPECT_FALSE(b.image_hash.empty()); // partial image still published
+  EXPECT_FALSE(client.cancel(blocker));  // already terminal
+
+  const obs::JsonValue report = client.drain();
+  EXPECT_EQ(2.0, report.find("jobs_cancelled")->num_v);
+  EXPECT_EQ(0.0, report.find("jobs_failed")->num_v);
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, DrainIsGracefulValidatedAndTerminal) {
+  const int kDevices = 2;
+  TestService service(kDevices, /*queue_cap=*/8);
+  Client client = service.connect();
+  std::vector<int> ids;
+  for (int i = 0; i < 3; ++i)
+    ids.push_back(client.submit(SubmitParams{}).job_id);
+
+  const obs::JsonValue report = client.drain();  // waits out the backlog
+  EXPECT_EQ("gpumbir.svc_report/1", report.find("schema")->str_v);
+  EXPECT_EQ(3.0, report.find("jobs_submitted")->num_v);
+  EXPECT_EQ(3.0, report.find("jobs_done")->num_v);
+  ASSERT_TRUE(report.find("jobs")->isArray());
+  EXPECT_EQ(3u, report.find("jobs")->array_v.size());
+  ASSERT_TRUE(report.find("device_modeled_s")->isArray());
+  EXPECT_EQ(std::size_t(kDevices),
+            report.find("device_modeled_s")->array_v.size());
+  // Histogrammed distributions come with exact order statistics.
+  const obs::JsonValue* e2e = report.find("e2e_host_s");
+  ASSERT_NE(nullptr, e2e);
+  EXPECT_EQ(3.0, e2e->find("count")->num_v);
+  EXPECT_GE(e2e->find("p99")->num_v, e2e->find("p50")->num_v);
+  // svc.* metrics ride along when a recorder is attached — here there is
+  // none, so the report omits them rather than fabricating zeros.
+  EXPECT_EQ(nullptr, report.find("metrics"));
+
+  // Post-drain the service refuses work but still answers.
+  const auto out = client.submit(SubmitParams{});
+  EXPECT_FALSE(out.accepted);
+  EXPECT_TRUE(out.rejected);
+  EXPECT_TRUE(service.server->drainRequested());
+  // Results of drained jobs remain queryable.
+  EXPECT_EQ("done", client.result(ids.front()).state);
+  // Draining again returns the same (cached) report.
+  EXPECT_EQ(3.0, client.drain().find("jobs_done")->num_v);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-frame fuzz
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, MalformedPayloadCorpusNeverKillsTheServer) {
+  TestService service(1, 4);
+  // Every payload is framed correctly but garbage inside; the server must
+  // answer ok:false (or close the connection) and keep serving.
+  const std::vector<std::string> corpus = {
+      "",
+      "not json",
+      "{",
+      "[1,2,3]",
+      R"("just a string")",
+      R"({"schema":"gpumbir.svc/1"})",                    // no verb
+      R"({"schema":"nope","verb":"ping"})",               // wrong schema
+      R"({"schema":"gpumbir.svc/1","verb":""})",          // empty verb
+      R"({"schema":"gpumbir.svc/1","verb":"submit","case":-3})",
+      R"({"schema":"gpumbir.svc/1","verb":"submit","case":1e999})",
+      R"({"schema":"gpumbir.svc/1","verb":"submit","priority":1.5})",
+      R"({"schema":"gpumbir.svc/1","verb":"status","job":true})",
+      R"({"schema":"gpumbir.svc/1","verb":"cancel"})",
+      R"({"schema":"gpumbir.svc/1","verb":"result","job":99})",
+      R"({"a":1,"a":2,"schema":"gpumbir.svc/1","verb":"ping"})",  // dup key
+      std::string("\x00\xff\xfe garbage \x01", 12),
+  };
+  for (const std::string& payload : corpus) {
+    SCOPED_TRACE(payload);
+    Client client = service.connect();
+    try {
+      const obs::JsonValue resp = client.call(payload);
+      EXPECT_FALSE(resp.find("ok")->bool_v);
+      EXPECT_NE(nullptr, resp.find("error"));
+    } catch (const Error&) {
+      // Connection-level rejection is acceptable; server survival is what
+      // the post-iteration ping asserts.
+    }
+    Client probe = service.connect();
+    EXPECT_TRUE(probe.ping());
+  }
+}
+
+TEST(SvcServer, BrokenFramesAreSurvivable) {
+  TestService service(1, 4);
+  {  // Truncated header: 2 bytes then close.
+    Client client = service.connect();
+    ASSERT_EQ(2, ::write(client.fd(), "\x00\x01", 2));
+  }
+  {  // Truncated payload: header says 100 bytes, send 5, close.
+    Client client = service.connect();
+    ASSERT_EQ(4, ::write(client.fd(), "\x00\x00\x00\x64", 4));
+    ASSERT_EQ(5, ::write(client.fd(), "hello", 5));
+  }
+  {  // Oversized declared length: the server answers and closes.
+    Client client = service.connect();
+    ASSERT_EQ(4, ::write(client.fd(), "\xff\xff\xff\xff", 4));
+    std::string payload;
+    EXPECT_EQ(svc::FrameStatus::kOk, svc::readFrame(client.fd(), payload));
+    const obs::JsonValue resp = obs::parseJson(payload);
+    EXPECT_FALSE(resp.find("ok")->bool_v);
+    EXPECT_NE(std::string::npos,
+              resp.find("error")->str_v.find("byte limit"));
+  }
+  // After all of that, the service still works end to end.
+  Client client = service.connect();
+  ASSERT_TRUE(client.ping());
+  EXPECT_EQ("done", client.result(client.submit(SubmitParams{}).job_id).state);
+  client.drain();
+}
+
+}  // namespace
+}  // namespace mbir::test
