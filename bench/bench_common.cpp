@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/error.h"
+#include "core/simd.h"
 #include "obs/json.h"
 
 namespace mbir::bench {
@@ -94,6 +95,7 @@ void emit(const AsciiTable& table, const std::string& bench_name,
     w.kv("cases", ctx->num_cases);
     w.kv("seed", std::uint64_t(ctx->cfg.seed));
     w.kv("golden_equits", ctx->golden_equits);
+    w.kv("simd", resolveSimdOps(SimdMode::kDefault).name);
     w.endObject();
   }
   w.key("columns").beginArray();

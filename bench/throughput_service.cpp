@@ -13,6 +13,8 @@
 // queue-wait and end-to-end latency distributions from the drain report.
 //
 // Emits BENCH_throughput_service.json (schema gpumbir.bench/1).
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -27,6 +29,22 @@
 
 using namespace mbir;
 using namespace mbir::bench;
+
+namespace {
+
+/// Process CPU seconds (user + system, all threads) so each sweep can
+/// report utilization = cpu / wall; > 1.0 means the pool kept multiple
+/// cores busy.
+double processCpuSeconds() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  const auto tv = [](const timeval& t) {
+    return double(t.tv_sec) + 1e-6 * double(t.tv_usec);
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
@@ -50,7 +68,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < ctx->num_cases; ++i) library.get(i);
 
   AsciiTable t({"devices", "jobs", "rejects", "host wall (s)", "jobs/host-s",
-                "queue wait p50/p99 (s)", "e2e p50/p99 (s)",
+                "cpu util", "queue wait p50/p99 (s)", "e2e p50/p99 (s)",
                 "modeled makespan (s)"});
   std::vector<std::pair<std::string, double>> numbers;
 
@@ -70,6 +88,7 @@ int main(int argc, char** argv) {
     // backing off briefly on admission rejects.
     std::uint64_t rejects = 0;
     std::vector<int> ids;
+    const double sweep_cpu0 = processCpuSeconds();
     const WallTimer sweep_wall;
     for (int i = 0; int(ids.size()) < jobs_per_sweep; ++i) {
       svc::SubmitParams p;
@@ -86,6 +105,8 @@ int main(int argc, char** argv) {
     }
     for (int id : ids) client.result(id);  // wait out the backlog
     const double host_s = sweep_wall.seconds();
+    const double cpu_s = processCpuSeconds() - sweep_cpu0;
+    const double cpu_util = host_s > 0.0 ? cpu_s / host_s : 0.0;
 
     const svc::SvcReport& rep = server.drainAndReport();
     server.stop();
@@ -93,7 +114,7 @@ int main(int argc, char** argv) {
     const double jobs_per_s = host_s > 0.0 ? jobs_per_sweep / host_s : 0.0;
     t.addRow({std::to_string(devices), std::to_string(jobs_per_sweep),
               std::to_string(rejects), AsciiTable::fmt(host_s, 2),
-              AsciiTable::fmt(jobs_per_s, 2),
+              AsciiTable::fmt(jobs_per_s, 2), AsciiTable::fmt(cpu_util, 2),
               AsciiTable::fmt(rep.queue_wait_host_s.p50, 4) + " / " +
                   AsciiTable::fmt(rep.queue_wait_host_s.p99, 4),
               AsciiTable::fmt(rep.e2e_host_s.p50, 4) + " / " +
@@ -102,6 +123,8 @@ int main(int argc, char** argv) {
     const std::string prefix = "d" + std::to_string(devices) + "_";
     numbers.emplace_back(prefix + "jobs_per_host_second", jobs_per_s);
     numbers.emplace_back(prefix + "admission_rejects", double(rejects));
+    numbers.emplace_back(prefix + "host_cpu_seconds", cpu_s);
+    numbers.emplace_back(prefix + "host_cpu_utilization", cpu_util);
     numbers.emplace_back(prefix + "queue_wait_p50_s",
                          rep.queue_wait_host_s.p50);
     numbers.emplace_back(prefix + "queue_wait_p99_s",
@@ -111,9 +134,9 @@ int main(int argc, char** argv) {
     numbers.emplace_back(prefix + "makespan_modeled_s",
                          rep.makespan_modeled_s);
     std::printf("[bench] %d device(s): %d jobs (%llu rejects), "
-                "%.2f jobs/host-s, e2e p99 %.4fs\n",
+                "%.2f jobs/host-s, cpu util %.2f, e2e p99 %.4fs\n",
                 devices, jobs_per_sweep, (unsigned long long)rejects,
-                jobs_per_s, rep.e2e_host_s.p99);
+                jobs_per_s, cpu_util, rep.e2e_host_s.p99);
   }
 
   emit(t, "throughput_service", wall.seconds(), ctx.get(), numbers);

@@ -1,0 +1,32 @@
+#include "core/cpufeat.h"
+
+namespace mbir {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults cpuid *and* the OS XSAVE state (a CPU
+  // with AVX2 whose OS does not save ymm registers reports unsupported),
+  // which is exactly the "may I execute this" question.
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpuFeatures() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool cpuHasAvx2Fma() {
+  const CpuFeatures& f = cpuFeatures();
+  return f.avx2 && f.fma;
+}
+
+}  // namespace mbir

@@ -1,0 +1,23 @@
+// Runtime host-CPU feature detection for the SIMD lane-group dispatch.
+//
+// The AVX2 lane-group path (gsim/simd.h) is compiled into its own
+// translation unit with -mavx2 -mfma; whether it may *run* is a property of
+// the machine the binary lands on, decided here once per process. Prebuilt
+// binaries therefore fall back to the scalar lane-group path safely —
+// selecting a vector path never requires rebuilding (DESIGN.md §10).
+#pragma once
+
+namespace mbir {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+/// Detected features of the host CPU (computed once, cheap to call).
+const CpuFeatures& cpuFeatures();
+
+/// True when the host can execute the 8-wide AVX2/FMA lane-group path.
+bool cpuHasAvx2Fma();
+
+}  // namespace mbir

@@ -1,0 +1,76 @@
+// Scalar lane-group TU + mode parsing/resolution for the SIMD dispatch.
+
+#include "core/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "core/cpufeat.h"
+#include "core/error.h"
+
+#include "core/simd_kernels.inl"
+
+namespace mbir {
+
+// Defined in simd_avx2.cpp; returns nullptr when that TU was compiled
+// without AVX2+FMA codegen support.
+const SimdOps* simdAvx2OpsOrNull();
+
+const SimdOps& scalarSimdOps() { return kOps; }
+
+const SimdOps* avx2SimdOps() {
+  if (!cpuHasAvx2Fma()) return nullptr;
+  return simdAvx2OpsOrNull();
+}
+
+const char* simdModeName(SimdMode m) {
+  switch (m) {
+    case SimdMode::kDefault:
+      return "default";
+    case SimdMode::kOff:
+      return "off";
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdMode parseSimdMode(std::string_view s) {
+  if (s == "off" || s == "scalar") return SimdMode::kOff;
+  if (s == "auto" || s.empty()) return SimdMode::kAuto;
+  if (s == "avx2") return SimdMode::kAvx2;
+  MBIR_CHECK_MSG(false, "bad SIMD mode '" << std::string(s)
+                                          << "' (want off|auto|avx2)");
+  return SimdMode::kAuto;  // unreachable
+}
+
+SimdMode simdModeFromEnv() {
+  const char* env = std::getenv("GPUMBIR_SIMD");
+  if (env == nullptr || *env == '\0') return SimdMode::kAuto;
+  return parseSimdMode(env);
+}
+
+const SimdOps& resolveSimdOps(SimdMode m) {
+  if (m == SimdMode::kDefault) m = simdModeFromEnv();
+  switch (m) {
+    case SimdMode::kOff:
+      return scalarSimdOps();
+    case SimdMode::kAvx2: {
+      const SimdOps* ops = avx2SimdOps();
+      MBIR_CHECK_MSG(ops != nullptr,
+                     "GPUMBIR_SIMD=avx2 requested but the AVX2 lane-group "
+                     "path is unavailable (CPU lacks AVX2+FMA or the build "
+                     "had no AVX2 compiler support)");
+      return *ops;
+    }
+    case SimdMode::kAuto:
+    default: {
+      const SimdOps* ops = avx2SimdOps();
+      return ops != nullptr ? *ops : scalarSimdOps();
+    }
+  }
+}
+
+}  // namespace mbir

@@ -1,0 +1,24 @@
+// AVX2/FMA lane-group TU. CMake compiles exactly this file with
+// -mavx2 -mfma when the compiler supports those flags; the guard below
+// degrades it to a nullptr provider otherwise, so the build never emits
+// AVX2 instructions outside this TU and the binary stays runnable on
+// machines without AVX2 (runtime selection lives in core/cpufeat.h).
+
+#include "core/simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#define GPUMBIR_SIMD_WIDE 1
+#include "core/simd_kernels.inl"
+
+namespace mbir {
+const SimdOps* simdAvx2OpsOrNull() { return &kOps; }
+}  // namespace mbir
+
+#else
+
+namespace mbir {
+const SimdOps* simdAvx2OpsOrNull() { return nullptr; }
+}  // namespace mbir
+
+#endif

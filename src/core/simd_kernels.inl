@@ -1,0 +1,408 @@
+// Lane-group op bodies shared by the scalar and AVX2 translation units.
+//
+// Included exactly twice: by simd.cpp (portable scalar lane emulation) and
+// by simd_avx2.cpp (GPUMBIR_SIMD_WIDE defined, compiled with -mavx2 -mfma).
+// Everything here has internal linkage; each TU exports its table through a
+// named accessor defined after the include. The op bodies below are written
+// once against the VecF/VecI/VecD wrappers so the two paths cannot drift:
+// the scalar wrappers perform the identical IEEE operation per lane that
+// the AVX2 wrappers perform per vector element.
+//
+// Bit-identity rules encoded here (see simd.h header comment for the full
+// argument):
+//  * no FMA contraction in value-bearing math — every multiply and
+//    add/subtract is a separate, individually rounded operation;
+//  * accumulating ops (theta_*, dot_row) process full 8-lane groups
+//    vectorized and finish with a per-element scalar tail that addresses
+//    lane i % kSimdLanes — the same element->lane map the vector body uses;
+//  * elementwise ops (err_row_f, apply_delta_row, axpy_row) use masked
+//    load/store for the tail — active lanes compute the identical value,
+//    inactive lanes are never read or written;
+//  * quantized (uint8) rows never use masked byte loads: an 8-byte load at
+//    a row tail could touch past the allocation, so the q-tail is scalar.
+
+#include <cstdint>
+
+#if GPUMBIR_SIMD_WIDE
+#include <immintrin.h>
+#endif
+
+#include "core/simd.h"
+
+namespace mbir {
+namespace {
+
+#if GPUMBIR_SIMD_WIDE
+
+// ---------------------------------------------------------------------------
+// AVX2 wrappers: 8 x f32 in one ymm, 8 x f64 as two ymm halves (lanes 0-3 in
+// lo, 4-7 in hi — matching the cvtps_pd widening order so lane indices agree
+// with the scalar emulation).
+
+inline __m256i tailMask(int k) {
+  // Lane l active iff l < k. k in [0, 8).
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(k),
+                            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+}
+
+struct VecF {
+  __m256 v;
+  static VecF load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  /// First k lanes from p, remaining lanes +0.0; lanes >= k are not read.
+  static VecF maskLoad(const float* p, int k) {
+    return {_mm256_maskload_ps(p, tailMask(k))};
+  }
+  static VecF broadcast(float x) { return {_mm256_set1_ps(x)}; }
+  void store(float* p) const { _mm256_storeu_ps(p, v); }
+  /// First k lanes to p; lanes >= k are not written.
+  void maskStore(float* p, int k) const {
+    _mm256_maskstore_ps(p, tailMask(k), v);
+  }
+  float lane(int l) const {
+    alignas(32) float tmp[kSimdLanes];
+    _mm256_store_ps(tmp, v);
+    return tmp[l];
+  }
+  VecF operator*(VecF o) const { return {_mm256_mul_ps(v, o.v)}; }
+  VecF operator+(VecF o) const { return {_mm256_add_ps(v, o.v)}; }
+  VecF operator-(VecF o) const { return {_mm256_sub_ps(v, o.v)}; }
+};
+
+struct VecI {
+  __m256i v;
+  /// Zero-extend 8 contiguous uint8 values to 8 x i32 (reads 8 bytes).
+  static VecI loadU8(const std::uint8_t* p) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return {_mm256_cvtepu8_epi32(bytes)};
+  }
+  VecF toF() const { return {_mm256_cvtepi32_ps(v)}; }
+};
+
+struct VecD {
+  __m256d lo, hi;  // lanes 0-3, 4-7
+  static VecD load(const double* p) {
+    return {_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)};
+  }
+  static VecD widen(VecF f) {
+    return {_mm256_cvtps_pd(_mm256_castps256_ps128(f.v)),
+            _mm256_cvtps_pd(_mm256_extractf128_ps(f.v, 1))};
+  }
+  void store(double* p) const {
+    _mm256_storeu_pd(p, lo);
+    _mm256_storeu_pd(p + 4, hi);
+  }
+  VecD operator*(VecD o) const {
+    return {_mm256_mul_pd(lo, o.lo), _mm256_mul_pd(hi, o.hi)};
+  }
+  VecD operator+(VecD o) const {
+    return {_mm256_add_pd(lo, o.lo), _mm256_add_pd(hi, o.hi)};
+  }
+  VecD operator-(VecD o) const {
+    return {_mm256_sub_pd(lo, o.lo), _mm256_sub_pd(hi, o.hi)};
+  }
+};
+
+constexpr const char* kPathName = "avx2";
+
+#else  // !GPUMBIR_SIMD_WIDE
+
+// ---------------------------------------------------------------------------
+// Scalar wrappers: the same 8-lane group structure executed one lane at a
+// time with plain IEEE float/double arithmetic.
+
+struct VecF {
+  float l[kSimdLanes];
+  static VecF load(const float* p) {
+    VecF r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = p[i];
+    return r;
+  }
+  static VecF maskLoad(const float* p, int k) {
+    VecF r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = i < k ? p[i] : 0.0f;
+    return r;
+  }
+  static VecF broadcast(float x) {
+    VecF r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = x;
+    return r;
+  }
+  void store(float* p) const {
+    for (int i = 0; i < kSimdLanes; ++i) p[i] = l[i];
+  }
+  void maskStore(float* p, int k) const {
+    for (int i = 0; i < k; ++i) p[i] = l[i];
+  }
+  float lane(int i) const { return l[i]; }
+  VecF operator*(VecF o) const {
+    VecF r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = l[i] * o.l[i];
+    return r;
+  }
+  VecF operator+(VecF o) const {
+    VecF r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = l[i] + o.l[i];
+    return r;
+  }
+  VecF operator-(VecF o) const {
+    VecF r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = l[i] - o.l[i];
+    return r;
+  }
+};
+
+struct VecI {
+  std::int32_t l[kSimdLanes];
+  static VecI loadU8(const std::uint8_t* p) {
+    VecI r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = p[i];
+    return r;
+  }
+  VecF toF() const {
+    VecF r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = float(l[i]);
+    return r;
+  }
+};
+
+struct VecD {
+  double l[kSimdLanes];
+  static VecD load(const double* p) {
+    VecD r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = p[i];
+    return r;
+  }
+  static VecD widen(VecF f) {
+    VecD r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = double(f.l[i]);
+    return r;
+  }
+  void store(double* p) const {
+    for (int i = 0; i < kSimdLanes; ++i) p[i] = l[i];
+  }
+  VecD operator*(VecD o) const {
+    VecD r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = l[i] * o.l[i];
+    return r;
+  }
+  VecD operator+(VecD o) const {
+    VecD r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = l[i] + o.l[i];
+    return r;
+  }
+  VecD operator-(VecD o) const {
+    VecD r;
+    for (int i = 0; i < kSimdLanes; ++i) r.l[i] = l[i] - o.l[i];
+    return r;
+  }
+};
+
+constexpr const char* kPathName = "scalar";
+
+#endif  // GPUMBIR_SIMD_WIDE
+
+// ---------------------------------------------------------------------------
+// Op bodies (shared text between the two TUs).
+
+void thetaRowF(const float* a, const float* e, const float* w, int n,
+               ThetaLanes& acc) {
+  VecD t1 = VecD::load(acc.t1);
+  VecD t2 = VecD::load(acc.t2);
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const VecD ad = VecD::widen(VecF::load(a + i));
+    const VecD m = VecD::widen(VecF::load(w + i)) * ad;
+    t1 = t1 - m * VecD::widen(VecF::load(e + i));
+    t2 = t2 + m * ad;
+  }
+  t1.store(acc.t1);
+  t2.store(acc.t2);
+  for (; i < n; ++i) {
+    const int l = i % kSimdLanes;
+    const double ad = double(a[i]);
+    const double m = double(w[i]) * ad;
+    acc.t1[l] -= m * double(e[i]);
+    acc.t2[l] += m * ad;
+  }
+}
+
+void thetaRowQ(const std::uint8_t* q, float scale, const float* e,
+               const float* w, int n, ThetaLanes& acc) {
+  const VecF vscale = VecF::broadcast(scale);
+  VecD t1 = VecD::load(acc.t1);
+  VecD t2 = VecD::load(acc.t2);
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const VecD ad = VecD::widen(VecI::loadU8(q + i).toF() * vscale);
+    const VecD m = VecD::widen(VecF::load(w + i)) * ad;
+    t1 = t1 - m * VecD::widen(VecF::load(e + i));
+    t2 = t2 + m * ad;
+  }
+  t1.store(acc.t1);
+  t2.store(acc.t2);
+  for (; i < n; ++i) {
+    const int l = i % kSimdLanes;
+    const double ad = double(float(q[i]) * scale);
+    const double m = double(w[i]) * ad;
+    acc.t1[l] -= m * double(e[i]);
+    acc.t2[l] += m * ad;
+  }
+}
+
+void errRowF(const float* a, float delta, float* e, int n) {
+  const VecF vdelta = VecF::broadcast(delta);
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    (VecF::load(e + i) - VecF::load(a + i) * vdelta).store(e + i);
+  }
+  if (const int k = n - i; k > 0) {
+    (VecF::maskLoad(e + i, k) - VecF::maskLoad(a + i, k) * vdelta)
+        .maskStore(e + i, k);
+  }
+}
+
+void errRowQ(const std::uint8_t* q, float scale, float delta, float* e,
+             int n) {
+  const VecF vscale = VecF::broadcast(scale);
+  const VecF vdelta = VecF::broadcast(delta);
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    (VecF::load(e + i) - (VecI::loadU8(q + i).toF() * vscale) * vdelta)
+        .store(e + i);
+  }
+  // Scalar tail: an 8-byte masked load of q could read past the row.
+  for (; i < n; ++i) e[i] -= (float(q[i]) * scale) * delta;
+}
+
+// Window variants (transformed GPU-ICD chunk layout): process the lane
+// groups covering the band [i0, i1) of a zero-padded window of width `win`.
+// Group bounds are computed identically on both paths, so the set of
+// elements touched — and therefore every store and every accumulator bit —
+// is path-independent. The final group goes through a scalar tail only when
+// the window itself ends mid-group (win not a multiple of kSimdLanes).
+
+inline int coverEnd(int i1, int win) {
+  const int r8 = (i1 + kSimdLanes - 1) & ~(kSimdLanes - 1);
+  return r8 < win ? r8 : win;
+}
+
+void thetaWinF(const float* a, const float* e, const float* w, int i0, int i1,
+               int win, ThetaLanes& acc) {
+  if (i1 <= i0) return;
+  int i = i0 & ~(kSimdLanes - 1);
+  const int cov = coverEnd(i1, win);
+  VecD t1 = VecD::load(acc.t1);
+  VecD t2 = VecD::load(acc.t2);
+  for (; i + kSimdLanes <= cov; i += kSimdLanes) {
+    const VecD ad = VecD::widen(VecF::load(a + i));
+    const VecD m = VecD::widen(VecF::load(w + i)) * ad;
+    t1 = t1 - m * VecD::widen(VecF::load(e + i));
+    t2 = t2 + m * ad;
+  }
+  t1.store(acc.t1);
+  t2.store(acc.t2);
+  for (; i < cov; ++i) {
+    const int l = i % kSimdLanes;
+    const double ad = double(a[i]);
+    const double m = double(w[i]) * ad;
+    acc.t1[l] -= m * double(e[i]);
+    acc.t2[l] += m * ad;
+  }
+}
+
+void thetaWinQ(const std::uint8_t* q, float scale, const float* e,
+               const float* w, int i0, int i1, int win, ThetaLanes& acc) {
+  if (i1 <= i0) return;
+  const VecF vscale = VecF::broadcast(scale);
+  int i = i0 & ~(kSimdLanes - 1);
+  const int cov = coverEnd(i1, win);
+  VecD t1 = VecD::load(acc.t1);
+  VecD t2 = VecD::load(acc.t2);
+  for (; i + kSimdLanes <= cov; i += kSimdLanes) {
+    const VecD ad = VecD::widen(VecI::loadU8(q + i).toF() * vscale);
+    const VecD m = VecD::widen(VecF::load(w + i)) * ad;
+    t1 = t1 - m * VecD::widen(VecF::load(e + i));
+    t2 = t2 + m * ad;
+  }
+  t1.store(acc.t1);
+  t2.store(acc.t2);
+  for (; i < cov; ++i) {
+    const int l = i % kSimdLanes;
+    const double ad = double(float(q[i]) * scale);
+    const double m = double(w[i]) * ad;
+    acc.t1[l] -= m * double(e[i]);
+    acc.t2[l] += m * ad;
+  }
+}
+
+void errWinF(const float* a, float delta, float* e, int i0, int i1, int win) {
+  if (i1 <= i0) return;
+  const VecF vdelta = VecF::broadcast(delta);
+  int i = i0 & ~(kSimdLanes - 1);
+  const int cov = coverEnd(i1, win);
+  for (; i + kSimdLanes <= cov; i += kSimdLanes) {
+    (VecF::load(e + i) - VecF::load(a + i) * vdelta).store(e + i);
+  }
+  for (; i < cov; ++i) e[i] -= a[i] * delta;
+}
+
+void errWinQ(const std::uint8_t* q, float scale, float delta, float* e,
+             int i0, int i1, int win) {
+  if (i1 <= i0) return;
+  const VecF vscale = VecF::broadcast(scale);
+  const VecF vdelta = VecF::broadcast(delta);
+  int i = i0 & ~(kSimdLanes - 1);
+  const int cov = coverEnd(i1, win);
+  for (; i + kSimdLanes <= cov; i += kSimdLanes) {
+    (VecF::load(e + i) - (VecI::loadU8(q + i).toF() * vscale) * vdelta)
+        .store(e + i);
+  }
+  for (; i < cov; ++i) e[i] -= (float(q[i]) * scale) * delta;
+}
+
+void applyDeltaRow(const float* cur, const float* orig, float* dst, int n) {
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    (VecF::load(dst + i) + (VecF::load(cur + i) - VecF::load(orig + i)))
+        .store(dst + i);
+  }
+  if (const int k = n - i; k > 0) {
+    (VecF::maskLoad(dst + i, k) +
+     (VecF::maskLoad(cur + i, k) - VecF::maskLoad(orig + i, k)))
+        .maskStore(dst + i, k);
+  }
+}
+
+void axpyRow(const float* w, float xv, float* dst, int n) {
+  const VecF vx = VecF::broadcast(xv);
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    (VecF::load(dst + i) + VecF::load(w + i) * vx).store(dst + i);
+  }
+  if (const int k = n - i; k > 0) {
+    (VecF::maskLoad(dst + i, k) + VecF::maskLoad(w + i, k) * vx)
+        .maskStore(dst + i, k);
+  }
+}
+
+void dotRow(const float* w, const float* s, int n, double* acc) {
+  VecD a = VecD::load(acc);
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    a = a + VecD::widen(VecF::load(w + i)) * VecD::widen(VecF::load(s + i));
+  }
+  a.store(acc);
+  for (; i < n; ++i) {
+    acc[i % kSimdLanes] += double(w[i]) * double(s[i]);
+  }
+}
+
+constexpr SimdOps kOps = {
+    kPathName, &thetaRowF, &thetaRowQ, &errRowF,       &errRowQ,
+    &thetaWinF, &thetaWinQ, &errWinF,  &errWinQ,
+    &applyDeltaRow, &axpyRow, &dotRow,
+};
+
+}  // namespace
+}  // namespace mbir

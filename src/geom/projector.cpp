@@ -1,12 +1,16 @@
 #include "geom/projector.h"
 
 #include "core/error.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
 
 namespace mbir {
 
 Sinogram forwardProject(const SystemMatrix& A, const Image2D& x) {
   MBIR_CHECK(std::size_t(x.size()) * std::size_t(x.size()) == A.numVoxels());
+  // Row loops run on the env-selected lane-group path (GPUMBIR_SIMD).
+  // axpy is elementwise, so path selection cannot change the result bits.
+  const SimdOps& ops = resolveSimdOps(SimdMode::kDefault);
   Sinogram y(A.numViews(), A.numChannels());
   auto ys = y.flat();
   const int num_channels = A.numChannels();
@@ -17,7 +21,7 @@ Sinogram forwardProject(const SystemMatrix& A, const Image2D& x) {
       const SystemMatrix::Run& r = A.run(voxel, v);
       const auto w = A.weights(voxel, v);
       float* dst = ys.data() + std::size_t(v) * std::size_t(num_channels) + r.first_channel;
-      for (std::size_t k = 0; k < w.size(); ++k) dst[k] += w[k] * xv;
+      ops.axpy_row(w.data(), xv, dst, int(w.size()));
     }
   }
   return y;
@@ -25,20 +29,24 @@ Sinogram forwardProject(const SystemMatrix& A, const Image2D& x) {
 
 Image2D backProject(const SystemMatrix& A, const Sinogram& s) {
   MBIR_CHECK(s.views() == A.numViews() && s.channels() == A.numChannels());
+  // Lane-strided accumulation (element i of a footprint row to lane i mod
+  // kSimdLanes, lanes carried across views, fixed-order reduction) — the
+  // canonical lane-group semantics, identical bits on every path.
+  const SimdOps& ops = resolveSimdOps(SimdMode::kDefault);
   Image2D x(A.geometry().image_size);
   auto xs = x.flat();
   const int num_channels = A.numChannels();
   auto ss = s.flat();
   globalThreadPool().parallelFor(0, int(A.numVoxels()), [&](int voxel) {
-    double acc = 0.0;
+    alignas(32) double acc[kSimdLanes] = {};
     for (int v = 0; v < A.numViews(); ++v) {
       const SystemMatrix::Run& r = A.run(std::size_t(voxel), v);
       const auto w = A.weights(std::size_t(voxel), v);
       const float* src =
           ss.data() + std::size_t(v) * std::size_t(num_channels) + r.first_channel;
-      for (std::size_t k = 0; k < w.size(); ++k) acc += double(w[k]) * double(src[k]);
+      ops.dot_row(w.data(), src, int(w.size()), acc);
     }
-    xs[std::size_t(voxel)] = float(acc);
+    xs[std::size_t(voxel)] = float(reduceLanes(acc));
   }, /*grain=*/256);
   return x;
 }

@@ -85,6 +85,7 @@ struct GpuIcd::Impl {
     sim.setRecorder(opt.recorder);
     sim.setTracePid(opt.trace_pid);
     sim.setRaceCheck(opt.race_check);
+    sim.setSimdMode(opt.simd);
     if (sim.raceCheckOn()) {
       gsim::RaceDetector& rd = sim.raceDetector();
       rb_image = rd.bufferId("image");
@@ -250,9 +251,11 @@ struct GpuIcd::Impl {
       Rng sv_rng = Rng::forStream(opt.seed, std::uint64_t(iter),
                                   std::uint64_t(b.sv_id));
       if (fl.transformed_layout)
-        processSvTransformed(b, x, sv_rng, ctx.prof, sv_work[bi], sv_mag[bi]);
+        processSvTransformed(b, x, sv_rng, ctx.prof, ctx.warp.ops,
+                             sv_work[bi], sv_mag[bi]);
       else
-        processSvNaive(b, x, sv_rng, ctx.prof, sv_work[bi], sv_mag[bi]);
+        processSvNaive(b, x, sv_rng, ctx.prof, ctx.warp.ops, sv_work[bi],
+                       sv_mag[bi]);
     });
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -264,8 +267,13 @@ struct GpuIcd::Impl {
   /// One SV's voxel sweep against the padded SVB + A-chunks. Runs inside
   /// one simulated block; everything it mutates (x inside the SV, the SV's
   /// SVBs, `work`, `mag`) is private to that block during the launch.
+  /// Functional row math executes as lane groups over the band-covering
+  /// slice of each chunk window (the zero padding cannot perturb the lane
+  /// accumulators — see core/simd.h); profiler and race declarations are
+  /// untouched by the path choice.
   void processSvTransformed(BatchSv& b, Image2D& x, Rng& rng,
-                            gsim::KernelProfiler& prof, WorkCounters& work,
+                            gsim::KernelProfiler& prof,
+                            const gsim::SimdOps& ops, WorkCounters& work,
                             double& mag) {
     const SystemMatrix& A = problem.A;
     const GpuTunables& tn = opt.tunables;
@@ -302,10 +310,15 @@ struct GpuIcd::Impl {
       }
       const std::size_t voxel = std::size_t(row) * std::size_t(n) + std::size_t(col);
 
-      ThetaPair theta;
+      const bool quant = cp.quantized();
+      const float scale = cp.scaleOf(k);
+      gsim::ThetaLanes lanes;
+      lanes.reset();
       int rows_total = 0;
       for (const ChunkDesc& d : cp.chunksOf(k)) {
         prof.descRead(sizeof(ChunkDesc));
+        const std::uint8_t* qrows = quant ? cp.dataQuant(d).data() : nullptr;
+        const float* frows = quant ? nullptr : cp.dataFloat(d).data();
         for (int i = 0; i < d.nrows; ++i) {
           const int v = d.view0 + i;
           const SystemMatrix::Run& r = A.run(voxel, v);
@@ -325,21 +338,27 @@ struct GpuIcd::Impl {
           prof.smemTraffic(std::size_t(32) *
                            (fl.spill_registers_to_smem ? 8 : 0));
           prof.addFlops(3.0 * W);
-          // Functional math over the true footprint (padding is zero).
-          const int ws = int(r.first_channel) - plan.lo(v);
-          const float* erow = b.e_svb->rowData(v);
-          const float* wrow = b.w_svb->rowData(v);
-          for (int kk = 0; kk < int(r.count); ++kk) {
-            const int cc = ws + kk;
-            const double a = double(cp.aValue(d, i, cc - d.base));
-            const double wv = double(wrow[cc]);
-            theta.theta1 += -wv * a * double(erow[cc]);
-            theta.theta2 += wv * a * a;
-          }
+          // Functional math as lane groups over the groups covering the
+          // row's true band inside the chunk window (window elements
+          // outside the band hold exact +0.0 A values, so the skipped
+          // groups could never perturb a lane accumulator — core/simd.h).
+          const float* erow = b.e_svb->rowData(v) + d.base;
+          const float* wrow = b.w_svb->rowData(v) + d.base;
+          const int i0 = int(r.first_channel) - plan.lo(v) - d.base;
+          const int i1 = i0 + int(r.count);
+          if (quant)
+            ops.theta_win_q(qrows + std::size_t(i) * std::size_t(W), scale,
+                            erow, wrow, i0, i1, W, lanes);
+          else
+            ops.theta_win_f(frows + std::size_t(i) * std::size_t(W), erow,
+                            wrow, i0, i1, W, lanes);
           work.theta_elements += r.count;
           ++rows_total;
         }
       }
+      ThetaPair theta;
+      theta.theta1 = gsim::reduceLanes(lanes.t1);
+      theta.theta2 = gsim::reduceLanes(lanes.t2);
       // Idle lanes: rows not divisible by the block's warp count.
       const int pad_rows = (rows_total + warps - 1) / warps * warps - rows_total;
       if (pad_rows > 0) {
@@ -354,9 +373,14 @@ struct GpuIcd::Impl {
       prof.addFlops(60.0);  // prior solve, single thread
       x(row, col) += delta;
 
-      // Error SVB update: e_svb -= A * delta, atomic per element.
+      // Error SVB update: e_svb -= A * delta, atomic per element. Runs
+      // over the band-covering groups like the theta pass; zero-padded A
+      // columns inside those groups subtract an exact ±0.0, which
+      // preserves every error bit.
       if (delta != 0.0f) {
         for (const ChunkDesc& d : cp.chunksOf(k)) {
+          const std::uint8_t* qrows = quant ? cp.dataQuant(d).data() : nullptr;
+          const float* frows = quant ? nullptr : cp.dataFloat(d).data();
           for (int i = 0; i < d.nrows; ++i) {
             const int v = d.view0 + i;
             const SystemMatrix::Run& r = A.run(voxel, v);
@@ -365,12 +389,15 @@ struct GpuIcd::Impl {
             // atomicAdd only where A is nonzero (zero lanes are masked).
             prof.svbAtomic(int(r.count), conflict);
             prof.addFlops(2.0 * W);
-            const int ws = int(r.first_channel) - plan.lo(v);
-            float* erow = b.e_svb->rowData(v);
-            for (int kk = 0; kk < int(r.count); ++kk) {
-              const int cc = ws + kk;
-              erow[cc] -= float(cp.aValue(d, i, cc - d.base)) * delta;
-            }
+            float* erow = b.e_svb->rowData(v) + d.base;
+            const int i0 = int(r.first_channel) - plan.lo(v) - d.base;
+            const int i1 = i0 + int(r.count);
+            if (quant)
+              ops.err_win_q(qrows + std::size_t(i) * std::size_t(W), scale,
+                            delta, erow, i0, i1, W);
+            else
+              ops.err_win_f(frows + std::size_t(i) * std::size_t(W), delta,
+                            erow, i0, i1, W);
             work.error_update_elements += r.count;
           }
         }
@@ -399,8 +426,8 @@ struct GpuIcd::Impl {
   /// The naive (untransformed, Fig. 4a) kernel: packed SVB walked in
   /// sensor-channel-major order — uncoalesced, with per-view start lookups.
   void processSvNaive(BatchSv& b, Image2D& x, Rng& rng,
-                      gsim::KernelProfiler& prof, WorkCounters& work,
-                      double& mag) {
+                      gsim::KernelProfiler& prof, const gsim::SimdOps& ops,
+                      WorkCounters& work, double& mag) {
     const SystemMatrix& A = problem.A;
     const OptimFlags& fl = opt.flags;
     const SuperVoxel& sv = grid.sv(b.sv_id);
@@ -429,7 +456,8 @@ struct GpuIcd::Impl {
       }
       const std::size_t voxel = std::size_t(row) * std::size_t(n) + std::size_t(col);
 
-      ThetaPair theta;
+      gsim::ThetaLanes lanes;
+      lanes.reset();
       int rows_total = 0;
       int elems_total = 0;
       for (int v = 0; v < A.numViews(); ++v) {
@@ -442,16 +470,14 @@ struct GpuIcd::Impl {
         prof.addFlops(3.0 * r.count);
         const auto aw = A.weights(voxel, v);
         const int ws = int(r.first_channel) - plan.lo(v);
-        const float* erow = b.e_svb->rowData(v);
-        const float* wrow = b.w_svb->rowData(v);
-        for (int kk = 0; kk < int(r.count); ++kk) {
-          const double a = double(aw[std::size_t(kk)]);
-          theta.theta1 += -double(wrow[ws + kk]) * a * double(erow[ws + kk]);
-          theta.theta2 += double(wrow[ws + kk]) * a * a;
-        }
+        ops.theta_row_f(aw.data(), b.e_svb->rowData(v) + ws,
+                        b.w_svb->rowData(v) + ws, int(r.count), lanes);
         work.theta_elements += r.count;
         ++rows_total;
       }
+      ThetaPair theta;
+      theta.theta1 = gsim::reduceLanes(lanes.t1);
+      theta.theta2 = gsim::reduceLanes(lanes.t2);
       prof.smemTraffic(std::size_t(opt.tunables.threads_per_block) * 8 * 2);
       prof.addFlops(double(opt.tunables.threads_per_block) * 2.0);
 
@@ -469,8 +495,7 @@ struct GpuIcd::Impl {
           prof.addFlops(2.0 * r.count);
           const auto aw = A.weights(voxel, v);
           float* erow = b.e_svb->rowData(v) + (int(r.first_channel) - plan.lo(v));
-          for (int kk = 0; kk < int(r.count); ++kk)
-            erow[kk] -= aw[std::size_t(kk)] * delta;
+          ops.err_row_f(aw.data(), delta, erow, int(r.count));
           work.error_update_elements += r.count;
         }
       }
@@ -509,7 +534,8 @@ struct GpuIcd::Impl {
       // concurrency-safe and bit-identical to the serial writeback.
       const int channels = problem.A.numChannels();
       for (BatchSv& b : batch) {
-        b.e_svb->applyDeltaTo(e, *b.e_orig, ctx.block_idx, stripes);
+        b.e_svb->applyDeltaTo(e, *b.e_orig, ctx.block_idx, stripes,
+                              &ctx.warp.ops);
         for (int v = ctx.block_idx; v < b.plan->numViews(); v += stripes) {
           const int w = b.plan->width(v);
           if (w == 0) continue;

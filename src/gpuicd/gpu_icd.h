@@ -68,6 +68,11 @@ struct GpuIcdOptions {
   /// interleaving. Defaults from GPUMBIR_RACE_CHECK; off costs one branch
   /// per declaration site and results are bit-identical either way.
   gsim::RaceCheckConfig race_check = gsim::RaceCheckConfig::fromEnv();
+  /// Lane-group execution path kernels run their row math on (gsim/simd.h).
+  /// kDefault = the GPUMBIR_SIMD environment knob. Scalar and AVX2 are
+  /// bit-identical, so this is purely a wall-clock knob; forcing kAvx2 on a
+  /// host that cannot run it throws at construction.
+  gsim::SimdMode simd = gsim::SimdMode::kDefault;
 };
 
 struct GpuIterationInfo {

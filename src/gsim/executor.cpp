@@ -52,88 +52,6 @@ void fillLaunchArgs(obs::TraceEvent& ev, const LaunchReport& report) {
 
 }  // namespace
 
-int KernelProfiler::transactions(int elements, int elem_bytes, bool aligned) const {
-  if (elements <= 0) return 0;
-  const int span = elements * elem_bytes;
-  int n = (span + dev_.transaction_bytes - 1) / dev_.transaction_bytes;
-  if (!aligned) ++n;  // straddles one extra line
-  return n;
-}
-
-void KernelProfiler::svbAccess(int elements, int elem_bytes, bool aligned,
-                               bool as_double) {
-  const double bytes =
-      double(transactions(elements, elem_bytes, aligned)) * dev_.transaction_bytes;
-  stats_.svb_access_bytes += bytes;
-  stats_.svb_access_time_bytes +=
-      as_double ? bytes : bytes / dev_.l2_float_width_factor;
-}
-
-void KernelProfiler::svbScalarAccess(int elements, int elem_bytes) {
-  // One transaction per element; width penalty applies (narrow loads).
-  const double bytes = double(elements) * dev_.transaction_bytes;
-  (void)elem_bytes;
-  stats_.svb_access_bytes += bytes;
-  stats_.svb_access_time_bytes += bytes / dev_.l2_float_width_factor;
-}
-
-void KernelProfiler::svbIdle(int elements, int elem_bytes) {
-  const double bytes =
-      double(transactions(elements, elem_bytes, true)) * dev_.transaction_bytes;
-  stats_.svb_access_time_bytes += bytes;
-}
-
-void KernelProfiler::setImbalance(double factor) {
-  MBIR_CHECK(factor >= 1.0);
-  if (factor > stats_.imbalance_factor) stats_.imbalance_factor = factor;
-}
-
-void KernelProfiler::svbUnique(std::size_t bytes) {
-  stats_.svb_unique_bytes += double(bytes);
-}
-
-void KernelProfiler::amatrixAccess(int elements, int elem_bytes, bool aligned) {
-  stats_.amatrix_access_bytes +=
-      double(transactions(elements, elem_bytes, aligned)) * dev_.transaction_bytes;
-}
-
-void KernelProfiler::amatrixScalarAccess(int elements, int elem_bytes) {
-  (void)elem_bytes;
-  stats_.amatrix_access_bytes += double(elements) * dev_.transaction_bytes;
-}
-
-void KernelProfiler::amatrixUnique(std::size_t bytes) {
-  stats_.amatrix_unique_bytes += double(bytes);
-}
-
-void KernelProfiler::setAmatrixViaTexture(bool via_texture) {
-  stats_.amatrix_via_texture = via_texture;
-}
-
-void KernelProfiler::descRead(std::size_t bytes) {
-  stats_.desc_bytes += double(bytes);
-}
-
-void KernelProfiler::smemTraffic(std::size_t bytes) {
-  stats_.smem_bytes += double(bytes);
-}
-
-void KernelProfiler::addFlops(double n) { stats_.flops += n; }
-
-void KernelProfiler::svbAtomic(int ops, double conflict_mult) {
-  MBIR_CHECK(conflict_mult >= 1.0);
-  stats_.atomic_ops += ops;
-  stats_.atomic_ops_weighted += double(ops) * conflict_mult;
-}
-
-void KernelProfiler::globalAtomic(int ops, double conflict_mult) {
-  svbAtomic(ops, conflict_mult);
-}
-
-void KernelProfiler::setL2WorkingSet(double bytes) {
-  stats_.l2_working_set_bytes = bytes;
-}
-
 void GpuSimulator::setRecorder(obs::Recorder* rec) {
   rec_ = rec;
   inst_ = {};
@@ -188,10 +106,11 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
   std::vector<BlockAccessLog> race_logs;
   if (race_on) race_logs.resize(std::size_t(cfg.num_blocks));
 
+  const WarpCtx warp{*simd_ops_, kSimdLanes};
   if (cfg.num_blocks == 1) {
     KernelProfiler prof(dev_);
     if (race_on) prof.setRaceLog(&race_logs[0]);
-    BlockCtx ctx{0, 1, prof};
+    BlockCtx ctx{0, 1, prof, warp};
     run_block(ctx);
     report.stats = prof.stats();
   } else {
@@ -206,7 +125,7 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
     }
     ThreadPool& pool = host_pool_ ? *host_pool_ : globalThreadPool();
     pool.parallelFor(0, cfg.num_blocks, [&](int b) {
-      BlockCtx ctx{b, cfg.num_blocks, profs[std::size_t(b)]};
+      BlockCtx ctx{b, cfg.num_blocks, profs[std::size_t(b)], warp};
       run_block(ctx);
     });
     for (const KernelProfiler& p : profs) report.stats += p.stats();

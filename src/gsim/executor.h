@@ -19,10 +19,12 @@
 #include <map>
 #include <string>
 
+#include "core/error.h"
 #include "gsim/device.h"
 #include "gsim/kernel_stats.h"
 #include "gsim/occupancy.h"
 #include "gsim/race_check.h"
+#include "gsim/simd.h"
 #include "gsim/timing.h"
 
 namespace mbir {
@@ -39,47 +41,99 @@ class Recorder;
 namespace mbir::gsim {
 
 /// Accounting interface kernels report through.
+///
+/// All accounting methods are defined inline: kernels call them once per
+/// warp-granularity access inside their hottest loops, and the calls must
+/// melt into the surrounding loop rather than pay an out-of-line call each
+/// (they dominated the profile before the SIMD lane-group rework). The
+/// operations and their order are exactly the out-of-line originals, so
+/// every accumulated stat is bit-identical to pre-inline builds.
 class KernelProfiler {
  public:
   explicit KernelProfiler(const DeviceSpec& dev) : dev_(dev) {}
 
+  /// Post-coalescing transaction count for one warp-contiguous access.
+  int transactions(int elements, int elem_bytes, bool aligned) const {
+    if (elements <= 0) return 0;
+    const int span = elements * elem_bytes;
+    int n = (span + dev_.transaction_bytes - 1) / dev_.transaction_bytes;
+    if (!aligned) ++n;  // straddles one extra line
+    return n;
+  }
+
   /// One warp reads/writes `elements` contiguous SVB elements of
   /// `elem_bytes`. `aligned` = starts on a transaction boundary;
   /// `as_double` = issued as 8-byte loads (§4.3.2 width trick).
-  void svbAccess(int elements, int elem_bytes, bool aligned, bool as_double);
+  void svbAccess(int elements, int elem_bytes, bool aligned, bool as_double) {
+    const double bytes = double(transactions(elements, elem_bytes, aligned)) *
+                         dev_.transaction_bytes;
+    stats_.svb_access_bytes += bytes;
+    stats_.svb_access_time_bytes +=
+        as_double ? bytes : bytes / dev_.l2_float_width_factor;
+  }
 
   /// Uncoalesced SVB access: each element is its own transaction (the naive
   /// layout's sensor-channel-major walk, Fig. 4a).
-  void svbScalarAccess(int elements, int elem_bytes);
+  void svbScalarAccess(int elements, int elem_bytes) {
+    // One transaction per element; width penalty applies (narrow loads).
+    const double bytes = double(elements) * dev_.transaction_bytes;
+    (void)elem_bytes;
+    stats_.svb_access_bytes += bytes;
+    stats_.svb_access_time_bytes += bytes / dev_.l2_float_width_factor;
+  }
 
   /// Idle-lane time: warps occupying the L2 path without useful traffic
   /// (e.g. chunk rows not divisible by the block's warp count). Counts
   /// toward time but not toward achieved-bandwidth reports.
-  void svbIdle(int elements, int elem_bytes);
+  void svbIdle(int elements, int elem_bytes) {
+    const double bytes = double(transactions(elements, elem_bytes, true)) *
+                         dev_.transaction_bytes;
+    stats_.svb_access_time_bytes += bytes;
+  }
 
   /// Declare load imbalance (completion-time multiplier; max is kept).
-  void setImbalance(double factor);
+  void setImbalance(double factor) {
+    MBIR_CHECK(factor >= 1.0);
+    if (factor > stats_.imbalance_factor) stats_.imbalance_factor = factor;
+  }
 
   /// Compulsory SVB footprint (counted once per SVB per kernel).
-  void svbUnique(std::size_t bytes);
+  void svbUnique(std::size_t bytes) { stats_.svb_unique_bytes += double(bytes); }
 
   /// One warp reads `elements` contiguous A-matrix elements.
-  void amatrixAccess(int elements, int elem_bytes, bool aligned);
-  void amatrixScalarAccess(int elements, int elem_bytes);
-  void amatrixUnique(std::size_t bytes);
-  void setAmatrixViaTexture(bool via_texture);
+  void amatrixAccess(int elements, int elem_bytes, bool aligned) {
+    stats_.amatrix_access_bytes +=
+        double(transactions(elements, elem_bytes, aligned)) *
+        dev_.transaction_bytes;
+  }
+  void amatrixScalarAccess(int elements, int elem_bytes) {
+    (void)elem_bytes;
+    stats_.amatrix_access_bytes += double(elements) * dev_.transaction_bytes;
+  }
+  void amatrixUnique(std::size_t bytes) {
+    stats_.amatrix_unique_bytes += double(bytes);
+  }
+  void setAmatrixViaTexture(bool via_texture) {
+    stats_.amatrix_via_texture = via_texture;
+  }
 
   /// Chunk-descriptor / per-view index lookups.
-  void descRead(std::size_t bytes);
+  void descRead(std::size_t bytes) { stats_.desc_bytes += double(bytes); }
 
-  void smemTraffic(std::size_t bytes);
-  void addFlops(double n);
+  void smemTraffic(std::size_t bytes) { stats_.smem_bytes += double(bytes); }
+  void addFlops(double n) { stats_.flops += n; }
 
   /// `conflict_mult` >= 1: expected serialization (same-address replays).
-  void svbAtomic(int ops, double conflict_mult);
-  void globalAtomic(int ops, double conflict_mult);
+  void svbAtomic(int ops, double conflict_mult) {
+    MBIR_CHECK(conflict_mult >= 1.0);
+    stats_.atomic_ops += ops;
+    stats_.atomic_ops_weighted += double(ops) * conflict_mult;
+  }
+  void globalAtomic(int ops, double conflict_mult) {
+    svbAtomic(ops, conflict_mult);
+  }
 
-  void setL2WorkingSet(double bytes);
+  void setL2WorkingSet(double bytes) { stats_.l2_working_set_bytes = bytes; }
 
   // Race-check declarations (no-ops — one branch — unless the executor
   // attached a BlockAccessLog for this launch). Buffer ids come from
@@ -106,12 +160,20 @@ class KernelProfiler {
   const KernelStats& stats() const { return stats_; }
 
  private:
-  /// Post-coalescing transaction count for one warp-contiguous access.
-  int transactions(int elements, int elem_bytes, bool aligned) const;
-
   const DeviceSpec& dev_;
   KernelStats stats_;
   BlockAccessLog* race_log_ = nullptr;
+};
+
+/// Lane-group execution context: how this launch's warps execute their
+/// functional math. `ops` is the lane-group implementation resolved for the
+/// owning GpuSimulator (scalar or AVX2 — bit-identical either way, see
+/// gsim/simd.h); kernels route their hot row loops through it, processing
+/// `lanes` simulated warp lanes per step. Profiler and race declarations
+/// stay at warp granularity and do not depend on which path runs.
+struct WarpCtx {
+  const SimdOps& ops;
+  int lanes = kSimdLanes;
 };
 
 /// Context passed to kernel code for one threadblock.
@@ -119,6 +181,7 @@ struct BlockCtx {
   int block_idx;
   int num_blocks;
   KernelProfiler& prof;
+  WarpCtx warp;
 };
 
 struct LaunchConfig {
@@ -163,6 +226,16 @@ class GpuSimulator {
   /// Host thread pool blocks execute on (nullptr = process-wide pool).
   /// Purely a wall-clock knob: results are identical for any pool.
   void setHostPool(ThreadPool* pool) { host_pool_ = pool; }
+
+  /// Lane-group implementation subsequent launches hand to kernels through
+  /// BlockCtx::warp (gsim/simd.h). Defaults to the GPUMBIR_SIMD environment
+  /// knob (unset = auto). Purely a wall-clock knob too: the scalar and AVX2
+  /// paths are bit-identical, so this never changes results — but forcing
+  /// kAvx2 on a host that cannot run it throws.
+  void setSimdMode(SimdMode m) { simd_ops_ = &resolveSimdOps(m); }
+  const SimdOps& simdOps() const { return *simd_ops_; }
+  /// The concrete path kernels will execute on: "scalar" | "avx2".
+  const char* simdPath() const { return simd_ops_->name; }
 
   /// Observability sink (nullptr = off, the default): every launch records
   /// one span per clock (host wall time + modeled device time) with its
@@ -215,6 +288,7 @@ class GpuSimulator {
   DeviceSpec dev_;
   RaceDetector race_;
   ThreadPool* host_pool_ = nullptr;
+  const SimdOps* simd_ops_ = &resolveSimdOps(SimdMode::kDefault);
   obs::Recorder* rec_ = nullptr;
   int trace_pid_ = 0;
   Instruments inst_;

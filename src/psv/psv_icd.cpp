@@ -60,33 +60,35 @@ float solveDeltaRelaxed(const Prior& prior, Image2D& x, int row, int col,
   return float(std::max(-num / den, -double(xv)));
 }
 
-/// theta1/theta2 against packed SVBs (Alg. 1 lines 3-6, SVB-local).
+/// theta1/theta2 against packed SVBs (Alg. 1 lines 3-6, SVB-local). Rows
+/// execute as lane groups: per-lane accumulators carried across views,
+/// reduced in fixed lane order at the end (core/simd.h canonical
+/// semantics) — identical bits on the scalar and AVX2 paths.
 ThetaPair computeThetaSvb(const SystemMatrix& A, const Svb& e_svb,
                           const Svb& w_svb, std::size_t voxel,
-                          std::size_t& elements) {
-  ThetaPair t;
+                          std::size_t& elements, const SimdOps& ops) {
+  ThetaLanes lanes;
+  lanes.reset();
   const SvbPlan& plan = e_svb.plan();
   for (int v = 0; v < A.numViews(); ++v) {
     const SystemMatrix::Run& r = A.run(voxel, v);
     if (r.count == 0) continue;
     const auto aw = A.weights(voxel, v);
     const int start = int(r.first_channel) - plan.lo(v);
-    const float* erow = e_svb.rowData(v) + start;
-    const float* wrow = w_svb.rowData(v) + start;
-    for (std::size_t k = 0; k < aw.size(); ++k) {
-      const double a = double(aw[k]);
-      const double w = double(wrow[k]);
-      t.theta1 += -w * a * double(erow[k]);
-      t.theta2 += w * a * a;
-    }
+    ops.theta_row_f(aw.data(), e_svb.rowData(v) + start,
+                    w_svb.rowData(v) + start, int(aw.size()), lanes);
     elements += aw.size();
   }
+  ThetaPair t;
+  t.theta1 = reduceLanes(lanes.t1);
+  t.theta2 = reduceLanes(lanes.t2);
   return t;
 }
 
 /// e_svb -= A[voxel] * delta (Alg. 1 lines 9-11, SVB-local).
 void applyErrorUpdateSvb(const SystemMatrix& A, Svb& e_svb, std::size_t voxel,
-                         float delta, std::size_t& elements) {
+                         float delta, std::size_t& elements,
+                         const SimdOps& ops) {
   if (delta == 0.0f) return;
   const SvbPlan& plan = e_svb.plan();
   for (int v = 0; v < A.numViews(); ++v) {
@@ -94,7 +96,7 @@ void applyErrorUpdateSvb(const SystemMatrix& A, Svb& e_svb, std::size_t voxel,
     if (r.count == 0) continue;
     const auto aw = A.weights(voxel, v);
     float* erow = e_svb.rowData(v) + (int(r.first_channel) - plan.lo(v));
-    for (std::size_t k = 0; k < aw.size(); ++k) erow[k] -= aw[k] * delta;
+    ops.err_row_f(aw.data(), delta, erow, int(aw.size()));
     elements += aw.size();
   }
 }
@@ -115,6 +117,7 @@ PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
   MBIR_CHECK(x.size() == problem_.A.geometry().image_size);
   const SystemMatrix& A = problem_.A;
   const int image_size = x.size();
+  const SimdOps& simd_ops = resolveSimdOps(options_.simd);
 
   // One SVB plan per SV, reused across iterations (band depends only on
   // geometry).
@@ -202,18 +205,19 @@ PsvRunStats PsvIcd::run(Image2D& x, Sinogram& e,
         if (options_.zero_skip && zeroSkipRelaxed(x, row, col)) continue;
         const std::size_t voxel =
             std::size_t(row) * std::size_t(image_size) + std::size_t(col);
-        const ThetaPair theta =
-            computeThetaSvb(A, e_svb, w_svb, voxel, wc.theta_elements);
+        const ThetaPair theta = computeThetaSvb(A, e_svb, w_svb, voxel,
+                                                wc.theta_elements, simd_ops);
         const float delta = solveDeltaRelaxed(problem_.prior, x, row, col, theta);
         addX(x, row, col, delta);
-        applyErrorUpdateSvb(A, e_svb, voxel, delta, wc.error_update_elements);
+        applyErrorUpdateSvb(A, e_svb, voxel, delta, wc.error_update_elements,
+                            simd_ops);
         mag_acc += std::abs(double(delta));
         ++wc.voxel_updates;
       }
 
       {
         std::lock_guard lock(sino_mu);
-        e_svb.applyDeltaTo(e, e_orig);
+        e_svb.applyDeltaTo(e, e_orig, &simd_ops);
         ++wc.lock_acquisitions;
       }
       wc.svb_writeback_elements += e_svb.raw().size();

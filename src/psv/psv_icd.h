@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/simd.h"
 #include "geom/image.h"
 #include "geom/sinogram.h"
 #include "gsim/race_check.h"
@@ -50,6 +51,10 @@ struct PsvIcdOptions {
   /// flag any future scheme that drops the atomics. Defaults from
   /// GPUMBIR_RACE_CHECK.
   gsim::RaceCheckConfig race_check = gsim::RaceCheckConfig::fromEnv();
+  /// Lane-group execution path for the SVB row loops (core/simd.h).
+  /// kDefault = the GPUMBIR_SIMD environment knob. Scalar and AVX2 are
+  /// bit-identical, so this is purely a wall-clock knob.
+  SimdMode simd = SimdMode::kDefault;
 };
 
 struct PsvIterationInfo {

@@ -46,6 +46,10 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
     m_rmse = &rec->metrics().gauge("recon.rmse_hu");
   }
 
+  // Resolve the lane-group path once so the result records what actually
+  // ran (and a forced-but-unavailable path fails loudly up front).
+  result.simd_path = resolveSimdOps(config.simd).name;
+
   const double setup_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
   result.image = problem.fbpInitialImage();
   Sinogram e = problem.initialError(result.image);
@@ -136,6 +140,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       PsvIcdOptions opt = config.psv;
       opt.max_iterations = 2000;  // callback-driven; cap is a safety net
       opt.recorder = rec;
+      opt.simd = config.simd;
       PsvIcd icd(p, opt);
       PsvRunStats run_stats = icd.run(
           result.image, e, [&](const PsvIterationInfo& info) {
@@ -153,6 +158,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       GpuIcdOptions opt = config.gpu;
       opt.max_iterations = 2000;
       opt.recorder = rec;
+      opt.simd = config.simd;
       if (config.trace_pid != 0) opt.trace_pid = config.trace_pid;
       if (config.scale_gpu_caches) {
         // SVB size scales with views (see gsim::scaleCachesToProblem docs).

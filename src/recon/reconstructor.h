@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/simd.h"
 #include "gpuicd/gpu_icd.h"
 #include "icd/sequential_icd.h"
 #include "obs/obs.h"
@@ -58,6 +59,12 @@ struct RunConfig {
   /// "modeled device clock" process). The batch scheduler gives each
   /// simulated device its own pid so per-device timelines render apart.
   int trace_pid = 0;
+  /// Lane-group execution path for engine row math (core/simd.h). Applied
+  /// to whichever engine runs; kDefault defers to the GPUMBIR_SIMD env
+  /// knob. Scalar and AVX2 are bit-identical, so this only changes host
+  /// wall-clock — never results. The resolved path lands in
+  /// RunResult::simd_path and every report that embeds a config.
+  SimdMode simd = SimdMode::kDefault;
 };
 
 struct ConvergencePoint {
@@ -80,6 +87,8 @@ struct RunResult {
   /// for tracking actual speedups of the simulator itself across PRs.
   double host_seconds = 0.0;
   WorkCounters work;
+  /// Lane-group path the run actually executed on ("scalar" or "avx2").
+  const char* simd_path = "";
   std::vector<ConvergencePoint> curve;
   std::optional<GpuRunStats> gpu_stats;
   std::optional<PsvRunStats> psv_stats;

@@ -228,6 +228,7 @@ std::string BatchScheduler::reportJson() const {
   obs::JsonWriter w;
   w.beginObject();
   w.kv("schema", "gpumbir.batch_report/1");
+  w.kv("simd", resolveSimdOps(SimdMode::kDefault).name);
   w.kv("num_devices", opt_.num_devices);
   w.kv("jobs_total", report_.jobs_total);
   w.kv("jobs_converged", report_.jobs_converged);
@@ -253,6 +254,7 @@ std::string BatchScheduler::reportJson() const {
     w.kv("name", r.name);
     w.kv("device", r.device);
     w.kv("algorithm", algorithmName(job.config.algorithm));
+    if (!r.failed) w.kv("simd", r.run.simd_path);
     w.kv("converged", r.run.converged);
     w.kv("cancelled", r.cancelled);
     w.kv("failed", r.failed);

@@ -107,22 +107,22 @@ void Svb::gather(const Sinogram& src) {
   }
 }
 
-void Svb::applyDeltaTo(Sinogram& dst, const Svb& original) const {
-  applyDeltaTo(dst, original, 0, 1);
+void Svb::applyDeltaTo(Sinogram& dst, const Svb& original,
+                       const SimdOps* ops) const {
+  applyDeltaTo(dst, original, 0, 1, ops);
 }
 
 void Svb::applyDeltaTo(Sinogram& dst, const Svb& original, int stripe,
-                       int num_stripes) const {
+                       int num_stripes, const SimdOps* ops) const {
   MBIR_CHECK(original.plan_ == plan_ && original.layout_ == layout_);
   MBIR_CHECK(dst.views() == plan_->numViews());
   MBIR_CHECK(num_stripes >= 1 && stripe >= 0 && stripe < num_stripes);
+  if (ops == nullptr) ops = &scalarSimdOps();
   for (int v = stripe; v < plan_->numViews(); v += num_stripes) {
     const int w = plan_->width(v);
     if (w == 0) continue;
     float* out = dst.row(v).data() + plan_->lo(v);
-    const float* cur = rowData(v);
-    const float* orig = original.rowData(v);
-    for (int c = 0; c < w; ++c) out[c] += cur[c] - orig[c];
+    ops->apply_delta_row(rowData(v), original.rowData(v), out, w);
   }
 }
 

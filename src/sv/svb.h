@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/aligned.h"
+#include "core/simd.h"
 #include "geom/geometry.h"
 #include "geom/sinogram.h"
 #include "geom/system_matrix.h"
@@ -94,8 +95,11 @@ class Svb {
 
   /// dst += (this - original), over the band. This is PSV-ICD's locked
   /// writeback (Alg. 2 lines 16-19) and the functional core of GPU-ICD's
-  /// atomic writeback kernel.
-  void applyDeltaTo(Sinogram& dst, const Svb& original) const;
+  /// atomic writeback kernel. Rows run through `ops` (core/simd.h; nullptr
+  /// = scalar) — the op is elementwise, so every path produces the same
+  /// bits.
+  void applyDeltaTo(Sinogram& dst, const Svb& original,
+                    const SimdOps* ops = nullptr) const;
 
   /// Striped variant for concurrent writeback: only views v with
   /// v % num_stripes == stripe are applied. SVBs of different SVs overlap
@@ -103,7 +107,7 @@ class Svb {
   /// view stripe — each sinogram element then has exactly one writer and
   /// the (deterministic) result matches applying every SVB serially.
   void applyDeltaTo(Sinogram& dst, const Svb& original, int stripe,
-                    int num_stripes) const;
+                    int num_stripes, const SimdOps* ops = nullptr) const;
 
   std::span<float> raw() { return buf_.span(); }
   std::span<const float> raw() const { return buf_.span(); }

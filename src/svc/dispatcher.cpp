@@ -443,6 +443,7 @@ std::string Dispatcher::reportJson() const {
   obs::JsonWriter w;
   w.beginObject();
   w.kv("schema", kReportSchema);
+  w.kv("simd", resolveSimdOps(SimdMode::kDefault).name);
   w.kv("num_devices", rep.num_devices);
   w.kv("queue_capacity", rep.queue_capacity);
   w.kv("jobs_submitted", std::int64_t(rep.jobs_submitted));

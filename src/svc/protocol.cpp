@@ -185,6 +185,7 @@ std::string encodeSubmit(const SubmitParams& p) {
   w.kv("priority", p.priority);
   if (p.deadline_ms >= 0.0) w.kv("deadline_ms", p.deadline_ms);
   w.kv("deterministic", p.deterministic);
+  if (!p.simd.empty()) w.kv("simd", p.simd);
   if (!p.name.empty()) w.kv("name", p.name);
   w.endObject();
   return w.str();
@@ -201,6 +202,7 @@ SubmitParams parseSubmitParams(const Request& req) {
   p.priority = int(req.getInt("priority", 0));
   p.deadline_ms = req.getDouble("deadline_ms", -1.0);
   p.deterministic = req.getBool("deterministic", false);
+  p.simd = req.getString("simd", "");
   p.name = req.getString("name", "");
   return p;
 }
@@ -221,6 +223,12 @@ RunConfig makeRunConfig(RunConfig base, const SubmitParams& p) {
   if (p.sv_side > 0) {
     base.gpu.tunables.sv.sv_side = p.sv_side;
     base.psv.sv.sv_side = p.sv_side;
+  }
+  // Parse eagerly so a bad value fails the submit, not the job; resolve
+  // eagerly so forcing avx2 on an incapable server does too.
+  if (!p.simd.empty()) {
+    base.simd = parseSimdMode(p.simd);
+    resolveSimdOps(base.simd);
   }
   // Accepted == reproducible: PSV with >1 thread is the one lock-racing
   // engine, so the service always pins it (DESIGN.md §7).

@@ -105,6 +105,12 @@ struct SubmitParams {
   /// Route through the deterministic FIFO round-robin lane (bit-identical
   /// to BatchScheduler::runAll; priority/deadline are ignored).
   bool deterministic = false;
+  /// Lane-group execution path override: "off"|"auto"|"avx2" (empty = keep
+  /// the server's base config / GPUMBIR_SIMD). Purely a wall-clock knob —
+  /// scalar and AVX2 are bit-identical — so jobs stay reproducible
+  /// regardless of what the client picks; an unknown value or forcing avx2
+  /// on an incapable server fails the submit with ok:false.
+  std::string simd;
   std::string name;
 };
 
