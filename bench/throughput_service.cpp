@@ -10,7 +10,10 @@
 // admission allows (rejections back off briefly and retry — the queue bound
 // is part of the system under test), with mixed priorities. Per device
 // count the bench reports accepted jobs/host-second plus the p50/p99
-// queue-wait and end-to-end latency distributions from the drain report.
+// queue-wait and end-to-end latency distributions from the drain report,
+// and p50/p95/p99 e2e latency from the service's own svc.job.e2e_host_s
+// histogram (a fresh metrics recorder per sweep) — the same quantile path
+// the live `stats` verb serves, so the bench exercises and gates it.
 //
 // Emits BENCH_throughput_service.json (schema gpumbir.bench/1).
 #include <sys/resource.h>
@@ -23,6 +26,8 @@
 #include "bench_common.h"
 #include "core/signal.h"
 #include "core/timer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "recon/case_library.h"
 #include "svc/client.h"
 #include "svc/server.h"
@@ -75,9 +80,16 @@ int main(int argc, char** argv) {
   WallTimer wall;
   for (int devices = 1; devices <= max_devices && !shutdown.requested();
        devices *= 2) {
+    // Fresh per-sweep recorder: each device count gets its own histogram
+    // state, so the quantiles below aren't polluted by earlier sweeps.
+    obs::ObsConfig obs_cfg;
+    obs_cfg.metrics = true;
+    obs::Recorder recorder(obs_cfg);
+
     svc::ServerOptions opt;
     opt.dispatch.num_devices = devices;
     opt.dispatch.queue_capacity = queue_cap;
+    opt.dispatch.recorder = &recorder;
     opt.base_config.algorithm = Algorithm::kGpuIcd;
     opt.base_config.gpu.tunables = paperTunables();
     opt.base_config.max_equits = 6.0;
@@ -111,6 +123,12 @@ int main(int argc, char** argv) {
     const svc::SvcReport& rep = server.drainAndReport();
     server.stop();
 
+    // The service's own latency histogram (what `reconctl stats` serves
+    // live): estimated quantiles from the log-linear buckets, vs the exact
+    // order statistics in the drain report above.
+    const obs::Histogram::Snapshot e2e_hist =
+        recorder.metrics().histogramSnapshot("svc.job.e2e_host_s");
+
     const double jobs_per_s = host_s > 0.0 ? jobs_per_sweep / host_s : 0.0;
     t.addRow({std::to_string(devices), std::to_string(jobs_per_sweep),
               std::to_string(rejects), AsciiTable::fmt(host_s, 2),
@@ -130,7 +148,11 @@ int main(int argc, char** argv) {
     numbers.emplace_back(prefix + "queue_wait_p99_s",
                          rep.queue_wait_host_s.p99);
     numbers.emplace_back(prefix + "e2e_p50_s", rep.e2e_host_s.p50);
+    numbers.emplace_back(prefix + "e2e_p95_s", rep.e2e_host_s.p95);
     numbers.emplace_back(prefix + "e2e_p99_s", rep.e2e_host_s.p99);
+    numbers.emplace_back(prefix + "e2e_hist_p50_s", e2e_hist.quantile(0.50));
+    numbers.emplace_back(prefix + "e2e_hist_p95_s", e2e_hist.quantile(0.95));
+    numbers.emplace_back(prefix + "e2e_hist_p99_s", e2e_hist.quantile(0.99));
     numbers.emplace_back(prefix + "makespan_modeled_s",
                          rep.makespan_modeled_s);
     std::printf("[bench] %d device(s): %d jobs (%llu rejects), "

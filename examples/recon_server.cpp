@@ -9,13 +9,20 @@
 //                  [--size 64] [--views 96] [--channels 128]
 //                  [--golden-equits 12] [--max-equits 10] [--sv-side 0]
 //                  [--port-file PATH] [--report svc_report.json]
-//                  [--trace PATH]
+//                  [--trace PATH] [--flight-dir DIR]
+//
+// With --flight-dir the always-on flight recorder writes a
+// gpumbir.flight/1 dump there whenever a job fails, misses its deadline or
+// is cancelled, and `kill -USR1 <pid>` dumps it on demand. Without
+// --flight-dir nothing is written automatically, but the recorder stays
+// reachable over the wire via `reconctl flight`.
 //
 // Drive it with ./reconctl (see --help there), e.g.
 //   ./recon_server --port-file /tmp/port &
 //   ./reconctl submit --port-file /tmp/port --case 0 --priority 5 --wait
 //   ./reconctl drain --port-file /tmp/port
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -43,12 +50,16 @@ int main(int argc, char** argv) {
   args.describe("report", "write gpumbir.svc_report/1 here on exit",
                 "svc_report.json");
   args.describe("trace", "write a Perfetto trace here on exit", "");
+  args.describe("flight-dir",
+                "write gpumbir.flight/1 dumps here (job failures, SIGUSR1)",
+                "");
   if (args.helpRequested("Online reconstruction service (gpumbir.svc/1)."))
     return 0;
 
-  // The signal handler must be installed before any worker thread exists so
-  // every thread inherits the disposition.
+  // The signal handlers must be installed before any worker thread exists
+  // so every thread inherits the disposition.
   ShutdownSignal& shutdown = ShutdownSignal::instance();
+  Usr1Signal& usr1 = Usr1Signal::instance();
 
   SuiteConfig suite_cfg;
   suite_cfg.geometry.image_size = args.getInt("size", 64);
@@ -67,6 +78,8 @@ int main(int argc, char** argv) {
   opt.dispatch.num_devices = args.getInt("devices", 2);
   opt.dispatch.queue_capacity = args.getInt("queue-cap", 16);
   opt.dispatch.recorder = &recorder;
+  const std::string flight_dir = args.getString("flight-dir", "");
+  opt.dispatch.flight_dir = flight_dir;
   opt.base_config.algorithm = Algorithm::kGpuIcd;
   opt.base_config.max_equits = args.getDouble("max-equits", 10.0);
   const int sv_side = args.getInt("sv-side", 0);
@@ -88,9 +101,19 @@ int main(int argc, char** argv) {
     out << server.port() << '\n';
   }
 
-  // Serve until a client drains us or the OS asks us to go.
+  // Serve until a client drains us or the OS asks us to go. SIGUSR1 is an
+  // operator's "dump the flight recorder" — consumed here, never fatal.
+  std::uint64_t usr1_dumps = 0;
   while (!server.drainRequested() &&
          !shutdown.waitFor(std::chrono::milliseconds(200))) {
+    while (usr1.consume()) {
+      const std::string path =
+          (flight_dir.empty() ? std::string(".") : flight_dir) +
+          "/flight_sigusr1_" + std::to_string(++usr1_dumps) + ".json";
+      server.dispatcher().flightRecorder().writeFile(path, "SIGUSR1");
+      std::printf("recon_server: SIGUSR1, wrote %s\n", path.c_str());
+      std::fflush(stdout);
+    }
   }
   if (shutdown.requested() && !server.drainRequested())
     std::printf("recon_server: signal %d, draining...\n",

@@ -1,6 +1,7 @@
 // Control CLI for a running recon_server: one verb per invocation.
 //
-//   ./reconctl <ping|submit|status|result|cancel|drain> --port N [...]
+//   ./reconctl <ping|submit|status|result|cancel|stats|flight|drain>
+//              --port N [...]
 //
 //   ./reconctl ping    --port 45123
 //   ./reconctl submit  --port 45123 --case 0 --priority 5 --deadline-ms 2000
@@ -8,17 +9,22 @@
 //   ./reconctl status  --port 45123 [--job 3]
 //   ./reconctl result  --port 45123 --job 3
 //   ./reconctl cancel  --port 45123 --job 3
+//   ./reconctl stats   --port 45123 [--watch] [--interval-ms 1000] [--json]
+//   ./reconctl flight  --port 45123 --out flight.json
 //   ./reconctl drain   --port 45123 --out svc_report.json
 //
 // --port-file PATH (as written by recon_server --port-file) can replace
 // --port everywhere. Exit code 0 = the verb succeeded (for submit: the job
 // was accepted; an admission rejection exits 2 so scripts can back off).
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/cli.h"
 #include "core/error.h"
+#include "core/signal.h"
 #include "svc/client.h"
 
 using namespace mbir;
@@ -65,6 +71,79 @@ std::uint16_t resolvePort(const CliArgs& args) {
   return std::uint16_t(port);
 }
 
+double numField(const obs::JsonValue& doc, const char* k, double def) {
+  const obs::JsonValue* v = doc.find(k);
+  return v && v->isNumber() ? v->num_v : def;
+}
+
+std::string strField(const obs::JsonValue& doc, const char* k) {
+  const obs::JsonValue* v = doc.find(k);
+  return v && v->isString() ? v->str_v : std::string();
+}
+
+bool boolField(const obs::JsonValue& doc, const char* k, bool def) {
+  const obs::JsonValue* v = doc.find(k);
+  return v && v->type == obs::JsonValue::Type::kBool ? v->bool_v : def;
+}
+
+/// Human rendering of one gpumbir.svc_stats/1 snapshot.
+void printStats(const obs::JsonValue& s) {
+  std::printf("uptime %.1f s, accepting %s%s\n", numField(s, "uptime_host_s", 0),
+              boolField(s, "accepting", true) ? "yes" : "no",
+              boolField(s, "draining", false) ? ", draining" : "");
+  std::printf("queue %lld/%lld, running %lld; submitted %lld, rejected %lld, "
+              "finished %lld\n",
+              (long long)numField(s, "queued", 0),
+              (long long)numField(s, "queue_capacity", 0),
+              (long long)numField(s, "running", 0),
+              (long long)numField(s, "submitted", 0),
+              (long long)numField(s, "rejected", 0),
+              (long long)numField(s, "finished", 0));
+  if (const obs::JsonValue* by_prio = s.find("queue_depth_by_priority");
+      by_prio && by_prio->isObject() && !by_prio->object_v.empty()) {
+    std::printf("queued by priority:");
+    for (const auto& [prio, n] : by_prio->object_v)
+      std::printf(" %s:%lld", prio.c_str(), (long long)n.asNumber());
+    std::printf("\n");
+  }
+  if (const obs::JsonValue* devices = s.find("devices");
+      devices && devices->isArray()) {
+    for (const obs::JsonValue& d : devices->array_v) {
+      const int job = int(numField(d, "running_job", -1));
+      std::printf("device %d: ", int(numField(d, "device", 0)));
+      if (job >= 0)
+        std::printf("running job %d", job);
+      else
+        std::printf("idle");
+      std::printf(", modeled clock %.3f s, det lane %d\n",
+                  numField(d, "modeled_s", 0),
+                  int(numField(d, "det_lane_depth", 0)));
+    }
+  }
+  if (const obs::JsonValue* jobs = s.find("in_flight");
+      jobs && jobs->isArray() && !jobs->array_v.empty()) {
+    std::printf("in flight:\n");
+    for (const obs::JsonValue& j : jobs->array_v) {
+      std::printf("  job %d [%s] %s", int(numField(j, "job_id", -1)),
+                  strField(j, "state").c_str(), strField(j, "name").c_str());
+      if (!strField(j, "tenant").empty())
+        std::printf(" tenant=%s", strField(j, "tenant").c_str());
+      if (numField(j, "device", -1) >= 0)
+        std::printf(" on device %d", int(numField(j, "device", -1)));
+      std::printf(", age %.2f s", numField(j, "age_host_s", 0));
+      if (j.find("deadline_remaining_ms"))
+        std::printf(", deadline in %.0f ms",
+                    numField(j, "deadline_remaining_ms", 0));
+      std::printf("\n");
+    }
+  }
+  if (const obs::JsonValue* flight = s.find("flight");
+      flight && flight->isObject())
+    std::printf("flight recorder: %lld events, %lld automatic dumps\n",
+                (long long)numField(*flight, "events_recorded", 0),
+                (long long)numField(*flight, "dumps", 0));
+}
+
 void printJob(const svc::Client::JobInfo& info) {
   std::printf("job %d [%s] %s", info.job_id, info.state.c_str(),
               info.name.c_str());
@@ -103,6 +182,7 @@ int run(const CliArgs& args, const std::string& verb) {
     p.deadline_ms = args.getDouble("deadline-ms", -1.0);
     p.deterministic = args.getBool("deterministic", false);
     p.name = args.getString("name", "");
+    p.tenant = args.getString("tenant", "");
     const svc::Client::SubmitResult out = client.submit(p);
     if (!out.accepted) {
       std::fprintf(stderr, "%s: %s\n",
@@ -141,6 +221,44 @@ int run(const CliArgs& args, const std::string& verb) {
     return 0;
   }
 
+  if (verb == "stats") {
+    const bool as_json = args.getBool("json", false);
+    const bool watch = args.getBool("watch", false);
+    const int interval_ms = args.getInt("interval-ms", 1000);
+    ShutdownSignal& shutdown = ShutdownSignal::instance();
+    while (true) {
+      const obs::JsonValue stats = client.stats();
+      if (as_json) {
+        obs::JsonWriter w;
+        writeJsonValue(w, stats);
+        std::printf("%s\n", w.str().c_str());
+      } else {
+        if (watch) std::printf("\033[2J\033[H");  // clear, home
+        printStats(stats);
+      }
+      std::fflush(stdout);
+      if (!watch) break;
+      if (shutdown.waitFor(std::chrono::milliseconds(interval_ms))) break;
+    }
+    return 0;
+  }
+
+  if (verb == "flight") {
+    const obs::JsonValue dump = client.flight("reconctl flight");
+    obs::JsonWriter w;
+    writeJsonValue(w, dump);
+    const std::string out_path = args.getString("out", "");
+    if (out_path.empty()) {
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      out << w.str() << '\n';
+      if (!out.good()) throw Error("failed writing " + out_path);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+
   if (verb == "drain") {
     const obs::JsonValue report = client.drain();
     auto count = [&](const char* k) {
@@ -165,7 +283,8 @@ int run(const CliArgs& args, const std::string& verb) {
   }
 
   std::fprintf(stderr,
-               "unknown verb '%s' (ping|submit|status|result|cancel|drain)\n",
+               "unknown verb '%s' "
+               "(ping|submit|status|result|cancel|stats|flight|drain)\n",
                verb.c_str());
   return 1;
 }
@@ -188,14 +307,19 @@ int main(int argc, char** argv) {
                 "-1");
   args.describe("deterministic", "submit: FIFO round-robin lane", "false");
   args.describe("name", "submit: job label", "");
+  args.describe("tenant", "submit: tenant label for per-tenant metrics", "");
   args.describe("wait", "submit: block until the job finishes", "false");
   args.describe("job", "status/result/cancel: job id", "");
-  args.describe("out", "drain: write the report JSON here", "");
+  args.describe("watch", "stats: refresh until interrupted", "false");
+  args.describe("interval-ms", "stats --watch: refresh period", "1000");
+  args.describe("json", "stats: print the raw svc_stats document", "false");
+  args.describe("out", "drain/flight: write the JSON document here", "");
   if (args.helpRequested("Control a running recon_server (gpumbir.svc/1)."))
     return 0;
   if (args.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: reconctl <ping|submit|status|result|cancel|drain> "
+                 "usage: reconctl "
+                 "<ping|submit|status|result|cancel|stats|flight|drain> "
                  "--port N [options]\n");
     return 1;
   }

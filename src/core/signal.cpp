@@ -11,11 +11,17 @@ namespace mbir {
 
 namespace {
 ShutdownSignal* g_instance = nullptr;
+Usr1Signal* g_usr1_instance = nullptr;
 
 extern "C" void shutdownSignalHandler(int sig) {
   // Async-signal-safe: one atomic store and one write(2). g_instance is set
   // before sigaction() installs this handler.
   if (g_instance) g_instance->trigger(sig);
+}
+
+extern "C" void usr1SignalHandler(int) {
+  // Async-signal-safe: two atomic increments.
+  if (g_usr1_instance) g_usr1_instance->trigger();
 }
 }  // namespace
 
@@ -56,6 +62,34 @@ bool ShutdownSignal::waitFor(std::chrono::milliseconds timeout) const {
   pfd.events = POLLIN;
   ::poll(&pfd, 1, int(timeout.count()));  // byte left unread: level-triggered
   return requested();
+}
+
+Usr1Signal& Usr1Signal::instance() {
+  static Usr1Signal* inst = [] {
+    auto* s = new Usr1Signal();  // lives for the process
+    g_usr1_instance = s;
+    struct sigaction sa = {};
+    sa.sa_handler = usr1SignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGUSR1, &sa, nullptr);
+    return s;
+  }();
+  return *inst;
+}
+
+void Usr1Signal::trigger() {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  total_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool Usr1Signal::consume() {
+  std::uint64_t n = pending_.load(std::memory_order_acquire);
+  while (n > 0) {
+    if (pending_.compare_exchange_weak(n, n - 1, std::memory_order_acq_rel))
+      return true;
+  }
+  return false;
 }
 
 }  // namespace mbir

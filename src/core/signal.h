@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 
 namespace mbir {
 
@@ -42,6 +43,38 @@ class ShutdownSignal {
 
   std::atomic<int> sig_{0};
   int pipe_fds_[2] = {-1, -1};
+};
+
+/// SIGUSR1 as an operator request ("dump your flight recorder now"): unlike
+/// ShutdownSignal it is consumable and repeatable — each delivery bumps a
+/// counter, consume() takes exactly one pending request, and the process
+/// keeps running. Polled (no self-pipe): the consumers are service loops
+/// that already wake every few hundred ms.
+class Usr1Signal {
+ public:
+  /// Install the process-wide SIGUSR1 handler (idempotent; the instance
+  /// lives for the process). Call once near the top of main().
+  static Usr1Signal& instance();
+
+  /// Take one pending SIGUSR1, if any arrived since the last consume().
+  bool consume();
+
+  /// Total SIGUSR1 deliveries (including consumed ones).
+  std::uint64_t total() const {
+    return total_.load(std::memory_order_acquire);
+  }
+
+  /// Programmatic delivery (tests): behaves exactly like the signal.
+  void trigger();
+
+  Usr1Signal(const Usr1Signal&) = delete;
+  Usr1Signal& operator=(const Usr1Signal&) = delete;
+
+ private:
+  Usr1Signal() = default;
+
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> total_{0};
 };
 
 }  // namespace mbir

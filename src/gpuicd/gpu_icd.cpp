@@ -11,6 +11,7 @@
 #include "core/thread_pool.h"
 #include "gpuicd/conflicts.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 #include "gsim/occupancy.h"
 #include "icd/update_order.h"
 #include "icd/voxel_update.h"
@@ -84,6 +85,7 @@ struct GpuIcd::Impl {
     sim.setHostPool(opt.host_pool);
     sim.setRecorder(opt.recorder);
     sim.setTracePid(opt.trace_pid);
+    sim.setSpanContext(opt.span);
     sim.setRaceCheck(opt.race_check);
     sim.setSimdMode(opt.simd);
     if (sim.raceCheckOn()) {
@@ -731,6 +733,11 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
       dev_ev.ts_us = iter_modeled_s * 1e6;
       dev_ev.dur_us = (stats.modeled_seconds - iter_modeled_s) * 1e6;
       dev_ev.num_args = args;
+      if (im.opt.span) {
+        host_ev.tid = im.opt.span->host_tid;
+        obs::tagSpan(host_ev, *im.opt.span);
+        obs::tagSpan(dev_ev, *im.opt.span);
+      }
       rec->trace().record(std::move(host_ev));
       rec->trace().record(std::move(dev_ev));
     }

@@ -31,6 +31,7 @@
 
 namespace mbir::obs {
 class Recorder;
+struct JobSpanContext;
 }  // namespace mbir::obs
 
 namespace mbir {
@@ -63,6 +64,10 @@ struct GpuIcdOptions {
   /// process). The batch scheduler sets this to the assigned device's pid
   /// so each simulated device renders as its own trace process.
   int trace_pid = 0;
+  /// Per-job span context (nullptr = none, obs/span.h): iteration and
+  /// launch spans carry the job's id/tenant and land on its host-clock
+  /// lane. Borrowed; must outlive the run. Purely observational.
+  const obs::JobSpanContext* span = nullptr;
   /// Device-semantics race checking (gsim/race_check.h): every launch's
   /// per-block access declarations are intersected, independent of host
   /// interleaving. Defaults from GPUMBIR_RACE_CHECK; off costs one branch

@@ -6,6 +6,7 @@
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 
 namespace mbir::gsim {
 
@@ -182,6 +183,11 @@ LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
     dev_ev.ts_us = modeled_t0_s * 1e6;
     dev_ev.dur_us = report.time.total * 1e6;
     fillLaunchArgs(dev_ev, report);
+    if (span_) {
+      host_ev.tid = span_->host_tid;
+      obs::tagSpan(host_ev, *span_);
+      obs::tagSpan(dev_ev, *span_);
+    }
     rec_->trace().record(std::move(host_ev));
     rec_->trace().record(std::move(dev_ev));
     for (std::size_t b = 0; b < bspans.size(); ++b) {

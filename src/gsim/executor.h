@@ -36,6 +36,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class Recorder;
+struct JobSpanContext;
 }  // namespace mbir::obs
 
 namespace mbir::gsim {
@@ -252,6 +253,12 @@ class GpuSimulator {
   void setTracePid(int pid) { trace_pid_ = pid; }
   int tracePid() const { return trace_pid_; }
 
+  /// Per-job span context (nullptr = none): launch spans carry the job's
+  /// id/tenant args and land on the job's host-clock lane, so a service
+  /// trace nests every launch under its job. Borrowed; must outlive the
+  /// launches it covers. Purely observational.
+  void setSpanContext(const obs::JobSpanContext* span) { span_ = span; }
+
   /// Run every block of the kernel functionally (concurrently across host
   /// threads); model and accumulate time. The report is invariant to the
   /// host thread count: each block profiles into its own KernelProfiler and
@@ -291,6 +298,7 @@ class GpuSimulator {
   const SimdOps* simd_ops_ = &resolveSimdOps(SimdMode::kDefault);
   obs::Recorder* rec_ = nullptr;
   int trace_pid_ = 0;
+  const obs::JobSpanContext* span_ = nullptr;
   Instruments inst_;
   KernelStats total_stats_;
   double total_seconds_ = 0.0;

@@ -1,0 +1,96 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/error.h"
+#include "obs/json.h"
+
+namespace mbir::obs {
+
+FlightRecorder::FlightRecorder(int num_devices, std::size_t capacity_per_lane)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<std::size_t>(1, capacity_per_lane)) {
+  MBIR_CHECK_MSG(num_devices >= 0, "flight recorder needs num_devices >= 0");
+  lanes_.resize(std::size_t(num_devices) + 1);  // +1: control lane
+}
+
+void FlightRecorder::record(int lane, FlightEvent ev) {
+  ev.host_us = std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+  std::lock_guard lock(mu_);
+  const auto li = std::size_t(
+      lane < 0 || lane >= int(lanes_.size()) ? kControlLane : lane);
+  Lane& l = lanes_[li];
+  ++l.total;
+  if (l.ring.size() < capacity_) {
+    l.ring.push_back(std::move(ev));
+  } else {
+    l.ring[l.next] = std::move(ev);
+    l.next = (l.next + 1) % capacity_;
+  }
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const Lane& l : lanes_) n += l.ring.size();
+  return n;
+}
+
+std::uint64_t FlightRecorder::totalRecorded() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t n = 0;
+  for (const Lane& l : lanes_) n += l.total;
+  return n;
+}
+
+std::string FlightRecorder::dumpJson(std::string_view reason) const {
+  JsonWriter w;
+  std::lock_guard lock(mu_);
+  w.beginObject();
+  w.kv("schema", kSchema);
+  w.kv("reason", reason);
+  w.kv("capacity_per_lane", std::uint64_t(capacity_));
+  w.key("lanes").beginArray();
+  for (std::size_t li = 0; li < lanes_.size(); ++li) {
+    const Lane& l = lanes_[li];
+    w.beginObject();
+    w.kv("lane", std::int64_t(li));
+    w.kv("device", std::int64_t(li) - 1);  // -1 = control plane
+    w.kv("events_total", l.total);
+    w.key("events").beginArray();
+    // Oldest first: once the ring has wrapped, `next` points at the oldest
+    // entry; before that the ring is already in append order.
+    const std::size_t n = l.ring.size();
+    const std::size_t start = n == capacity_ ? l.next : 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const FlightEvent& ev = l.ring[(start + k) % n];
+      w.beginObject();
+      w.kv("host_us", ev.host_us);
+      w.kv("job_id", std::int64_t(ev.job_id));
+      w.kv("kind", ev.kind);
+      if (!ev.detail.empty()) w.kv("detail", ev.detail);
+      w.kv("value", ev.value);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+void FlightRecorder::writeFile(const std::string& path,
+                               std::string_view reason) const {
+  const std::string json = dumpJson(reason);
+  std::ofstream out(path, std::ios::binary);
+  MBIR_CHECK_MSG(out.good(), "cannot open flight dump for writing: " << path);
+  out.write(json.data(), std::streamsize(json.size()));
+  out.flush();
+  MBIR_CHECK_MSG(out.good(), "failed writing flight dump: " << path);
+}
+
+}  // namespace mbir::obs

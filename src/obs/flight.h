@@ -1,0 +1,77 @@
+// Flight recorder: an always-on, bounded ring buffer of recent coarse span
+// events per device lane, dumped as `gpumbir.flight/1` JSON when something
+// goes wrong (deadline miss, job failure, cancel, SIGUSR1). The point is a
+// post-mortem of "what was each device doing just before the incident"
+// without the cost or volume of an always-on Chrome trace file.
+//
+// Memory is bounded by construction: num_lanes * capacity rings of small
+// fixed events; old events are overwritten, never reallocated on the hot
+// path after warm-up. record() takes a short mutex — same cost class as a
+// Histogram::observe — and nothing feeds back into reconstruction.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbir::obs {
+
+struct FlightEvent {
+  /// Host microseconds since the recorder's construction — stamped by
+  /// record() itself so every event in a dump shares one clock, whether or
+  /// not a trace recorder exists.
+  double host_us = 0.0;
+  int job_id = -1;
+  std::string kind;    ///< "admit" | "dispatch" | "iteration" | "done" | ...
+  std::string detail;  ///< free text: tenant, error message, kernel name
+  double value = 0.0;  ///< numeric payload (rmse, wait seconds, ...)
+};
+
+class FlightRecorder {
+ public:
+  /// Lane 0 is the control plane (admission, cancels); lanes 1..num_devices
+  /// are one per device.
+  explicit FlightRecorder(int num_devices, std::size_t capacity_per_lane = 256);
+
+  static constexpr std::string_view kSchema = "gpumbir.flight/1";
+
+  /// Control-plane lane index and the lane for a device.
+  static constexpr int kControlLane = 0;
+  static int deviceLane(int device) { return device + 1; }
+
+  /// Append one event to a lane's ring (out-of-range lanes clamp to the
+  /// control lane), stamping ev.host_us. Thread-safe; overwrites the
+  /// oldest event when full.
+  void record(int lane, FlightEvent ev);
+
+  /// Events currently buffered across all lanes.
+  std::size_t size() const;
+  /// Total events ever recorded (buffered + overwritten).
+  std::uint64_t totalRecorded() const;
+
+  /// Snapshot the rings as a `gpumbir.flight/1` document:
+  ///   {"schema":..,"reason":..,"capacity_per_lane":..,"lanes":[
+  ///     {"lane":0,"device":-1,"events_total":N,"events":[...oldest first]}]}
+  std::string dumpJson(std::string_view reason) const;
+
+  /// dumpJson() to a file (throws mbir::Error on I/O failure).
+  void writeFile(const std::string& path, std::string_view reason) const;
+
+ private:
+  struct Lane {
+    std::vector<FlightEvent> ring;  // grows to capacity, then wraps
+    std::size_t next = 0;           // overwrite cursor once full
+    std::uint64_t total = 0;        // events ever recorded to this lane
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Lane> lanes_;
+  std::size_t capacity_;
+};
+
+}  // namespace mbir::obs

@@ -1,26 +1,113 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/error.h"
 #include "obs/json.h"
 
 namespace mbir::obs {
 
+namespace {
+
+/// The bounded bucket bounds, built once. Each decade's bounds are computed
+/// from one pow() so 2e-3 is exactly 2 * pow(10,-3): observe() and tests
+/// agree bit-for-bit on where a boundary value lands.
+const std::array<double, Histogram::kBuckets - 1>& bucketBounds() {
+  static const auto bounds = [] {
+    std::array<double, Histogram::kBuckets - 1> b{};
+    int i = 0;
+    for (int e = Histogram::kMinExponent; e < Histogram::kMaxExponent; ++e) {
+      const double decade = std::pow(10.0, double(e));
+      b[std::size_t(i++)] = decade;
+      b[std::size_t(i++)] = 2.0 * decade;
+      b[std::size_t(i++)] = 5.0 * decade;
+    }
+    b[std::size_t(i++)] = std::pow(10.0, double(Histogram::kMaxExponent));
+    MBIR_CHECK(i == Histogram::kBuckets - 1);
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+std::string labeledName(std::string_view base, const MetricLabels& labels) {
+  if (labels.empty()) return std::string(base);
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out(base);
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    MBIR_CHECK_MSG(!k.empty(), "metric label key must be non-empty");
+    MBIR_CHECK_MSG(k.find_first_of("{},=\"") == std::string::npos &&
+                       v.find_first_of("{},=\"") == std::string::npos,
+                   "metric label must not contain {},=\" : " << k << "=" << v);
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out.push_back('=');
+    out += v;
+  }
+  out.push_back('}');
+  return out;
+}
+
 double Histogram::bucketUpperBound(int i) {
   MBIR_CHECK(i >= 0 && i < kBuckets);
-  return std::pow(10.0, double(i + kMinExponent));
+  if (i == kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return bucketBounds()[std::size_t(i)];
 }
 
 void Histogram::observe(double v) {
+  // NaN is counted (in the overflow bucket, so it is never lost) but kept
+  // out of sum/min/max — one bad sample must not poison the aggregates or
+  // the JSON dump. lower_bound cannot be asked about NaN: every comparison
+  // is false, which would misfile it in bucket 0.
+  const bool is_nan = std::isnan(v);
+  std::size_t b = std::size_t(kBuckets - 1);
+  if (!is_nan) {
+    // First bucket whose inclusive upper bound covers v; past-the-end means
+    // the overflow bucket.
+    const auto& bounds = bucketBounds();
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+    b = std::size_t(it - bounds.begin());
+  }
   std::lock_guard lock(mu_);
-  if (s_.count == 0 || v < s_.min) s_.min = v;
-  if (s_.count == 0 || v > s_.max) s_.max = v;
+  if (!is_nan) {
+    if (!has_finite_ || v < s_.min) s_.min = v;
+    if (!has_finite_ || v > s_.max) s_.max = v;
+    has_finite_ = true;
+    s_.sum += v;
+  }
   ++s_.count;
-  s_.sum += v;
-  int b = 0;
-  while (b < kBuckets - 1 && v > bucketUpperBound(b)) ++b;
-  ++s_.buckets[std::size_t(b)];
+  ++s_.buckets[b];
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target, then linear interpolation within the covering
+  // bucket. Bucket edges are clamped to [min, max]: a single observation
+  // reports itself as every quantile instead of a bucket-wide guess.
+  const double target = std::max(1.0, std::ceil(q * double(count)));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets[std::size_t(i)];
+    if (c == 0) continue;
+    if (double(cum + c) >= target) {
+      double lo = i == 0 ? min : bucketUpperBound(i - 1);
+      double hi = bucketUpperBound(i);
+      lo = std::clamp(lo, min, max);
+      hi = std::clamp(hi, min, max);
+      const double frac = (target - double(cum)) / double(c);
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  return max;  // unreachable when bucket counts sum to `count`
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -49,10 +136,38 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return histograms_[name];
 }
 
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  return counter(labeledName(name, labels));
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) {
+  return gauge(labeledName(name, labels));
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const MetricLabels& labels) {
+  return histogram(labeledName(name, labels));
+}
+
 std::uint64_t MetricsRegistry::counterValue(const std::string& name) const {
   std::lock_guard lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::gaugeValue(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+Histogram::Snapshot MetricsRegistry::histogramSnapshot(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram::Snapshot{} : it->second.snapshot();
 }
 
 void MetricsRegistry::writeJson(JsonWriter& w) const {
@@ -68,10 +183,27 @@ void MetricsRegistry::writeJson(JsonWriter& w) const {
   for (const auto& [name, h] : histograms_) {
     const Histogram::Snapshot s = h.snapshot();
     w.key(name).beginObject();
+    w.kv("v", Histogram::kSchemaVersion);
     w.kv("count", s.count);
     w.kv("sum", s.sum);
     w.kv("min", s.min);
     w.kv("max", s.max);
+    w.kv("p50", s.quantile(0.50));
+    w.kv("p95", s.quantile(0.95));
+    w.kv("p99", s.quantile(0.99));
+    // Sparse dump: [upper_bound, count] for non-zero buckets; the overflow
+    // bucket's infinite bound serializes as null (JsonWriter's non-finite
+    // policy), which the strict parser reads back as kNull.
+    w.key("buckets").beginArray();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = s.buckets[std::size_t(i)];
+      if (c == 0) continue;
+      w.beginArray();
+      w.value(Histogram::bucketUpperBound(i));
+      w.value(c);
+      w.endArray();
+    }
+    w.endArray();
     w.endObject();
   }
   w.endObject();

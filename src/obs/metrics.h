@@ -1,7 +1,9 @@
 // Thread-safe metrics registry: counters, gauges and histograms addressed
 // by stable dotted names (`gsim.launch.svb_access_bytes`,
 // `gpuicd.chunk_cache.hits`, ... — DESIGN.md §observability documents the
-// naming scheme).
+// naming scheme). Names may carry labels — `svc.jobs_done{tenant=acme}`,
+// `sched.busy_ms{device=2}` — encoded canonically into the name by
+// labeledName(), so the registry stays one flat sorted namespace.
 //
 // Instruments are registered on first use and live for the registry's
 // lifetime; references returned by counter()/gauge()/histogram() stay valid
@@ -18,10 +20,23 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mbir::obs {
 
 class JsonWriter;
+
+/// Label set for a metric name, e.g. {{"tenant","acme"}}. Encoded into the
+/// instrument name via labeledName(); keys are sorted so the same set always
+/// produces the same name regardless of call-site order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical labeled form: `base{k1=v1,k2=v2}` with keys sorted. Keys and
+/// values must not contain '{', '}', ',', '=' or '"' (throws mbir::Error).
+/// An empty label set returns `base` unchanged.
+std::string labeledName(std::string_view base, const MetricLabels& labels);
 
 class Counter {
  public:
@@ -41,15 +56,27 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-/// Fixed-bucket histogram on a decade scale: bucket i counts observations
-/// <= 10^(i + kMinExponent); the last bucket is the overflow. One scale
-/// serves both seconds (1 ns .. 10^10 s) and byte counts.
+/// Fixed-bucket histogram on a log-linear scale: within each decade the
+/// inclusive upper bounds step through 1, 2, 5 (1e-3, 2e-3, 5e-3, 1e-2, ...),
+/// spanning 1 ns .. 1e10 with a final overflow bucket. Sub-decade resolution
+/// keeps p50/p95/p99 estimates tight enough for latency SLOs while one scale
+/// still serves both seconds and byte counts. Snapshot JSON is versioned
+/// (kSchemaVersion) so consumers can tell the decade-era shape apart.
 class Histogram {
  public:
-  static constexpr int kBuckets = 20;
-  static constexpr int kMinExponent = -9;
+  /// Bumped when the bucket layout or snapshot JSON shape changes.
+  /// v1: 20 decade buckets, {count,sum,min,max} only.
+  /// v2: log-linear 1-2-5 buckets, quantiles + sparse bucket dump.
+  static constexpr int kSchemaVersion = 2;
 
-  /// Inclusive upper bound of bucket i (the last bucket is unbounded).
+  static constexpr int kMinExponent = -9;
+  static constexpr int kMaxExponent = 10;
+  /// 1-2-5 bounds for decades [kMinExponent, kMaxExponent), one final bound
+  /// at 10^kMaxExponent, then the overflow bucket.
+  static constexpr int kBuckets =
+      3 * (kMaxExponent - kMinExponent) + 1 /*top bound*/ + 1 /*overflow*/;
+
+  /// Inclusive upper bound of bucket i; +infinity for the overflow bucket.
   static double bucketUpperBound(int i);
 
   void observe(double v);
@@ -60,12 +87,18 @@ class Histogram {
     double min = 0.0;  ///< 0 when count == 0
     double max = 0.0;
     std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+    /// covering bucket, clamped to [min, max] so estimates never leave the
+    /// observed range. 0 when the histogram is empty.
+    double quantile(double q) const;
   };
   Snapshot snapshot() const;
 
  private:
   mutable std::mutex mu_;
   Snapshot s_;
+  bool has_finite_ = false;  ///< min/max/sum seeded by a non-NaN observation
 };
 
 class MetricsRegistry {
@@ -76,12 +109,24 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// Current value of a counter, 0 when it was never registered.
+  /// Labeled find-or-create: counter("svc.jobs_done", {{"tenant","acme"}})
+  /// addresses `svc.jobs_done{tenant=acme}`.
+  Counter& counter(const std::string& name, const MetricLabels& labels);
+  Gauge& gauge(const std::string& name, const MetricLabels& labels);
+  Histogram& histogram(const std::string& name, const MetricLabels& labels);
+
+  /// Read accessors that never register: value of an instrument, or a zero
+  /// value (0 / 0.0 / empty snapshot) when the name was never used.
   std::uint64_t counterValue(const std::string& name) const;
+  double gaugeValue(const std::string& name) const;
+  Histogram::Snapshot histogramSnapshot(const std::string& name) const;
 
   /// Serialize every instrument, sorted by name:
   ///   {"counters": {...}, "gauges": {...}, "histograms": {name:
-  ///    {"count":..,"sum":..,"min":..,"max":..}, ...}}
+  ///    {"v":2,"count":..,"sum":..,"min":..,"max":..,
+  ///     "p50":..,"p95":..,"p99":..,"buckets":[[ub,count],...]}, ...}}
+  /// The bucket dump is sparse (non-zero buckets only; the overflow bucket's
+  /// bound serializes as null), keeping live stats scrapes small.
   void writeJson(JsonWriter& w) const;
 
  private:

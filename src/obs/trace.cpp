@@ -24,6 +24,19 @@ void TraceRecorder::nameProcess(int pid, std::string name, int sort_index) {
   processes_.push_back({pid, std::move(name), sort_index});
 }
 
+void TraceRecorder::nameThread(int pid, int tid, std::string name,
+                               int sort_index) {
+  std::lock_guard lock(mu_);
+  for (ThreadMeta& t : threads_) {
+    if (t.pid == pid && t.tid == tid) {
+      t.name = std::move(name);
+      t.sort_index = sort_index;
+      return;
+    }
+  }
+  threads_.push_back({pid, tid, std::move(name), sort_index});
+}
+
 std::size_t TraceRecorder::size() const {
   std::lock_guard lock(mu_);
   return events_.size();
@@ -37,10 +50,12 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 std::string TraceRecorder::toJson() const {
   std::vector<TraceEvent> events;
   std::vector<ProcessMeta> processes;
+  std::vector<ThreadMeta> threads;
   {
     std::lock_guard lock(mu_);
     events = events_;
     processes = processes_;
+    threads = threads_;
   }
   JsonWriter w;
   w.beginObject();
@@ -69,6 +84,22 @@ std::string TraceRecorder::toJson() const {
   name_process(int(Clock::kModeled), "modeled device clock",
                int(Clock::kModeled));
   for (const ProcessMeta& p : processes) name_process(p.pid, p.name, p.sort_index);
+  for (const ThreadMeta& t : threads) {
+    w.beginObject();
+    w.kv("ph", "M");
+    w.kv("pid", t.pid);
+    w.kv("tid", t.tid);
+    w.kv("name", "thread_name");
+    w.key("args").beginObject().kv("name", t.name).endObject();
+    w.endObject();
+    w.beginObject();
+    w.kv("ph", "M");
+    w.kv("pid", t.pid);
+    w.kv("tid", t.tid);
+    w.kv("name", "thread_sort_index");
+    w.key("args").beginObject().kv("sort_index", t.sort_index).endObject();
+    w.endObject();
+  }
   for (const TraceEvent& ev : events) {
     w.beginObject();
     w.kv("ph", "X");

@@ -65,6 +65,12 @@ class TraceRecorder {
   /// Thread-safe.
   void nameProcess(int pid, std::string name, int sort_index = 0);
 
+  /// Name a thread track within a process — the service uses this to give
+  /// the host-clock process one labelled lane per device ("device 0", ...)
+  /// so per-job spans nest visually per device. Re-registering a (pid, tid)
+  /// overwrites its name. Thread-safe.
+  void nameThread(int pid, int tid, std::string name, int sort_index = 0);
+
   std::size_t size() const;
   std::vector<TraceEvent> snapshot() const;
 
@@ -82,11 +88,18 @@ class TraceRecorder {
     std::string name;
     int sort_index = 0;
   };
+  struct ThreadMeta {
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    int sort_index = 0;
+  };
 
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::vector<ProcessMeta> processes_;
+  std::vector<ThreadMeta> threads_;
 };
 
 }  // namespace mbir::obs

@@ -4,6 +4,7 @@
 
 #include "core/timer.h"
 #include "gsim/cpu_model.h"
+#include "obs/flight.h"
 #include "icd/convergence.h"
 #include "recon/run_report.h"
 
@@ -62,6 +63,10 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
     ev.ts_us = setup_t0_us;
     ev.dur_us = rec->trace().nowHostUs() - setup_t0_us;
     ev.num_args = {{"image_size", double(result.image.size())}};
+    if (config.span) {
+      ev.tid = config.span->host_tid;
+      obs::tagSpan(ev, *config.span);
+    }
     rec->trace().record(std::move(ev));
   }
 
@@ -84,6 +89,16 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       m_iterations->add();
       m_rmse->set(rmse);
     }
+    if (config.span && config.span->flight) {
+      obs::FlightEvent fev;
+      fev.job_id = config.span->job_id;
+      fev.kind = "iteration";
+      fev.detail = config.span->tenant;
+      fev.value = rmse;
+      config.span->flight->record(
+          obs::FlightRecorder::deviceLane(config.span->device),
+          std::move(fev));
+    }
     if (tracing) {
       const double now_us = rec->trace().nowHostUs();
       const std::vector<std::pair<std::string, double>> args = {
@@ -105,6 +120,11 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       dev_ev.ts_us = prev_modeled_s * 1e6;
       dev_ev.dur_us = (modeled_seconds - prev_modeled_s) * 1e6;
       dev_ev.num_args = args;
+      if (config.span) {
+        host_ev.tid = config.span->host_tid;
+        obs::tagSpan(host_ev, *config.span);
+        obs::tagSpan(dev_ev, *config.span);
+      }
       rec->trace().record(std::move(host_ev));
       rec->trace().record(std::move(dev_ev));
       prev_host_us = now_us;
@@ -159,6 +179,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       opt.max_iterations = 2000;
       opt.recorder = rec;
       opt.simd = config.simd;
+      opt.span = config.span;
       if (config.trace_pid != 0) opt.trace_pid = config.trace_pid;
       if (config.scale_gpu_caches) {
         // SVB size scales with views (see gsim::scaleCachesToProblem docs).

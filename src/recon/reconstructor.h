@@ -17,6 +17,7 @@
 #include "gpuicd/gpu_icd.h"
 #include "icd/sequential_icd.h"
 #include "obs/obs.h"
+#include "obs/span.h"
 #include "psv/psv_icd.h"
 #include "recon/problem_setup.h"
 
@@ -59,6 +60,11 @@ struct RunConfig {
   /// "modeled device clock" process). The batch scheduler gives each
   /// simulated device its own pid so per-device timelines render apart.
   int trace_pid = 0;
+  /// Per-job span context (nullptr = none, obs/span.h): iteration and
+  /// launch spans carry the job's id/tenant and land on its host-clock
+  /// device lane, and coarse per-iteration events feed the job's flight
+  /// recorder. Borrowed; must outlive the run. Purely observational.
+  const obs::JobSpanContext* span = nullptr;
   /// Lane-group execution path for engine row math (core/simd.h). Applied
   /// to whichever engine runs; kDefault defers to the GPUMBIR_SIMD env
   /// knob. Scalar and AVX2 are bit-identical, so this only changes host

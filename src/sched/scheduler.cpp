@@ -54,6 +54,7 @@ double runJobOnDevice(const DeviceRunContext& ctx, const OwnedProblem& problem,
   rc.cancel = &cancel_flag;
   rc.external_recorder = rec;
   rc.trace_pid = ctx.trace_pid;
+  rc.span = ctx.span;
   if (ctx.host_pool && !rc.gpu.host_pool) rc.gpu.host_pool = ctx.host_pool;
   try {
     r.run = reconstruct(problem, golden, rc);
@@ -69,21 +70,32 @@ double runJobOnDevice(const DeviceRunContext& ctx, const OwnedProblem& problem,
   const double clock_after = device_clock_s + r.run.modeled_seconds;
   r.device_end_modeled_s = clock_after;
 
+  // Per-device busy time, labeled so the registry splits utilization by
+  // device — the live stats verb and svc_report read it back directly.
+  // One registry lookup per finished job, not per iteration.
+  if (rec && rec->metricsOn())
+    rec->metrics()
+        .counter("sched.busy_ms", {{"device", std::to_string(ctx.device)}})
+        .add(std::uint64_t(r.host_seconds * 1e3 + 0.5));
+
   if (tracing) {
-    const std::vector<std::pair<std::string, double>> num_args = {
+    std::vector<std::pair<std::string, double>> num_args = {
         {"job_id", double(r.job_id)},
         {"device", double(ctx.device)},
         {"equits", r.run.equits},
         {"rmse_hu", r.run.final_rmse_hu},
         {"queue_wait_modeled_s", r.queue_wait_modeled_s}};
-    const std::vector<std::pair<std::string, std::string>> str_args = {
+    std::vector<std::pair<std::string, std::string>> str_args = {
         {"job", r.name}, {"algorithm", algorithmName(rc.algorithm)}};
+    if (ctx.span && !ctx.span->tenant.empty())
+      str_args.emplace_back("tenant", ctx.span->tenant);
     obs::TraceEvent host_ev;
     host_ev.name = ctx.span_prefix + ".job";
     host_ev.cat = ctx.span_prefix;
     host_ev.clock = obs::Clock::kHost;
     host_ev.ts_us = host_t0_us;
     host_ev.dur_us = rec->trace().nowHostUs() - host_t0_us;
+    host_ev.tid = ctx.span ? ctx.span->host_tid : 0;
     host_ev.num_args = num_args;
     host_ev.str_args = str_args;
     obs::TraceEvent dev_ev;
@@ -146,8 +158,16 @@ void BatchScheduler::driveDevice(int device) {
        i += std::size_t(opt_.num_devices)) {
     Job& job = jobs_[i];
     JobResult& r = job.result;
+    obs::JobSpanContext span;
+    span.job_id = r.job_id;
+    span.job_name = job.name;
+    span.device = device;
+    span.trace_pid = ctx.trace_pid;
+    span.host_tid = device + 1;  // host-clock lane per device; 0 = control
+    ctx.span = &span;
     clock_s = runJobOnDevice(ctx, *job.problem, *job.golden, job.config,
                              job.cancel_flag, clock_s, r);
+    ctx.span = nullptr;
 
     if (inst.completed) {
       inst.completed->add();
@@ -168,10 +188,16 @@ const BatchReport& BatchScheduler::runAll() {
   const int D = opt_.num_devices;
   report_.device_modeled_s.assign(std::size_t(D), 0.0);
   if (rec && rec->traceOn()) {
-    for (int d = 0; d < D; ++d)
+    for (int d = 0; d < D; ++d) {
       rec->trace().nameProcess(tracePid(d),
                                "device " + std::to_string(d) + " (modeled)",
                                /*sort_index=*/tracePid(d));
+      // Host-clock lane per device (tid d+1; tid 0 stays the control lane)
+      // so each device's job/iteration/launch spans nest in their own row.
+      rec->trace().nameThread(int(obs::Clock::kHost), d + 1,
+                              "device " + std::to_string(d) + " (host)",
+                              /*sort_index=*/d + 1);
+    }
   }
   if (rec && rec->metricsOn()) {
     rec->metrics().gauge("sched.devices").set(double(D));

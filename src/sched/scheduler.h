@@ -108,6 +108,11 @@ struct DeviceRunContext {
   /// "<prefix>.job.<name>" on the device's modeled clock ("sched" for the
   /// batch scheduler, "svc" for the online service).
   std::string span_prefix = "sched";
+  /// Per-job span context (obs/span.h), set by the caller before each
+  /// runJobOnDevice call (nullptr = none): propagated down to recon and
+  /// gsim so every span of the job — job, iterations, launches — shares
+  /// the job's identity and host-clock device lane. Purely observational.
+  const obs::JobSpanContext* span = nullptr;
 };
 
 /// Run one job on a simulated device: applies the context to the job's

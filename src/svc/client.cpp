@@ -181,6 +181,33 @@ bool Client::cancel(int job_id) {
   return boolField(resp, "cancelled", false);
 }
 
+obs::JsonValue Client::stats() {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", kProtocolSchema);
+  w.kv("verb", "stats");
+  w.endObject();
+  obs::JsonValue resp = callChecked(w.str(), "stats");
+  const obs::JsonValue* stats = resp.find("stats");
+  if (!stats || !stats->isObject())
+    throw Error("svc stats: response carries no stats document");
+  return *stats;
+}
+
+obs::JsonValue Client::flight(const std::string& reason) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", kProtocolSchema);
+  w.kv("verb", "flight");
+  w.kv("reason", reason);
+  w.endObject();
+  obs::JsonValue resp = callChecked(w.str(), "flight");
+  const obs::JsonValue* flight = resp.find("flight");
+  if (!flight || !flight->isObject())
+    throw Error("svc flight: response carries no flight document");
+  return *flight;
+}
+
 obs::JsonValue Client::drain() {
   obs::JsonWriter w;
   w.beginObject();

@@ -89,6 +89,13 @@ class Client {
   /// True if the cancel took effect (false: job was already terminal).
   bool cancel(int job_id);
 
+  /// Live server snapshot: the parsed gpumbir.svc_stats/1 document
+  /// (dispatcher state, per-device clocks, in-flight jobs, metrics).
+  obs::JsonValue stats();
+
+  /// Flight-recorder dump: the parsed gpumbir.flight/1 document.
+  obs::JsonValue flight(const std::string& reason = "flight verb");
+
   /// Drain the service; returns the parsed gpumbir.svc_report/1 document.
   obs::JsonValue drain();
 

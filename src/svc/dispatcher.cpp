@@ -32,6 +32,7 @@ DistSummary summarize(std::vector<double> v) {
     return v[std::min(v.size() - 1, r == 0 ? 0 : r - 1)];
   };
   s.p50 = rank(0.50);
+  s.p95 = rank(0.95);
   s.p99 = rank(0.99);
   return s;
 }
@@ -42,8 +43,14 @@ void writeDistSummary(obs::JsonWriter& w, const DistSummary& s) {
   w.kv("mean", s.mean);
   w.kv("max", s.max);
   w.kv("p50", s.p50);
+  w.kv("p95", s.p95);
   w.kv("p99", s.p99);
   w.endObject();
+}
+
+/// Tenant label value ("" submits land under the default tenant).
+std::string tenantLabel(const std::string& tenant) {
+  return tenant.empty() ? "default" : tenant;
 }
 
 }  // namespace
@@ -64,11 +71,14 @@ bool isTerminal(JobState s) {
   return s != JobState::kQueued && s != JobState::kRunning;
 }
 
-Dispatcher::Dispatcher(DispatcherOptions options) : opt_(std::move(options)) {
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : opt_(std::move(options)),
+      flight_(opt_.num_devices, opt_.flight_capacity) {
   MBIR_CHECK_MSG(opt_.num_devices >= 1, "dispatcher needs at least one device");
   MBIR_CHECK_MSG(opt_.queue_capacity >= 1, "queue capacity must be >= 1");
   det_lane_.resize(std::size_t(opt_.num_devices));
   device_clock_.assign(std::size_t(opt_.num_devices), 0.0);
+  device_running_.assign(std::size_t(opt_.num_devices), -1);
 
   obs::Recorder* rec = opt_.recorder;
   if (rec && rec->metricsOn()) {
@@ -83,14 +93,23 @@ Dispatcher::Dispatcher(DispatcherOptions options) : opt_(std::move(options)) {
     inst_.queue_wait = &m.histogram("svc.queue_wait_host_s");
     inst_.service_time = &m.histogram("svc.job.service_host_s");
     inst_.e2e = &m.histogram("svc.job.e2e_host_s");
+    inst_.flight_dumps = &m.counter("svc.flight.dumps");
     m.gauge("svc.devices").set(double(opt_.num_devices));
     m.gauge("svc.queue.capacity").set(double(opt_.queue_capacity));
   }
   if (rec && rec->traceOn()) {
-    for (int d = 0; d < opt_.num_devices; ++d)
+    // Host-clock lanes: tid 0 is the control plane (submits), tid d+1 one
+    // lane per device so each device's queue/job/iteration/launch spans
+    // nest in their own row next to the modeled per-device processes.
+    rec->trace().nameThread(int(obs::Clock::kHost), 0, "svc control", 0);
+    for (int d = 0; d < opt_.num_devices; ++d) {
       rec->trace().nameProcess(tracePid(d),
                                "svc device " + std::to_string(d) + " (modeled)",
                                /*sort_index=*/tracePid(d));
+      rec->trace().nameThread(int(obs::Clock::kHost), d + 1,
+                              "svc device " + std::to_string(d) + " (host)",
+                              /*sort_index=*/d + 1);
+    }
   }
 
   devices_.reserve(std::size_t(opt_.num_devices));
@@ -116,6 +135,9 @@ Dispatcher::~Dispatcher() {
 
 SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
   MBIR_CHECK_MSG(spec.problem && spec.golden, "job needs a problem and golden");
+  obs::Recorder* rec = opt_.recorder;
+  const bool tracing = rec && rec->traceOn();
+  const double submit_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
   SubmitOutcome out;
   std::lock_guard lock(mu_);
   if (!accepting_) {
@@ -146,6 +168,14 @@ SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
   job.result.job_id = id;
   job.result.name =
       spec.name.empty() ? "job" + std::to_string(id) : spec.name;
+  // The job's span context: identity now, device/lane at dispatch. The
+  // flight sink is unconditional (the ring is always on); trace fields
+  // only matter when a trace recorder exists.
+  job.span.job_id = id;
+  job.span.tenant = spec.tenant;
+  job.span.job_name = job.result.name;
+  job.span.submit_host_us = submit_t0_us;
+  job.span.flight = &flight_;
   if (spec.deterministic) {
     job.det_seq = det_count_++;
     det_lane_[std::size_t(job.det_seq % opt_.num_devices)].push_back(id);
@@ -159,26 +189,53 @@ SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
   if (inst_.queue_depth) inst_.queue_depth->set(double(queued_));
   cv_work_.notify_all();
 
+  {
+    obs::FlightEvent fev;
+    fev.job_id = id;
+    fev.kind = "admit";
+    fev.detail = tenantLabel(spec.tenant) + ":" + job.result.name;
+    fev.value = double(spec.priority);
+    flight_.record(obs::FlightRecorder::kControlLane, std::move(fev));
+  }
+  if (tracing) {
+    obs::TraceEvent ev;
+    ev.name = "svc.submit";
+    ev.cat = "svc";
+    ev.clock = obs::Clock::kHost;
+    ev.ts_us = submit_t0_us;
+    ev.dur_us = rec->trace().nowHostUs() - submit_t0_us;
+    ev.tid = 0;  // control lane
+    obs::tagSpan(ev, job.span);
+    ev.num_args.emplace_back("priority", double(spec.priority));
+    rec->trace().record(std::move(ev));
+  }
+
   out.accepted = true;
   out.job_id = id;
   return out;
 }
 
 bool Dispatcher::cancel(int job_id) {
-  std::lock_guard lock(mu_);
-  if (job_id < 0 || job_id >= int(jobs_.size())) return false;
-  Job& job = jobs_[std::size_t(job_id)];
-  if (isTerminal(job.state)) return false;
-  if (job.state == JobState::kQueued && !job.spec.deterministic) {
-    // Drop it from the pending set right now, freeing its admission slot.
-    prio_pending_.erase(
-        std::find(prio_pending_.begin(), prio_pending_.end(), job_id));
-    finalizeQueuedLocked(job, JobState::kCancelled);
-    return true;
+  {
+    std::lock_guard lock(mu_);
+    if (job_id < 0 || job_id >= int(jobs_.size())) return false;
+    Job& job = jobs_[std::size_t(job_id)];
+    if (isTerminal(job.state)) return false;
+    if (job.state == JobState::kQueued && !job.spec.deterministic) {
+      // Drop it from the pending set right now, freeing its admission slot.
+      prio_pending_.erase(
+          std::find(prio_pending_.begin(), prio_pending_.end(), job_id));
+      finalizeQueuedLocked(job, JobState::kCancelled);
+    } else {
+      // Running jobs stop cooperatively; queued deterministic-lane jobs
+      // keep their schedule slot and run with the flag set
+      // (BatchScheduler parity).
+      job.cancel.store(true, std::memory_order_release);
+    }
   }
-  // Running jobs stop cooperatively; queued deterministic-lane jobs keep
-  // their schedule slot and run with the flag set (BatchScheduler parity).
-  job.cancel.store(true, std::memory_order_release);
+  // A queued-cancel finalization may have requested a flight dump; write
+  // it here, off the dispatcher lock.
+  flushFlightDumps();
   return true;
 }
 
@@ -233,9 +290,41 @@ Dispatcher::Job* Dispatcher::pickJobLocked(int device) {
     job.dispatch_seq = dispatch_count_++;
     job.queue_wait_host_s = secondsBetween(job.admit_tp, now);
     job.device = device;
+    // Complete the span context before the device thread (this thread)
+    // reads it off-lock: which device, which trace lanes.
+    job.span.device = device;
+    job.span.trace_pid = tracePid(device);
+    job.span.host_tid = device + 1;
+    device_running_[std::size_t(device)] = job.id;
     --queued_;
     ++running_;
     if (inst_.queue_depth) inst_.queue_depth->set(double(queued_));
+    {
+      obs::FlightEvent fev;
+      fev.job_id = job.id;
+      fev.kind = "dispatch";
+      fev.detail = tenantLabel(job.spec.tenant) + ":" + job.result.name;
+      fev.value = job.queue_wait_host_s;
+      flight_.record(obs::FlightRecorder::deviceLane(device), std::move(fev));
+    }
+    obs::Recorder* rec = opt_.recorder;
+    if (rec && rec->traceOn()) {
+      // The queue wait as an explicit span on the device's host lane,
+      // recorded retroactively now that the device is known: it starts at
+      // admission and ends here, so submit → queue → job read as one
+      // nested chain per job in the trace.
+      obs::TraceEvent ev;
+      ev.name = "svc.queue";
+      ev.cat = "svc";
+      ev.clock = obs::Clock::kHost;
+      ev.ts_us = job.span.submit_host_us;
+      ev.dur_us = rec->trace().nowHostUs() - job.span.submit_host_us;
+      ev.tid = job.span.host_tid;
+      obs::tagSpan(ev, job.span);
+      ev.num_args.emplace_back("queue_wait_host_s", job.queue_wait_host_s);
+      ev.num_args.emplace_back("priority", double(job.spec.priority));
+      rec->trace().record(std::move(ev));
+    }
     // Peers idle in drain mode only exit once the queue is empty — tell them.
     if (draining_ && queued_ == 0) cv_work_.notify_all();
     return &job;
@@ -282,18 +371,22 @@ void Dispatcher::finalizeQueuedLocked(Job& job, JobState state) {
 
 void Dispatcher::noteTerminalLocked(Job& job) {
   ++finished_;
+  if (job.dispatch_seq >= 0) device_running_[std::size_t(job.device)] = -1;
   switch (job.state) {
     case JobState::kDone:
       if (inst_.done) inst_.done->add();
       break;
     case JobState::kCancelled:
       if (inst_.cancelled) inst_.cancelled->add();
+      requestFlightDumpLocked(job);
       break;
     case JobState::kFailed:
       if (inst_.failed) inst_.failed->add();
+      requestFlightDumpLocked(job);
       break;
     case JobState::kDeadlineMissed:
       if (inst_.deadline_missed) inst_.deadline_missed->add();
+      requestFlightDumpLocked(job);
       break;
     default:
       break;
@@ -302,7 +395,51 @@ void Dispatcher::noteTerminalLocked(Job& job) {
   if (inst_.e2e) inst_.e2e->observe(job.e2e_host_s);
   if (job.dispatch_seq >= 0 && inst_.service_time)
     inst_.service_time->observe(job.service_host_s);
+  obs::Recorder* rec = opt_.recorder;
+  if (rec && rec->metricsOn()) {
+    // Per-tenant outcome + latency, labeled — the wire `stats` verb and
+    // svc_report surface these next to the aggregate svc.* series.
+    const std::string tenant = tenantLabel(job.spec.tenant);
+    if (job.state == JobState::kDone)
+      rec->metrics().counter("svc.jobs.done", {{"tenant", tenant}}).add();
+    rec->metrics()
+        .histogram("svc.job.e2e_host_s", {{"tenant", tenant}})
+        .observe(job.e2e_host_s);
+  }
+  {
+    // Terminal flight event on the lane that owned the job (control lane
+    // when it never dispatched).
+    obs::FlightEvent fev;
+    fev.job_id = job.id;
+    fev.kind = jobStateName(job.state);
+    fev.detail = job.result.error.empty() ? tenantLabel(job.spec.tenant)
+                                          : job.result.error;
+    fev.value = job.e2e_host_s;
+    const int lane = job.dispatch_seq >= 0
+                         ? obs::FlightRecorder::deviceLane(job.device)
+                         : obs::FlightRecorder::kControlLane;
+    flight_.record(lane, std::move(fev));
+  }
   cv_done_.notify_all();
+}
+
+void Dispatcher::requestFlightDumpLocked(const Job& job) {
+  pending_flight_.emplace_back(job.id, std::string(jobStateName(job.state)));
+  ++flight_dumps_;
+  if (inst_.flight_dumps) inst_.flight_dumps->add();
+}
+
+void Dispatcher::flushFlightDumps() {
+  std::vector<std::pair<int, std::string>> pending;
+  {
+    std::lock_guard lock(mu_);
+    pending.swap(pending_flight_);
+  }
+  if (opt_.flight_dir.empty()) return;
+  for (const auto& [id, reason] : pending)
+    flight_.writeFile(opt_.flight_dir + "/flight_" + reason + "_job" +
+                          std::to_string(id) + ".json",
+                      reason + " job " + std::to_string(id));
 }
 
 void Dispatcher::deviceLoop(int device) {
@@ -326,27 +463,36 @@ void Dispatcher::deviceLoop(int device) {
       });
       if (stop_ || !job) break;
     }
+    // Deadline-miss finalizations inside pickJobLocked may have requested
+    // dumps; write them before the (long) run, off the lock.
+    flushFlightDumps();
 
     const WallTimer service_wall;
+    ctx.span = &job->span;
     clock_s = sched::runJobOnDevice(ctx, *job->spec.problem, *job->spec.golden,
                                     job->spec.config, job->cancel, clock_s,
                                     job->result);
+    ctx.span = nullptr;
 
-    std::lock_guard lock(mu_);
-    device_clock_[std::size_t(device)] = clock_s;
-    job->service_host_s = service_wall.seconds();
-    job->e2e_host_s = job->queue_wait_host_s + job->service_host_s;
-    const sched::JobResult& r = job->result;
-    if (!r.failed && r.run.image.numVoxels() > 0) {
-      job->has_image = true;
-      job->image_hash = fnv1a64(r.run.image.flat());
+    {
+      std::lock_guard lock(mu_);
+      device_clock_[std::size_t(device)] = clock_s;
+      job->service_host_s = service_wall.seconds();
+      job->e2e_host_s = job->queue_wait_host_s + job->service_host_s;
+      const sched::JobResult& r = job->result;
+      if (!r.failed && r.run.image.numVoxels() > 0) {
+        job->has_image = true;
+        job->image_hash = fnv1a64(r.run.image.flat());
+      }
+      job->state = r.failed      ? JobState::kFailed
+                   : r.cancelled ? JobState::kCancelled
+                                 : JobState::kDone;
+      --running_;
+      noteTerminalLocked(*job);
     }
-    job->state = r.failed      ? JobState::kFailed
-                 : r.cancelled ? JobState::kCancelled
-                               : JobState::kDone;
-    --running_;
-    noteTerminalLocked(*job);
+    flushFlightDumps();
   }
+  flushFlightDumps();
 }
 
 JobStatus Dispatcher::snapshotLocked(const Job& job) const {
@@ -354,6 +500,7 @@ JobStatus Dispatcher::snapshotLocked(const Job& job) const {
   s.job_id = job.id;
   s.state = job.state;
   s.name = job.result.name;
+  s.tenant = job.spec.tenant;
   s.priority = job.spec.priority;
   s.deterministic = job.spec.deterministic;
   s.deadline_ms = job.spec.deadline_ms;
@@ -377,6 +524,118 @@ JobStatus Dispatcher::snapshotLocked(const Job& job) const {
   return s;
 }
 
+Dispatcher::LiveStats Dispatcher::liveStats() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mu_);
+  LiveStats s;
+  s.accepting = accepting_;
+  s.draining = draining_;
+  s.uptime_host_s = lifetime_.seconds();
+  s.num_devices = opt_.num_devices;
+  s.queue_capacity = opt_.queue_capacity;
+  s.queued = queued_;
+  s.running = running_;
+  s.submitted = accepted_;
+  s.rejected = rejected_;
+  s.finished = finished_;
+  for (int id : prio_pending_)
+    ++s.queue_depth_by_priority[jobs_[std::size_t(id)].spec.priority];
+  s.devices.reserve(std::size_t(opt_.num_devices));
+  for (int d = 0; d < opt_.num_devices; ++d) {
+    LiveDevice dev;
+    dev.device = d;
+    dev.running_job = device_running_[std::size_t(d)];
+    dev.busy = dev.running_job >= 0;
+    dev.modeled_s = device_clock_[std::size_t(d)];
+    dev.det_lane_depth = int(det_lane_[std::size_t(d)].size());
+    s.devices.push_back(std::move(dev));
+  }
+  for (const Job& job : jobs_) {
+    if (isTerminal(job.state)) continue;
+    LiveJob lj;
+    lj.job_id = job.id;
+    lj.state = job.state;
+    lj.name = job.result.name;
+    lj.tenant = job.spec.tenant;
+    lj.priority = job.spec.priority;
+    lj.deterministic = job.spec.deterministic;
+    lj.device = job.state == JobState::kRunning ? job.device : -1;
+    lj.age_host_s = secondsBetween(job.admit_tp, now);
+    lj.has_deadline = job.has_deadline;
+    if (job.has_deadline)
+      lj.deadline_remaining_ms =
+          std::chrono::duration<double, std::milli>(job.deadline_tp - now)
+              .count();
+    s.in_flight.push_back(std::move(lj));
+  }
+  s.flight_events = flight_.totalRecorded();
+  s.flight_dumps = flight_dumps_;
+  return s;
+}
+
+std::string Dispatcher::liveStatsJson() const {
+  const LiveStats s = liveStats();
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", kStatsSchema);
+  w.kv("accepting", s.accepting);
+  w.kv("draining", s.draining);
+  w.kv("uptime_host_s", s.uptime_host_s);
+  w.kv("num_devices", s.num_devices);
+  w.kv("queue_capacity", s.queue_capacity);
+  w.kv("queued", s.queued);
+  w.kv("running", s.running);
+  w.kv("submitted", s.submitted);
+  w.kv("rejected", s.rejected);
+  w.kv("finished", s.finished);
+  w.key("queue_depth_by_priority").beginObject();
+  for (const auto& [prio, n] : s.queue_depth_by_priority)
+    w.kv(std::to_string(prio), std::int64_t(n));
+  w.endObject();
+  w.key("devices").beginArray();
+  for (const LiveDevice& d : s.devices) {
+    w.beginObject();
+    w.kv("device", d.device);
+    w.kv("busy", d.busy);
+    w.kv("running_job", d.running_job);
+    w.kv("modeled_s", d.modeled_s);
+    w.kv("det_lane_depth", d.det_lane_depth);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("in_flight").beginArray();
+  for (const LiveJob& j : s.in_flight) {
+    w.beginObject();
+    w.kv("job_id", j.job_id);
+    w.kv("state", jobStateName(j.state));
+    w.kv("name", j.name);
+    if (!j.tenant.empty()) w.kv("tenant", j.tenant);
+    w.kv("priority", j.priority);
+    w.kv("deterministic", j.deterministic);
+    w.kv("device", j.device);
+    w.kv("age_host_s", j.age_host_s);
+    if (j.has_deadline) w.kv("deadline_remaining_ms", j.deadline_remaining_ms);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("flight").beginObject();
+  w.kv("events_recorded", s.flight_events);
+  w.kv("dumps", s.flight_dumps);
+  w.endObject();
+  const obs::Recorder* rec = opt_.recorder;
+  if (rec && rec->metricsOn()) {
+    w.key("metrics");
+    rec->metrics().writeJson(w);
+  }
+  w.endObject();
+  return w.str();
+}
+
+std::uint64_t Dispatcher::flightDumpCount() const {
+  std::lock_guard lock(mu_);
+  return flight_dumps_;
+}
+
 const SvcReport& Dispatcher::drain() {
   std::lock_guard drain_lock(drain_mu_);
   if (joined_) return report_;  // idempotent: repeat callers share the report
@@ -392,6 +651,7 @@ const SvcReport& Dispatcher::drain() {
   }
   for (std::thread& t : devices_) t.join();
   joined_ = true;
+  flushFlightDumps();  // anything the device threads did not get to
 
   // Threads are gone; every job is terminal and fully published.
   SvcReport& rep = report_;
@@ -472,6 +732,7 @@ std::string Dispatcher::reportJson() const {
     w.beginObject();
     w.kv("job_id", s.job_id);
     w.kv("name", s.name);
+    if (!s.tenant.empty()) w.kv("tenant", s.tenant);
     w.kv("state", jobStateName(s.state));
     w.kv("priority", s.priority);
     w.kv("deterministic", s.deterministic);

@@ -38,13 +38,17 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/timer.h"
+#include "obs/flight.h"
 #include "sched/scheduler.h"
 #include "svc/protocol.h"
 
@@ -66,6 +70,7 @@ struct JobSpec {
   const Image2D* golden = nullptr;        ///< borrowed; must outlive drain
   RunConfig config;
   std::string name;
+  std::string tenant;        ///< "" = default; labels svc.* per-tenant metrics
   int priority = 0;          ///< higher first (priority lane only)
   double deadline_ms = -1.0; ///< host ms from admission; < 0 = none
   bool deterministic = false;
@@ -83,6 +88,7 @@ struct JobStatus {
   int job_id = -1;
   JobState state = JobState::kQueued;
   std::string name;
+  std::string tenant;
   int priority = 0;
   bool deterministic = false;
   double deadline_ms = -1.0;
@@ -111,11 +117,18 @@ struct DispatcherOptions {
   ThreadPool* host_pool = nullptr;
   obs::Recorder* recorder = nullptr;
   int base_trace_pid = 10;  ///< device d renders as pid base + d
+  /// Flight-recorder ring size per lane (control + one per device). The
+  /// flight recorder is always on — bounded memory, no recorder required.
+  std::size_t flight_capacity = 256;
+  /// Directory automatic flight dumps are written to on deadline miss, job
+  /// failure or cancel ("" = no files; dumps stay wire-accessible via the
+  /// `flight` verb / flightJson()).
+  std::string flight_dir;
 };
 
 struct DistSummary {
   std::uint64_t count = 0;
-  double mean = 0.0, max = 0.0, p50 = 0.0, p99 = 0.0;
+  double mean = 0.0, max = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
 };
 
 /// Drain-time summary (schema gpumbir.svc_report/1 via reportJson()).
@@ -178,6 +191,67 @@ class Dispatcher {
   };
   Stats stats() const;
 
+  /// One device's live state (from liveStats()).
+  struct LiveDevice {
+    int device = 0;
+    bool busy = false;
+    int running_job = -1;   ///< -1 when idle
+    double modeled_s = 0.0; ///< cumulative modeled clock at last job end
+    int det_lane_depth = 0; ///< queued deterministic jobs bound to it
+  };
+  /// One in-flight (queued or running) job's live state.
+  struct LiveJob {
+    int job_id = -1;
+    JobState state = JobState::kQueued;
+    std::string name;
+    std::string tenant;
+    int priority = 0;
+    bool deterministic = false;
+    int device = -1;            ///< -1 until dispatched
+    double age_host_s = 0.0;    ///< host seconds since admission
+    bool has_deadline = false;
+    double deadline_remaining_ms = 0.0;  ///< negative = already expired
+  };
+  /// Live snapshot of the whole dispatcher, taken under the dispatcher
+  /// lock in O(jobs) without stopping the device threads — the lock is
+  /// only ever held briefly by dispatch bookkeeping, never across a run,
+  /// so a stats scrape cannot pause dispatch.
+  struct LiveStats {
+    bool accepting = true;
+    bool draining = false;
+    double uptime_host_s = 0.0;
+    int num_devices = 0;
+    int queue_capacity = 0;
+    int queued = 0;
+    int running = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t finished = 0;
+    std::map<int, int> queue_depth_by_priority;  ///< priority lane only
+    std::vector<LiveDevice> devices;
+    std::vector<LiveJob> in_flight;
+    std::uint64_t flight_events = 0;  ///< flight events ever recorded
+    std::uint64_t flight_dumps = 0;   ///< automatic dumps triggered
+  };
+  LiveStats liveStats() const;
+
+  /// liveStats() + the metrics registry as one `gpumbir.svc_stats/1`
+  /// document — the payload of the wire protocol's `stats` verb.
+  std::string liveStatsJson() const;
+
+  /// Always-on bounded ring of recent per-device span events, dumped
+  /// automatically (to DispatcherOptions::flight_dir when set) whenever a
+  /// job misses its deadline, fails, or is cancelled — exactly once per
+  /// triggering job — and on demand via flightJson() (SIGUSR1, the wire
+  /// `flight` verb).
+  obs::FlightRecorder& flightRecorder() { return flight_; }
+  std::string flightJson(std::string_view reason) const {
+    return flight_.dumpJson(reason);
+  }
+  /// Automatic dumps triggered so far (terminal-failure dumps only; manual
+  /// flightJson() calls don't count).
+  std::uint64_t flightDumpCount() const;
+
   /// Block until the job reaches a terminal state; returns the snapshot.
   JobStatus waitTerminal(int job_id) const;
 
@@ -213,6 +287,10 @@ class Dispatcher {
     double e2e_host_s = 0.0;
     std::uint64_t image_hash = 0;
     bool has_image = false;
+    /// The job's identity for trace spans and flight events; filled at
+    /// admission, completed (device/lane) at dispatch — both under the
+    /// lock, before the device thread reads it.
+    obs::JobSpanContext span;
     sched::JobResult result;
   };
 
@@ -222,6 +300,10 @@ class Dispatcher {
   Job* pickJobLocked(int device);
   void finalizeQueuedLocked(Job& job, JobState state);
   void noteTerminalLocked(Job& job);
+  /// Queue an automatic flight dump for a job that ended badly. File I/O
+  /// happens later in flushFlightDumps(), off the dispatcher lock.
+  void requestFlightDumpLocked(const Job& job);
+  void flushFlightDumps();
   JobStatus snapshotLocked(const Job& job) const;
   int tracePid(int device) const { return opt_.base_trace_pid + device; }
 
@@ -235,6 +317,10 @@ class Dispatcher {
   std::vector<std::deque<int>> det_lane_;  ///< per-device FIFO of det job ids
   std::vector<int> prio_pending_;          ///< queued priority-lane job ids
   std::vector<double> device_clock_;       ///< cumulative modeled clock
+  std::vector<int> device_running_;        ///< running job id per device; -1 idle
+  /// Automatic flight dumps waiting for file I/O: (job id, reason).
+  std::vector<std::pair<int, std::string>> pending_flight_;
+  std::uint64_t flight_dumps_ = 0;
   int det_count_ = 0;
   int dispatch_count_ = 0;
   int queued_ = 0;
@@ -264,7 +350,10 @@ class Dispatcher {
     obs::Histogram* queue_wait = nullptr;
     obs::Histogram* service_time = nullptr;
     obs::Histogram* e2e = nullptr;
+    obs::Counter* flight_dumps = nullptr;
   } inst_;
+
+  obs::FlightRecorder flight_;  // after opt_: sized from its options
 };
 
 }  // namespace mbir::svc

@@ -187,6 +187,7 @@ std::string encodeSubmit(const SubmitParams& p) {
   w.kv("deterministic", p.deterministic);
   if (!p.simd.empty()) w.kv("simd", p.simd);
   if (!p.name.empty()) w.kv("name", p.name);
+  if (!p.tenant.empty()) w.kv("tenant", p.tenant);
   w.endObject();
   return w.str();
 }
@@ -204,6 +205,7 @@ SubmitParams parseSubmitParams(const Request& req) {
   p.deterministic = req.getBool("deterministic", false);
   p.simd = req.getString("simd", "");
   p.name = req.getString("name", "");
+  p.tenant = req.getString("tenant", "");
   return p;
 }
 

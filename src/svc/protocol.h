@@ -10,7 +10,8 @@
 //
 // Requests carry {"schema":"gpumbir.svc/1","verb":...} plus verb-specific
 // fields; responses carry {"schema":"gpumbir.svc/1","ok":true|false,...}.
-// Verbs: submit / status / cancel / result / drain / ping. Field access is
+// Verbs: submit / status / cancel / result / stats / flight / drain / ping.
+// Field access is
 // strictly typed (wrong-typed or non-integral fields throw mbir::Error,
 // which the server turns into an ok:false response) — combined with the
 // parser's strictness (finite numbers only, valid UTF-16 escapes) nothing
@@ -29,6 +30,7 @@ namespace mbir::svc {
 
 inline constexpr std::string_view kProtocolSchema = "gpumbir.svc/1";
 inline constexpr std::string_view kReportSchema = "gpumbir.svc_report/1";
+inline constexpr std::string_view kStatsSchema = "gpumbir.svc_stats/1";
 inline constexpr std::size_t kFrameHeaderBytes = 4;
 inline constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;
 
@@ -112,6 +114,8 @@ struct SubmitParams {
   /// on an incapable server fails the submit with ok:false.
   std::string simd;
   std::string name;
+  /// Tenant for per-tenant svc.* metric labels ("" = default tenant).
+  std::string tenant;
 };
 
 /// Serialize a submit request payload.

@@ -17,6 +17,7 @@ namespace {
 void writeJobStatus(obs::JsonWriter& w, const JobStatus& s) {
   w.kv("job_id", s.job_id);
   w.kv("name", s.name);
+  if (!s.tenant.empty()) w.kv("tenant", s.tenant);
   w.kv("state", jobStateName(s.state));
   w.kv("priority", s.priority);
   w.kv("deterministic", s.deterministic);
@@ -133,6 +134,8 @@ std::string Server::handleRequest(const Request& req) {
   if (req.verb == "status") return handleStatus(req);
   if (req.verb == "cancel") return handleCancel(req);
   if (req.verb == "result") return handleResult(req);
+  if (req.verb == "stats") return handleStats();
+  if (req.verb == "flight") return handleFlight(req);
   if (req.verb == "drain") return handleDrain();
   if (req.verb == "ping") {
     obs::JsonWriter w;
@@ -153,6 +156,7 @@ std::string Server::handleSubmit(const Request& req) {
   spec.golden = &c.golden;
   spec.config = makeRunConfig(opt_.base_config, p);
   spec.name = p.name;
+  spec.tenant = p.tenant;
   spec.priority = p.priority;
   spec.deadline_ms = p.deadline_ms;
   spec.deterministic = p.deterministic;
@@ -235,6 +239,29 @@ std::string Server::handleResult(const Request& req) {
     w.endArray();
     w.endObject();
   }
+  w.endObject();
+  return w.str();
+}
+
+std::string Server::handleStats() {
+  // The live snapshot is built under the dispatcher lock, which the device
+  // threads only touch between jobs — a stats scrape never pauses a run.
+  obs::JsonWriter w;
+  beginResponse(w, true);
+  w.kv("verb", "stats");
+  w.key("stats");
+  w.raw(dispatcher_.liveStatsJson());
+  w.endObject();
+  return w.str();
+}
+
+std::string Server::handleFlight(const Request& req) {
+  const std::string reason = req.getString("reason", "flight verb");
+  obs::JsonWriter w;
+  beginResponse(w, true);
+  w.kv("verb", "flight");
+  w.key("flight");
+  w.raw(dispatcher_.flightJson(reason));
   w.endObject();
   return w.str();
 }

@@ -117,6 +117,8 @@ class Server {
   std::string handleStatus(const Request& req);
   std::string handleCancel(const Request& req);
   std::string handleResult(const Request& req);
+  std::string handleStats();
+  std::string handleFlight(const Request& req);
   std::string handleDrain();
   /// Join + close finished connections (called on the acceptor thread).
   void reapConnectionsLocked();

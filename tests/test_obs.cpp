@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -151,6 +152,197 @@ TEST(Metrics, WriteJsonParses) {
   EXPECT_EQ(h.find("max")->asNumber(), 2.0);
 }
 
+TEST(Metrics, LabeledNamesAreCanonical) {
+  // Keys sort, so label order at the call site never splits an instrument.
+  EXPECT_EQ(labeledName("svc.jobs", {{"tenant", "acme"}, {"device", "2"}}),
+            "svc.jobs{device=2,tenant=acme}");
+  EXPECT_EQ(labeledName("svc.jobs", {}), "svc.jobs");
+  EXPECT_THROW(labeledName("x", {{"bad,key", "v"}}), Error);
+  EXPECT_THROW(labeledName("x", {{"k", "bad=value"}}), Error);
+  EXPECT_THROW(labeledName("x", {{"k", "bad{value"}}), Error);
+
+  MetricsRegistry reg;
+  Counter& a = reg.counter("svc.jobs", {{"tenant", "acme"}, {"device", "2"}});
+  Counter& b = reg.counter("svc.jobs", {{"device", "2"}, {"tenant", "acme"}});
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counterValue("svc.jobs{device=2,tenant=acme}"), 3u);
+  // Different label values are different series.
+  reg.counter("svc.jobs", {{"device", "3"}, {"tenant", "acme"}}).add();
+  EXPECT_EQ(reg.counterValue("svc.jobs{device=3,tenant=acme}"), 1u);
+}
+
+TEST(Metrics, ReadAccessorsNeverRegister) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counterValue("nope"), 0u);
+  EXPECT_EQ(reg.gaugeValue("nope"), 0.0);
+  EXPECT_EQ(reg.histogramSnapshot("nope").count, 0u);
+  // The misses above must not have created instruments: the JSON dump of an
+  // untouched registry is empty.
+  JsonWriter w;
+  reg.writeJson(w);
+  const JsonValue v = parseJson(w.str());
+  EXPECT_TRUE(v.find("counters")->object_v.empty());
+  EXPECT_TRUE(v.find("gauges")->object_v.empty());
+  EXPECT_TRUE(v.find("histograms")->object_v.empty());
+
+  reg.gauge("g").set(2.5);
+  EXPECT_EQ(reg.gaugeValue("g"), 2.5);
+}
+
+namespace {
+
+/// Index of the bucket an observation of `v` must land in (the first bound
+/// >= v), mirroring Histogram::observe's lower_bound on inclusive bounds.
+int expectedBucket(double v) {
+  for (int i = 0; i < Histogram::kBuckets - 1; ++i)
+    if (v <= Histogram::bucketUpperBound(i)) return i;
+  return Histogram::kBuckets - 1;  // overflow
+}
+
+}  // namespace
+
+TEST(Metrics, HistogramBucketBoundsAreInclusiveLogLinear) {
+  // The 1-2-5 ladder: bound values land in their own bucket (inclusive
+  // upper bounds); one ulp above spills into the next.
+  for (double bound : {1e-3, 2e-3, 5e-3, 1.0, 2.0, 5.0, 1e3}) {
+    Histogram h;
+    h.observe(bound);
+    const Histogram::Snapshot s = h.snapshot();
+    const int i = expectedBucket(bound);
+    EXPECT_EQ(s.buckets[std::size_t(i)], 1u) << bound;
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(i), bound) << bound;
+
+    Histogram h2;
+    const double above = std::nextafter(bound, 1e300);
+    h2.observe(above);
+    EXPECT_EQ(h2.snapshot().buckets[std::size_t(i)], 0u) << bound;
+    EXPECT_EQ(h2.snapshot().buckets[std::size_t(expectedBucket(above))], 1u)
+        << bound;
+  }
+}
+
+TEST(Metrics, HistogramEdgeObservationsGoSomewhereSane) {
+  Histogram h;
+  h.observe(0.0);                // below the smallest bound -> bucket 0
+  h.observe(-1.0);               // negative -> bucket 0 (min still tracks it)
+  h.observe(1e300);              // beyond the top bound -> overflow
+  h.observe(std::nan(""));       // NaN -> overflow, never lost
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[Histogram::kBuckets - 1], 2u);
+  EXPECT_EQ(s.min, -1.0);
+  // The top finite bound is exactly 10^kMaxExponent; the overflow bucket's
+  // bound is +inf.
+  EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(Histogram::kBuckets - 2),
+                   std::pow(10.0, Histogram::kMaxExponent));
+  EXPECT_TRUE(std::isinf(Histogram::bucketUpperBound(Histogram::kBuckets - 1)));
+}
+
+TEST(Metrics, HistogramQuantiles) {
+  EXPECT_EQ(Histogram().snapshot().quantile(0.5), 0.0);  // empty -> 0
+
+  Histogram one;
+  one.observe(0.42);
+  // A single observation is every quantile (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(0.0), 0.42);
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(0.5), 0.42);
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(1.0), 0.42);
+
+  // 100 observations of 1..100 ms: quantile estimates must stay within the
+  // covering bucket of the exact order statistic.
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(i * 1e-3);
+  const Histogram::Snapshot s = h.snapshot();
+  const double p50 = s.quantile(0.50);
+  const double p95 = s.quantile(0.95);
+  const double p99 = s.quantile(0.99);
+  EXPECT_GE(p50, 0.02);   // exact p50 = 0.050, bucket (0.02, 0.05]
+  EXPECT_LE(p50, 0.05);
+  EXPECT_GE(p95, 0.05);   // exact p95 = 0.095, bucket (0.05, 0.1]
+  EXPECT_LE(p95, 0.1);
+  EXPECT_GE(p99, 0.05);   // exact p99 = 0.099, same bucket
+  EXPECT_LE(p99, 0.1);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Estimates never leave the observed range.
+  EXPECT_GE(s.quantile(0.0), s.min);
+  EXPECT_LE(s.quantile(1.0), s.max);
+}
+
+TEST(Metrics, HistogramJsonIsVersionedWithQuantilesAndSparseBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("svc.lat");
+  h.observe(1e300);  // one overflow observation: its bound serializes null
+  for (int i = 0; i < 9; ++i) h.observe(0.004);
+  JsonWriter w;
+  reg.writeJson(w);
+  const JsonValue v = parseJson(w.str());
+  const JsonValue& hj = *v.find("histograms")->find("svc.lat");
+  EXPECT_EQ(hj.find("v")->asNumber(), double(Histogram::kSchemaVersion));
+  EXPECT_EQ(hj.find("count")->asNumber(), 10.0);
+  EXPECT_GT(hj.find("p50")->asNumber(), 0.0);
+  EXPECT_GE(hj.find("p99")->asNumber(), hj.find("p95")->asNumber());
+  const JsonValue& buckets = *hj.find("buckets");
+  ASSERT_TRUE(buckets.isArray());
+  ASSERT_EQ(buckets.array_v.size(), 2u);  // sparse: only non-zero buckets
+  EXPECT_DOUBLE_EQ(buckets.array_v[0].array_v[0].asNumber(), 0.005);
+  EXPECT_EQ(buckets.array_v[0].array_v[1].asNumber(), 9.0);
+  EXPECT_TRUE(buckets.array_v[1].array_v[0].isNull());  // overflow bound
+  EXPECT_EQ(buckets.array_v[1].array_v[1].asNumber(), 1.0);
+}
+
+// -------------------------------------------------------------- flight
+
+TEST(Flight, RingOverwritesOldestAndDumpsOldestFirst) {
+  FlightRecorder fr(/*num_devices=*/2, /*capacity_per_lane=*/3);
+  for (int i = 0; i < 5; ++i) {
+    FlightEvent ev;
+    ev.job_id = i;
+    ev.kind = "iteration";
+    ev.value = double(i);
+    fr.record(FlightRecorder::deviceLane(1), std::move(ev));
+  }
+  FlightEvent admit;
+  admit.job_id = 7;
+  admit.kind = "admit";
+  fr.record(FlightRecorder::kControlLane, std::move(admit));
+  FlightEvent stray;
+  stray.kind = "stray";
+  fr.record(/*lane=*/99, std::move(stray));  // out of range -> control lane
+
+  EXPECT_EQ(fr.size(), 5u);           // 3 (wrapped) + 2 control
+  EXPECT_EQ(fr.totalRecorded(), 7u);  // overwritten events still count
+
+  const JsonValue doc = parseJson(fr.dumpJson("unit test"));
+  EXPECT_EQ(doc.find("schema")->asString(), "gpumbir.flight/1");
+  EXPECT_EQ(doc.find("reason")->asString(), "unit test");
+  const JsonValue& lanes = *doc.find("lanes");
+  ASSERT_EQ(lanes.array_v.size(), 3u);  // control + 2 devices
+
+  const JsonValue& control = lanes.array_v[0];
+  EXPECT_EQ(control.find("device")->asNumber(), -1.0);
+  ASSERT_EQ(control.find("events")->array_v.size(), 2u);
+  EXPECT_EQ(control.find("events")->array_v[1].find("kind")->asString(),
+            "stray");
+
+  // Device 1's ring wrapped: jobs 0 and 1 were overwritten, and the dump
+  // is oldest-first with monotone timestamps.
+  const JsonValue& lane = lanes.array_v[2];
+  EXPECT_EQ(lane.find("device")->asNumber(), 1.0);
+  EXPECT_EQ(lane.find("events_total")->asNumber(), 5.0);
+  const auto& events = lane.find("events")->array_v;
+  ASSERT_EQ(events.size(), 3u);
+  double prev_us = -1.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].find("job_id")->asNumber(), double(i + 2));
+    const double us = events[i].find("host_us")->asNumber();
+    EXPECT_GE(us, prev_us);
+    prev_us = us;
+  }
+}
+
 // --------------------------------------------------------------- trace
 
 TEST(Trace, RecorderEmitsBothClockTracks) {
@@ -197,6 +389,39 @@ TEST(Trace, RecorderEmitsBothClockTracks) {
   EXPECT_TRUE(saw_modeled_meta);
   EXPECT_TRUE(saw_host_span);
   EXPECT_TRUE(saw_modeled_span);
+}
+
+TEST(Trace, NamedThreadsEmitMetadataRecords) {
+  TraceRecorder tr;
+  tr.nameThread(int(Clock::kHost), 0, "svc control", 0);
+  tr.nameThread(int(Clock::kHost), 2, "svc device 1 (host)", 2);
+  TraceEvent ev;
+  ev.name = "x";
+  ev.cat = "test";
+  ev.clock = Clock::kHost;
+  ev.tid = 2;
+  tr.record(ev);
+
+  const JsonValue doc = parseJson(tr.toJson());
+  bool named_control = false, named_device = false, sorted_device = false;
+  for (const JsonValue& e : doc.find("traceEvents")->array_v) {
+    if (e.find("ph")->asString() != "M") continue;
+    const std::string name = e.find("name")->asString();
+    const int pid = int(e.find("pid")->asNumber());
+    const int tid = int(e.find("tid") ? e.find("tid")->asNumber() : -1);
+    if (name == "thread_name" && pid == 1 && tid == 0 &&
+        e.find("args")->find("name")->asString() == "svc control")
+      named_control = true;
+    if (name == "thread_name" && pid == 1 && tid == 2 &&
+        e.find("args")->find("name")->asString() == "svc device 1 (host)")
+      named_device = true;
+    if (name == "thread_sort_index" && pid == 1 && tid == 2 &&
+        e.find("args")->find("sort_index")->asNumber() == 2.0)
+      sorted_device = true;
+  }
+  EXPECT_TRUE(named_control);
+  EXPECT_TRUE(named_device);
+  EXPECT_TRUE(sorted_device);
 }
 
 TEST(Trace, HostSpanRecordsAndNullRecorderIsNoop) {

@@ -12,11 +12,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <unistd.h>
 
 #include "core/error.h"
 #include "core/hash.h"
+#include "obs/obs.h"
 #include "sched/scheduler.h"
 #include "svc/client.h"
 #include "svc/server.h"
@@ -46,10 +50,14 @@ RunConfig tinyBaseConfig() {
 }
 
 struct TestService {
-  explicit TestService(int devices, int queue_cap) {
+  explicit TestService(int devices, int queue_cap,
+                       obs::Recorder* recorder = nullptr,
+                       std::string flight_dir = "") {
     svc::ServerOptions opt;
     opt.dispatch.num_devices = devices;
     opt.dispatch.queue_capacity = queue_cap;
+    opt.dispatch.recorder = recorder;
+    opt.dispatch.flight_dir = std::move(flight_dir);
     opt.base_config = tinyBaseConfig();
     server = std::make_unique<svc::Server>(opt, source);
   }
@@ -458,6 +466,230 @@ TEST(SvcServer, DrainIsGracefulValidatedAndTerminal) {
   EXPECT_EQ("done", client.result(ids.front()).state);
   // Draining again returns the same (cached) report.
   EXPECT_EQ(3.0, client.drain().find("jobs_done")->num_v);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: stats verb, flight recorder, span tracing
+// ---------------------------------------------------------------------------
+
+TEST(SvcServer, StatsAnswersLiveWhileEveryDeviceIsBusy) {
+  obs::ObsConfig obs_cfg;
+  obs_cfg.metrics = true;
+  obs::Recorder recorder(obs_cfg);
+  TestService service(/*devices=*/2, /*queue_cap=*/8, &recorder);
+  Client client = service.connect();
+
+  // Park both devices, then queue a tenant-tagged job behind them. The
+  // scrape below must answer while the blockers are mid-run — stats takes
+  // the dispatcher lock only for a snapshot, never waiting on a device.
+  const int b0 = client.submit(blockerParams("block0")).job_id;
+  const int b1 = client.submit(blockerParams("block1")).job_id;
+  awaitState(client, b0, "running");
+  awaitState(client, b1, "running");
+  SubmitParams waiting;
+  waiting.priority = 3;
+  waiting.tenant = "acme";
+  waiting.name = "waiting";
+  const int q0 = client.submit(waiting).job_id;
+
+  // client.stats() round-trips the document through the strict parser.
+  const obs::JsonValue stats = client.stats();
+  EXPECT_EQ("gpumbir.svc_stats/1", stats.find("schema")->str_v);
+  EXPECT_TRUE(stats.find("accepting")->bool_v);
+  EXPECT_FALSE(stats.find("draining")->bool_v);
+  EXPECT_GT(stats.find("uptime_host_s")->num_v, 0.0);
+  EXPECT_EQ(2.0, stats.find("running")->num_v);
+  EXPECT_EQ(1.0, stats.find("queued")->num_v);
+  EXPECT_EQ(3.0, stats.find("submitted")->num_v);
+  const obs::JsonValue* by_prio = stats.find("queue_depth_by_priority");
+  ASSERT_NE(nullptr, by_prio);
+  EXPECT_EQ(1.0, by_prio->find("3")->num_v);
+
+  const obs::JsonValue* devices = stats.find("devices");
+  ASSERT_TRUE(devices->isArray());
+  ASSERT_EQ(2u, devices->array_v.size());
+  for (const obs::JsonValue& d : devices->array_v) {
+    EXPECT_TRUE(d.find("busy")->bool_v);
+    EXPECT_GE(d.find("running_job")->num_v, 0.0);
+    EXPECT_GE(d.find("modeled_s")->num_v, 0.0);
+  }
+
+  const obs::JsonValue* in_flight = stats.find("in_flight");
+  ASSERT_TRUE(in_flight->isArray());
+  ASSERT_EQ(3u, in_flight->array_v.size());
+  int running_seen = 0;
+  const obs::JsonValue* queued_entry = nullptr;
+  for (const obs::JsonValue& j : in_flight->array_v) {
+    if (j.find("state")->str_v == "running") ++running_seen;
+    if (int(j.find("job_id")->num_v) == q0) queued_entry = &j;
+  }
+  EXPECT_EQ(2, running_seen);
+  ASSERT_NE(nullptr, queued_entry);
+  EXPECT_EQ("queued", queued_entry->find("state")->str_v);
+  EXPECT_EQ("acme", queued_entry->find("tenant")->str_v);
+  EXPECT_EQ(-1.0, queued_entry->find("device")->num_v);
+  EXPECT_GE(queued_entry->find("age_host_s")->num_v, 0.0);
+
+  // Flight counters and the metrics registry ride along in the same doc.
+  const obs::JsonValue* flight = stats.find("flight");
+  ASSERT_NE(nullptr, flight);
+  EXPECT_GT(flight->find("events_recorded")->num_v, 0.0);
+  ASSERT_NE(nullptr, stats.find("metrics"));
+  EXPECT_GE(stats.find("metrics")
+                ->find("counters")
+                ->find("svc.jobs.submitted")
+                ->num_v,
+            3.0);
+
+  // The scrape paused nothing: the service still dispatches and drains.
+  EXPECT_TRUE(client.cancel(q0));
+  EXPECT_TRUE(client.cancel(b0));
+  EXPECT_TRUE(client.cancel(b1));
+  client.drain();
+}
+
+TEST(SvcServer, FlightDumpsFireExactlyOncePerBadlyEndingJob) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "gpumbir_flight_dumps";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  TestService service(/*devices=*/1, /*queue_cap=*/8, /*recorder=*/nullptr,
+                      dir.string());
+  Client client = service.connect();
+  const int blocker = client.submit(blockerParams("blocker")).job_id;
+  awaitState(client, blocker, "running");
+
+  SubmitParams late;
+  late.deadline_ms = 0.0;
+  late.name = "late";
+  const int late_id = client.submit(late).job_id;      // -> deadline_missed
+  const int queued = client.submit(SubmitParams{}).job_id;
+  const int good = client.submit(SubmitParams{}).job_id;
+  EXPECT_TRUE(client.cancel(queued));                  // -> cancelled (queued)
+  EXPECT_TRUE(client.cancel(blocker));                 // -> cancelled (ran)
+
+  EXPECT_EQ("deadline_missed", client.result(late_id).state);
+  EXPECT_EQ("cancelled", client.result(queued).state);
+  EXPECT_EQ("cancelled", client.result(blocker).state);
+  EXPECT_EQ("done", client.result(good).state);  // a good ending: no dump
+
+  // The wire `flight` verb serves the same ring on demand (no file).
+  const obs::JsonValue flight = client.flight("probe");
+  EXPECT_EQ("gpumbir.flight/1", flight.find("schema")->str_v);
+  EXPECT_EQ("probe", flight.find("reason")->str_v);
+  ASSERT_TRUE(flight.find("lanes")->isArray());
+  EXPECT_EQ(2u, flight.find("lanes")->array_v.size());  // control + device 0
+
+  client.drain();  // flushes any dump the device thread did not get to
+
+  // Exactly one automatic dump per badly-ending job, named after it.
+  EXPECT_EQ(3u, service.server->dispatcher().flightDumpCount());
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir)) ++files;
+  EXPECT_EQ(3u, files);
+  const std::vector<std::pair<int, std::string>> expected = {
+      {late_id, "deadline_missed"},
+      {queued, "cancelled"},
+      {blocker, "cancelled"},
+  };
+  for (const auto& [id, reason] : expected) {
+    const fs::path p = dir / ("flight_" + std::string(reason) + "_job" +
+                              std::to_string(id) + ".json");
+    ASSERT_TRUE(fs::exists(p)) << p;
+    std::ifstream in(p);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const obs::JsonValue dump = obs::parseJson(buf.str());
+    EXPECT_EQ("gpumbir.flight/1", dump.find("schema")->str_v);
+    EXPECT_NE(std::string::npos,
+              dump.find("reason")->str_v.find(std::to_string(id)));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SvcServer, TracingDoesNotPerturbDeterministicLaneResults) {
+  // The same deterministic job stream with full tracing on and with no
+  // recorder at all must produce bit-identical images: spans and flight
+  // events are observational only.
+  const auto run_once = [](obs::Recorder* rec) {
+    TestService service(/*devices=*/2, /*queue_cap=*/8, rec);
+    Client client = service.connect();
+    std::vector<int> ids;
+    for (int i = 0; i < 4; ++i) {
+      SubmitParams p;
+      p.deterministic = true;
+      p.algorithm = (i % 2 == 0) ? "gpu" : "seq";
+      p.max_equits = 2.0 + i;
+      p.name = "det" + std::to_string(i);
+      ids.push_back(client.submit(p).job_id);
+    }
+    std::vector<std::string> hashes;
+    for (int id : ids) hashes.push_back(client.result(id).image_hash);
+    client.drain();
+    return hashes;
+  };
+
+  obs::ObsConfig obs_cfg;
+  obs_cfg.trace = true;
+  obs_cfg.metrics = true;
+  obs::Recorder recorder(obs_cfg);
+  const std::vector<std::string> traced = run_once(&recorder);
+  const std::vector<std::string> plain = run_once(nullptr);
+  ASSERT_EQ(4u, traced.size());
+  EXPECT_EQ(plain, traced);
+
+  // And the traced run really did record the service span hierarchy:
+  // submit on the control lane, queue waits on the device host lanes, the
+  // job/iteration spans below them, with named host threads.
+  const std::string trace = recorder.trace().toJson();
+  EXPECT_NE(std::string::npos, trace.find("\"svc.submit\""));
+  EXPECT_NE(std::string::npos, trace.find("\"svc.queue\""));
+  EXPECT_NE(std::string::npos, trace.find("\"svc.job\""));
+  EXPECT_NE(std::string::npos, trace.find("\"recon.iteration\""));
+  EXPECT_NE(std::string::npos, trace.find("\"thread_name\""));
+  EXPECT_NE(std::string::npos, trace.find("\"job_id\""));
+}
+
+TEST(SvcServer, TenantsFlowThroughReportAndLabeledMetrics) {
+  obs::ObsConfig obs_cfg;
+  obs_cfg.metrics = true;
+  obs::Recorder recorder(obs_cfg);
+  TestService service(/*devices=*/1, /*queue_cap=*/4, &recorder);
+  Client client = service.connect();
+
+  SubmitParams acme;
+  acme.tenant = "acme";
+  acme.name = "acme-job";
+  const int acme_id = client.submit(acme).job_id;
+  const int anon_id = client.submit(SubmitParams{}).job_id;
+  EXPECT_EQ("done", client.result(acme_id).state);
+  EXPECT_EQ("done", client.result(anon_id).state);
+
+  // The drain report carries the tenant per job (omitted when default).
+  const obs::JsonValue report = client.drain();
+  const obs::JsonValue* jobs = report.find("jobs");
+  ASSERT_TRUE(jobs->isArray());
+  for (const obs::JsonValue& j : jobs->array_v) {
+    const int id = int(j.find("job_id")->num_v);
+    if (id == acme_id) {
+      ASSERT_NE(nullptr, j.find("tenant"));
+      EXPECT_EQ("acme", j.find("tenant")->str_v);
+    } else {
+      EXPECT_EQ(nullptr, j.find("tenant"));
+    }
+  }
+
+  // Terminal accounting is labeled per tenant ("" -> "default").
+  obs::MetricsRegistry& m = recorder.metrics();
+  EXPECT_EQ(1u, m.counterValue("svc.jobs.done{tenant=acme}"));
+  EXPECT_EQ(1u, m.counterValue("svc.jobs.done{tenant=default}"));
+  EXPECT_EQ(1u, m.histogramSnapshot("svc.job.e2e_host_s{tenant=acme}").count);
+  EXPECT_EQ(1u,
+            m.histogramSnapshot("svc.job.e2e_host_s{tenant=default}").count);
+  // The unlabeled aggregate still sees every job.
+  EXPECT_EQ(2u, m.histogramSnapshot("svc.job.e2e_host_s").count);
 }
 
 // ---------------------------------------------------------------------------
