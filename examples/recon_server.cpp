@@ -10,6 +10,13 @@
 //                  [--golden-equits 12] [--max-equits 10] [--sv-side 0]
 //                  [--port-file PATH] [--report svc_report.json]
 //                  [--trace PATH] [--flight-dir DIR]
+//                  [--chaos-seed N --chaos-stall-rate 0.05 ...
+//                   --chaos-devices 1,3] [--watchdog-ms 1000]
+//
+// The --chaos-* flags install a seed-driven fault plan (DESIGN.md §12) at
+// startup; any --chaos-* flag arms the heartbeat watchdog (default 1000 ms,
+// override with --watchdog-ms). The same plan can be installed or changed
+// at runtime via `reconctl chaos`.
 //
 // With --flight-dir the always-on flight recorder writes a
 // gpumbir.flight/1 dump there whenever a job fails, misses its deadline or
@@ -53,6 +60,17 @@ int main(int argc, char** argv) {
   args.describe("flight-dir",
                 "write gpumbir.flight/1 dumps here (job failures, SIGUSR1)",
                 "");
+  args.describe("chaos-seed", "fault-plan seed (with any chaos rate)", "0");
+  args.describe("chaos-launch-rate", "per-job corrupted-launch rate", "0");
+  args.describe("chaos-stall-rate", "per-job device-stall rate", "0");
+  args.describe("chaos-death-rate", "per-job device-death rate", "0");
+  args.describe("chaos-devices",
+                "devices stall/death may hit, comma-separated (empty = all)",
+                "");
+  args.describe("watchdog-ms",
+                "heartbeat watchdog limit (0 = disarmed unless chaos flags "
+                "are given)",
+                "0");
   if (args.helpRequested("Online reconstruction service (gpumbir.svc/1)."))
     return 0;
 
@@ -80,6 +98,26 @@ int main(int argc, char** argv) {
   opt.dispatch.recorder = &recorder;
   const std::string flight_dir = args.getString("flight-dir", "");
   opt.dispatch.flight_dir = flight_dir;
+  chaos::FaultPlan plan;
+  plan.seed = std::uint64_t(args.getInt("chaos-seed", 0));
+  plan.launch_fault_rate = args.getDouble("chaos-launch-rate", 0.0);
+  plan.stall_rate = args.getDouble("chaos-stall-rate", 0.0);
+  plan.death_rate = args.getDouble("chaos-death-rate", 0.0);
+  const std::string chaos_devices = args.getString("chaos-devices", "");
+  for (std::size_t i = 0; i < chaos_devices.size();) {
+    const std::size_t comma = chaos_devices.find(',', i);
+    const std::string tok = chaos_devices.substr(
+        i, comma == std::string::npos ? comma : comma - i);
+    if (!tok.empty()) plan.target_devices.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    i = comma + 1;
+  }
+  opt.dispatch.fault_plan = plan;
+  // Any chaos flag arms the watchdog: a plan without one could park a
+  // stalled device forever.
+  double watchdog_ms = args.getDouble("watchdog-ms", 0.0);
+  if (plan.enabled() && watchdog_ms <= 0.0) watchdog_ms = 1000.0;
+  opt.dispatch.watchdog_ms = watchdog_ms;
   opt.base_config.algorithm = Algorithm::kGpuIcd;
   opt.base_config.max_equits = args.getDouble("max-equits", 10.0);
   const int sv_side = args.getInt("sv-side", 0);
@@ -93,6 +131,11 @@ int main(int argc, char** argv) {
               "cap %d)\n",
               unsigned(server.port()), opt.dispatch.num_devices,
               opt.dispatch.queue_capacity);
+  if (plan.enabled())
+    std::printf("recon_server: chaos armed, seed %llu (launch %.3f / stall "
+                "%.3f / death %.3f), watchdog %.0f ms\n",
+                (unsigned long long)plan.seed, plan.launch_fault_rate,
+                plan.stall_rate, plan.death_rate, watchdog_ms);
   std::fflush(stdout);
 
   const std::string port_file = args.getString("port-file", "");
@@ -136,6 +179,11 @@ int main(int argc, char** argv) {
               (unsigned long long)rep.jobs_failed,
               (unsigned long long)rep.jobs_deadline_missed,
               rep.jobs_per_host_second, rep.host_seconds);
+  if (rep.devices_failed > 0 || rep.jobs_migrated > 0)
+    std::printf("recon_server: chaos: %llu devices failed, %llu jobs "
+                "migrated\n",
+                (unsigned long long)rep.devices_failed,
+                (unsigned long long)rep.jobs_migrated);
   if (!report_path.empty())
     std::printf("recon_server: wrote %s\n", report_path.c_str());
   return rep.jobs_failed == 0 ? 0 : 1;

@@ -1,21 +1,30 @@
 // Control CLI for a running recon_server: one verb per invocation.
 //
-//   ./reconctl <ping|submit|status|result|cancel|stats|flight|drain>
+//   ./reconctl <ping|submit|status|result|cancel|stats|flight|chaos|drain>
 //              --port N [...]
 //
 //   ./reconctl ping    --port 45123
 //   ./reconctl submit  --port 45123 --case 0 --priority 5 --deadline-ms 2000
 //   ./reconctl submit  --port 45123 --case 1 --deterministic --wait
+//   ./reconctl submit  --port 45123 --case 0 --fault launch@1 --wait
 //   ./reconctl status  --port 45123 [--job 3]
 //   ./reconctl result  --port 45123 --job 3
 //   ./reconctl cancel  --port 45123 --job 3
 //   ./reconctl stats   --port 45123 [--watch] [--interval-ms 1000] [--json]
 //   ./reconctl flight  --port 45123 --out flight.json
+//   ./reconctl chaos   --port 45123 [--seed 42 --stall-rate 0.05 ...]
 //   ./reconctl drain   --port 45123 --out svc_report.json
 //
 // --port-file PATH (as written by recon_server --port-file) can replace
-// --port everywhere. Exit code 0 = the verb succeeded (for submit: the job
-// was accepted; an admission rejection exits 2 so scripts can back off).
+// --port everywhere.
+//
+// Exit codes (scriptable — asserted by tests/reconctl_cli_test.sh):
+//   0  the verb succeeded; for submit --wait / result, the job finished
+//      done or cancelled
+//   1  transport or server error (refused connection, ok:false response,
+//      unknown verb, bad usage)
+//   2  submit only: admission rejection (queue full / draining) — back off
+//   3  submit --wait / result: the job terminated failed or deadline-missed
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -111,7 +120,9 @@ void printStats(const obs::JsonValue& s) {
     for (const obs::JsonValue& d : devices->array_v) {
       const int job = int(numField(d, "running_job", -1));
       std::printf("device %d: ", int(numField(d, "device", 0)));
-      if (job >= 0)
+      if (boolField(d, "failed", false))
+        std::printf("FAILED");
+      else if (job >= 0)
         std::printf("running job %d", job);
       else
         std::printf("idle");
@@ -142,6 +153,13 @@ void printStats(const obs::JsonValue& s) {
     std::printf("flight recorder: %lld events, %lld automatic dumps\n",
                 (long long)numField(*flight, "events_recorded", 0),
                 (long long)numField(*flight, "dumps", 0));
+  if (const obs::JsonValue* ch = s.find("chaos");
+      ch && ch->isObject() && boolField(*ch, "enabled", false))
+    std::printf("chaos: watchdog %.0f ms, devices failed %lld, jobs "
+                "migrated %lld\n",
+                numField(*ch, "watchdog_ms", 0),
+                (long long)numField(*ch, "devices_failed", 0),
+                (long long)numField(*ch, "jobs_migrated", 0));
 }
 
 void printJob(const svc::Client::JobInfo& info) {
@@ -156,6 +174,28 @@ void printJob(const svc::Client::JobInfo& info) {
     std::printf(", image %s", info.image_hash.c_str());
   if (!info.error.empty()) std::printf(", error: %s", info.error.c_str());
   std::printf("\n");
+}
+
+/// Exit code for a terminal job: a job that failed (or missed its deadline)
+/// must fail the invoking script, not exit 0 with the failure buried in
+/// stdout. Cancellation is a requested outcome, not an error.
+int terminalExit(const svc::Client::JobInfo& info) {
+  return info.state == "failed" || info.state == "deadline_missed" ? 3 : 0;
+}
+
+void printChaos(const obs::JsonValue& resp) {
+  std::printf("chaos %s, watchdog %.0f ms; devices failed %lld, jobs "
+              "migrated %lld\n",
+              boolField(resp, "enabled", false) ? "enabled" : "disabled",
+              numField(resp, "watchdog_ms", 0),
+              (long long)numField(resp, "devices_failed", 0),
+              (long long)numField(resp, "jobs_migrated", 0));
+  if (const obs::JsonValue* plan = resp.find("plan");
+      plan && plan->isObject()) {
+    obs::JsonWriter w;
+    writeJsonValue(w, *plan);
+    std::printf("plan: %s\n", w.str().c_str());
+  }
 }
 
 int run(const CliArgs& args, const std::string& verb) {
@@ -183,6 +223,7 @@ int run(const CliArgs& args, const std::string& verb) {
     p.deterministic = args.getBool("deterministic", false);
     p.name = args.getString("name", "");
     p.tenant = args.getString("tenant", "");
+    p.fault = args.getString("fault", "");
     const svc::Client::SubmitResult out = client.submit(p);
     if (!out.accepted) {
       std::fprintf(stderr, "%s: %s\n",
@@ -190,7 +231,11 @@ int run(const CliArgs& args, const std::string& verb) {
       return out.rejected ? 2 : 1;
     }
     std::printf("accepted job %d\n", out.job_id);
-    if (args.getBool("wait", false)) printJob(client.result(out.job_id));
+    if (args.getBool("wait", false)) {
+      const svc::Client::JobInfo info = client.result(out.job_id);
+      printJob(info);
+      return terminalExit(info);
+    }
     return 0;
   }
 
@@ -210,8 +255,9 @@ int run(const CliArgs& args, const std::string& verb) {
 
   if (verb == "result") {
     if (!args.has("job")) throw Error("result needs --job");
-    printJob(client.result(args.getInt("job", -1)));
-    return 0;
+    const svc::Client::JobInfo info = client.result(args.getInt("job", -1));
+    printJob(info);
+    return terminalExit(info);
   }
 
   if (verb == "cancel") {
@@ -259,6 +305,29 @@ int run(const CliArgs& args, const std::string& verb) {
     return 0;
   }
 
+  if (verb == "chaos") {
+    if (args.has("seed")) {
+      chaos::FaultPlan plan;
+      plan.seed = std::uint64_t(args.getInt("seed", 0));
+      plan.launch_fault_rate = args.getDouble("launch-rate", 0.0);
+      plan.stall_rate = args.getDouble("stall-rate", 0.0);
+      plan.death_rate = args.getDouble("death-rate", 0.0);
+      const std::string devices = args.getString("devices", "");
+      for (std::size_t i = 0; i < devices.size();) {
+        const std::size_t comma = devices.find(',', i);
+        const std::string tok =
+            devices.substr(i, comma == std::string::npos ? comma : comma - i);
+        if (!tok.empty()) plan.target_devices.push_back(std::stoi(tok));
+        if (comma == std::string::npos) break;
+        i = comma + 1;
+      }
+      printChaos(client.chaos(plan, args.getDouble("watchdog-ms", 1000.0)));
+    } else {
+      printChaos(client.chaos());
+    }
+    return 0;
+  }
+
   if (verb == "drain") {
     const obs::JsonValue report = client.drain();
     auto count = [&](const char* k) {
@@ -284,7 +353,7 @@ int run(const CliArgs& args, const std::string& verb) {
 
   std::fprintf(stderr,
                "unknown verb '%s' "
-               "(ping|submit|status|result|cancel|stats|flight|drain)\n",
+               "(ping|submit|status|result|cancel|stats|flight|chaos|drain)\n",
                verb.c_str());
   return 1;
 }
@@ -308,18 +377,27 @@ int main(int argc, char** argv) {
   args.describe("deterministic", "submit: FIFO round-robin lane", "false");
   args.describe("name", "submit: job label", "");
   args.describe("tenant", "submit: tenant label for per-tenant metrics", "");
+  args.describe("fault", "submit: forced chaos fault (launch@N|stall@N|death)",
+                "");
   args.describe("wait", "submit: block until the job finishes", "false");
   args.describe("job", "status/result/cancel: job id", "");
   args.describe("watch", "stats: refresh until interrupted", "false");
   args.describe("interval-ms", "stats --watch: refresh period", "1000");
   args.describe("json", "stats: print the raw svc_stats document", "false");
   args.describe("out", "drain/flight: write the JSON document here", "");
+  args.describe("seed", "chaos: install a plan with this seed", "");
+  args.describe("launch-rate", "chaos: per-job corrupted-launch rate", "0");
+  args.describe("stall-rate", "chaos: per-job device-stall rate", "0");
+  args.describe("death-rate", "chaos: per-job device-death rate", "0");
+  args.describe("devices", "chaos: target devices, comma-separated "
+                "(empty = all)", "");
+  args.describe("watchdog-ms", "chaos: heartbeat watchdog limit", "1000");
   if (args.helpRequested("Control a running recon_server (gpumbir.svc/1)."))
     return 0;
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: reconctl "
-                 "<ping|submit|status|result|cancel|stats|flight|drain> "
+                 "<ping|submit|status|result|cancel|stats|flight|chaos|drain> "
                  "--port N [options]\n");
     return 1;
   }

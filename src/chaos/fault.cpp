@@ -1,0 +1,190 @@
+#include "chaos/fault.h"
+
+#include <utility>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "obs/json.h"
+
+namespace mbir::chaos {
+
+const char* faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kLaunchFault: return "launch";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kDeath: return "death";
+  }
+  return "?";
+}
+
+JobFault parseFaultSpec(const std::string& spec) {
+  JobFault f;
+  if (spec.empty()) return f;
+  std::string kind = spec;
+  const std::size_t at = spec.find('@');
+  if (at != std::string::npos) {
+    kind = spec.substr(0, at);
+    const std::string idx = spec.substr(at + 1);
+    MBIR_CHECK_MSG(!idx.empty() &&
+                       idx.find_first_not_of("0123456789") == std::string::npos,
+                   "bad fault spec event index: '" << spec << "'");
+    f.at_event = std::stoull(idx);
+  }
+  if (kind == "launch") {
+    f.kind = FaultKind::kLaunchFault;
+  } else if (kind == "stall") {
+    f.kind = FaultKind::kStall;
+  } else if (kind == "death") {
+    MBIR_CHECK_MSG(at == std::string::npos,
+                   "death takes no event index: '" << spec << "'");
+    f.kind = FaultKind::kDeath;
+  } else {
+    MBIR_CHECK_MSG(false, "unknown fault spec '"
+                              << spec
+                              << "' (want launch@N | stall@N | death)");
+  }
+  return f;
+}
+
+std::string faultSpecString(const JobFault& f) {
+  switch (f.kind) {
+    case FaultKind::kNone: return "";
+    case FaultKind::kLaunchFault:
+      return "launch@" + std::to_string(f.at_event);
+    case FaultKind::kStall: return "stall@" + std::to_string(f.at_event);
+    case FaultKind::kDeath: return "death";
+  }
+  return "";
+}
+
+bool FaultPlan::targetsDevice(int device) const {
+  if (target_devices.empty()) return true;
+  for (int d : target_devices)
+    if (d == device) return true;
+  return false;
+}
+
+void FaultPlan::validate() const {
+  MBIR_CHECK_MSG(launch_fault_rate >= 0.0 && launch_fault_rate <= 1.0,
+                 "launch_fault_rate=" << launch_fault_rate);
+  MBIR_CHECK_MSG(stall_rate >= 0.0 && stall_rate <= 1.0,
+                 "stall_rate=" << stall_rate);
+  MBIR_CHECK_MSG(death_rate >= 0.0 && death_rate <= 1.0,
+                 "death_rate=" << death_rate);
+  MBIR_CHECK_MSG(launch_fault_rate + stall_rate + death_rate <= 1.0,
+                 "fault rates sum to > 1");
+}
+
+void FaultPlan::writeJson(obs::JsonWriter& w) const {
+  w.beginObject();
+  w.kv("seed", std::uint64_t(seed));
+  w.kv("launch_fault_rate", launch_fault_rate);
+  w.kv("stall_rate", stall_rate);
+  w.kv("death_rate", death_rate);
+  w.key("target_devices").beginArray();
+  for (int d : target_devices) w.value(d);
+  w.endArray();
+  w.endObject();
+}
+
+std::string FaultPlan::toJson() const {
+  obs::JsonWriter w;
+  writeJson(w);
+  return w.str();
+}
+
+FaultPlan FaultPlan::fromJson(const obs::JsonValue& doc) {
+  MBIR_CHECK_MSG(doc.isObject(), "fault plan must be a JSON object");
+  FaultPlan p;
+  if (const obs::JsonValue* v = doc.find("seed"))
+    p.seed = std::uint64_t(v->asNumber());
+  if (const obs::JsonValue* v = doc.find("launch_fault_rate"))
+    p.launch_fault_rate = v->asNumber();
+  if (const obs::JsonValue* v = doc.find("stall_rate"))
+    p.stall_rate = v->asNumber();
+  if (const obs::JsonValue* v = doc.find("death_rate"))
+    p.death_rate = v->asNumber();
+  if (const obs::JsonValue* v = doc.find("target_devices")) {
+    MBIR_CHECK_MSG(v->isArray(), "target_devices must be an array");
+    for (const obs::JsonValue& d : v->array_v)
+      p.target_devices.push_back(int(d.asNumber()));
+  }
+  p.validate();
+  return p;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+}
+
+JobFault FaultInjector::jobFault(int job_id) const {
+  JobFault f;
+  if (!plan_.enabled()) return f;
+  // One keyed stream per job: the decision depends only on (seed, job_id),
+  // never on how many decisions were made before it. Stream tag 0xFA17
+  // ("fault") keeps chaos draws disjoint from the engines' per-SV streams.
+  Rng rng = Rng::forStream(plan_.seed, std::uint64_t(job_id), 0xFA17);
+  const double u = rng.uniform();
+  double edge = plan_.launch_fault_rate;
+  if (u < edge) {
+    f.kind = FaultKind::kLaunchFault;
+  } else if (u < (edge += plan_.stall_rate)) {
+    f.kind = FaultKind::kStall;
+  } else if (u < (edge += plan_.death_rate)) {
+    f.kind = FaultKind::kDeath;
+    return f;  // at_event is meaningless for death
+  } else {
+    return f;
+  }
+  // Fire within the first few execution events so even ~1-equit jobs reach
+  // their fault point; the exact offset is itself seed-deterministic.
+  f.at_event = rng.below(4);
+  return f;
+}
+
+void DeviceChaos::abandon() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abandoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool DeviceChaos::abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abandoned_;
+}
+
+void DeviceChaos::waitAbandoned() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return abandoned_; });
+}
+
+void JobFaultHook::onEvent(const char* what, std::uint64_t index) {
+  (void)index;  // fire points count all events of this run, not per-kind
+  const std::uint64_t event = events_++;
+  if (!fault_.none() && !fired_.load(std::memory_order_relaxed) &&
+      event >= fault_.at_event) {
+    fired_.store(true, std::memory_order_release);
+    switch (fault_.kind) {
+      case FaultKind::kLaunchFault:
+        throw gsim::LaunchFault(what, event, device_);
+      case FaultKind::kStall:
+        // The device freezes: no more heartbeats, the run parks until the
+        // watchdog abandons the device, then unwinds as DeviceLost so the
+        // dispatcher can migrate the job.
+        stalled_.store(true, std::memory_order_release);
+        MBIR_CHECK_MSG(channel_ != nullptr,
+                       "stall fault dispatched without a chaos channel");
+        channel_->waitAbandoned();
+        throw gsim::DeviceLost(device_);
+      case FaultKind::kDeath:
+      case FaultKind::kNone:
+        break;  // death is modeled at dispatch; none unreachable
+    }
+  }
+  if (channel_ != nullptr) channel_->beat();
+}
+
+}  // namespace mbir::chaos

@@ -88,6 +88,7 @@ struct GpuIcd::Impl {
     sim.setSpanContext(opt.span);
     sim.setRaceCheck(opt.race_check);
     sim.setSimdMode(opt.simd);
+    sim.setFaultHook(opt.fault_hook);
     if (sim.raceCheckOn()) {
       gsim::RaceDetector& rd = sim.raceDetector();
       rb_image = rd.bufferId("image");

@@ -78,6 +78,10 @@ struct GpuIcdOptions {
   /// bit-identical, so this is purely a wall-clock knob; forcing kAvx2 on a
   /// host that cannot run it throws at construction.
   gsim::SimdMode simd = gsim::SimdMode::kDefault;
+  /// Fault-injection hook (nullptr = none, gsim/fault.h): forwarded to the
+  /// simulator so chaos testing can corrupt, stall, or kill this run at a
+  /// deterministic launch boundary. Borrowed; scoped to the run.
+  gsim::FaultHook* fault_hook = nullptr;
 };
 
 struct GpuIterationInfo {

@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "core/thread_pool.h"
+#include "gsim/fault.h"
 #include "obs/obs.h"
 #include "obs/span.h"
 
@@ -76,6 +77,14 @@ void GpuSimulator::setRecorder(obs::Recorder* rec) {
 LaunchReport GpuSimulator::launch(const LaunchConfig& cfg,
                                   const std::function<void(BlockCtx&)>& kernel) {
   MBIR_CHECK(cfg.num_blocks >= 1);
+  // Fault seam: fires before any block is scheduled or time is accounted,
+  // so a thrown LaunchFault leaves the simulator's totals untouched. The
+  // sequence number advances even when the hook throws — "the 4th launch"
+  // means the 4th attempted launch on every replay.
+  if (fault_hook_ != nullptr) {
+    const std::uint64_t seq = launch_seq_++;
+    fault_hook_->onEvent(("launch:" + cfg.name).c_str(), seq);
+  }
   LaunchReport report;
   report.occupancy = computeOccupancy(dev_, cfg.resources);
 

@@ -197,6 +197,8 @@ struct LaunchReport {
   KernelTime time;
 };
 
+class FaultHook;  // gsim/fault.h
+
 /// Aggregated per-kernel-name totals.
 struct NamedTotals {
   KernelStats stats;
@@ -259,6 +261,14 @@ class GpuSimulator {
   /// launches it covers. Purely observational.
   void setSpanContext(const obs::JobSpanContext* span) { span_ = span; }
 
+  /// Fault-injection hook (nullptr = none, the default): called at the top
+  /// of every launch with "launch:<kernel>" and this simulator's launch
+  /// sequence number, *before* any block runs. The hook may throw
+  /// (LaunchFault — the launch is accounted as never having happened) or
+  /// block (a stalled device). Borrowed; scoped to one job run by the
+  /// scheduler layers. See gsim/fault.h.
+  void setFaultHook(FaultHook* hook) { fault_hook_ = hook; }
+
   /// Run every block of the kernel functionally (concurrently across host
   /// threads); model and accumulate time. The report is invariant to the
   /// host thread count: each block profiles into its own KernelProfiler and
@@ -299,6 +309,8 @@ class GpuSimulator {
   obs::Recorder* rec_ = nullptr;
   int trace_pid_ = 0;
   const obs::JobSpanContext* span_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
+  std::uint64_t launch_seq_ = 0;
   Instruments inst_;
   KernelStats total_stats_;
   double total_seconds_ = 0.0;

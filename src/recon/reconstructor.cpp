@@ -4,6 +4,7 @@
 
 #include "core/timer.h"
 #include "gsim/cpu_model.h"
+#include "gsim/fault.h"
 #include "obs/flight.h"
 #include "icd/convergence.h"
 #include "recon/run_report.h"
@@ -77,6 +78,12 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
   double prev_modeled_s = 0.0;
   const auto track = [&](const Image2D& x, double equits,
                          double modeled_seconds) -> bool {
+    // Fault seam, before the cancel check so fault firing points depend
+    // only on the iteration count, never on cancel timing. All three
+    // engines pass through here, so iteration boundaries are the
+    // engine-agnostic heartbeat the chaos watchdog listens to.
+    if (config.fault_hook != nullptr)
+      config.fault_hook->onEvent("iteration", std::uint64_t(track_iter));
     if (config.cancel && config.cancel->load(std::memory_order_acquire)) {
       result.cancelled = true;
       return false;  // stop; partial image/curve up to here is kept
@@ -180,6 +187,7 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
       opt.recorder = rec;
       opt.simd = config.simd;
       opt.span = config.span;
+      opt.fault_hook = config.fault_hook;
       if (config.trace_pid != 0) opt.trace_pid = config.trace_pid;
       if (config.scale_gpu_caches) {
         // SVB size scales with views (see gsim::scaleCachesToProblem docs).

@@ -71,6 +71,12 @@ struct RunConfig {
   /// wall-clock — never results. The resolved path lands in
   /// RunResult::simd_path and every report that embeds a config.
   SimdMode simd = SimdMode::kDefault;
+  /// Fault-injection hook (nullptr = none, gsim/fault.h): called at every
+  /// iteration boundary for all three engines (the chaos watchdog's
+  /// heartbeat) and, for the GPU engine, additionally before every
+  /// simulated launch. May throw or block; reconstruct() lets thrown
+  /// faults unwind to the scheduler layer. Borrowed; scoped to the run.
+  gsim::FaultHook* fault_hook = nullptr;
 };
 
 struct ConvergencePoint {

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <thread>
 
+#include "chaos/fault.h"
 #include "core/error.h"
 #include "core/timer.h"
 #include "obs/json.h"
@@ -55,6 +56,7 @@ double runJobOnDevice(const DeviceRunContext& ctx, const OwnedProblem& problem,
   rc.external_recorder = rec;
   rc.trace_pid = ctx.trace_pid;
   rc.span = ctx.span;
+  if (ctx.fault_hook) rc.fault_hook = ctx.fault_hook;
   if (ctx.host_pool && !rc.gpu.host_pool) rc.gpu.host_pool = ctx.host_pool;
   try {
     r.run = reconstruct(problem, golden, rc);
@@ -165,9 +167,21 @@ void BatchScheduler::driveDevice(int device) {
     span.trace_pid = ctx.trace_pid;
     span.host_tid = device + 1;  // host-clock lane per device; 0 = control
     ctx.span = &span;
+    // Offline chaos: launch faults only (no watchdog to resolve a stall or
+    // death — see SchedulerOptions::injector). The hook lives on this
+    // frame, scoped to exactly this run.
+    chaos::JobFault fault;
+    if (opt_.injector != nullptr) {
+      fault = opt_.injector->jobFault(r.job_id);
+      if (fault.kind != chaos::FaultKind::kLaunchFault)
+        fault = chaos::JobFault{};
+    }
+    chaos::JobFaultHook hook(fault, device, r.job_id, /*channel=*/nullptr);
+    ctx.fault_hook = fault.none() ? nullptr : &hook;
     clock_s = runJobOnDevice(ctx, *job.problem, *job.golden, job.config,
                              job.cancel_flag, clock_s, r);
     ctx.span = nullptr;
+    ctx.fault_hook = nullptr;
 
     if (inst.completed) {
       inst.completed->add();

@@ -35,6 +35,10 @@
 
 #include "recon/reconstructor.h"
 
+namespace mbir::chaos {
+class FaultInjector;  // chaos/fault.h
+}
+
 namespace mbir::sched {
 
 struct SchedulerOptions {
@@ -51,6 +55,13 @@ struct SchedulerOptions {
   /// Trace pid of device 0; device d renders as pid base_trace_pid + d
   /// (pids 1/2 are the builtin host/modeled clock processes).
   int base_trace_pid = 10;
+  /// Seed-driven fault injection (nullptr = off, chaos/fault.h). The batch
+  /// scheduler honors *launch* faults only — its device drivers have no
+  /// watchdog, so stall/death decisions are ignored offline (the online
+  /// dispatcher, src/svc, models all three). Borrowed; must outlive
+  /// runAll(). The fault schedule depends only on (plan seed, job id), so
+  /// the same plan replays identically online and offline.
+  const chaos::FaultInjector* injector = nullptr;
 };
 
 /// Outcome of one job. Stable address once runAll() starts (futures resolve
@@ -113,6 +124,10 @@ struct DeviceRunContext {
   /// gsim so every span of the job — job, iterations, launches — shares
   /// the job's identity and host-clock device lane. Purely observational.
   const obs::JobSpanContext* span = nullptr;
+  /// Fault-injection hook for this run (nullptr = none, gsim/fault.h):
+  /// overrides the job config's hook so the dispatch layer owns fault
+  /// scoping. Set per runJobOnDevice call, like `span`.
+  gsim::FaultHook* fault_hook = nullptr;
 };
 
 /// Run one job on a simulated device: applies the context to the job's

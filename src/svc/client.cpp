@@ -208,6 +208,32 @@ obs::JsonValue Client::flight(const std::string& reason) {
   return *flight;
 }
 
+obs::JsonValue Client::chaos() {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", kProtocolSchema);
+  w.kv("verb", "chaos");
+  w.endObject();
+  return callChecked(w.str(), "chaos");
+}
+
+obs::JsonValue Client::chaos(const chaos::FaultPlan& plan, double watchdog_ms) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", kProtocolSchema);
+  w.kv("verb", "chaos");
+  w.kv("seed", std::int64_t(plan.seed));
+  w.kv("launch_fault_rate", plan.launch_fault_rate);
+  w.kv("stall_rate", plan.stall_rate);
+  w.kv("death_rate", plan.death_rate);
+  w.key("target_devices").beginArray();
+  for (int d : plan.target_devices) w.value(d);
+  w.endArray();
+  w.kv("watchdog_ms", watchdog_ms);
+  w.endObject();
+  return callChecked(w.str(), "chaos");
+}
+
 obs::JsonValue Client::drain() {
   obs::JsonWriter w;
   w.beginObject();

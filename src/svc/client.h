@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "chaos/fault.h"
 #include "geom/image.h"
 #include "obs/json.h"
 #include "svc/protocol.h"
@@ -95,6 +96,13 @@ class Client {
 
   /// Flight-recorder dump: the parsed gpumbir.flight/1 document.
   obs::JsonValue flight(const std::string& reason = "flight verb");
+
+  /// Chaos admin verb: with a plan, install it (plus watchdog) on the
+  /// server; without one, read back the active plan and fault counters.
+  /// Returns the parsed response (enabled / watchdog_ms / devices_failed /
+  /// jobs_migrated / plan).
+  obs::JsonValue chaos();
+  obs::JsonValue chaos(const chaos::FaultPlan& plan, double watchdog_ms);
 
   /// Drain the service; returns the parsed gpumbir.svc_report/1 document.
   obs::JsonValue drain();

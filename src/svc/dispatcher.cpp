@@ -76,9 +76,16 @@ Dispatcher::Dispatcher(DispatcherOptions options)
       flight_(opt_.num_devices, opt_.flight_capacity) {
   MBIR_CHECK_MSG(opt_.num_devices >= 1, "dispatcher needs at least one device");
   MBIR_CHECK_MSG(opt_.queue_capacity >= 1, "queue capacity must be >= 1");
+  opt_.fault_plan.validate();
   det_lane_.resize(std::size_t(opt_.num_devices));
   device_clock_.assign(std::size_t(opt_.num_devices), 0.0);
   device_running_.assign(std::size_t(opt_.num_devices), -1);
+  device_failed_.assign(std::size_t(opt_.num_devices), 0);
+  chaos_dev_.resize(std::size_t(opt_.num_devices));
+  plan_ = opt_.fault_plan;
+  watchdog_ms_ = opt_.watchdog_ms;
+  if (plan_.enabled())
+    injector_ = std::make_shared<const chaos::FaultInjector>(plan_);
 
   obs::Recorder* rec = opt_.recorder;
   if (rec && rec->metricsOn()) {
@@ -94,6 +101,8 @@ Dispatcher::Dispatcher(DispatcherOptions options)
     inst_.service_time = &m.histogram("svc.job.service_host_s");
     inst_.e2e = &m.histogram("svc.job.e2e_host_s");
     inst_.flight_dumps = &m.counter("svc.flight.dumps");
+    inst_.device_failed = &m.counter("sched.device.failed");
+    inst_.migrated = &m.counter("svc.jobs.migrated");
     m.gauge("svc.devices").set(double(opt_.num_devices));
     m.gauge("svc.queue.capacity").set(double(opt_.queue_capacity));
   }
@@ -115,22 +124,59 @@ Dispatcher::Dispatcher(DispatcherOptions options)
   devices_.reserve(std::size_t(opt_.num_devices));
   for (int d = 0; d < opt_.num_devices; ++d)
     devices_.emplace_back([this, d] { deviceLoop(d); });
+  watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 Dispatcher::~Dispatcher() {
   std::lock_guard drain_lock(drain_mu_);
-  if (joined_) return;
+  if (!joined_) {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+      // Hard stop: running jobs get the cooperative flag so the device
+      // threads return at the next iteration boundary; queued jobs never run.
+      for (Job& job : jobs_)
+        if (!isTerminal(job.state)) job.cancel.store(true, std::memory_order_release);
+      cv_work_.notify_all();
+    }
+    // Wake any run parked on a chaos channel (stalled or dead device) so
+    // its device thread can unwind and exit; nothing dispatches again.
+    for (chaos::DeviceChaos& ch : chaos_dev_) ch.abandon();
+    for (std::thread& t : devices_) t.join();
+    joined_ = true;
+  }
+  stopWatchdog();
+}
+
+void Dispatcher::stopWatchdog() {
+  if (!watchdog_.joinable()) return;
   {
     std::lock_guard lock(mu_);
-    stop_ = true;
-    // Hard stop: running jobs get the cooperative flag so the device
-    // threads return at the next iteration boundary; queued jobs never run.
-    for (Job& job : jobs_)
-      if (!isTerminal(job.state)) job.cancel.store(true, std::memory_order_release);
-    cv_work_.notify_all();
+    watchdog_exit_ = true;
   }
-  for (std::thread& t : devices_) t.join();
-  joined_ = true;
+  cv_watchdog_.notify_all();
+  watchdog_.join();
+}
+
+void Dispatcher::setFaultPlan(const chaos::FaultPlan& plan, double watchdog_ms) {
+  plan.validate();
+  std::lock_guard lock(mu_);
+  plan_ = plan;
+  watchdog_ms_ = watchdog_ms;
+  injector_ = plan_.enabled()
+                  ? std::make_shared<const chaos::FaultInjector>(plan_)
+                  : nullptr;
+  cv_watchdog_.notify_all();
+}
+
+chaos::FaultPlan Dispatcher::faultPlan() const {
+  std::lock_guard lock(mu_);
+  return plan_;
+}
+
+double Dispatcher::watchdogMs() const {
+  std::lock_guard lock(mu_);
+  return watchdog_ms_;
 }
 
 SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
@@ -149,6 +195,13 @@ SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
   if (queued_ >= opt_.queue_capacity) {
     out.reason = "admission queue full (" +
                  std::to_string(opt_.queue_capacity) + " queued)";
+    ++rejected_;
+    if (inst_.rejected) inst_.rejected->add();
+    return out;
+  }
+  if (devices_failed_ >= std::uint64_t(opt_.num_devices)) {
+    out.reason = "no surviving devices (all " +
+                 std::to_string(opt_.num_devices) + " failed)";
     ++rejected_;
     if (inst_.rejected) inst_.rejected->add();
     return out;
@@ -178,7 +231,15 @@ SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
   job.span.flight = &flight_;
   if (spec.deterministic) {
     job.det_seq = det_count_++;
-    det_lane_[std::size_t(job.det_seq % opt_.num_devices)].push_back(id);
+    int lane = job.det_seq % opt_.num_devices;
+    if (device_failed_[std::size_t(lane)]) {
+      // The natural lane is dead; re-key onto the survivors (non-empty:
+      // all-failed submits were rejected above). Deterministic given the
+      // same failure state — and results never depend on the device.
+      const std::vector<int> survivors = survivorsLocked();
+      lane = survivors[std::size_t(job.det_seq) % survivors.size()];
+    }
+    det_lane_[std::size_t(lane)].push_back(id);
   } else {
     prio_pending_.push_back(id);
   }
@@ -371,7 +432,10 @@ void Dispatcher::finalizeQueuedLocked(Job& job, JobState state) {
 
 void Dispatcher::noteTerminalLocked(Job& job) {
   ++finished_;
-  if (job.dispatch_seq >= 0) device_running_[std::size_t(job.device)] = -1;
+  // device may be -1 for a once-dispatched job that was migrated off a
+  // failed device and finalized from the queue.
+  if (job.dispatch_seq >= 0 && job.device >= 0)
+    device_running_[std::size_t(job.device)] = -1;
   switch (job.state) {
     case JobState::kDone:
       if (inst_.done) inst_.done->add();
@@ -415,31 +479,180 @@ void Dispatcher::noteTerminalLocked(Job& job) {
     fev.detail = job.result.error.empty() ? tenantLabel(job.spec.tenant)
                                           : job.result.error;
     fev.value = job.e2e_host_s;
-    const int lane = job.dispatch_seq >= 0
+    const int lane = job.dispatch_seq >= 0 && job.device >= 0
                          ? obs::FlightRecorder::deviceLane(job.device)
                          : obs::FlightRecorder::kControlLane;
     flight_.record(lane, std::move(fev));
   }
+  // In drain mode device threads only exit once everything is terminal
+  // (a migration can put work back in the queue after it looked empty).
+  if (draining_ && queued_ == 0 && running_ == 0) cv_work_.notify_all();
   cv_done_.notify_all();
 }
 
 void Dispatcher::requestFlightDumpLocked(const Job& job) {
-  pending_flight_.emplace_back(job.id, std::string(jobStateName(job.state)));
+  const std::string reason = jobStateName(job.state);
+  pending_flight_.emplace_back(reason + "_job" + std::to_string(job.id),
+                               reason + " job " + std::to_string(job.id));
   ++flight_dumps_;
   if (inst_.flight_dumps) inst_.flight_dumps->add();
 }
 
 void Dispatcher::flushFlightDumps() {
-  std::vector<std::pair<int, std::string>> pending;
+  std::vector<std::pair<std::string, std::string>> pending;
   {
     std::lock_guard lock(mu_);
     pending.swap(pending_flight_);
   }
   if (opt_.flight_dir.empty()) return;
-  for (const auto& [id, reason] : pending)
-    flight_.writeFile(opt_.flight_dir + "/flight_" + reason + "_job" +
-                          std::to_string(id) + ".json",
-                      reason + " job " + std::to_string(id));
+  for (const auto& [stem, reason] : pending)
+    flight_.writeFile(opt_.flight_dir + "/flight_" + stem + ".json", reason);
+}
+
+std::vector<int> Dispatcher::survivorsLocked() const {
+  std::vector<int> alive;
+  for (int d = 0; d < opt_.num_devices; ++d)
+    if (!device_failed_[std::size_t(d)]) alive.push_back(d);
+  return alive;
+}
+
+void Dispatcher::requeueLocked(Job& job) {
+  const std::vector<int> survivors = survivorsLocked();
+  if (survivors.empty()) {
+    // Nothing left to run it on: the migration dead-ends as a failure so
+    // the job still reaches exactly one terminal state and drain() cannot
+    // hang waiting for it.
+    job.result.error = "no surviving devices";
+    job.state = JobState::kFailed;
+    job.e2e_host_s =
+        secondsBetween(job.admit_tp, std::chrono::steady_clock::now());
+    job.device = -1;
+    noteTerminalLocked(job);
+    return;
+  }
+  job.state = JobState::kQueued;
+  job.device = -1;
+  ++queued_;
+  queue_depth_max_ = std::max(queue_depth_max_, queued_);
+  if (inst_.queue_depth) inst_.queue_depth->set(double(queued_));
+  if (job.spec.deterministic) {
+    // Survivor choice is keyed by the det sequence number, so the same
+    // failure sequence re-lanes the same way on every replay. Appending
+    // keeps each lane in submission order among migrated jobs.
+    det_lane_[std::size_t(survivors[std::size_t(job.det_seq) %
+                                    survivors.size()])]
+        .push_back(job.id);
+  } else {
+    prio_pending_.push_back(job.id);
+  }
+  cv_work_.notify_all();
+}
+
+void Dispatcher::migrateLocked(Job& job, int from_device) {
+  ++job.migrations;
+  ++jobs_migrated_;
+  if (inst_.migrated) inst_.migrated->add();
+  {
+    obs::FlightEvent fev;
+    fev.job_id = job.id;
+    fev.kind = "migrate";
+    fev.detail = "off failed device " + std::to_string(from_device);
+    fev.value = double(job.migrations);
+    flight_.record(obs::FlightRecorder::deviceLane(from_device),
+                   std::move(fev));
+  }
+}
+
+void Dispatcher::declareDeviceFailedLocked(int device,
+                                           const std::string& reason) {
+  if (device_failed_[std::size_t(device)]) return;
+  device_failed_[std::size_t(device)] = 1;
+  ++devices_failed_;
+  if (inst_.device_failed) inst_.device_failed->add();
+  {
+    obs::FlightEvent fev;
+    fev.job_id = device_running_[std::size_t(device)];  // -1 when idle
+    fev.kind = "device_failed";
+    fev.detail = reason;
+    fev.value = double(device);
+    flight_.record(obs::FlightRecorder::deviceLane(device), std::move(fev));
+  }
+  pending_flight_.emplace_back("device_failed_dev" + std::to_string(device),
+                               "device " + std::to_string(device) +
+                                   " failed: " + reason);
+  ++flight_dumps_;
+  if (inst_.flight_dumps) inst_.flight_dumps->add();
+
+  // Re-lane the dead device's queued deterministic jobs onto the survivors
+  // in submission order. Its running job (if any) is migrated by the device
+  // thread itself once the abandoned run unwinds — the run owns job.result.
+  std::deque<int> lane;
+  lane.swap(det_lane_[std::size_t(device)]);
+  for (int id : lane) {
+    Job& job = jobs_[std::size_t(id)];
+    migrateLocked(job, device);
+    --queued_;  // requeueLocked re-adds (or finalizes via the queued path)
+    requeueLocked(job);
+  }
+  if (survivorsLocked().empty()) {
+    // Total outage: nothing queued can ever run. Fail the priority lane
+    // out so every job still terminates and drain() returns.
+    std::vector<int> pend;
+    pend.swap(prio_pending_);
+    for (int id : pend) {
+      Job& job = jobs_[std::size_t(id)];
+      job.result.error = "no surviving devices";
+      finalizeQueuedLocked(job, JobState::kFailed);
+    }
+  }
+  // Wake a run parked on this device (stall/death) and any device thread
+  // waiting for work.
+  chaos_dev_[std::size_t(device)].abandon();
+  cv_work_.notify_all();
+}
+
+void Dispatcher::watchdogLoop() {
+  std::unique_lock lock(mu_);
+  const int D = opt_.num_devices;
+  std::vector<std::uint64_t> last_beat(std::size_t(D), 0);
+  std::vector<std::chrono::steady_clock::time_point> last_progress(
+      std::size_t(D), std::chrono::steady_clock::now());
+  while (!stop_ && !watchdog_exit_) {
+    if (watchdog_ms_ <= 0.0) {
+      // Disarmed: sleep until a plan install arms us (or teardown).
+      cv_watchdog_.wait(lock);
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& t : last_progress) t = now;
+      continue;
+    }
+    cv_watchdog_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(
+                  std::max(5.0, watchdog_ms_ / 4.0)));
+    if (stop_ || watchdog_exit_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (int d = 0; d < D; ++d) {
+      if (device_failed_[std::size_t(d)]) continue;
+      const int running = device_running_[std::size_t(d)];
+      const std::uint64_t beats = chaos_dev_[std::size_t(d)].beats();
+      // Only a device running a chaos-monitored (heartbeating) job can go
+      // silent; idle devices and unmonitored runs always count as live.
+      if (running < 0 || !jobs_[std::size_t(running)].hooked ||
+          beats != last_beat[std::size_t(d)]) {
+        last_beat[std::size_t(d)] = beats;
+        last_progress[std::size_t(d)] = now;
+        continue;
+      }
+      const double silent_ms =
+          std::chrono::duration<double, std::milli>(
+              now - last_progress[std::size_t(d)])
+              .count();
+      if (silent_ms > watchdog_ms_)
+        declareDeviceFailedLocked(
+            d, "watchdog: no heartbeat for " +
+                   std::to_string(int(silent_ms)) + " ms (limit " +
+                   std::to_string(int(watchdog_ms_)) + " ms)");
+    }
+  }
 }
 
 void Dispatcher::deviceLoop(int device) {
@@ -453,44 +666,103 @@ void Dispatcher::deviceLoop(int device) {
 
   while (true) {
     Job* job = nullptr;
+    chaos::JobFault fault;
     {
       std::unique_lock lock(mu_);
       cv_work_.wait(lock, [&] {
-        if (stop_) return true;
+        if (stop_ || device_failed_[std::size_t(device)]) return true;
         job = pickJobLocked(device);
         if (job) return true;
-        return draining_ && queued_ == 0;
+        // A migration can put work back after the queue looked empty, so
+        // drain-mode exit also requires that nothing is still running.
+        return draining_ && queued_ == 0 && running_ == 0;
       });
-      if (stop_ || !job) break;
+      if (stop_ || device_failed_[std::size_t(device)] || !job) break;
+      // Resolve this run's fault while the plan cannot change under us.
+      // Forced per-job faults (spec.fault) fire anywhere; plan-decided
+      // faults respect the plan's target-device set. One fault per job:
+      // a migrated job's re-run is clean, so migration always converges.
+      fault = job->spec.fault;
+      if (fault.none() && injector_ != nullptr &&
+          plan_.targetsDevice(device))
+        fault = injector_->jobFault(job->id);
+      if (job->fault_fired) fault = chaos::JobFault{};
+      if ((fault.kind == chaos::FaultKind::kStall ||
+           fault.kind == chaos::FaultKind::kDeath) &&
+          watchdog_ms_ <= 0.0)
+        fault = chaos::JobFault{};  // no watchdog to notice: would hang forever
+      // The watchdog only monitors runs that carry a heartbeating hook.
+      job->hooked = injector_ != nullptr || !job->spec.fault.none();
     }
     // Deadline-miss finalizations inside pickJobLocked may have requested
     // dumps; write them before the (long) run, off the lock.
     flushFlightDumps();
 
+    if (fault.kind == chaos::FaultKind::kDeath) {
+      // The device dies before the kernel ever starts: no heartbeats, so
+      // the watchdog declares it failed and abandon() releases us; the job
+      // migrates untouched to a survivor.
+      chaos_dev_[std::size_t(device)].waitAbandoned();
+      {
+        std::lock_guard lock(mu_);
+        job->fault_fired = true;
+        device_running_[std::size_t(device)] = -1;
+        --running_;
+        migrateLocked(*job, device);
+        requeueLocked(*job);
+      }
+      flushFlightDumps();
+      break;  // this device is gone (or the dispatcher is tearing down)
+    }
+
     const WallTimer service_wall;
+    chaos::JobFaultHook hook(fault, device, job->id,
+                             &chaos_dev_[std::size_t(device)]);
     ctx.span = &job->span;
+    ctx.fault_hook = job->hooked ? &hook : nullptr;
     clock_s = sched::runJobOnDevice(ctx, *job->spec.problem, *job->spec.golden,
                                     job->spec.config, job->cancel, clock_s,
                                     job->result);
     ctx.span = nullptr;
+    ctx.fault_hook = nullptr;
 
+    bool device_gone = false;
     {
       std::lock_guard lock(mu_);
-      device_clock_[std::size_t(device)] = clock_s;
-      job->service_host_s = service_wall.seconds();
-      job->e2e_host_s = job->queue_wait_host_s + job->service_host_s;
-      const sched::JobResult& r = job->result;
-      if (!r.failed && r.run.image.numVoxels() > 0) {
-        job->has_image = true;
-        job->image_hash = fnv1a64(r.run.image.flat());
+      if (hook.fired()) job->fault_fired = true;
+      device_gone = device_failed_[std::size_t(device)] != 0;
+      if (device_gone && hook.stalled()) {
+        // The run froze mid-kernel, the watchdog declared the device dead,
+        // and abandon() unwound it via DeviceLost: the outcome is void.
+        // Reset the result so the survivor's re-run starts clean.
+        const std::string name = job->result.name;
+        job->result = sched::JobResult{};
+        job->result.job_id = job->id;
+        job->result.name = name;
+        job->has_image = false;
+        job->image_hash = 0;
+        device_running_[std::size_t(device)] = -1;
+        --running_;
+        migrateLocked(*job, device);
+        requeueLocked(*job);
+      } else {
+        device_clock_[std::size_t(device)] = clock_s;
+        job->service_host_s = service_wall.seconds();
+        job->e2e_host_s = job->queue_wait_host_s + job->service_host_s;
+        const sched::JobResult& r = job->result;
+        if (!r.failed && r.run.image.numVoxels() > 0) {
+          job->has_image = true;
+          job->image_hash = fnv1a64(r.run.image.flat());
+        }
+        job->state = r.failed      ? JobState::kFailed
+                     : r.cancelled ? JobState::kCancelled
+                                   : JobState::kDone;
+        --running_;
+        noteTerminalLocked(*job);
       }
-      job->state = r.failed      ? JobState::kFailed
-                   : r.cancelled ? JobState::kCancelled
-                                 : JobState::kDone;
-      --running_;
-      noteTerminalLocked(*job);
     }
     flushFlightDumps();
+    if (device_gone) break;
   }
   flushFlightDumps();
 }
@@ -509,6 +781,12 @@ JobStatus Dispatcher::snapshotLocked(const Job& job) const {
   s.queue_wait_host_s = job.queue_wait_host_s;
   s.service_host_s = job.service_host_s;
   s.e2e_host_s = job.e2e_host_s;
+  s.migrations = job.migrations;
+  if (isTerminal(job.state)) {
+    // The error is set under the lock even for jobs that never dispatched
+    // (queue finalizations: deadline misses, dead-ended migrations).
+    s.error = job.result.error;
+  }
   if (isTerminal(job.state) && job.dispatch_seq >= 0) {
     // Run-outcome fields are written off-lock during the run; they are
     // published by the terminal-state transition (which holds the lock).
@@ -517,7 +795,6 @@ JobStatus Dispatcher::snapshotLocked(const Job& job) const {
     s.final_rmse_hu = job.result.run.final_rmse_hu;
     s.modeled_seconds = job.result.run.modeled_seconds;
     s.queue_wait_modeled_s = job.result.queue_wait_modeled_s;
-    s.error = job.result.error;
     s.image_hash = job.image_hash;
     s.has_image = job.has_image;
   }
@@ -538,6 +815,10 @@ Dispatcher::LiveStats Dispatcher::liveStats() const {
   s.submitted = accepted_;
   s.rejected = rejected_;
   s.finished = finished_;
+  s.chaos_enabled = injector_ != nullptr;
+  s.watchdog_ms = watchdog_ms_;
+  s.devices_failed = devices_failed_;
+  s.jobs_migrated = jobs_migrated_;
   for (int id : prio_pending_)
     ++s.queue_depth_by_priority[jobs_[std::size_t(id)].spec.priority];
   s.devices.reserve(std::size_t(opt_.num_devices));
@@ -546,6 +827,7 @@ Dispatcher::LiveStats Dispatcher::liveStats() const {
     dev.device = d;
     dev.running_job = device_running_[std::size_t(d)];
     dev.busy = dev.running_job >= 0;
+    dev.failed = device_failed_[std::size_t(d)] != 0;
     dev.modeled_s = device_clock_[std::size_t(d)];
     dev.det_lane_depth = int(det_lane_[std::size_t(d)].size());
     s.devices.push_back(std::move(dev));
@@ -597,6 +879,7 @@ std::string Dispatcher::liveStatsJson() const {
     w.beginObject();
     w.kv("device", d.device);
     w.kv("busy", d.busy);
+    w.kv("failed", d.failed);
     w.kv("running_job", d.running_job);
     w.kv("modeled_s", d.modeled_s);
     w.kv("det_lane_depth", d.det_lane_depth);
@@ -621,6 +904,13 @@ std::string Dispatcher::liveStatsJson() const {
   w.key("flight").beginObject();
   w.kv("events_recorded", s.flight_events);
   w.kv("dumps", s.flight_dumps);
+  w.endObject();
+  w.key("chaos").beginObject();
+  w.kv("enabled", s.chaos_enabled);
+  w.kv("watchdog_ms", s.watchdog_ms);
+  w.kv("devices_failed", std::int64_t(s.devices_failed));
+  w.kv("jobs_migrated", std::int64_t(s.jobs_migrated));
+  w.key("plan").raw(faultPlan().toJson());
   w.endObject();
   const obs::Recorder* rec = opt_.recorder;
   if (rec && rec->metricsOn()) {
@@ -651,6 +941,7 @@ const SvcReport& Dispatcher::drain() {
   }
   for (std::thread& t : devices_) t.join();
   joined_ = true;
+  stopWatchdog();
   flushFlightDumps();  // anything the device threads did not get to
 
   // Threads are gone; every job is terminal and fully published.
@@ -660,6 +951,10 @@ const SvcReport& Dispatcher::drain() {
   rep.jobs_submitted = accepted_;
   rep.admission_rejected = rejected_;
   rep.queue_depth_max = queue_depth_max_;
+  rep.devices_failed = devices_failed_;
+  rep.jobs_migrated = jobs_migrated_;
+  for (int d = 0; d < opt_.num_devices; ++d)
+    if (device_failed_[std::size_t(d)]) rep.failed_devices.push_back(d);
   rep.device_modeled_s = device_clock_;
   rep.makespan_modeled_s =
       device_clock_.empty()
@@ -713,6 +1008,17 @@ std::string Dispatcher::reportJson() const {
   w.kv("jobs_cancelled", std::int64_t(rep.jobs_cancelled));
   w.kv("jobs_failed", std::int64_t(rep.jobs_failed));
   w.kv("jobs_deadline_missed", std::int64_t(rep.jobs_deadline_missed));
+  w.kv("devices_failed", std::int64_t(rep.devices_failed));
+  w.kv("jobs_migrated", std::int64_t(rep.jobs_migrated));
+  w.key("failed_devices").beginArray();
+  for (int d : rep.failed_devices) w.value(d);
+  w.endArray();
+  const chaos::FaultPlan plan = faultPlan();
+  w.key("chaos").beginObject();
+  w.kv("enabled", plan.enabled());
+  w.kv("watchdog_ms", watchdogMs());
+  w.key("plan").raw(plan.toJson());
+  w.endObject();
   w.kv("queue_depth_max", rep.queue_depth_max);
   w.kv("host_seconds", rep.host_seconds);
   w.kv("jobs_per_host_second", rep.jobs_per_host_second);
@@ -749,6 +1055,7 @@ std::string Dispatcher::reportJson() const {
       w.kv("modeled_seconds", s.modeled_seconds);
       w.kv("queue_wait_modeled_s", s.queue_wait_modeled_s);
     }
+    if (s.migrations > 0) w.kv("migrations", s.migrations);
     if (!s.error.empty()) w.kv("error", s.error);
     // uint64 hashes cross the wire as hex strings: a JSON number (double)
     // only carries 53 bits exactly.

@@ -31,6 +31,17 @@
 // builds the SvcReport (schema gpumbir.svc_report/1). The destructor hard-
 // stops instead: it cancels everything and joins without running out the
 // queue.
+//
+// Chaos lane (DESIGN.md §12): with a FaultPlan installed, every dispatch is
+// wrapped in a chaos::JobFaultHook that heartbeats its device and may fire
+// an injected fault. A watchdog thread declares a device failed when a
+// monitored run's heartbeat goes silent past watchdog_ms (stall or death);
+// the failed device's queued jobs re-lane onto the survivors immediately
+// and its running job is requeued when the stall unwinds — every affected
+// job still reaches exactly one terminal state, and a migrated job re-runs
+// clean (faults are one-shot per job). Launch faults fail only the job;
+// the device survives. Results are device-assignment-independent, so
+// migrated and unaffected jobs stay bit-identical to a fault-free run.
 #pragma once
 
 #include <atomic>
@@ -47,6 +58,9 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
+#include "chaos/fault.h"
 #include "core/timer.h"
 #include "obs/flight.h"
 #include "sched/scheduler.h"
@@ -74,6 +88,11 @@ struct JobSpec {
   int priority = 0;          ///< higher first (priority lane only)
   double deadline_ms = -1.0; ///< host ms from admission; < 0 = none
   bool deterministic = false;
+  /// Forced per-job fault (chaos/fault.h; kind kNone = no forced fault).
+  /// Fires on whatever device dispatches the job, regardless of the plan's
+  /// target set; stall/death additionally require the watchdog to be armed
+  /// (they are dropped otherwise — nothing could ever resolve them).
+  chaos::JobFault fault;
 };
 
 struct SubmitOutcome {
@@ -97,6 +116,8 @@ struct JobStatus {
   double queue_wait_host_s = 0.0;
   double service_host_s = 0.0;
   double e2e_host_s = 0.0;
+  /// Times this job was requeued off a failed device (queued or running).
+  int migrations = 0;
   // Terminal summary (from the run, when the job was dispatched):
   bool converged = false;
   double equits = 0.0;
@@ -124,6 +145,17 @@ struct DispatcherOptions {
   /// failure or cancel ("" = no files; dumps stay wire-accessible via the
   /// `flight` verb / flightJson()).
   std::string flight_dir;
+  /// Seed-driven fault injection (chaos/fault.h); a disabled (all-zero-
+  /// rate) plan means no chaos. Replaceable at runtime via setFaultPlan()
+  /// (the wire `chaos` verb).
+  chaos::FaultPlan fault_plan;
+  /// Per-device watchdog period: a device running a chaos-monitored job
+  /// whose heartbeat does not advance for longer than this is declared
+  /// failed — its queued and running jobs migrate to the survivors.
+  /// <= 0 disarms the watchdog (stall/death faults are then never
+  /// injected, since nothing could resolve them). Only chaos-monitored
+  /// runs are watched, so an armed watchdog never misfires on plain jobs.
+  double watchdog_ms = 0.0;
 };
 
 struct DistSummary {
@@ -151,6 +183,10 @@ struct SvcReport {
   double modeled_device_seconds_total = 0.0;
   double makespan_modeled_s = 0.0;
   std::vector<double> device_modeled_s;
+  // Chaos-lane outcome (all zero/empty on fault-free runs):
+  std::uint64_t devices_failed = 0;
+  std::uint64_t jobs_migrated = 0;  ///< total migration events
+  std::vector<int> failed_devices;
   std::vector<JobStatus> jobs;
 };
 
@@ -181,6 +217,13 @@ class Dispatcher {
   bool knownJob(int job_id) const;
   JobStatus status(int job_id) const;
 
+  /// Install/replace the chaos fault plan and watchdog period at runtime
+  /// (the wire `chaos` verb). Takes effect for subsequent dispatches; a
+  /// disabled plan turns injection off. Thread-safe.
+  void setFaultPlan(const chaos::FaultPlan& plan, double watchdog_ms);
+  chaos::FaultPlan faultPlan() const;
+  double watchdogMs() const;
+
   struct Stats {
     bool accepting = true;
     int queued = 0;
@@ -195,6 +238,7 @@ class Dispatcher {
   struct LiveDevice {
     int device = 0;
     bool busy = false;
+    bool failed = false;    ///< declared failed by the chaos watchdog
     int running_job = -1;   ///< -1 when idle
     double modeled_s = 0.0; ///< cumulative modeled clock at last job end
     int det_lane_depth = 0; ///< queued deterministic jobs bound to it
@@ -232,6 +276,11 @@ class Dispatcher {
     std::vector<LiveJob> in_flight;
     std::uint64_t flight_events = 0;  ///< flight events ever recorded
     std::uint64_t flight_dumps = 0;   ///< automatic dumps triggered
+    // Chaos lane:
+    bool chaos_enabled = false;
+    double watchdog_ms = 0.0;
+    std::uint64_t devices_failed = 0;
+    std::uint64_t jobs_migrated = 0;
   };
   LiveStats liveStats() const;
 
@@ -287,6 +336,9 @@ class Dispatcher {
     double e2e_host_s = 0.0;
     std::uint64_t image_hash = 0;
     bool has_image = false;
+    int migrations = 0;        ///< times requeued off a failed device
+    bool fault_fired = false;  ///< one-shot: migrated jobs re-run clean
+    bool hooked = false;       ///< current run heartbeats (watchdog applies)
     /// The job's identity for trace spans and flight events; filled at
     /// admission, completed (device/lane) at dispatch — both under the
     /// lock, before the device thread reads it.
@@ -306,6 +358,22 @@ class Dispatcher {
   void flushFlightDumps();
   JobStatus snapshotLocked(const Job& job) const;
   int tracePid(int device) const { return opt_.base_trace_pid + device; }
+  // Chaos lane:
+  /// Samples per-device heartbeats; declares a device failed when a
+  /// monitored run goes silent past watchdog_ms_. Sleeps while disarmed.
+  void watchdogLoop();
+  void stopWatchdog();  ///< idempotent; called under drain_mu_
+  std::vector<int> survivorsLocked() const;  ///< non-failed device ids
+  /// Mark the device failed, re-lane its queued deterministic jobs onto
+  /// the survivors (in det-sequence order), wake anything parked on its
+  /// chaos channel. The *running* job, if any, is migrated later by the
+  /// device thread itself when its run unwinds.
+  void declareDeviceFailedLocked(int device, const std::string& reason);
+  /// Record a migration event for `job` and requeue it on the survivors
+  /// (or finalize it as failed when no device survives).
+  void migrateLocked(Job& job, int from_device);
+  /// Put a (previously running) job back in a queue lane.
+  void requeueLocked(Job& job);
 
   DispatcherOptions opt_;
   WallTimer lifetime_;
@@ -318,8 +386,8 @@ class Dispatcher {
   std::vector<int> prio_pending_;          ///< queued priority-lane job ids
   std::vector<double> device_clock_;       ///< cumulative modeled clock
   std::vector<int> device_running_;        ///< running job id per device; -1 idle
-  /// Automatic flight dumps waiting for file I/O: (job id, reason).
-  std::vector<std::pair<int, std::string>> pending_flight_;
+  /// Automatic flight dumps waiting for file I/O: (file stem, reason).
+  std::vector<std::pair<std::string, std::string>> pending_flight_;
   std::uint64_t flight_dumps_ = 0;
   int det_count_ = 0;
   int dispatch_count_ = 0;
@@ -330,6 +398,20 @@ class Dispatcher {
   bool accepting_ = true;
   bool draining_ = false;
   bool stop_ = false;
+
+  // Chaos lane (guarded by mu_ except where noted). The injector is
+  // shared_ptr so a runtime plan swap cannot free a plan a device thread
+  // is still deciding with.
+  std::shared_ptr<const chaos::FaultInjector> injector_;
+  chaos::FaultPlan plan_;
+  double watchdog_ms_ = 0.0;
+  std::deque<chaos::DeviceChaos> chaos_dev_;  ///< stable addresses; one per device
+  std::vector<char> device_failed_;
+  std::uint64_t devices_failed_ = 0;
+  std::uint64_t jobs_migrated_ = 0;
+  mutable std::condition_variable cv_watchdog_;
+  bool watchdog_exit_ = false;
+  std::thread watchdog_;
 
   std::vector<std::thread> devices_;
   bool joined_ = false;  ///< device threads joined (guarded by drain_mu_)
@@ -351,6 +433,8 @@ class Dispatcher {
     obs::Histogram* service_time = nullptr;
     obs::Histogram* e2e = nullptr;
     obs::Counter* flight_dumps = nullptr;
+    obs::Counter* device_failed = nullptr;  ///< sched.device.failed
+    obs::Counter* migrated = nullptr;       ///< svc.jobs.migrated
   } inst_;
 
   obs::FlightRecorder flight_;  // after opt_: sized from its options

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "chaos/fault.h"
 #include "core/error.h"
 
 namespace mbir::svc {
@@ -188,6 +189,7 @@ std::string encodeSubmit(const SubmitParams& p) {
   if (!p.simd.empty()) w.kv("simd", p.simd);
   if (!p.name.empty()) w.kv("name", p.name);
   if (!p.tenant.empty()) w.kv("tenant", p.tenant);
+  if (!p.fault.empty()) w.kv("fault", p.fault);
   w.endObject();
   return w.str();
 }
@@ -206,6 +208,9 @@ SubmitParams parseSubmitParams(const Request& req) {
   p.simd = req.getString("simd", "");
   p.name = req.getString("name", "");
   p.tenant = req.getString("tenant", "");
+  p.fault = req.getString("fault", "");
+  // Parse eagerly so a malformed spec fails the submit, not the job.
+  chaos::parseFaultSpec(p.fault);
   return p;
 }
 

@@ -10,7 +10,8 @@
 //
 // Requests carry {"schema":"gpumbir.svc/1","verb":...} plus verb-specific
 // fields; responses carry {"schema":"gpumbir.svc/1","ok":true|false,...}.
-// Verbs: submit / status / cancel / result / stats / flight / drain / ping.
+// Verbs: submit / status / cancel / result / stats / flight / chaos /
+// drain / ping.
 // Field access is
 // strictly typed (wrong-typed or non-integral fields throw mbir::Error,
 // which the server turns into an ok:false response) — combined with the
@@ -116,6 +117,10 @@ struct SubmitParams {
   std::string name;
   /// Tenant for per-tenant svc.* metric labels ("" = default tenant).
   std::string tenant;
+  /// Forced chaos fault for this job ("" = none): "launch@N", "stall@N",
+  /// or "death" (chaos::parseFaultSpec). Validated at submit on both
+  /// sides; stall/death additionally require the server's watchdog armed.
+  std::string fault;
 };
 
 /// Serialize a submit request payload.

@@ -27,6 +27,7 @@ void writeJobStatus(obs::JsonWriter& w, const JobStatus& s) {
   w.kv("queue_wait_host_s", s.queue_wait_host_s);
   w.kv("service_host_s", s.service_host_s);
   w.kv("e2e_host_s", s.e2e_host_s);
+  if (s.migrations > 0) w.kv("migrations", s.migrations);
   if (isTerminal(s.state) && s.dispatch_seq >= 0) {
     w.kv("converged", s.converged);
     w.kv("equits", s.equits);
@@ -136,6 +137,7 @@ std::string Server::handleRequest(const Request& req) {
   if (req.verb == "result") return handleResult(req);
   if (req.verb == "stats") return handleStats();
   if (req.verb == "flight") return handleFlight(req);
+  if (req.verb == "chaos") return handleChaos(req);
   if (req.verb == "drain") return handleDrain();
   if (req.verb == "ping") {
     obs::JsonWriter w;
@@ -160,6 +162,14 @@ std::string Server::handleSubmit(const Request& req) {
   spec.priority = p.priority;
   spec.deadline_ms = p.deadline_ms;
   spec.deterministic = p.deterministic;
+  spec.fault = chaos::parseFaultSpec(p.fault);
+  // A forced stall/death on a server with no watchdog would park the device
+  // forever with nothing to free it — refuse at the door.
+  if ((spec.fault.kind == chaos::FaultKind::kStall ||
+       spec.fault.kind == chaos::FaultKind::kDeath) &&
+      dispatcher_.watchdogMs() <= 0.0)
+    return errorResponse("fault '" + p.fault +
+                         "' needs an armed watchdog (see the chaos verb)");
 
   const SubmitOutcome out = dispatcher_.submit(spec);
   if (!out.accepted) return errorResponse(out.reason, /*rejected=*/true);
@@ -262,6 +272,42 @@ std::string Server::handleFlight(const Request& req) {
   w.kv("verb", "flight");
   w.key("flight");
   w.raw(dispatcher_.flightJson(reason));
+  w.endObject();
+  return w.str();
+}
+
+std::string Server::handleChaos(const Request& req) {
+  // With a "seed" field this is an admin write: install a new fault plan
+  // (and watchdog) for jobs dispatched from now on. Without one it is a
+  // read-only report. Either way the response shows the active plan.
+  if (req.has("seed")) {
+    chaos::FaultPlan plan;
+    plan.seed = std::uint64_t(req.getInt("seed", 0));
+    plan.launch_fault_rate = req.getDouble("launch_fault_rate", 0.0);
+    plan.stall_rate = req.getDouble("stall_rate", 0.0);
+    plan.death_rate = req.getDouble("death_rate", 0.0);
+    if (const obs::JsonValue* devs = req.doc.find("target_devices")) {
+      if (!devs->isArray())
+        throw Error("'target_devices' must be an array of device ids");
+      for (const obs::JsonValue& d : devs->array_v) {
+        if (!d.isNumber())
+          throw Error("'target_devices' must be an array of device ids");
+        plan.target_devices.push_back(int(d.num_v));
+      }
+    }
+    plan.validate();
+    const double watchdog_ms = req.getDouble("watchdog_ms", 1000.0);
+    dispatcher_.setFaultPlan(plan, watchdog_ms);
+  }
+  const Dispatcher::LiveStats s = dispatcher_.liveStats();
+  obs::JsonWriter w;
+  beginResponse(w, true);
+  w.kv("verb", "chaos");
+  w.kv("enabled", s.chaos_enabled);
+  w.kv("watchdog_ms", s.watchdog_ms);
+  w.kv("devices_failed", std::int64_t(s.devices_failed));
+  w.kv("jobs_migrated", std::int64_t(s.jobs_migrated));
+  w.key("plan").raw(dispatcher_.faultPlan().toJson());
   w.endObject();
   return w.str();
 }

@@ -119,6 +119,7 @@ class Server {
   std::string handleResult(const Request& req);
   std::string handleStats();
   std::string handleFlight(const Request& req);
+  std::string handleChaos(const Request& req);
   std::string handleDrain();
   /// Join + close finished connections (called on the acceptor thread).
   void reapConnectionsLocked();

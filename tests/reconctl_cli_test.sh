@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Exit-code contract test for reconctl against a live recon_server:
+#
+#   0  verb succeeded (submit --wait / result: job done or cancelled)
+#   1  transport or server error (refused connection, ok:false response)
+#   2  admission rejection (not exercised here: needs a saturated queue)
+#   3  submit --wait / result: job terminated failed or deadline-missed
+#
+# Also asserts the server's own exit code: nonzero when any job failed.
+#
+#   usage: reconctl_cli_test.sh <path-to-reconctl> <path-to-recon_server>
+set -u
+
+RECONCTL="${1:?usage: reconctl_cli_test.sh <reconctl> <recon_server>}"
+RECON_SERVER="${2:?usage: reconctl_cli_test.sh <reconctl> <recon_server>}"
+
+TMP="$(mktemp -d)"
+SERVER_PID=""
+FAILURES=0
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+expect_exit() { # expect_exit <want> <description> <command...>
+  local want="$1" desc="$2"
+  shift 2
+  "$@" >"$TMP/out" 2>"$TMP/err"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: exit $got, want $want"
+    sed 's/^/  | /' "$TMP/out" "$TMP/err"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+# A refused connection is a transport error, not a silent success.
+expect_exit 1 "ping with nothing listening" "$RECONCTL" ping --port 1
+
+# Tiny cases and a small budget keep every job sub-second. No chaos flags:
+# the watchdog starts disarmed, which the forced-stall refusal relies on.
+"$RECON_SERVER" --devices 2 --size 32 --views 48 --channels 64 \
+  --golden-equits 4 --max-equits 3 --port-file "$TMP/port" \
+  --report "$TMP/svc_report.json" >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$TMP/port" ] && break
+  sleep 0.1
+done
+if [ ! -s "$TMP/port" ]; then
+  echo "FAIL: server never wrote its port file"
+  cat "$TMP/server.log"
+  exit 1
+fi
+PORT_ARGS=(--port-file "$TMP/port")
+
+expect_exit 0 "ping live server" "$RECONCTL" ping "${PORT_ARGS[@]}"
+expect_exit 0 "clean submit --wait" \
+  "$RECONCTL" submit "${PORT_ARGS[@]}" --case 0 --wait
+expect_exit 1 "status for unknown job" \
+  "$RECONCTL" status "${PORT_ARGS[@]}" --job 999
+expect_exit 1 "malformed fault spec" \
+  "$RECONCTL" submit "${PORT_ARGS[@]}" --fault explode@now
+expect_exit 1 "forced stall with disarmed watchdog" \
+  "$RECONCTL" submit "${PORT_ARGS[@]}" --fault stall@0
+expect_exit 3 "launch-faulted submit --wait" \
+  "$RECONCTL" submit "${PORT_ARGS[@]}" --fault launch@1 --wait
+expect_exit 0 "chaos verb arms the watchdog" \
+  "$RECONCTL" chaos "${PORT_ARGS[@]}" --seed 7 --watchdog-ms 500
+expect_exit 0 "chaos verb reads back" "$RECONCTL" chaos "${PORT_ARGS[@]}"
+expect_exit 0 "forced stall migrates once armed" \
+  "$RECONCTL" submit "${PORT_ARGS[@]}" --fault stall@1 --deterministic --wait
+expect_exit 0 "drain" \
+  "$RECONCTL" drain "${PORT_ARGS[@]}" --out "$TMP/report.json"
+
+# The launch-faulted job failed, so the server itself must exit nonzero —
+# a soak driver can trust the process status alone.
+wait "$SERVER_PID"
+SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 1 ]; then
+  echo "FAIL: server exit $SERVER_EXIT, want 1 (one failed job)"
+  cat "$TMP/server.log"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: server exits 1 after a failed job"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES failure(s)"
+  exit 1
+fi
+echo "all reconctl CLI exit-code checks passed"

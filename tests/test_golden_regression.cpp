@@ -15,7 +15,9 @@
 #include <sstream>
 #include <string>
 
+#include "chaos/fault.h"
 #include "obs/json.h"
+#include "sched/scheduler.h"
 #include "test_support.h"
 
 namespace mbir {
@@ -116,6 +118,121 @@ TEST(GoldenRegression, EnginesMatchCommittedFixtures) {
     EXPECT_EQ(e->find("rmse_hu")->asNumber(), r.rmse_hu);
     EXPECT_EQ(e->find("equits")->asNumber(), r.equits);
     EXPECT_EQ(e->find("modeled_seconds")->asNumber(), r.modeled_seconds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-lane fixture: a faulted batch run is itself pinned
+// ---------------------------------------------------------------------------
+
+constexpr const char* kChaosFixturePath =
+    GPUMBIR_FIXTURE_DIR "/chaos_faulted_run.json";
+
+struct FaultedJobRecord {
+  int job_id = 0;
+  bool faulted = false;          // launch-faulted by the plan's schedule
+  std::uint64_t image_hash = 0;  // 0 for faulted jobs (no image)
+};
+
+/// One seeded batch through the offline scheduler with launch faults armed:
+/// which jobs fault is part of the contract (the schedule is a pure
+/// function of seed and job id), and every surviving job's image is pinned.
+std::vector<FaultedJobRecord> computeFaultedRun() {
+  chaos::FaultPlan plan;
+  plan.seed = 0xC4A05;
+  plan.launch_fault_rate = 0.35;
+  const chaos::FaultInjector injector(plan);
+
+  sched::SchedulerOptions opt;
+  opt.num_devices = 2;
+  opt.injector = &injector;
+  sched::BatchScheduler scheduler(opt);
+  const int kJobs = 12;
+  RunConfig cfg = test::tinyRunConfig(Algorithm::kGpuIcd, 4.0);
+  cfg.stop_rmse_hu = -1.0;
+  for (int i = 0; i < kJobs; ++i)
+    scheduler.submit(test::tinyProblem(), test::tinyGolden(), cfg,
+                     "faulted" + std::to_string(i));
+  scheduler.runAll();
+
+  std::vector<FaultedJobRecord> records;
+  for (int id = 0; id < kJobs; ++id) {
+    const sched::JobResult& r = scheduler.result(id);
+    records.push_back({id, r.failed,
+                       r.failed ? 0u : test::imageHash(r.run.image)});
+  }
+  return records;
+}
+
+void writeChaosFixture(const std::vector<FaultedJobRecord>& records) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "gpumbir.chaos_faulted_run/1");
+  w.key("jobs").beginArray();
+  for (const FaultedJobRecord& r : records) {
+    w.beginObject();
+    w.kv("job_id", r.job_id);
+    w.kv("faulted", r.faulted);
+    if (!r.faulted) w.kv("image_hash", hashHex(r.image_hash));
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  std::ofstream out(kChaosFixturePath, std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot write " << kChaosFixturePath;
+  out << w.str() << '\n';
+}
+
+TEST(GoldenRegression, FaultedRunMatchesCommittedFixture) {
+  const std::vector<FaultedJobRecord> current = computeFaultedRun();
+
+  // Unaffected jobs are bit-identical to a fault-free reconstruction —
+  // checked in-process, independent of the fixture.
+  RunConfig cfg = test::tinyRunConfig(Algorithm::kGpuIcd, 4.0);
+  cfg.stop_rmse_hu = -1.0;
+  const std::uint64_t clean_hash = test::imageHash(
+      reconstruct(test::tinyProblem(), test::tinyGolden(), cfg).image);
+  int faulted = 0;
+  for (const FaultedJobRecord& r : current) {
+    if (r.faulted) {
+      ++faulted;
+    } else {
+      EXPECT_EQ(clean_hash, r.image_hash) << "job " << r.job_id;
+    }
+  }
+  EXPECT_GT(faulted, 0);                  // the plan really fired
+  EXPECT_LT(faulted, int(current.size()));  // and spared survivors
+
+  if (std::getenv("GPUMBIR_REGEN_GOLDEN")) {
+    writeChaosFixture(current);
+    GTEST_SKIP() << "regenerated " << kChaosFixturePath;
+  }
+
+  std::ifstream in(kChaosFixturePath, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << kChaosFixturePath
+      << " — regenerate with GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue doc = obs::parseJson(ss.str());
+  ASSERT_EQ(doc.find("schema")->asString(), "gpumbir.chaos_faulted_run/1");
+  const obs::JsonValue* jobs = doc.find("jobs");
+  ASSERT_TRUE(jobs && jobs->isArray());
+  ASSERT_EQ(jobs->array_v.size(), current.size())
+      << "fixture job set diverged — regenerate";
+
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    const obs::JsonValue& j = jobs->array_v[i];
+    EXPECT_EQ(int(j.find("job_id")->asNumber()), current[i].job_id);
+    // A flip here means the fault schedule itself moved for this seed —
+    // that breaks replay-by-seed and must be deliberate.
+    ASSERT_EQ(j.find("faulted")->bool_v, current[i].faulted);
+    if (!current[i].faulted)
+      EXPECT_EQ(j.find("image_hash")->asString(),
+                hashHex(current[i].image_hash))
+          << "image bits changed; if intended, regenerate the fixture with\n"
+          << "  GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression";
   }
 }
 

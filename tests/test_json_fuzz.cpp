@@ -11,6 +11,7 @@
 #include <cmath>
 #include <string>
 
+#include "chaos/fault.h"
 #include "core/error.h"
 #include "core/rng.h"
 #include "obs/json.h"
@@ -281,6 +282,55 @@ TEST(JsonStrict, HugeButFiniteNumbersParse) {
   EXPECT_NO_THROW(parseJson("1e308"));
   EXPECT_NO_THROW(parseJson("-1.7976931348623157e308"));
   EXPECT_NO_THROW(parseJson("1e-400"));  // underflow to 0/denormal is finite
+}
+
+// ---------- fault-plan document robustness ----------
+
+TEST(JsonFaultPlan, MalformedPlanDocumentsAreRejectedNotCrashes) {
+  // The chaos verb parses operator-supplied plan documents off the wire;
+  // structurally wrong but well-formed JSON must throw mbir::Error cleanly.
+  const char* corpus[] = {
+      "[]",                                  // not an object
+      "3",                                   //
+      "\"plan\"",                            //
+      "null",                                //
+      R"({"seed":"abc"})",                   // seed not a number
+      R"({"launch_fault_rate":true})",       // rate not a number
+      R"({"launch_fault_rate":2.0})",        // rate out of [0,1]
+      R"({"stall_rate":-0.5})",              //
+      R"({"death_rate":1e9})",               //
+      R"({"launch_fault_rate":0.6,"stall_rate":0.6})",  // rates sum > 1
+      R"({"target_devices":3})",             // devices not an array
+      R"({"target_devices":{"a":1}})",       //
+      R"({"target_devices":["x"]})",         // device not a number
+  };
+  for (const char* bad : corpus) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(mbir::chaos::FaultPlan::fromJson(parseJson(bad)),
+                 mbir::Error);
+  }
+}
+
+TEST(JsonFaultPlan, RandomValidPlansRoundTripThroughJson) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    mbir::Rng rng = mbir::Rng::forStream(0x71A9, seed);
+    mbir::chaos::FaultPlan p;
+    p.seed = rng.below(1u << 30);
+    // Three rates that always sum to <= 1.
+    p.launch_fault_rate = rng.uniform() / 3.0;
+    p.stall_rate = rng.uniform() / 3.0;
+    p.death_rate = rng.uniform() / 3.0;
+    const std::uint64_t devices = rng.below(4);
+    for (std::uint64_t d = 0; d < devices; ++d)
+      p.target_devices.push_back(int(rng.below(8)));
+    const mbir::chaos::FaultPlan back =
+        mbir::chaos::FaultPlan::fromJson(parseJson(p.toJson()));
+    EXPECT_EQ(p.seed, back.seed) << seed;
+    EXPECT_EQ(p.launch_fault_rate, back.launch_fault_rate) << seed;
+    EXPECT_EQ(p.stall_rate, back.stall_rate) << seed;
+    EXPECT_EQ(p.death_rate, back.death_rate) << seed;
+    EXPECT_EQ(p.target_devices, back.target_devices) << seed;
+  }
 }
 
 TEST(JsonWriterRaw, SplicesNestedDocuments) {

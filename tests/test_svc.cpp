@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -20,6 +21,7 @@
 
 #include "core/error.h"
 #include "core/hash.h"
+#include "core/rng.h"
 #include "obs/obs.h"
 #include "sched/scheduler.h"
 #include "svc/client.h"
@@ -732,6 +734,89 @@ TEST(SvcServer, MalformedPayloadCorpusNeverKillsTheServer) {
     Client probe = service.connect();
     EXPECT_TRUE(probe.ping());
   }
+}
+
+/// Count entries under a /proc/self/* directory (open fds, live threads).
+std::size_t procCount(const char* dir) {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir))
+    ++n;
+  return n;
+}
+
+TEST(SvcServer, MalformedFrameFloodDoesNotLeakFdsOrThreads) {
+  // A client flooding the server with garbage frames at a steady rate must
+  // not leak connection fds or handler threads on the server side, and
+  // well-formed submissions must keep being admitted throughout. The
+  // server lives in this process, so /proc/self counts cover it.
+  ::signal(SIGPIPE, SIG_IGN);  // flood writes race server-side closes
+  TestService service(1, 8);
+  Client good = service.connect();
+  ASSERT_TRUE(good.ping());
+
+  const std::size_t fd_baseline = procCount("/proc/self/fd");
+  const std::size_t thread_baseline = procCount("/proc/self/task");
+
+  Rng rng = Rng::forStream(0xF100D, 0);
+  int admitted = 0;
+  for (int round = 0; round < 6; ++round) {
+    {
+      // A wave of concurrently open flooders, each sending garbage.
+      std::vector<Client> flood;
+      for (int i = 0; i < 8; ++i) flood.push_back(service.connect());
+      for (Client& c : flood) {
+        std::string junk;
+        switch (rng.below(3)) {
+          case 0:  // random bytes, framing and all
+            for (int b = 0; b < 32; ++b) junk.push_back(char(rng.below(256)));
+            break;
+          case 1:  // oversized declared length
+            junk = std::string("\xff\xff\xff\xff", 4);
+            break;
+          default:  // well-framed garbage payload
+            junk = svc::encodeFrame("{\"schema\":\"gpumbir.svc/1\"");
+            break;
+        }
+        (void)!::write(c.fd(), junk.data(), junk.size());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Admission keeps working mid-flood.
+      const Client::SubmitResult out = good.submit(SubmitParams{});
+      ASSERT_TRUE(out.accepted) << out.error;
+      EXPECT_EQ("done", good.result(out.job_id).state);
+      ++admitted;
+    }  // wave closed: the server should reap each connection handler
+  }
+  EXPECT_EQ(6, admitted);
+
+  // Fd and thread counts return to ~baseline once the flood stops. Dead
+  // connections are reaped lazily at the next accept, so each poll round
+  // opens (and closes) a probe connection to drive the reaper; the probe
+  // itself accounts for the small slack in the bound.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::size_t fds = 0, threads = 0;
+  for (;;) {
+    {
+      Client reaper = service.connect();
+      ASSERT_TRUE(reaper.ping());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fds = procCount("/proc/self/fd");
+    threads = procCount("/proc/self/task");
+    if ((fds <= fd_baseline + 2 && threads <= thread_baseline + 2) ||
+        std::chrono::steady_clock::now() > deadline)
+      break;
+  }
+  EXPECT_LE(fds, fd_baseline + 2);
+  EXPECT_LE(threads, thread_baseline + 2);
+
+  // And the service is still fully operational.
+  Client probe = service.connect();
+  ASSERT_TRUE(probe.ping());
+  EXPECT_EQ("done", probe.result(probe.submit(SubmitParams{}).job_id).state);
+  probe.drain();
 }
 
 TEST(SvcServer, BrokenFramesAreSurvivable) {
