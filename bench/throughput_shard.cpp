@@ -1,0 +1,125 @@
+// Single-job multi-device slab-sharding throughput (DESIGN.md §13).
+//
+// Reconstructs one paper-scale case through shard::reconstructSharded with
+// a fixed slab plan, sweeping the device count 1..--max-devices (same plan,
+// so every run must be bit-identical — the shard determinism contract) and
+// then the halo width at the largest device count. Reports, per
+// configuration: modeled compute / communication / total seconds, the
+// communication overhead fraction, and the modeled speedup over one
+// device. Exits 1 if any device count produces different image bits or the
+// largest device count speeds up by less than 1.5x.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/hash.h"
+#include "core/timer.h"
+#include "shard/shard_job.h"
+
+using namespace mbir;
+using namespace mbir::bench;
+
+namespace {
+
+std::uint64_t imageHash(const Image2D& img) { return fnv1a64(img.flat()); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("max-devices", "largest simulated device count swept", "4");
+  args.describe("slabs", "row-slabs in the shard plan", "4");
+  args.describe("max-halo", "largest halo width swept at max devices", "2");
+  args.describe("race-check",
+                "1 = device-semantics race checking on every launch "
+                "(fatal on diagnosis)", "0");
+  auto ctx = BenchContext::fromCli(
+      args, "Sharded throughput: one job across 1..D devices + halo sweep.");
+  if (!ctx) return 0;
+  const int max_devices = args.getInt("max-devices", 4);
+  const int slabs = args.getInt("slabs", 4);
+  const int max_halo = args.getInt("max-halo", 2);
+  const bool race_check = args.getInt("race-check", 0) != 0;
+
+  const OwnedProblem problem = ctx->representativeCase();
+  const Image2D golden = computeGolden(problem, ctx->golden_equits);
+  const int n = problem.geometry().image_size;
+
+  shard::ShardConfig base;
+  base.base.algorithm = Algorithm::kGpuIcd;
+  base.base.gpu.tunables = paperTunables();
+  base.base.gpu.race_check = {.enabled = race_check,
+                              .throw_on_race = race_check};
+  if (race_check) std::printf("[bench] race checking ON (fatal)\n");
+
+  AsciiTable t({"devices", "slabs", "halo", "iters", "equits", "compute (s)",
+                "comm (s)", "comm ovh", "modeled (s)", "speedup", "RMSE (HU)"});
+  std::vector<std::pair<std::string, double>> numbers;
+  bool deterministic = true;
+  double modeled_d1 = 0.0;
+  double speedup_max_d = 0.0;
+  std::uint64_t hash_d1 = 0;
+
+  const auto run_one = [&](int devices, int halo, const std::string& tag) {
+    shard::ShardConfig cfg = base;
+    cfg.plan = shard::makeShardPlan(n, slabs, halo);
+    cfg.devices = devices;
+    const shard::ShardRunResult r = reconstructSharded(problem, golden, cfg);
+    const double total = r.shard.modeled_seconds;
+    const double ovh = total > 0.0 ? r.shard.comm_seconds / total : 0.0;
+    if (devices == 1 && halo == 1) {
+      modeled_d1 = total;
+      hash_d1 = imageHash(r.run.image);
+    } else if (halo == 1 && imageHash(r.run.image) != hash_d1) {
+      deterministic = false;
+      std::printf("[bench] DETERMINISM VIOLATION: image differs at %d "
+                  "devices\n", devices);
+    }
+    const double speedup = total > 0.0 ? modeled_d1 / total : 0.0;
+    if (devices == max_devices && halo == 1) speedup_max_d = speedup;
+    t.addRow({std::to_string(devices), std::to_string(slabs),
+              std::to_string(halo), std::to_string(r.shard.iterations),
+              AsciiTable::fmt(r.run.equits, 2),
+              AsciiTable::fmt(r.shard.compute_seconds, 4),
+              AsciiTable::fmt(r.shard.comm_seconds, 4),
+              AsciiTable::fmt(ovh, 4), AsciiTable::fmt(total, 4),
+              AsciiTable::fmt(speedup, 2),
+              AsciiTable::fmt(r.run.final_rmse_hu, 2)});
+    numbers.emplace_back(tag + "_modeled_seconds", total);
+    numbers.emplace_back(tag + "_compute_seconds", r.shard.compute_seconds);
+    numbers.emplace_back(tag + "_comm_seconds", r.shard.comm_seconds);
+    numbers.emplace_back(tag + "_comm_overhead", ovh);
+    numbers.emplace_back(tag + "_speedup", speedup);
+    std::printf("[bench] D=%d halo=%d: modeled %.4fs (comm %.1f%%), "
+                "speedup %.2fx, RMSE %.2f HU\n",
+                devices, halo, total, 100.0 * ovh, speedup,
+                r.run.final_rmse_hu);
+  };
+
+  WallTimer wall;
+  // Device sweep at halo 1: the determinism contract says same plan ->
+  // same bits at every device count, only the modeled clock moves.
+  for (int devices = 1; devices <= max_devices; devices *= 2)
+    run_one(devices, 1, std::string("d") + std::to_string(devices));
+  // Halo sweep at the largest device count (different plans -> different
+  // bits, legitimately: the window math changes).
+  for (int halo = 0; halo <= max_halo; ++halo) {
+    if (halo == 1) continue;  // identical to the d<max> run above
+    run_one(max_devices, halo, std::string("halo") + std::to_string(halo));
+  }
+
+  numbers.emplace_back("deterministic_across_device_counts",
+                       deterministic ? 1.0 : 0.0);
+  emit(t, "throughput_shard", wall.seconds(), ctx.get(), numbers);
+  if (!deterministic) {
+    std::printf("FAILED: results not bit-identical across device counts\n");
+    return 1;
+  }
+  if (speedup_max_d < 1.5) {
+    std::printf("FAILED: %dx-device modeled speedup %.2f < 1.5\n", max_devices,
+                speedup_max_d);
+    return 1;
+  }
+  return 0;
+}

@@ -166,6 +166,8 @@ void printJob(const svc::Client::JobInfo& info) {
   std::printf("job %d [%s] %s", info.job_id, info.state.c_str(),
               info.name.c_str());
   if (info.device >= 0) std::printf(" on device %d", info.device);
+  if (info.shards > 1) std::printf(" (%d shards)", info.shards);
+  if (info.migrations > 0) std::printf(" (migrated x%d)", info.migrations);
   if (info.terminal() && info.dispatch_seq >= 0)
     std::printf(": %s, RMSE %.1f HU in %.1f equits, modeled %.3f s",
                 info.converged ? "converged" : "stopped", info.final_rmse_hu,
@@ -221,6 +223,8 @@ int run(const CliArgs& args, const std::string& verb) {
     p.priority = args.getInt("priority", 0);
     p.deadline_ms = args.getDouble("deadline-ms", -1.0);
     p.deterministic = args.getBool("deterministic", false);
+    p.shards = args.getInt("shards", 1);
+    p.shard_halo = args.getInt("shard-halo", 1);
     p.name = args.getString("name", "");
     p.tenant = args.getString("tenant", "");
     p.fault = args.getString("fault", "");
@@ -375,6 +379,9 @@ int main(int argc, char** argv) {
   args.describe("deadline-ms", "submit: fail fast if not started in time",
                 "-1");
   args.describe("deterministic", "submit: FIFO round-robin lane", "false");
+  args.describe("shards", "submit: slab-shard the job over this many devices "
+                "(gang dispatch; priority lane only)", "1");
+  args.describe("shard-halo", "submit: halo rows exchanged per iteration", "1");
   args.describe("name", "submit: job label", "");
   args.describe("tenant", "submit: tenant label for per-tenant metrics", "");
   args.describe("fault", "submit: forced chaos fault (launch@N|stall@N|death)",

@@ -46,6 +46,27 @@ void ThreadPool::wait() {
   }
 }
 
+void ThreadPool::wait(const std::function<void()>& on_error) {
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock,
+                [this] { return in_flight_ == 0 || first_error_ != nullptr; });
+  if (first_error_ && in_flight_ > 0 && on_error) {
+    // A task died while peers are still running — possibly blocked on a
+    // rendezvous the dead task will never reach. Let the caller break them
+    // out (e.g. abort a barrier) before draining the rest.
+    lock.unlock();
+    on_error();
+    lock.lock();
+  }
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -64,7 +85,12 @@ void ThreadPool::workerLoop() {
       task();
     } catch (...) {
       std::lock_guard lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+        // Wake wait(on_error) immediately: peers of the failed task may be
+        // blocked on a rendezvous only the waiter can abort.
+        cv_done_.notify_all();
+      }
     }
     {
       std::lock_guard lock(mu_);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <list>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -73,6 +74,19 @@ struct GpuIcd::Impl {
   // view * num_channels + channel.
   int rb_image = -1, rb_sino_e = -1, rb_sino_w = -1;
 
+  // Slab window (multi-device sharding): when enabled, only rows in
+  // [upd_row0, upd_row1) are updated and only SVs intersecting that window
+  // are selectable. Disabled => the window covers the whole image and the
+  // original selection path runs verbatim.
+  bool slab_on = false;
+  int upd_row0 = 0, upd_row1 = 0;
+  std::vector<int> owned_svs;
+
+  // Stepwise-run state (beginRun/stepIteration; run() drives the same).
+  std::optional<Rng> run_rng;
+  GpuRunStats run_stats;
+  int run_iter = 0;
+
   Impl(const Problem& p, GpuIcdOptions o)
       : problem(p),
         opt(std::move(o)),
@@ -109,6 +123,32 @@ struct GpuIcd::Impl {
     // Start every SV "hot" so SVs a threshold-skipped batch left behind
     // still rank top on magnitude-driven iterations.
     magnitude.assign(std::size_t(grid.count()), 1e30);
+
+    const int n = p.A.geometry().image_size;
+    slab_on = opt.slab.enabled();
+    if (slab_on) {
+      MBIR_CHECK(opt.slab.row0 >= 0 && opt.slab.row1 <= n);
+      MBIR_CHECK(opt.slab.halo >= 0);
+      // halo == 0 means no neighbour rows are ever refreshed, so updates
+      // must keep one row clear of interior boundaries (a voxel update
+      // reads a 1-voxel ring); halo >= 1 refreshes the ring each exchange
+      // and every owned row is updatable.
+      const int shrink = std::max(0, 1 - opt.slab.halo);
+      upd_row0 = opt.slab.row0 == 0 ? 0 : opt.slab.row0 + shrink;
+      upd_row1 = opt.slab.row1 == n ? n : opt.slab.row1 - shrink;
+      upd_row1 = std::max(upd_row0, upd_row1);
+      for (int i = 0; i < grid.count(); ++i) {
+        const SuperVoxel& sv = grid.sv(i);
+        if (sv.row1 > upd_row0 && sv.row0 < upd_row1) owned_svs.push_back(i);
+      }
+    } else {
+      upd_row0 = 0;
+      upd_row1 = n;
+    }
+  }
+
+  bool rowUpdatable(int row) const {
+    return !slab_on || (row >= upd_row0 && row < upd_row1);
   }
 
   int effectiveTbPerSv() const {
@@ -236,11 +276,16 @@ struct GpuIcd::Impl {
         // sweep also models), so they cannot conflict here by design.
         const SuperVoxel& sv = grid.sv(b.sv_id);
         const int n = x.size();
-        for (int r = sv.row0; r < sv.row1; ++r)
+        // Slab-clipped write rect: rows outside the updatable window are
+        // skipped by the sweep, so they are read-only halo state here.
+        // With the slab disabled the clip is the SV rect, unchanged.
+        const int wr0 = std::max(sv.row0, upd_row0);
+        const int wr1 = std::min(sv.row1, upd_row1);
+        for (int r = wr0; r < wr1; ++r)
           ctx.prof.raceWrite(rb_image, std::int64_t(r) * n + sv.col0,
                              std::int64_t(r) * n + sv.col1);
-        const int rr0 = std::max(0, sv.row0 - 1);
-        const int rr1 = std::min(n, sv.row1 + 1);
+        const int rr0 = std::max(0, wr0 - 1);
+        const int rr1 = std::min(n, wr1 + 1);
         const int rc0 = std::max(0, sv.col0 - 1);
         const int rc1 = std::min(n, sv.col1 + 1);
         for (int r = rr0; r < rr1; ++r)
@@ -303,6 +348,10 @@ struct GpuIcd::Impl {
     for (int k : order) {
       const int row = sv.row0 + k / sv.numCols();
       const int col = sv.col0 + k % sv.numCols();
+      // Slab sharding: rows outside the updatable window belong to a peer
+      // slab (or are frozen halo-0 boundary rows) and are never touched —
+      // not visited, not profiled, no RNG consumed beyond the shuffle.
+      if (!rowUpdatable(row)) continue;
       ++work.voxels_visited;
       // Dynamic voxel fetch from the SV's shared counter.
       prof.descRead(4);
@@ -450,6 +499,7 @@ struct GpuIcd::Impl {
     for (int k : order) {
       const int row = sv.row0 + k / sv.numCols();
       const int col = sv.col0 + k % sv.numCols();
+      if (!rowUpdatable(row)) continue;
       ++work.voxels_visited;
       prof.descRead(4);
       if (opt.zero_skip && allNeighborsZero(x, row, col)) {
@@ -653,104 +703,121 @@ GpuIcd::~GpuIcd() = default;
 const SvGrid& GpuIcd::grid() const { return impl_->grid; }
 gsim::GpuSimulator& GpuIcd::simulator() { return impl_->sim; }
 
-GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
-                        const GpuIterationCallback& on_iteration) {
+void GpuIcd::beginRun(Image2D& x, Sinogram& e) {
   Impl& im = *impl_;
   MBIR_CHECK(x.size() == im.problem.A.geometry().image_size);
+  (void)e;
   im.sim.resetTotals();
+  im.run_rng.emplace(im.opt.seed);
+  im.run_stats = GpuRunStats{};
+  im.run_iter = 0;
+}
 
-  Rng rng(im.opt.seed);
-  GpuRunStats stats;
+bool GpuIcd::stepIteration(Image2D& x, Sinogram& e) {
+  Impl& im = *impl_;
+  MBIR_CHECK(im.run_rng.has_value());  // beginRun first
+  if (im.run_iter >= im.opt.max_iterations) return false;
+  const int iter = ++im.run_iter;
+  GpuRunStats& stats = im.run_stats;
+  Rng& rng = *im.run_rng;
   const double voxels_per_equit = double(x.numVoxels());
   const GpuTunables& tn = im.opt.tunables;
 
   obs::Recorder* rec = im.opt.recorder;
   const bool tracing = rec && rec->traceOn();
 
-  for (int iter = 1; iter <= im.opt.max_iterations; ++iter) {
-    const double iter_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
-    const double iter_modeled_s = im.sim.totalModeledSeconds();
-    const std::size_t iter_updates0 = stats.work.voxel_updates;
+  const double iter_host_us = tracing ? rec->trace().nowHostUs() : 0.0;
+  const double iter_modeled_s = im.sim.totalModeledSeconds();
+  const std::size_t iter_updates0 = stats.work.voxel_updates;
 
-    const std::vector<int> selected =
-        selectSuperVoxels(iter, std::size_t(im.grid.count()), im.magnitude,
-                          tn.sv_fraction, rng);
-    const auto groups = im.grid.checkerboardGroups(selected);
+  std::vector<int> selected;
+  if (im.slab_on) {
+    // Slab sharding: selection runs over the owned SVs through a dense
+    // local index space, so the magnitude ranking and the random pick see
+    // the same shape they would on a dedicated grid. A single-slab window
+    // covering the whole image maps by identity, which is what makes an
+    // S=1 shard plan bit-identical to the unsharded engine.
+    std::vector<double> local_mag(im.owned_svs.size());
+    for (std::size_t i = 0; i < im.owned_svs.size(); ++i)
+      local_mag[i] = im.magnitude[std::size_t(im.owned_svs[i])];
+    const std::vector<int> local = selectSuperVoxels(
+        iter, im.owned_svs.size(), local_mag, tn.sv_fraction, rng);
+    selected.reserve(local.size());
+    for (int li : local) selected.push_back(im.owned_svs[std::size_t(li)]);
+  } else {
+    selected = selectSuperVoxels(iter, std::size_t(im.grid.count()),
+                                 im.magnitude, tn.sv_fraction, rng);
+  }
+  const auto groups = im.grid.checkerboardGroups(selected);
 
-    for (const auto& group : groups) {
-      // Cross-check (race checking only): the analytical checkerboard
-      // schedule and the race detector must agree on this group's
-      // conflict count before any of its batches launch. Concurrency
-      // within a launch never exceeds one batch, so a group clean as a
-      // whole is clean for every batch split of it.
-      if (im.sim.raceCheckOn() && group.size() > 1)
-        scheduleImageConflicts(im.grid, group, &im.sim.raceDetector());
-      for (std::size_t i = 0; i < group.size(); i += std::size_t(tn.svs_per_batch)) {
-        const std::size_t end =
-            std::min(group.size(), i + std::size_t(tn.svs_per_batch));
-        std::vector<int> ids(group.begin() + std::ptrdiff_t(i),
-                             group.begin() + std::ptrdiff_t(end));
-        // Alg. 3 lines 26-27: don't launch an under-filled kernel; the
-        // skipped SVs' magnitudes keep them eligible for later iterations.
-        // The threshold is capped at a quarter of the group's full-grid
-        // population: identical to the paper's BATCH_SIZE/4 at paper scale
-        // (289 SVs), while reduced grids — whose checkerboard groups are
-        // intrinsically small — are not starved by an absolute cutoff.
-        const int group_universe = im.grid.count() / 4;
-        const int threshold =
-            std::min(std::max(1, tn.svs_per_batch / 4),
-                     std::max(1, group_universe / 4));
-        if (im.opt.flags.batch_threshold && int(ids.size()) < threshold) {
-          ++stats.batches_skipped_by_threshold;
-          if (im.m_batches_skipped) im.m_batches_skipped->add();
-          continue;
-        }
-        im.runBatch(ids, iter, x, e, stats);
+  for (const auto& group : groups) {
+    // Cross-check (race checking only): the analytical checkerboard
+    // schedule and the race detector must agree on this group's
+    // conflict count before any of its batches launch. Concurrency
+    // within a launch never exceeds one batch, so a group clean as a
+    // whole is clean for every batch split of it.
+    if (im.sim.raceCheckOn() && group.size() > 1)
+      scheduleImageConflicts(im.grid, group, &im.sim.raceDetector());
+    for (std::size_t i = 0; i < group.size(); i += std::size_t(tn.svs_per_batch)) {
+      const std::size_t end =
+          std::min(group.size(), i + std::size_t(tn.svs_per_batch));
+      std::vector<int> ids(group.begin() + std::ptrdiff_t(i),
+                           group.begin() + std::ptrdiff_t(end));
+      // Alg. 3 lines 26-27: don't launch an under-filled kernel; the
+      // skipped SVs' magnitudes keep them eligible for later iterations.
+      // The threshold is capped at a quarter of the group's full-grid
+      // population: identical to the paper's BATCH_SIZE/4 at paper scale
+      // (289 SVs), while reduced grids — whose checkerboard groups are
+      // intrinsically small — are not starved by an absolute cutoff.
+      const int group_universe = im.grid.count() / 4;
+      const int threshold =
+          std::min(std::max(1, tn.svs_per_batch / 4),
+                   std::max(1, group_universe / 4));
+      if (im.opt.flags.batch_threshold && int(ids.size()) < threshold) {
+        ++stats.batches_skipped_by_threshold;
+        if (im.m_batches_skipped) im.m_batches_skipped->add();
+        continue;
       }
-    }
-
-    stats.iterations = iter;
-    stats.equits = double(stats.work.voxel_updates) / voxels_per_equit;
-    stats.modeled_seconds = im.sim.totalModeledSeconds();
-    if (im.m_iterations) im.m_iterations->add();
-    if (tracing) {
-      const std::vector<std::pair<std::string, double>> args = {
-          {"iteration", double(iter)},
-          {"selected_svs", double(selected.size())},
-          {"voxel_updates", double(stats.work.voxel_updates - iter_updates0)},
-          {"equits", stats.equits}};
-      obs::TraceEvent host_ev;
-      host_ev.name = "gpuicd.iteration";
-      host_ev.cat = "gpuicd";
-      host_ev.clock = obs::Clock::kHost;
-      host_ev.ts_us = iter_host_us;
-      host_ev.dur_us = rec->trace().nowHostUs() - iter_host_us;
-      host_ev.num_args = args;
-      obs::TraceEvent dev_ev;
-      dev_ev.name = "gpuicd.iteration";
-      dev_ev.cat = "gpuicd";
-      dev_ev.clock = obs::Clock::kModeled;
-      dev_ev.pid = im.opt.trace_pid;
-      dev_ev.ts_us = iter_modeled_s * 1e6;
-      dev_ev.dur_us = (stats.modeled_seconds - iter_modeled_s) * 1e6;
-      dev_ev.num_args = args;
-      if (im.opt.span) {
-        host_ev.tid = im.opt.span->host_tid;
-        obs::tagSpan(host_ev, *im.opt.span);
-        obs::tagSpan(dev_ev, *im.opt.span);
-      }
-      rec->trace().record(std::move(host_ev));
-      rec->trace().record(std::move(dev_ev));
-    }
-    if (on_iteration &&
-        !on_iteration(GpuIterationInfo{iter, stats.equits,
-                                       stats.modeled_seconds, x})) {
-      stats.stopped_by_callback = true;
-      break;
+      im.runBatch(ids, iter, x, e, stats);
     }
   }
 
+  stats.iterations = iter;
+  stats.equits = double(stats.work.voxel_updates) / voxels_per_equit;
   stats.modeled_seconds = im.sim.totalModeledSeconds();
+  if (im.m_iterations) im.m_iterations->add();
+  if (tracing) {
+    const std::vector<std::pair<std::string, double>> args = {
+        {"iteration", double(iter)},
+        {"selected_svs", double(selected.size())},
+        {"voxel_updates", double(stats.work.voxel_updates - iter_updates0)},
+        {"equits", stats.equits}};
+    obs::TraceEvent host_ev;
+    host_ev.name = "gpuicd.iteration";
+    host_ev.cat = "gpuicd";
+    host_ev.clock = obs::Clock::kHost;
+    host_ev.ts_us = iter_host_us;
+    host_ev.dur_us = rec->trace().nowHostUs() - iter_host_us;
+    host_ev.num_args = args;
+    obs::TraceEvent dev_ev;
+    dev_ev.name = "gpuicd.iteration";
+    dev_ev.cat = "gpuicd";
+    dev_ev.clock = obs::Clock::kModeled;
+    dev_ev.pid = im.opt.trace_pid;
+    dev_ev.ts_us = iter_modeled_s * 1e6;
+    dev_ev.dur_us = (stats.modeled_seconds - iter_modeled_s) * 1e6;
+    dev_ev.num_args = args;
+    if (im.opt.span) {
+      host_ev.tid = im.opt.span->host_tid;
+      obs::tagSpan(host_ev, *im.opt.span);
+      obs::tagSpan(dev_ev, *im.opt.span);
+    }
+    rec->trace().record(std::move(host_ev));
+    rec->trace().record(std::move(dev_ev));
+  }
+
+  // Keep the public stats fully synced after every step — the shard runner
+  // reads them between iterations, and run()'s final state falls out.
   stats.kernel_stats = im.sim.totalStats();
   stats.per_kernel = im.sim.perKernel();
   stats.race_check_enabled = im.sim.raceCheckOn();
@@ -758,7 +825,24 @@ GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
   stats.race_launches_checked = race_totals.launches_checked;
   stats.race_ranges_checked = race_totals.ranges_checked;
   stats.race_reports = race_totals.races_found;
-  return stats;
+  return true;
+}
+
+const GpuRunStats& GpuIcd::runStats() const { return impl_->run_stats; }
+
+GpuRunStats GpuIcd::run(Image2D& x, Sinogram& e,
+                        const GpuIterationCallback& on_iteration) {
+  Impl& im = *impl_;
+  beginRun(x, e);
+  while (stepIteration(x, e)) {
+    if (on_iteration &&
+        !on_iteration(GpuIterationInfo{im.run_iter, im.run_stats.equits,
+                                       im.run_stats.modeled_seconds, x})) {
+      im.run_stats.stopped_by_callback = true;
+      break;
+    }
+  }
+  return im.run_stats;
 }
 
 }  // namespace mbir

@@ -38,6 +38,22 @@ namespace mbir {
 
 class ThreadPool;
 
+/// Row-slab ownership window for multi-device sharding (src/shard,
+/// DESIGN.md §13). Disabled by default (row1 == row0): the engine owns the
+/// whole image and behaves exactly as before. When enabled, the engine
+/// updates only voxels inside its *updatable* window — the owned rows,
+/// shrunk by one row at interior slab boundaries when halo == 0 so no
+/// update ever reads an unowned, never-refreshed neighbour row. SV
+/// selection is restricted to SVs intersecting that window; everything
+/// outside is read-only halo state refreshed by the shard runner's
+/// exchange between outer iterations.
+struct SlabWindow {
+  int row0 = 0;  ///< first owned image row (inclusive)
+  int row1 = 0;  ///< one past the last owned image row
+  int halo = 1;  ///< halo width in rows exchanged per outer iteration
+  bool enabled() const { return row1 > row0; }
+};
+
 struct GpuIcdOptions {
   GpuTunables tunables;
   OptimFlags flags;
@@ -82,6 +98,8 @@ struct GpuIcdOptions {
   /// simulator so chaos testing can corrupt, stall, or kill this run at a
   /// deterministic launch boundary. Borrowed; scoped to the run.
   gsim::FaultHook* fault_hook = nullptr;
+  /// Row-slab ownership window (disabled = whole image, the default).
+  SlabWindow slab;
 };
 
 struct GpuIterationInfo {
@@ -124,6 +142,16 @@ class GpuIcd {
   /// Run until callback stop or max_iterations; x and e updated in place.
   GpuRunStats run(Image2D& x, Sinogram& e,
                   const GpuIterationCallback& on_iteration = {});
+
+  /// Stepwise API used by the multi-device shard runner (src/shard): the
+  /// runner interleaves one outer iteration per slab with a halo exchange.
+  /// beginRun resets modeled time and the run RNG; stepIteration performs
+  /// one full outer iteration (returns false once max_iterations have
+  /// run); runStats() is kept in sync after every step. run() is exactly
+  /// beginRun + stepIteration-loop, bit-identical to the one-shot path.
+  void beginRun(Image2D& x, Sinogram& e);
+  bool stepIteration(Image2D& x, Sinogram& e);
+  const GpuRunStats& runStats() const;
 
   const SvGrid& grid() const;
   gsim::GpuSimulator& simulator();

@@ -77,6 +77,14 @@ KernelTime modelKernelTime(const DeviceSpec& dev, const KernelStats& stats,
   return t;
 }
 
+LinkSpec pcie3Link() { return LinkSpec{"pcie3", 5e-6, 12.0}; }
+
+LinkSpec nvlinkLink() { return LinkSpec{"nvlink", 2e-6, 35.0}; }
+
+double transferSeconds(const LinkSpec& link, std::size_t bytes) {
+  return link.latency_s + double(bytes) / (link.bandwidth_gbs * kGb);
+}
+
 BandwidthReport bandwidthReport(const KernelStats& stats, double total_seconds) {
   BandwidthReport r;
   if (total_seconds <= 0.0) return r;

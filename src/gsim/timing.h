@@ -27,6 +27,8 @@
 // outputs are calibrated vs emergent.
 #pragma once
 
+#include <cstddef>
+
 #include "gsim/device.h"
 #include "gsim/kernel_stats.h"
 #include "gsim/occupancy.h"
@@ -75,5 +77,33 @@ struct BandwidthReport {
 };
 
 BandwidthReport bandwidthReport(const KernelStats& stats, double total_seconds);
+
+// ---------------------------------------------------------------------------
+// Inter-device interconnect model
+// ---------------------------------------------------------------------------
+//
+// Multi-device slab sharding (DESIGN.md §13) moves halo rows and error-
+// sinogram reductions between simulated devices. Each link is modeled the
+// same first-order way as the kernel paths above: a fixed per-transfer
+// latency (driver + DMA setup) plus bytes over a sustained bandwidth.
+
+/// One point-to-point link between two devices (or device and host).
+struct LinkSpec {
+  const char* name = "pcie3";
+  double latency_s = 5e-6;     ///< per-transfer setup latency
+  double bandwidth_gbs = 12.0; ///< sustained unidirectional bandwidth
+};
+
+/// PCIe 3.0 x16: ~12 GB/s sustained of the 15.75 GB/s raw (the paper-era
+/// Titan X interconnect), ~5 us effective launch-to-first-byte latency.
+LinkSpec pcie3Link();
+
+/// NVLink 1.0-class link: ~35 GB/s sustained per direction, lower setup
+/// latency. Not the default; lets the bench show the comm-bound regime
+/// shrinking on a better fabric.
+LinkSpec nvlinkLink();
+
+/// Modeled seconds to move `bytes` over `link` (latency + bytes/bandwidth).
+double transferSeconds(const LinkSpec& link, std::size_t bytes);
 
 }  // namespace mbir::gsim

@@ -1,0 +1,96 @@
+#include "sched/sharded.h"
+
+#include <utility>
+
+#include "core/timer.h"
+
+namespace mbir::sched {
+
+double runShardedJobOnDevices(const DeviceRunContext& ctx,
+                              const OwnedProblem& problem,
+                              const Image2D& golden,
+                              const shard::ShardConfig& config,
+                              const std::atomic<bool>& cancel_flag,
+                              double device_clock_s, JobResult& r,
+                              shard::ShardRunResult* shard_out) {
+  obs::Recorder* rec = ctx.recorder;
+  const bool tracing = rec && rec->traceOn();
+  r.device = ctx.device;
+  r.queue_wait_modeled_s = device_clock_s;
+  r.device_start_modeled_s = device_clock_s;
+  const double host_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
+  const WallTimer job_wall;
+
+  shard::ShardConfig sc = config;
+  sc.base.cancel = &cancel_flag;
+  sc.base.external_recorder = rec;
+  sc.base.trace_pid = ctx.trace_pid;
+  sc.base.span = ctx.span;
+  if (ctx.fault_hook) sc.base.fault_hook = ctx.fault_hook;
+  if (ctx.host_pool && !sc.base.gpu.host_pool)
+    sc.base.gpu.host_pool = ctx.host_pool;
+  shard::ShardRunResult sr;
+  try {
+    sr = shard::reconstructSharded(problem, golden, sc);
+    r.run = std::move(sr.run);
+    r.cancelled = r.run.cancelled;
+    if (shard_out) {
+      shard_out->shard = sr.shard;
+      shard_out->plan = sr.plan;
+      shard_out->devices = sr.devices;
+      shard_out->link_name = sr.link_name;
+    }
+  } catch (const std::exception& e) {
+    r.failed = true;
+    r.error = e.what();
+  } catch (...) {
+    r.failed = true;
+    r.error = "unknown exception";
+  }
+  r.host_seconds = job_wall.seconds();
+  const double clock_after = device_clock_s + r.run.modeled_seconds;
+  r.device_end_modeled_s = clock_after;
+
+  if (rec && rec->metricsOn())
+    rec->metrics()
+        .counter("sched.busy_ms", {{"device", std::to_string(ctx.device)}})
+        .add(std::uint64_t(r.host_seconds * 1e3 + 0.5));
+
+  if (tracing) {
+    std::vector<std::pair<std::string, double>> num_args = {
+        {"job_id", double(r.job_id)},
+        {"device", double(ctx.device)},
+        {"devices", double(config.devices)},
+        {"slabs", double(config.plan.numSlabs())},
+        {"equits", r.run.equits},
+        {"rmse_hu", r.run.final_rmse_hu},
+        {"queue_wait_modeled_s", r.queue_wait_modeled_s}};
+    std::vector<std::pair<std::string, std::string>> str_args = {
+        {"job", r.name}, {"algorithm", "GPU-ICD (sharded)"}};
+    if (ctx.span && !ctx.span->tenant.empty())
+      str_args.emplace_back("tenant", ctx.span->tenant);
+    obs::TraceEvent host_ev;
+    host_ev.name = ctx.span_prefix + ".job";
+    host_ev.cat = ctx.span_prefix;
+    host_ev.clock = obs::Clock::kHost;
+    host_ev.ts_us = host_t0_us;
+    host_ev.dur_us = rec->trace().nowHostUs() - host_t0_us;
+    host_ev.tid = ctx.span ? ctx.span->host_tid : 0;
+    host_ev.num_args = num_args;
+    host_ev.str_args = str_args;
+    obs::TraceEvent dev_ev;
+    dev_ev.name = ctx.span_prefix + ".job." + r.name;
+    dev_ev.cat = ctx.span_prefix;
+    dev_ev.clock = obs::Clock::kModeled;
+    dev_ev.pid = ctx.trace_pid;
+    dev_ev.ts_us = r.device_start_modeled_s * 1e6;
+    dev_ev.dur_us = (r.device_end_modeled_s - r.device_start_modeled_s) * 1e6;
+    dev_ev.num_args = num_args;
+    dev_ev.str_args = str_args;
+    rec->trace().record(std::move(host_ev));
+    rec->trace().record(std::move(dev_ev));
+  }
+  return clock_after;
+}
+
+}  // namespace mbir::sched

@@ -1,0 +1,35 @@
+// Dispatch of one sharded job over multiple simulated devices.
+//
+// runShardedJobOnDevices() is the gang sibling of runJobOnDevice(): the
+// same plumbing (context application, failure isolation, queue-wait
+// bookkeeping, host/modeled job spans) applied to a shard::ShardConfig
+// instead of a plain RunConfig. The job is ONE logical job — it occupies
+// `config.devices` devices simultaneously, and the returned clock advance
+// applies to every device in the gang (they synchronize at each halo
+// exchange, so all gang members end at the same modeled time). Used by the
+// online service dispatcher (src/svc) for `shards > 1` submissions.
+#pragma once
+
+#include "sched/scheduler.h"
+#include "shard/shard_job.h"
+
+namespace mbir::sched {
+
+/// Run one sharded job spanning config.devices simulated devices.
+/// ctx.device / ctx.trace_pid identify the gang *leader* (lowest device);
+/// the shard runner attributes exchange/transfer spans to that pid.
+/// Applies ctx to config.base exactly like runJobOnDevice (cancel flag,
+/// shared recorder, trace pid, span, fault hook, host pool), isolates
+/// failures into `out`, fills out.run from the sharded result and
+/// `*shard_out` (when non-null) with the shard-level stats + plan, and
+/// returns the gang's device clock after the job (start clock + the
+/// synchronized sharded modeled seconds).
+double runShardedJobOnDevices(const DeviceRunContext& ctx,
+                              const OwnedProblem& problem,
+                              const Image2D& golden,
+                              const shard::ShardConfig& config,
+                              const std::atomic<bool>& cancel_flag,
+                              double device_clock_s, JobResult& out,
+                              shard::ShardRunResult* shard_out = nullptr);
+
+}  // namespace mbir::sched

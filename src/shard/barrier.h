@@ -1,0 +1,85 @@
+// Reusable rendezvous for the shard runner's BSP iterations.
+//
+// All D device loops arrive at the end of each outer iteration; the last
+// arriver runs the halo exchange (leader_work) while holding the barrier,
+// then releases everyone with a continue/stop signal. abort() is the
+// one-way escape hatch: a device loop that dies (fault, cancellation
+// unwinding) aborts the barrier so peers blocked at the rendezvous return
+// kStop instead of waiting for an arrival that will never come — the
+// deadlock the ThreadPool::wait(on_error) regression test pins down.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "core/error.h"
+
+namespace mbir::shard {
+
+class ShardBarrier {
+ public:
+  enum class Signal { kContinue, kStop };
+
+  explicit ShardBarrier(int parties) : parties_(parties) {
+    MBIR_CHECK(parties >= 1);
+  }
+
+  /// Block until all parties arrive. The last arriver runs `leader_work`
+  /// (may be null) under the barrier lock and its return value is handed
+  /// to every party. If leader_work throws, the barrier aborts (peers get
+  /// kStop) and the exception rethrows on the leader's thread. After an
+  /// abort every arrival — current or future — returns kStop immediately.
+  Signal arriveAndWait(const std::function<Signal()>& leader_work) {
+    std::unique_lock lock(mu_);
+    if (aborted_) return Signal::kStop;
+    const std::uint64_t gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      Signal s = Signal::kContinue;
+      if (leader_work) {
+        try {
+          s = leader_work();
+        } catch (...) {
+          aborted_ = true;
+          ++generation_;
+          cv_.notify_all();
+          throw;
+        }
+      }
+      signal_ = s;
+      ++generation_;
+      cv_.notify_all();
+      return s;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return aborted_ ? Signal::kStop : signal_;
+  }
+
+  /// One-way abort; wakes current waiters and short-circuits all future
+  /// arrivals to kStop. Safe to call from any thread, any number of times.
+  void abort() {
+    std::lock_guard lock(mu_);
+    if (aborted_) return;
+    aborted_ = true;
+    ++generation_;
+    cv_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard lock(mu_);
+    return aborted_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool aborted_ = false;
+  Signal signal_ = Signal::kContinue;
+};
+
+}  // namespace mbir::shard

@@ -1,0 +1,74 @@
+#include "shard/plan.h"
+
+#include "core/error.h"
+#include "obs/json.h"
+
+namespace mbir::shard {
+
+void ShardPlan::validate() const {
+  MBIR_CHECK_MSG(image_size > 0, "image_size=" << image_size);
+  MBIR_CHECK_MSG(!slabs.empty(), "a shard plan needs at least one slab");
+  MBIR_CHECK_MSG(halo >= 0, "halo=" << halo);
+  MBIR_CHECK_MSG(slabs.front().row0 == 0,
+                 "slabs must start at row 0, got " << slabs.front().row0);
+  MBIR_CHECK_MSG(slabs.back().row1 == image_size,
+                 "slabs must end at row " << image_size << ", got "
+                                          << slabs.back().row1);
+  for (std::size_t s = 0; s < slabs.size(); ++s) {
+    MBIR_CHECK_MSG(slabs[s].height() >= 1,
+                   "slab " << s << " has height " << slabs[s].height());
+    if (s > 0)
+      MBIR_CHECK_MSG(slabs[s].row0 == slabs[s - 1].row1,
+                     "slab " << s << " starts at " << slabs[s].row0
+                             << " but slab " << s - 1 << " ends at "
+                             << slabs[s - 1].row1);
+    // A halo wider than a slab would make the exchange reach *through* a
+    // slab into its far neighbour — reject rather than silently clip.
+    MBIR_CHECK_MSG(halo <= slabs[s].height(),
+                   "halo " << halo << " exceeds slab " << s << " height "
+                           << slabs[s].height());
+  }
+}
+
+std::string ShardPlan::toJson() const {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("seed", double(seed));
+  w.kv("image_size", image_size);
+  w.kv("halo", halo);
+  w.key("slabs").beginArray();
+  for (const SlabSpec& s : slabs) {
+    w.beginObject();
+    w.kv("row0", s.row0);
+    w.kv("row1", s.row1);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+ShardPlan makeShardPlan(int image_size, int num_slabs, int halo,
+                        std::uint64_t seed) {
+  MBIR_CHECK_MSG(num_slabs >= 1, "num_slabs=" << num_slabs);
+  MBIR_CHECK_MSG(num_slabs <= image_size,
+                 "num_slabs=" << num_slabs << " > image rows " << image_size);
+  ShardPlan plan;
+  plan.seed = seed;
+  plan.image_size = image_size;
+  plan.halo = halo;
+  const int base = image_size / num_slabs;
+  const int extra = image_size % num_slabs;
+  int row = 0;
+  for (int s = 0; s < num_slabs; ++s) {
+    SlabSpec slab;
+    slab.row0 = row;
+    row += base + (s < extra ? 1 : 0);
+    slab.row1 = row;
+    plan.slabs.push_back(slab);
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace mbir::shard

@@ -1,0 +1,49 @@
+// Slab-decomposition plan for single-job multi-device sharding.
+//
+// A ShardPlan splits one reconstruction image into S contiguous row-slabs.
+// The plan — seed, halo width, slab boundaries, image size — fully
+// determines the sharded result: slab s always runs the same per-slab ICD
+// update sequence and the halo exchange merges per-slab state in slab
+// order, so the reconstructed image is bit-identical for ANY device count
+// the plan is executed on (devices only remap which slab computes where,
+// which changes modeled time, never bits). That is the determinism
+// contract DESIGN.md §13 documents and tests/test_shard.cpp enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbir::shard {
+
+/// One contiguous row-slab: image rows [row0, row1).
+struct SlabSpec {
+  int row0 = 0;
+  int row1 = 0;
+  int height() const { return row1 - row0; }
+};
+
+struct ShardPlan {
+  std::uint64_t seed = 17;
+  int image_size = 0;
+  /// Halo width in rows exchanged across each interior slab boundary per
+  /// outer iteration. 0 is legal (boundary-adjacent rows freeze instead of
+  /// exchanging); must not exceed the shortest slab's height.
+  int halo = 1;
+  std::vector<SlabSpec> slabs;
+
+  int numSlabs() const { return int(slabs.size()); }
+
+  /// Throws mbir::Error unless the slabs exactly tile [0, image_size) in
+  /// order with positive heights and the halo fits every slab.
+  void validate() const;
+
+  std::string toJson() const;
+};
+
+/// Even split of `image_size` rows into `num_slabs` slabs (earlier slabs
+/// absorb the remainder, one extra row each).
+ShardPlan makeShardPlan(int image_size, int num_slabs, int halo,
+                        std::uint64_t seed = 17);
+
+}  // namespace mbir::shard

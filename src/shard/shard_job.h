@@ -1,0 +1,49 @@
+// One logical sharded reconstruction job (DESIGN.md §13).
+//
+// reconstructSharded() is the sharded sibling of mbir::reconstruct(): same
+// convergence protocol (RMSE vs golden, equit cap, convergence curve), same
+// observability plumbing (recorder, spans, flight recorder, fault seam,
+// cancellation), but the engine underneath is a ShardedGpuIcd spanning
+// `devices` simulated devices. The batch scheduler dispatches it through
+// sched/sharded.h; the result serializes as a `gpumbir.shard_report/1`.
+#pragma once
+
+#include <string>
+
+#include "recon/reconstructor.h"
+#include "shard/plan.h"
+#include "shard/sharded_icd.h"
+
+namespace mbir::shard {
+
+struct ShardConfig {
+  ShardPlan plan;
+  /// Simulated devices the slabs are mapped onto (modeled time only —
+  /// never bits; see ShardPlan's determinism contract).
+  int devices = 1;
+  gsim::LinkSpec link = gsim::pcie3Link();
+  /// Convergence protocol + engine options + observability, exactly as for
+  /// reconstruct(). base.algorithm is ignored (always GPU-ICD); base.gpu is
+  /// the per-slab engine template.
+  RunConfig base;
+};
+
+struct ShardRunResult {
+  /// Filled like reconstruct()'s result: image, converged/cancelled,
+  /// curve, equits, modeled_seconds (= the synchronized shard clock),
+  /// host_seconds, work, simd_path.
+  RunResult run;
+  ShardRunStats shard;
+  ShardPlan plan;
+  int devices = 1;
+  std::string link_name;
+};
+
+/// Run one sharded reconstruction to the configured convergence criterion.
+ShardRunResult reconstructSharded(const OwnedProblem& problem,
+                                  const Image2D& golden, ShardConfig config);
+
+/// Machine-readable summary, schema `gpumbir.shard_report/1`.
+std::string shardReportJson(const ShardRunResult& result);
+
+}  // namespace mbir::shard

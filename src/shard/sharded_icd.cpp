@@ -1,0 +1,474 @@
+#include "shard/sharded_icd.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "obs/obs.h"
+#include "obs/span.h"
+#include "shard/barrier.h"
+
+namespace mbir::shard {
+
+namespace {
+/// View stripes of the error all-reduce kernel (single-writer per view).
+constexpr int kReduceStripes = 8;
+}  // namespace
+
+struct ShardedGpuIcd::Impl {
+  const Problem problem;  // by value: Problem is a non-owning view struct
+  const ShardPlan plan;
+  const ShardedOptions opt;
+  gsim::GpuSimulator exchange_sim;
+  std::vector<std::unique_ptr<GpuIcd>> engines;
+
+  // Exchange-simulator race buffers (-1 = checking off). "shard.image" /
+  // "shard.sino.e" are the shared assembly buffers; the per-slab entries
+  // are each slab's private copies.
+  int rb_image = -1, rb_sino = -1, rb_snap = -1;
+  std::vector<int> rb_x, rb_e;
+
+  // shard.* instruments (null = metrics off).
+  obs::Counter* m_exchanges = nullptr;
+  obs::Counter* m_comm_bytes = nullptr;
+  obs::Counter* m_comm_transfers = nullptr;
+  obs::Gauge* m_comm_seconds = nullptr;
+
+  Impl(const Problem& p, ShardPlan pl, ShardedOptions o)
+      : problem(p),
+        plan(std::move(pl)),
+        opt(std::move(o)),
+        exchange_sim(opt.engine.device) {
+    plan.validate();
+    MBIR_CHECK_MSG(plan.image_size == p.A.geometry().image_size,
+                   "plan image_size " << plan.image_size << " != problem "
+                                      << p.A.geometry().image_size);
+    MBIR_CHECK_MSG(opt.devices >= 1 && opt.devices <= plan.numSlabs(),
+                   "devices=" << opt.devices << " for " << plan.numSlabs()
+                              << " slabs");
+
+    exchange_sim.setHostPool(opt.engine.host_pool);
+    exchange_sim.setRecorder(opt.engine.recorder);
+    exchange_sim.setTracePid(opt.engine.trace_pid);
+    exchange_sim.setSpanContext(opt.engine.span);
+    exchange_sim.setRaceCheck(opt.engine.race_check);
+    exchange_sim.setSimdMode(opt.engine.simd);
+    exchange_sim.setFaultHook(opt.engine.fault_hook);
+    if (exchange_sim.raceCheckOn()) {
+      gsim::RaceDetector& rd = exchange_sim.raceDetector();
+      rb_image = rd.bufferId("shard.image");
+      rb_sino = rd.bufferId("shard.sino.e");
+      rb_snap = rd.bufferId("shard.sino.snap");
+      for (int s = 0; s < plan.numSlabs(); ++s) {
+        const std::string tag = std::to_string(s);
+        rb_x.push_back(rd.bufferId("shard.image/" + tag));
+        rb_e.push_back(rd.bufferId("shard.sino.e/" + tag));
+      }
+    }
+    if (opt.engine.recorder && opt.engine.recorder->metricsOn()) {
+      obs::MetricsRegistry& m = opt.engine.recorder->metrics();
+      m_exchanges = &m.counter("shard.exchange.count");
+      m_comm_bytes = &m.counter("shard.comm.bytes");
+      m_comm_transfers = &m.counter("shard.comm.transfers");
+      m_comm_seconds = &m.gauge("shard.comm.seconds");
+    }
+
+    engines.reserve(std::size_t(plan.numSlabs()));
+    for (int s = 0; s < plan.numSlabs(); ++s) {
+      GpuIcdOptions eo = opt.engine;
+      eo.seed = plan.seed;  // the seed is part of the plan contract
+      eo.slab = SlabWindow{plan.slabs[std::size_t(s)].row0,
+                           plan.slabs[std::size_t(s)].row1, plan.halo};
+      // Fault events must form one deterministic, single-threaded sequence
+      // for replay-by-index; only device 0's slabs (plus the exchange
+      // simulator, above) carry the hook. Device loops never run a hooked
+      // engine concurrently with another hooked call site: device 0's
+      // steps and the leader's exchange are ordered by the barrier.
+      if (s % opt.devices != 0) eo.fault_hook = nullptr;
+      engines.push_back(std::make_unique<GpuIcd>(problem, std::move(eo)));
+    }
+  }
+
+  /// Halo + error-all-reduce interconnect time for one exchange. Pure
+  /// function of plan, device count and buffer sizes — host timing never
+  /// leaks into the modeled clock. Adjacent cross-device slab pairs swap
+  /// their halo rows concurrently (one link each, critical path = one
+  /// pair); the error sinogram is merged with a ring all-reduce.
+  double iterationCommSeconds(std::size_t img_row_bytes,
+                              std::size_t sino_bytes, std::size_t& bytes,
+                              std::size_t& transfers) const {
+    const int D = opt.devices;
+    if (D == 1) return 0.0;
+    double t = 0.0;
+    const std::size_t halo_pair_bytes =
+        2 * std::size_t(plan.halo) * img_row_bytes;
+    bool any_cross = false;
+    for (int s = 0; s + 1 < plan.numSlabs(); ++s) {
+      if (s % D == (s + 1) % D) continue;  // same device: no link traffic
+      any_cross = true;
+      bytes += halo_pair_bytes;
+      transfers += 2;
+    }
+    if (any_cross && plan.halo > 0)
+      t += gsim::transferSeconds(opt.link, halo_pair_bytes);
+    // Ring all-reduce of the error sinogram: 2(D-1) steps of sino/D each;
+    // total fabric traffic 2(D-1) * sino_bytes.
+    t += 2.0 * double(D - 1) *
+         gsim::transferSeconds(opt.link, sino_bytes / std::size_t(D));
+    bytes += 2 * std::size_t(D - 1) * sino_bytes;
+    transfers += 2 * std::size_t(D - 1);
+    return t;
+  }
+
+  /// The halo exchange: three launches on the exchange simulator, each
+  /// with per-launch disjoint declared accesses (the executor runs blocks
+  /// truly concurrently, so phases inside one launch would be unsafe).
+  /// Kernel 1 packs owned rows into the assembly image; kernel 2 folds the
+  /// per-slab error deltas over the pre-iteration snapshot in slab order
+  /// (view-striped, single writer per view); kernel 3 refreshes each
+  /// slab's halo rows and hands every slab the merged sinogram.
+  void runExchange(Image2D& x, Sinogram& e, std::vector<Image2D>& xs,
+                   std::vector<Sinogram>& es, Sinogram& snap) {
+    const int S = plan.numSlabs();
+    const int n = x.size();
+    const int views = e.views();
+    const int channels = e.channels();
+
+    gsim::LaunchConfig pack_cfg;
+    pack_cfg.name = "shard.halo_pack";
+    pack_cfg.num_blocks = S;
+    pack_cfg.resources = {.threads_per_block = 256, .regs_per_thread = 16,
+                          .smem_per_block_bytes = 0};
+    exchange_sim.launch(pack_cfg, [&](gsim::BlockCtx& ctx) {
+      const int s = ctx.block_idx;
+      const SlabSpec& slab = plan.slabs[std::size_t(s)];
+      const std::size_t lo = std::size_t(slab.row0) * std::size_t(n);
+      const std::size_t hi = std::size_t(slab.row1) * std::size_t(n);
+      std::memcpy(x.flat().data() + lo, xs[std::size_t(s)].flat().data() + lo,
+                  (hi - lo) * sizeof(float));
+      for (int r = slab.row0; r < slab.row1; ++r) {
+        ctx.prof.svbAccess(n, 4, true, true);  // read slab copy
+        ctx.prof.svbAccess(n, 4, true, true);  // write assembly
+      }
+      if (ctx.prof.raceCheckOn()) {
+        ctx.prof.raceRead(rb_x[std::size_t(s)], std::int64_t(lo),
+                          std::int64_t(hi));
+        ctx.prof.raceWrite(rb_image, std::int64_t(lo), std::int64_t(hi));
+        if (opt.plant_undeclared_halo_write && s == 0 && S > 1) {
+          // Sabotage (test-only): model a kernel writing into the halo it
+          // does not own. The trespass overlaps slab 1's declared owned
+          // rows, so the detector must report a write-write conflict on
+          // "shard.image" between blocks 0 and 1 of this kernel.
+          const std::int64_t bad_hi = std::min<std::int64_t>(
+              std::int64_t(n) * n,
+              std::int64_t(slab.row1 + std::max(1, plan.halo)) * n);
+          ctx.prof.raceWrite(rb_image, std::int64_t(hi), bad_hi);
+        }
+      }
+    });
+
+    gsim::LaunchConfig red_cfg;
+    red_cfg.name = "shard.reduce_e";
+    red_cfg.num_blocks = std::min(kReduceStripes, views);
+    red_cfg.resources = {.threads_per_block = 256, .regs_per_thread = 16,
+                         .smem_per_block_bytes = 0};
+    exchange_sim.launch(red_cfg, [&](gsim::BlockCtx& ctx) {
+      for (int v = ctx.block_idx; v < views; v += ctx.num_blocks) {
+        float* out = e.row(v).data();
+        const float* sn = snap.row(v).data();
+        if (S == 1) {
+          // One slab owns every voxel, so its error copy IS the merged
+          // state. A straight copy (not the fold below) keeps this
+          // bit-identical to the unsharded engine: float addition is not
+          // associative, and snap + (e0 - snap) would perturb the bits.
+          std::memcpy(out, es[0].row(v).data(),
+                      std::size_t(channels) * sizeof(float));
+        } else {
+          // Fixed slab order makes the fold deterministic and
+          // device-count-invariant. Exact in expectation because voxel
+          // ownership is disjoint: each slab's delta is -A * (its own
+          // voxel updates).
+          for (int c = 0; c < channels; ++c) {
+            float acc = sn[c];
+            for (int s = 0; s < S; ++s)
+              acc += es[std::size_t(s)].row(v)[c] - sn[c];
+            out[c] = acc;
+          }
+        }
+        for (int s = 0; s < S + 2; ++s)
+          ctx.prof.svbAccess(channels, 4, true, true);
+        ctx.prof.addFlops(2.0 * double(S) * channels);
+        if (ctx.prof.raceCheckOn()) {
+          const std::int64_t vlo = std::int64_t(v) * channels;
+          const std::int64_t vhi = vlo + channels;
+          ctx.prof.raceWrite(rb_sino, vlo, vhi);
+          ctx.prof.raceRead(rb_snap, vlo, vhi);
+          for (int s = 0; s < S; ++s)
+            ctx.prof.raceRead(rb_e[std::size_t(s)], vlo, vhi);
+        }
+      }
+    });
+
+    gsim::LaunchConfig unpack_cfg;
+    unpack_cfg.name = "shard.halo_unpack";
+    unpack_cfg.num_blocks = S;
+    unpack_cfg.resources = {.threads_per_block = 256, .regs_per_thread = 16,
+                            .smem_per_block_bytes = 0};
+    exchange_sim.launch(unpack_cfg, [&](gsim::BlockCtx& ctx) {
+      const int s = ctx.block_idx;
+      const SlabSpec& slab = plan.slabs[std::size_t(s)];
+      Image2D& xl = xs[std::size_t(s)];
+      const int h = plan.halo;
+      const int lo_r0 = std::max(0, slab.row0 - h);
+      const int hi_r1 = std::min(n, slab.row1 + h);
+      const auto copy_rows = [&](int r0, int r1) {
+        if (r0 >= r1) return;
+        const std::size_t lo = std::size_t(r0) * std::size_t(n);
+        const std::size_t cnt = std::size_t(r1 - r0) * std::size_t(n);
+        std::memcpy(xl.flat().data() + lo, x.flat().data() + lo,
+                    cnt * sizeof(float));
+        for (int r = r0; r < r1; ++r) {
+          ctx.prof.svbAccess(n, 4, true, true);
+          ctx.prof.svbAccess(n, 4, true, true);
+        }
+        if (ctx.prof.raceCheckOn()) {
+          ctx.prof.raceRead(rb_image, std::int64_t(lo),
+                            std::int64_t(lo + cnt));
+          ctx.prof.raceWrite(rb_x[std::size_t(s)], std::int64_t(lo),
+                             std::int64_t(lo + cnt));
+        }
+      };
+      copy_rows(lo_r0, slab.row0);   // halo rows below
+      copy_rows(slab.row1, hi_r1);   // halo rows above
+      Sinogram& el = es[std::size_t(s)];
+      std::memcpy(el.flat().data(), e.flat().data(),
+                  el.flat().size() * sizeof(float));
+      for (int v = 0; v < views; ++v) {
+        ctx.prof.svbAccess(channels, 4, true, true);
+        ctx.prof.svbAccess(channels, 4, true, true);
+      }
+      if (ctx.prof.raceCheckOn()) {
+        const std::int64_t sino_n = std::int64_t(views) * channels;
+        ctx.prof.raceRead(rb_sino, 0, sino_n);
+        ctx.prof.raceWrite(rb_e[std::size_t(s)], 0, sino_n);
+      }
+    });
+
+    // Next iteration's delta baseline (host bookkeeping, no modeled time:
+    // a real deployment keeps the snapshot on-device as a side effect of
+    // the all-reduce).
+    snap = e;
+  }
+};
+
+ShardedGpuIcd::ShardedGpuIcd(const Problem& problem, ShardPlan plan,
+                             ShardedOptions opt)
+    : impl_(std::make_unique<Impl>(problem, std::move(plan), std::move(opt))) {}
+
+ShardedGpuIcd::~ShardedGpuIcd() = default;
+
+const ShardPlan& ShardedGpuIcd::plan() const { return impl_->plan; }
+gsim::GpuSimulator& ShardedGpuIcd::exchangeSimulator() {
+  return impl_->exchange_sim;
+}
+gsim::GpuSimulator& ShardedGpuIcd::slabSimulator(int s) {
+  return impl_->engines[std::size_t(s)]->simulator();
+}
+
+ShardRunStats ShardedGpuIcd::run(Image2D& x, Sinogram& e,
+                                 const ShardIterationCallback& on_iteration) {
+  Impl& im = *impl_;
+  MBIR_CHECK(x.size() == im.plan.image_size);
+  const int S = im.plan.numSlabs();
+  const int D = im.opt.devices;
+  const int n = x.size();
+
+  im.exchange_sim.resetTotals();
+  ShardRunStats stats;
+
+  // Per-slab private state: full image + error copies, refreshed by the
+  // exchange. `snap` is the pre-iteration error baseline the reduce folds
+  // deltas over.
+  std::vector<Image2D> xs(std::size_t(S), x);
+  std::vector<Sinogram> es(std::size_t(S), e);
+  Sinogram snap = e;
+  for (int s = 0; s < S; ++s)
+    im.engines[std::size_t(s)]->beginRun(xs[std::size_t(s)],
+                                         es[std::size_t(s)]);
+
+  const std::size_t img_bytes = x.numVoxels() * sizeof(float);
+  const std::size_t img_row_bytes = std::size_t(n) * sizeof(float);
+  const std::size_t sino_bytes = e.size() * sizeof(float);
+
+  // Modeled clocks. Device count > 1 pays an initial broadcast of the
+  // image + error + weights sinograms to every non-leader device (links in
+  // parallel, so one transfer on the critical path).
+  std::vector<double> device_clock(std::size_t(D), 0.0);
+  std::vector<double> device_compute(std::size_t(D), 0.0);
+  if (D > 1) {
+    const double bcast =
+        gsim::transferSeconds(im.opt.link, img_bytes + 2 * sino_bytes);
+    std::fill(device_clock.begin(), device_clock.end(), bcast);
+    stats.comm_seconds += bcast;
+    stats.comm_bytes += std::size_t(D - 1) * (img_bytes + 2 * sino_bytes);
+    stats.comm_transfers += std::size_t(D - 1);
+  }
+
+  obs::Recorder* rec = im.opt.engine.recorder;
+  const bool tracing = rec && rec->traceOn();
+
+  ShardBarrier barrier(D);
+  std::vector<double> prev_modeled(std::size_t(S), 0.0);
+  std::vector<double> compute_delta(std::size_t(D), 0.0);
+  std::atomic<bool> exhausted{false};
+
+  // Runs on the last device loop to arrive, under the barrier lock; every
+  // shared-state access below is ordered by that lock.
+  const auto leader_work = [&]() -> ShardBarrier::Signal {
+    if (exhausted.load(std::memory_order_acquire))
+      return ShardBarrier::Signal::kStop;
+    if (im.opt.cancel &&
+        im.opt.cancel->load(std::memory_order_acquire)) {
+      stats.cancelled = true;
+      return ShardBarrier::Signal::kStop;
+    }
+    ++stats.iterations;
+    for (int d = 0; d < D; ++d) {
+      device_clock[std::size_t(d)] += compute_delta[std::size_t(d)];
+      device_compute[std::size_t(d)] += compute_delta[std::size_t(d)];
+    }
+    const double sync =
+        *std::max_element(device_clock.begin(), device_clock.end());
+
+    const double ex0 = im.exchange_sim.totalModeledSeconds();
+    im.runExchange(x, e, xs, es, snap);
+    const double ex_delta = im.exchange_sim.totalModeledSeconds() - ex0;
+
+    std::size_t bytes = 0, transfers = 0;
+    const double comm =
+        im.iterationCommSeconds(img_row_bytes, sino_bytes, bytes, transfers);
+    const double after = sync + ex_delta + comm;
+    std::fill(device_clock.begin(), device_clock.end(), after);
+
+    ++stats.exchanges;
+    stats.comm_seconds += comm;
+    stats.comm_bytes += bytes;
+    stats.comm_transfers += transfers;
+    stats.modeled_seconds = after;
+    if (im.m_exchanges) {
+      im.m_exchanges->add();
+      im.m_comm_bytes->add(bytes);
+      im.m_comm_transfers->add(transfers);
+      im.m_comm_seconds->set(stats.comm_seconds);
+    }
+    if (tracing && comm > 0.0) {
+      obs::TraceEvent ev;
+      ev.name = "shard.transfer";
+      ev.cat = "shard";
+      ev.clock = obs::Clock::kModeled;
+      ev.pid = im.opt.engine.trace_pid;
+      ev.ts_us = (sync + ex_delta) * 1e6;
+      ev.dur_us = comm * 1e6;
+      ev.num_args = {{"iteration", double(stats.iterations)},
+                     {"bytes", double(bytes)},
+                     {"transfers", double(transfers)},
+                     {"devices", double(D)}};
+      ev.str_args = {{"link", im.opt.link.name}};
+      if (im.opt.engine.span) obs::tagSpan(ev, *im.opt.engine.span);
+      rec->trace().record(std::move(ev));
+    }
+
+    std::size_t updates = 0;
+    for (const auto& eng : im.engines)
+      updates += eng->runStats().work.voxel_updates;
+    stats.equits = double(updates) / double(x.numVoxels());
+
+    if (on_iteration &&
+        !on_iteration(ShardIterationInfo{stats.iterations, stats.equits,
+                                         stats.modeled_seconds, x})) {
+      stats.stopped_by_callback = true;
+      return ShardBarrier::Signal::kStop;
+    }
+    return ShardBarrier::Signal::kContinue;
+  };
+
+  // One persistent loop per simulated device on a private driver pool
+  // (slab engines' kernel blocks run on the — distinct — host pool, so the
+  // parallelFor-from-own-pool restriction is never violated).
+  ThreadPool driver{unsigned(D)};
+  for (int d = 0; d < D; ++d) {
+    driver.submit([&, d] {
+      try {
+        for (;;) {
+          bool done = false;
+          double delta = 0.0;
+          for (int s = d; s < S; s += D) {
+            GpuIcd& eng = *im.engines[std::size_t(s)];
+            if (!eng.stepIteration(xs[std::size_t(s)], es[std::size_t(s)])) {
+              // All engines share max_iterations, so every device loop
+              // exhausts on the same round.
+              done = true;
+              break;
+            }
+            const double m = eng.runStats().modeled_seconds;
+            delta += m - prev_modeled[std::size_t(s)];
+            prev_modeled[std::size_t(s)] = m;
+          }
+          if (done)
+            exhausted.store(true, std::memory_order_release);
+          else
+            compute_delta[std::size_t(d)] = delta;
+          if (barrier.arriveAndWait(leader_work) ==
+              ShardBarrier::Signal::kStop)
+            return;
+        }
+      } catch (...) {
+        // A slab engine (or the exchange) died — release peers parked at
+        // the rendezvous before unwinding, else they wait forever on an
+        // arrival that will never come.
+        barrier.abort();
+        throw;
+      }
+    });
+  }
+  // The on_error hook is the backstop for the same deadlock if an error
+  // reaches the pool before abort() does (regression-tested in test_core).
+  driver.wait([&] { barrier.abort(); });
+
+  // Final device-to-host gather of the assembled image.
+  double final_clock =
+      *std::max_element(device_clock.begin(), device_clock.end());
+  if (D > 1) {
+    const double gather = gsim::transferSeconds(im.opt.link, img_bytes);
+    final_clock += gather;
+    stats.comm_seconds += gather;
+    stats.comm_bytes += img_bytes;
+    stats.comm_transfers += 1;
+  }
+  stats.modeled_seconds = final_clock;
+  stats.compute_seconds =
+      *std::max_element(device_compute.begin(), device_compute.end());
+  stats.exchange_seconds = im.exchange_sim.totalModeledSeconds();
+
+  stats.kernels_launched = 3 * stats.exchanges;
+  for (const auto& eng : im.engines) {
+    const GpuRunStats& es_ = eng->runStats();
+    stats.work += es_.work;
+    stats.kernels_launched += es_.kernels_launched;
+  }
+  stats.equits = double(stats.work.voxel_updates) / double(x.numVoxels());
+
+  const auto add_race = [&](const gsim::GpuSimulator& sim) {
+    stats.race_check_enabled = stats.race_check_enabled || sim.raceCheckOn();
+    const gsim::RaceCheckTotals t = sim.raceDetector().totals();
+    stats.race_launches_checked += t.launches_checked;
+    stats.race_ranges_checked += t.ranges_checked;
+    stats.race_reports += t.races_found;
+  };
+  add_race(im.exchange_sim);
+  for (int s = 0; s < S; ++s) add_race(im.engines[std::size_t(s)]->simulator());
+  return stats;
+}
+
+}  // namespace mbir::shard

@@ -1,0 +1,123 @@
+// Multi-device slab-sharded GPU-ICD runner (DESIGN.md §13).
+//
+// Splits one reconstruction across the slabs of a ShardPlan: every slab
+// gets its own GpuIcd engine on its own simulated device state (a full
+// private image + error-sinogram copy), restricted to its slab window.
+// Execution is bulk-synchronous: each outer iteration all slabs update
+// their owned rows concurrently, then a halo exchange — three kernels on a
+// dedicated exchange simulator, every access race-declared — merges the
+// per-slab error deltas in slab order, assembles the authoritative image
+// from owned rows, and refreshes each slab's halo rows. Interconnect cost
+// (halo rows + error all-reduce over a modeled PCIe/NVLink link) is added
+// to the synchronized device clocks.
+//
+// Determinism contract: the image/error bits are a pure function of the
+// problem and the ShardPlan. The device count D only maps slabs onto
+// devices (slab s -> device s % D) and therefore only changes *modeled
+// time* — D=1, 2, 4 produce bit-identical images for one plan, and an
+// S=1 plan is bit-identical to the unsharded GpuIcd.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "geom/image.h"
+#include "geom/sinogram.h"
+#include "gpuicd/gpu_icd.h"
+#include "gsim/timing.h"
+#include "icd/problem.h"
+#include "shard/plan.h"
+
+namespace mbir::shard {
+
+struct ShardedOptions {
+  /// Per-slab engine template. The slab window and the run seed (taken
+  /// from the plan) are overridden per slab, and the fault hook is routed
+  /// only to slab engines on device 0 plus the exchange simulator so the
+  /// fault-event sequence stays single-threaded and replayable. Everything
+  /// else — tunables, flags, device spec, host pool, recorder, race
+  /// checking, SIMD — applies to every slab engine.
+  GpuIcdOptions engine;
+  /// Simulated devices the slabs run on, slab s -> device s % devices.
+  /// Must be in [1, numSlabs]. Changes modeled time only, never bits.
+  int devices = 1;
+  /// Interconnect the halo rows and error all-reduce travel over.
+  gsim::LinkSpec link = gsim::pcie3Link();
+  /// Cooperative cancellation, checked at every exchange boundary. The
+  /// returned image is always the assembly of the last *completed*
+  /// exchange — a consistent BSP snapshot, never a torn mix.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test-only sabotage (tests/test_shard.cpp): the halo-pack kernel's
+  /// first block declares — without performing — a write reaching past its
+  /// slab boundary, modeling a kernel that touches an unowned halo without
+  /// a declared exchange. The race detector must attribute the resulting
+  /// write-write conflict exactly.
+  bool plant_undeclared_halo_write = false;
+};
+
+struct ShardIterationInfo {
+  int iteration = 0;             ///< 1-based outer iteration
+  double equits = 0.0;           ///< summed over slabs
+  double modeled_seconds = 0.0;  ///< synchronized clock incl. exchange+comm
+  const Image2D& x;              ///< assembled image at the BSP boundary
+};
+
+/// Return false to stop (invoked by the exchange leader, after the
+/// exchange, with the assembled image).
+using ShardIterationCallback = std::function<bool(const ShardIterationInfo&)>;
+
+struct ShardRunStats {
+  int iterations = 0;
+  double equits = 0.0;
+  bool stopped_by_callback = false;
+  bool cancelled = false;
+  /// Synchronized multi-device modeled time: per-device compute, barrier
+  /// at each exchange, plus exchange kernels and interconnect transfers.
+  double modeled_seconds = 0.0;
+  /// Critical-path compute: max over devices of summed slab kernel time.
+  double compute_seconds = 0.0;
+  /// Interconnect time on the critical path (halo + all-reduce + initial
+  /// broadcast + final gather). Zero when devices == 1.
+  double comm_seconds = 0.0;
+  /// Exchange-kernel time on the dedicated exchange simulator.
+  double exchange_seconds = 0.0;
+  std::size_t comm_bytes = 0;
+  std::size_t comm_transfers = 0;
+  int exchanges = 0;
+  WorkCounters work;  ///< summed over slab engines
+  int kernels_launched = 0;
+  /// Race-check totals summed over every slab simulator + the exchange
+  /// simulator (zeros when checking is off).
+  bool race_check_enabled = false;
+  std::uint64_t race_launches_checked = 0;
+  std::uint64_t race_ranges_checked = 0;
+  std::uint64_t race_reports = 0;
+};
+
+class ShardedGpuIcd {
+ public:
+  /// Validates the plan against the problem's image size and `opt.devices`
+  /// against the slab count; throws mbir::Error on mismatch.
+  ShardedGpuIcd(const Problem& problem, ShardPlan plan, ShardedOptions opt);
+  ~ShardedGpuIcd();
+
+  /// Run until callback stop, cancellation, or the engine iteration cap;
+  /// x and e are updated in place at every exchange boundary.
+  ShardRunStats run(Image2D& x, Sinogram& e,
+                    const ShardIterationCallback& on_iteration = {});
+
+  const ShardPlan& plan() const;
+  /// The exchange simulator — tests read its race detector to prove the
+  /// halo exchange is fully declared (and that planted trespasses trip).
+  gsim::GpuSimulator& exchangeSimulator();
+  /// Slab engine `s`'s simulator (races of the slab-local update kernels).
+  gsim::GpuSimulator& slabSimulator(int s);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mbir::shard

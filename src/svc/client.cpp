@@ -43,6 +43,8 @@ Client::JobInfo parseJobInfo(const obs::JsonValue& doc) {
   info.final_rmse_hu = numField(doc, "final_rmse_hu", 0.0);
   info.modeled_seconds = numField(doc, "modeled_seconds", 0.0);
   info.queue_wait_modeled_s = numField(doc, "queue_wait_modeled_s", 0.0);
+  info.shards = int(numField(doc, "shards", 1));
+  info.migrations = int(numField(doc, "migrations", 0));
   info.error = strField(doc, "error");
   info.image_hash = strField(doc, "image_hash");
   if (const obs::JsonValue* img = doc.find("image"); img && img->isObject()) {

@@ -75,6 +75,8 @@ class Client {
     double final_rmse_hu = 0.0;
     double modeled_seconds = 0.0;
     double queue_wait_modeled_s = 0.0;
+    int shards = 1;      ///< > 1: gang-dispatched slab-sharded job
+    int migrations = 0;  ///< times the whole logical job was requeued
     std::string error;
     std::string image_hash;  ///< 16 hex chars when the job has an image
     std::optional<Image2D> image;  ///< result(include_image=true) only

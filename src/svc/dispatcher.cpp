@@ -7,6 +7,7 @@
 #include "core/error.h"
 #include "core/hash.h"
 #include "obs/json.h"
+#include "sched/sharded.h"
 
 namespace mbir::svc {
 
@@ -181,6 +182,37 @@ double Dispatcher::watchdogMs() const {
 
 SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
   MBIR_CHECK_MSG(spec.problem && spec.golden, "job needs a problem and golden");
+  if (spec.shards < 1) {
+    SubmitOutcome out;
+    out.reason = "shards must be >= 1";
+    std::lock_guard lock(mu_);
+    ++rejected_;
+    if (inst_.rejected) inst_.rejected->add();
+    return out;
+  }
+  if (spec.shards > 1) {
+    SubmitOutcome out;
+    if (spec.deterministic) {
+      out.reason = "sharded jobs cannot use the deterministic lane "
+                   "(round-robin single-device by contract)";
+    } else {
+      // Build-or-reject the slab plan at the door so a bad geometry fails
+      // the submit, never the job: makeShardPlan validates slab heights
+      // and the halo fit.
+      try {
+        shard::makeShardPlan(spec.problem->geometry().image_size, spec.shards,
+                             spec.shard_halo, spec.config.gpu.seed);
+      } catch (const std::exception& e) {
+        out.reason = e.what();
+      }
+    }
+    if (!out.reason.empty()) {
+      std::lock_guard lock(mu_);
+      ++rejected_;
+      if (inst_.rejected) inst_.rejected->add();
+      return out;
+    }
+  }
   obs::Recorder* rec = opt_.recorder;
   const bool tracing = rec && rec->traceOn();
   const double submit_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
@@ -345,8 +377,12 @@ std::optional<Image2D> Dispatcher::image(int job_id) const {
 }
 
 Dispatcher::Job* Dispatcher::pickJobLocked(int device) {
+  // A running gang owns every device: nothing else dispatches until its
+  // leader clears the flag.
+  if (gang_active_) return nullptr;
   const auto now = std::chrono::steady_clock::now();
   auto transition = [&](Job& job) {
+    if (job.spec.shards > 1) gang_active_ = true;
     job.state = JobState::kRunning;
     job.dispatch_seq = dispatch_count_++;
     job.queue_wait_host_s = secondsBetween(job.admit_tp, now);
@@ -408,6 +444,12 @@ Dispatcher::Job* Dispatcher::pickJobLocked(int device) {
     if (job.has_deadline && now >= job.deadline_tp) {
       prio_pending_.erase(prio_pending_.begin() + long(i));
       finalizeQueuedLocked(job, JobState::kDeadlineMissed);
+      continue;
+    }
+    // A sharded job needs every device idle — while anything runs it stays
+    // queued (skipped, not removed) and lower-priority singles may pass it.
+    if (job.spec.shards > 1 && running_ > 0) {
+      ++i;
       continue;
     }
     if (!best || job.spec.priority > best->spec.priority) best = &job;
@@ -662,11 +704,14 @@ void Dispatcher::deviceLoop(int device) {
   ctx.device = device;
   ctx.trace_pid = tracePid(device);
   ctx.span_prefix = "svc";
-  double clock_s = 0.0;  // this device's cumulative modeled clock
 
   while (true) {
     Job* job = nullptr;
     chaos::JobFault fault;
+    // Start clock and gang width are resolved under the lock at pick time
+    // (a gang's clock is a property of every device, not just this one).
+    double start_clock = 0.0;
+    int gang_devices = 1;
     {
       std::unique_lock lock(mu_);
       cv_work_.wait(lock, [&] {
@@ -693,6 +738,19 @@ void Dispatcher::deviceLoop(int device) {
         fault = chaos::JobFault{};  // no watchdog to notice: would hang forever
       // The watchdog only monitors runs that carry a heartbeating hook.
       job->hooked = injector_ != nullptr || !job->spec.fault.none();
+      if (job->spec.shards > 1) {
+        // The gang occupies every surviving device: it starts when the
+        // slowest of them is free and advances all of their clocks.
+        int survivors = 0;
+        for (int d2 = 0; d2 < opt_.num_devices; ++d2) {
+          if (device_failed_[std::size_t(d2)]) continue;
+          ++survivors;
+          start_clock = std::max(start_clock, device_clock_[std::size_t(d2)]);
+        }
+        gang_devices = std::min(job->spec.shards, survivors);
+      } else {
+        start_clock = device_clock_[std::size_t(device)];
+      }
     }
     // Deadline-miss finalizations inside pickJobLocked may have requested
     // dumps; write them before the (long) run, off the lock.
@@ -706,6 +764,7 @@ void Dispatcher::deviceLoop(int device) {
       {
         std::lock_guard lock(mu_);
         job->fault_fired = true;
+        if (job->spec.shards > 1) gang_active_ = false;
         device_running_[std::size_t(device)] = -1;
         --running_;
         migrateLocked(*job, device);
@@ -720,9 +779,25 @@ void Dispatcher::deviceLoop(int device) {
                              &chaos_dev_[std::size_t(device)]);
     ctx.span = &job->span;
     ctx.fault_hook = job->hooked ? &hook : nullptr;
-    clock_s = sched::runJobOnDevice(ctx, *job->spec.problem, *job->spec.golden,
-                                    job->spec.config, job->cancel, clock_s,
-                                    job->result);
+    double clock_after;
+    if (job->spec.shards > 1) {
+      // One logical job across the gang. The plan was validated at submit
+      // with these exact parameters, so this rebuild cannot throw.
+      shard::ShardConfig sc;
+      sc.plan = shard::makeShardPlan(job->spec.problem->geometry().image_size,
+                                     job->spec.shards, job->spec.shard_halo,
+                                     job->spec.config.gpu.seed);
+      sc.devices = gang_devices;
+      sc.base = job->spec.config;
+      clock_after = sched::runShardedJobOnDevices(
+          ctx, *job->spec.problem, *job->spec.golden, sc, job->cancel,
+          start_clock, job->result);
+    } else {
+      clock_after = sched::runJobOnDevice(ctx, *job->spec.problem,
+                                          *job->spec.golden, job->spec.config,
+                                          job->cancel, start_clock,
+                                          job->result);
+    }
     ctx.span = nullptr;
     ctx.fault_hook = nullptr;
 
@@ -731,10 +806,16 @@ void Dispatcher::deviceLoop(int device) {
       std::lock_guard lock(mu_);
       if (hook.fired()) job->fault_fired = true;
       device_gone = device_failed_[std::size_t(device)] != 0;
+      if (job->spec.shards > 1) {
+        gang_active_ = false;
+        cv_work_.notify_all();  // peers idled by the gang can pick again
+      }
       if (device_gone && hook.stalled()) {
         // The run froze mid-kernel, the watchdog declared the device dead,
         // and abandon() unwound it via DeviceLost: the outcome is void.
-        // Reset the result so the survivor's re-run starts clean.
+        // Reset the result so the survivor's re-run starts clean. For a
+        // sharded job the WHOLE logical job is requeued — a gang member
+        // lost mid-halo-exchange can never leave a torn partial image.
         const std::string name = job->result.name;
         job->result = sched::JobResult{};
         job->result.job_id = job->id;
@@ -746,7 +827,15 @@ void Dispatcher::deviceLoop(int device) {
         migrateLocked(*job, device);
         requeueLocked(*job);
       } else {
-        device_clock_[std::size_t(device)] = clock_s;
+        if (job->spec.shards > 1) {
+          // The gang ends synchronized: every surviving device's clock
+          // advances to the same post-job time.
+          for (int d2 = 0; d2 < opt_.num_devices; ++d2)
+            if (!device_failed_[std::size_t(d2)])
+              device_clock_[std::size_t(d2)] = clock_after;
+        } else {
+          device_clock_[std::size_t(device)] = clock_after;
+        }
         job->service_host_s = service_wall.seconds();
         job->e2e_host_s = job->queue_wait_host_s + job->service_host_s;
         const sched::JobResult& r = job->result;
@@ -776,6 +865,7 @@ JobStatus Dispatcher::snapshotLocked(const Job& job) const {
   s.priority = job.spec.priority;
   s.deterministic = job.spec.deterministic;
   s.deadline_ms = job.spec.deadline_ms;
+  s.shards = job.spec.shards;
   s.device = job.device;
   s.dispatch_seq = job.dispatch_seq;
   s.queue_wait_host_s = job.queue_wait_host_s;
@@ -1043,6 +1133,7 @@ std::string Dispatcher::reportJson() const {
     w.kv("priority", s.priority);
     w.kv("deterministic", s.deterministic);
     if (s.deadline_ms >= 0.0) w.kv("deadline_ms", s.deadline_ms);
+    if (s.shards > 1) w.kv("shards", s.shards);
     w.kv("device", s.device);
     w.kv("dispatch_seq", s.dispatch_seq);
     w.kv("queue_wait_host_s", s.queue_wait_host_s);

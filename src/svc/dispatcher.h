@@ -88,6 +88,16 @@ struct JobSpec {
   int priority = 0;          ///< higher first (priority lane only)
   double deadline_ms = -1.0; ///< host ms from admission; < 0 = none
   bool deterministic = false;
+  /// > 1 = single-job multi-device slab sharding (DESIGN.md §13): the image
+  /// splits into `shards` row-slabs run as ONE logical job gang-dispatched
+  /// over min(shards, surviving devices) devices. Sharded jobs ride the
+  /// priority lane only (a sharded+deterministic submit is rejected: the
+  /// deterministic lane is round-robin single-device by contract) and
+  /// dispatch exclusively — the gang waits until no other job is running,
+  /// then occupies every device until its exchange-synchronized run ends.
+  int shards = 1;
+  /// Halo rows exchanged per outer iteration between adjacent slabs.
+  int shard_halo = 1;
   /// Forced per-job fault (chaos/fault.h; kind kNone = no forced fault).
   /// Fires on whatever device dispatches the job, regardless of the plan's
   /// target set; stall/death additionally require the watchdog to be armed
@@ -111,7 +121,8 @@ struct JobStatus {
   int priority = 0;
   bool deterministic = false;
   double deadline_ms = -1.0;
-  int device = -1;        ///< -1 until dispatched
+  int shards = 1;         ///< > 1 = gang-dispatched sharded job
+  int device = -1;        ///< -1 until dispatched (gang leader when sharded)
   int dispatch_seq = -1;  ///< global dispatch order; -1 = never dispatched
   double queue_wait_host_s = 0.0;
   double service_host_s = 0.0;
@@ -389,6 +400,9 @@ class Dispatcher {
   /// Automatic flight dumps waiting for file I/O: (file stem, reason).
   std::vector<std::pair<std::string, std::string>> pending_flight_;
   std::uint64_t flight_dumps_ = 0;
+  /// A sharded job is running: it owns every device, so no other pick may
+  /// dispatch until it finishes (cleared by the gang leader's thread).
+  bool gang_active_ = false;
   int det_count_ = 0;
   int dispatch_count_ = 0;
   int queued_ = 0;

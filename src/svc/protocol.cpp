@@ -186,6 +186,10 @@ std::string encodeSubmit(const SubmitParams& p) {
   w.kv("priority", p.priority);
   if (p.deadline_ms >= 0.0) w.kv("deadline_ms", p.deadline_ms);
   w.kv("deterministic", p.deterministic);
+  if (p.shards > 1) {
+    w.kv("shards", p.shards);
+    w.kv("shard_halo", p.shard_halo);
+  }
   if (!p.simd.empty()) w.kv("simd", p.simd);
   if (!p.name.empty()) w.kv("name", p.name);
   if (!p.tenant.empty()) w.kv("tenant", p.tenant);
@@ -205,6 +209,12 @@ SubmitParams parseSubmitParams(const Request& req) {
   p.priority = int(req.getInt("priority", 0));
   p.deadline_ms = req.getDouble("deadline_ms", -1.0);
   p.deterministic = req.getBool("deterministic", false);
+  p.shards = int(req.getInt("shards", 1));
+  if (p.shards < 1) throw Error("'shards' must be >= 1");
+  p.shard_halo = int(req.getInt("shard_halo", 1));
+  if (p.shard_halo < 0) throw Error("'shard_halo' must be >= 0");
+  if (p.shards > 1 && p.deterministic)
+    throw Error("sharded jobs cannot be deterministic-lane");
   p.simd = req.getString("simd", "");
   p.name = req.getString("name", "");
   p.tenant = req.getString("tenant", "");

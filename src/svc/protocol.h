@@ -108,6 +108,12 @@ struct SubmitParams {
   /// Route through the deterministic FIFO round-robin lane (bit-identical
   /// to BatchScheduler::runAll; priority/deadline are ignored).
   bool deterministic = false;
+  /// > 1 = single-job multi-device slab sharding (DESIGN.md §13): the job
+  /// runs as one gang over min(shards, devices) devices. Priority lane
+  /// only — sharded+deterministic submits are rejected.
+  int shards = 1;
+  /// Halo rows exchanged per outer iteration between adjacent slabs.
+  int shard_halo = 1;
   /// Lane-group execution path override: "off"|"auto"|"avx2" (empty = keep
   /// the server's base config / GPUMBIR_SIMD). Purely a wall-clock knob —
   /// scalar and AVX2 are bit-identical — so jobs stay reproducible

@@ -22,6 +22,7 @@ void writeJobStatus(obs::JsonWriter& w, const JobStatus& s) {
   w.kv("priority", s.priority);
   w.kv("deterministic", s.deterministic);
   if (s.deadline_ms >= 0.0) w.kv("deadline_ms", s.deadline_ms);
+  if (s.shards > 1) w.kv("shards", s.shards);
   w.kv("device", s.device);
   w.kv("dispatch_seq", s.dispatch_seq);
   w.kv("queue_wait_host_s", s.queue_wait_host_s);
@@ -162,6 +163,8 @@ std::string Server::handleSubmit(const Request& req) {
   spec.priority = p.priority;
   spec.deadline_ms = p.deadline_ms;
   spec.deterministic = p.deterministic;
+  spec.shards = p.shards;
+  spec.shard_halo = p.shard_halo;
   spec.fault = chaos::parseFaultSpec(p.fault);
   // A forced stall/death on a server with no watchdog would park the device
   // forever with nothing to free it — refuse at the door.

@@ -18,6 +18,8 @@
 #include "chaos/fault.h"
 #include "obs/json.h"
 #include "sched/scheduler.h"
+#include "shard/shard_job.h"
+#include "svc/dispatcher.h"
 #include "test_support.h"
 
 namespace mbir {
@@ -234,6 +236,203 @@ TEST(GoldenRegression, FaultedRunMatchesCommittedFixture) {
           << "image bits changed; if intended, regenerate the fixture with\n"
           << "  GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-run fixtures: the multi-device determinism contract is pinned
+// ---------------------------------------------------------------------------
+
+struct ShardRecord {
+  int devices = 0;
+  std::uint64_t image_hash = 0;
+  double rmse_hu = 0.0;
+  double equits = 0.0;
+  double modeled_seconds = 0.0;
+  int exchanges = 0;
+};
+
+std::string shardFixturePath(int devices) {
+  return std::string(GPUMBIR_FIXTURE_DIR "/shard_d") + std::to_string(devices) +
+         ".json";
+}
+
+/// Fixed-budget sharded run of the tiny case on a 4-slab halo-1 plan.
+ShardRecord computeShardRecord(int devices) {
+  shard::ShardConfig cfg;
+  cfg.plan = shard::makeShardPlan(
+      test::tinyProblem().geometry().image_size, /*num_slabs=*/4, /*halo=*/1);
+  cfg.devices = devices;
+  cfg.base = test::tinyRunConfig(Algorithm::kGpuIcd, 4.0);
+  cfg.base.stop_rmse_hu = -1.0;
+  const shard::ShardRunResult r =
+      reconstructSharded(test::tinyProblem(), test::tinyGolden(), cfg);
+  return {devices, test::imageHash(r.run.image), r.run.final_rmse_hu,
+          r.run.equits, r.run.modeled_seconds, r.shard.exchanges};
+}
+
+void writeShardFixture(const ShardRecord& r) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("schema", "gpumbir.shard_regression/1");
+  w.kv("devices", r.devices);
+  w.kv("slabs", 4);
+  w.kv("halo", 1);
+  w.kv("image_hash", hashHex(r.image_hash));
+  w.kv("rmse_hu", r.rmse_hu);
+  w.kv("equits", r.equits);
+  w.kv("modeled_seconds", r.modeled_seconds);
+  w.kv("exchanges", r.exchanges);
+  w.endObject();
+  std::ofstream out(shardFixturePath(r.devices), std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot write " << shardFixturePath(r.devices);
+  out << w.str() << '\n';
+}
+
+TEST(GoldenRegression, ShardedRunsMatchCommittedFixtures) {
+  const ShardRecord d2 = computeShardRecord(2);
+  const ShardRecord d4 = computeShardRecord(4);
+
+  // The contract itself, independent of the fixtures: the image is a pure
+  // function of the plan — device count moves only the modeled clock.
+  EXPECT_EQ(d2.image_hash, d4.image_hash);
+  EXPECT_EQ(d2.rmse_hu, d4.rmse_hu);
+  EXPECT_EQ(d2.equits, d4.equits);
+  EXPECT_EQ(d2.exchanges, d4.exchanges);
+  EXPECT_NE(d2.modeled_seconds, d4.modeled_seconds);
+
+  if (std::getenv("GPUMBIR_REGEN_GOLDEN")) {
+    writeShardFixture(d2);
+    writeShardFixture(d4);
+    GTEST_SKIP() << "regenerated " << shardFixturePath(2) << " and "
+                 << shardFixturePath(4);
+  }
+
+  for (const ShardRecord& r : {d2, d4}) {
+    SCOPED_TRACE("devices=" + std::to_string(r.devices));
+    std::ifstream in(shardFixturePath(r.devices), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing fixture " << shardFixturePath(r.devices)
+        << " — regenerate with GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const obs::JsonValue doc = obs::parseJson(ss.str());
+    ASSERT_EQ(doc.find("schema")->asString(), "gpumbir.shard_regression/1");
+    EXPECT_EQ(int(doc.find("devices")->asNumber()), r.devices);
+    EXPECT_EQ(doc.find("image_hash")->asString(), hashHex(r.image_hash))
+        << "sharded image bits changed; if intended, regenerate with\n"
+        << "  GPUMBIR_REGEN_GOLDEN=1 ./test_golden_regression";
+    EXPECT_EQ(doc.find("rmse_hu")->asNumber(), r.rmse_hu);
+    EXPECT_EQ(doc.find("equits")->asNumber(), r.equits);
+    EXPECT_EQ(doc.find("modeled_seconds")->asNumber(), r.modeled_seconds);
+    EXPECT_EQ(int(doc.find("exchanges")->asNumber()), r.exchanges);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded chaos soak: gangs under fire never emit a torn image
+// ---------------------------------------------------------------------------
+
+TEST(ShardSoak, ShardedGangsSurviveChaosWithoutTornImages) {
+  // Seeded mixed traffic — single jobs plus 2- and 4-shard gangs — through
+  // the live dispatcher with stalls/deaths armed on devices {1,3} and two
+  // forced mid-run stalls planted on gangs. A device lost mid-halo-exchange
+  // must fail or migrate the WHOLE logical job: every job that completes
+  // carries the exact fault-free image bits for its plan, cancelled or
+  // migrated alike; a torn mix of iterations cannot hash-match.
+  const std::uint64_t seed = 0x5A4DD;
+  RunConfig cfg = test::tinyRunConfig(Algorithm::kGpuIcd, 4.0);
+  cfg.stop_rmse_hu = -1.0;
+
+  // Reference bits per shard count (devices never affect bits, so one
+  // single-device reference run per plan suffices).
+  const std::uint64_t ref1 = test::imageHash(
+      reconstruct(test::tinyProblem(), test::tinyGolden(), cfg).image);
+  const auto shard_ref = [&cfg](int shards) {
+    shard::ShardConfig sc;
+    sc.plan = shard::makeShardPlan(test::tinyProblem().geometry().image_size,
+                                   shards, /*halo=*/1, cfg.gpu.seed);
+    sc.devices = 1;
+    sc.base = cfg;
+    return test::imageHash(
+        reconstructSharded(test::tinyProblem(), test::tinyGolden(), sc)
+            .run.image);
+  };
+  const std::uint64_t ref2 = shard_ref(2);
+  const std::uint64_t ref4 = shard_ref(4);
+
+  chaos::FaultPlan plan;
+  plan.seed = seed;
+  plan.launch_fault_rate = 0.08;
+  plan.stall_rate = 0.08;
+  plan.death_rate = 0.04;
+  plan.target_devices = {1, 3};  // two guaranteed survivors
+
+  svc::DispatcherOptions opt;
+  opt.num_devices = 4;
+  opt.queue_capacity = 32;
+  opt.fault_plan = plan;
+  opt.watchdog_ms = 250.0;
+  svc::Dispatcher dispatcher(opt);
+
+  const int kJobs = 18;
+  std::vector<int> accepted;
+  std::vector<int> shards_of;
+  for (int i = 0; i < kJobs; ++i) {
+    svc::JobSpec spec;
+    spec.problem = &test::tinyProblem();
+    spec.golden = &test::tinyGolden();
+    spec.config = cfg;
+    spec.name = "shardsoak" + std::to_string(i);
+    spec.shards = (i % 3 == 0) ? 4 : (i % 3 == 1) ? 2 : 1;
+    spec.priority = i % 3;
+    // Two gangs are stalled mid-run by force: the watchdog must abandon the
+    // gang leader's device and requeue the whole logical job.
+    if (i == 3 || i == 4)
+      spec.fault = chaos::parseFaultSpec("stall@10");
+    const svc::SubmitOutcome out = dispatcher.submit(spec);
+    ASSERT_TRUE(out.accepted) << out.reason;
+    accepted.push_back(out.job_id);
+    shards_of.push_back(spec.shards);
+  }
+
+  std::uint64_t done = 0, failed = 0, migrated = 0, sharded_done = 0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    const svc::JobStatus s = dispatcher.waitTerminal(accepted[i]);
+    ASSERT_TRUE(svc::isTerminal(s.state)) << accepted[i];
+    migrated += std::uint64_t(s.migrations);
+    if (s.state == svc::JobState::kDone) {
+      ++done;
+      ASSERT_TRUE(s.has_image) << accepted[i];
+      const std::uint64_t want =
+          shards_of[i] == 4 ? ref4 : shards_of[i] == 2 ? ref2 : ref1;
+      EXPECT_EQ(want, s.image_hash)
+          << "job " << accepted[i] << " (shards=" << shards_of[i]
+          << ", migrations=" << s.migrations << ") returned torn/wrong bits";
+      if (shards_of[i] > 1) ++sharded_done;
+    } else {
+      ASSERT_EQ(s.state, svc::JobState::kFailed) << accepted[i];
+      ++failed;
+    }
+  }
+  EXPECT_EQ(done + failed, accepted.size());
+  EXPECT_GT(sharded_done, 0u);  // gangs really completed under chaos
+
+  // The forced gang stalls resolved by migrating the whole logical job.
+  for (int id : {accepted[3], accepted[4]}) {
+    const svc::JobStatus s = dispatcher.status(id);
+    if (s.state == svc::JobState::kDone) EXPECT_GE(s.migrations, 1) << id;
+  }
+
+  const svc::SvcReport& rep = dispatcher.drain();
+  EXPECT_EQ(rep.jobs_submitted, accepted.size());
+  EXPECT_EQ(rep.jobs_done, done);
+  EXPECT_EQ(rep.jobs_failed, failed);
+  EXPECT_EQ(rep.jobs_migrated, migrated);
+  EXPECT_GE(rep.jobs_migrated, 1u);  // the planted stalls really migrated
+  // Plan-driven stalls/deaths respect target_devices {1,3}, but the two
+  // FORCED gang stalls fire on whichever device led that gang — any device
+  // can legitimately appear among the failed.
+  EXPECT_GE(rep.devices_failed, 1u);
 }
 
 TEST(GoldenRegression, FingerprintIsRunToRunStable) {
