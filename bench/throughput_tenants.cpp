@@ -1,0 +1,265 @@
+// Multi-tenant service throughput: closed-loop load generation against a
+// live svc::Server, measuring (a) weighted-fair dispatch across tenants and
+// (b) the result cache's exact-hit serve latency.
+//
+// Three phases:
+//   fifo   — the same offered load with every job in one tenant bucket:
+//            weighted-fair queuing degenerates to the plain priority lane,
+//            giving the aggregate-throughput baseline.
+//   wfq    — two equally-aggressive tenants with weights --heavy-weight :
+//            --light-weight. Per-tenant goodput comes from the drain
+//            report's tenant summaries; the headline fairness metric is
+//              max_i(goodput_i / weight_i) / min_i(goodput_i / weight_i)
+//            (1.0 = perfectly weight-proportional service).
+//   cache  — a result-cache-enabled server primed with one cold run, then
+//            hammered with identical submits; every one must be served from
+//            the cache without dispatching. Reports the client-observed
+//            submit round-trip p50/p99 for those hits.
+//
+// Closed loop: every worker thread submits one job, waits for its result,
+// then submits the next — offered load tracks service capacity, so the
+// admission queue stays near its bound and the fair-queuing decision is
+// actually exercised (admission rejects back off briefly and retry).
+//
+// Emits BENCH_throughput_tenants.json (schema gpumbir.bench/1); CI gates
+// the fairness ratio, the wfq/fifo aggregate fraction and the cache-hit
+// p99 against the committed baseline via bench_compare.py.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/timer.h"
+#include "obs/obs.h"
+#include "recon/case_library.h"
+#include "store/cache.h"
+#include "svc/client.h"
+#include "svc/server.h"
+
+using namespace mbir;
+using namespace mbir::bench;
+
+namespace {
+
+struct LoadResult {
+  int done = 0;
+  int rejects = 0;
+};
+
+/// One closed-loop worker: submit → wait → repeat until the deadline.
+void runWorker(std::uint16_t port, const std::string& tenant, int num_cases,
+               std::chrono::steady_clock::time_point deadline,
+               std::atomic<int>& done, std::atomic<int>& rejects) {
+  svc::Client client(port);
+  int i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    svc::SubmitParams p;
+    p.case_index = i++ % num_cases;
+    p.tenant = tenant;
+    p.name = tenant.empty() ? "job" + std::to_string(i)
+                            : tenant + "-" + std::to_string(i);
+    const svc::Client::SubmitResult out = client.submit(p);
+    if (!out.accepted) {
+      rejects.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    const svc::Client::JobInfo info = client.result(out.job_id);
+    if (info.state == "done") done.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+struct PhaseStats {
+  double host_s = 0.0;
+  int rejects = 0;
+  svc::SvcReport report;
+};
+
+/// Run one load phase: `loads` = (tenant label, worker threads) pairs.
+PhaseStats runPhase(svc::ServerOptions opt, svc::JobSource& source,
+                    const std::vector<std::pair<std::string, int>>& loads,
+                    int num_cases, double duration_s) {
+  svc::Server server(std::move(opt), source);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(int(duration_s * 1000.0));
+  std::atomic<int> done{0}, rejects{0};
+  std::vector<std::thread> workers;
+  const WallTimer wall;
+  for (const auto& [tenant, threads] : loads)
+    for (int t = 0; t < threads; ++t)
+      workers.emplace_back(runWorker, server.port(), tenant, num_cases,
+                           deadline, std::ref(done), std::ref(rejects));
+  for (std::thread& w : workers) w.join();
+  PhaseStats out;
+  out.report = server.drainAndReport();
+  out.host_s = wall.seconds();
+  out.rejects = rejects.load();
+  server.stop();
+  return out;
+}
+
+double tenantDone(const svc::SvcReport& rep, const std::string& tenant) {
+  for (const svc::SvcReport::TenantSummary& t : rep.tenants)
+    if (t.tenant == tenant) return double(t.jobs_done);
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("devices", "simulated device count", "2");
+  args.describe("queue-cap", "admission queue bound", "4");
+  args.describe("duration-s", "closed-loop load duration per phase", "4");
+  args.describe("threads", "worker threads per tenant", "3");
+  args.describe("heavy-weight", "fair-queuing weight of the heavy tenant",
+                "4");
+  args.describe("light-weight", "fair-queuing weight of the light tenant",
+                "1");
+  args.describe("cache-hits", "duplicate submits in the cache phase", "16");
+  auto ctx = BenchContext::fromCli(
+      args, "Weighted-fair multi-tenant service throughput + cache hits.", 2);
+  if (!ctx) return 0;
+  const int devices = args.getInt("devices", 2);
+  const int queue_cap = args.getInt("queue-cap", 4);
+  const double duration_s = args.getDouble("duration-s", 4.0);
+  const int threads = args.getInt("threads", 3);
+  const double heavy_w = args.getDouble("heavy-weight", 4.0);
+  const double light_w = args.getDouble("light-weight", 1.0);
+  const int cache_hits_n = args.getInt("cache-hits", 16);
+
+  CaseLibrary library(ctx->cfg, ctx->golden_equits);
+  svc::CaseLibraryJobSource source(library);
+  for (int i = 0; i < ctx->num_cases; ++i) library.get(i);  // pre-build
+
+  auto baseOptions = [&] {
+    svc::ServerOptions opt;
+    opt.dispatch.num_devices = devices;
+    opt.dispatch.queue_capacity = queue_cap;
+    opt.base_config.algorithm = Algorithm::kGpuIcd;
+    opt.base_config.gpu.tunables = paperTunables();
+    opt.base_config.max_equits = 4.0;
+    return opt;
+  };
+
+  AsciiTable t({"phase", "jobs done", "rejects", "host wall (s)",
+                "jobs/host-s", "fairness (weighted max/min)"});
+  std::vector<std::pair<std::string, double>> numbers;
+  const WallTimer wall;
+
+  // -- Phase 1: FIFO baseline (one tenant bucket, same total offered load)
+  const PhaseStats fifo =
+      runPhase(baseOptions(), source, {{"", 2 * threads}}, ctx->num_cases,
+               duration_s);
+  const double fifo_rate =
+      fifo.host_s > 0.0 ? double(fifo.report.jobs_done) / fifo.host_s : 0.0;
+  t.addRow({"fifo", std::to_string(fifo.report.jobs_done),
+            std::to_string(fifo.rejects), AsciiTable::fmt(fifo.host_s, 2),
+            AsciiTable::fmt(fifo_rate, 2), "-"});
+  numbers.emplace_back("fifo_jobs_per_host_second", fifo_rate);
+  std::printf("[bench] fifo: %llu done, %.2f jobs/host-s\n",
+              (unsigned long long)fifo.report.jobs_done, fifo_rate);
+
+  // -- Phase 2: weighted-fair queuing, two equally-aggressive tenants
+  svc::ServerOptions wfq_opt = baseOptions();
+  wfq_opt.dispatch.tenant_weights["heavy"] = heavy_w;
+  wfq_opt.dispatch.tenant_weights["light"] = light_w;
+  const PhaseStats wfq =
+      runPhase(std::move(wfq_opt), source,
+               {{"heavy", threads}, {"light", threads}}, ctx->num_cases,
+               duration_s);
+  const double wfq_rate =
+      wfq.host_s > 0.0 ? double(wfq.report.jobs_done) / wfq.host_s : 0.0;
+  const double heavy_done = tenantDone(wfq.report, "heavy");
+  const double light_done = tenantDone(wfq.report, "light");
+  const double heavy_share = heavy_done / heavy_w;
+  const double light_share = light_done / light_w;
+  const double fairness =
+      heavy_share > 0.0 && light_share > 0.0
+          ? std::max(heavy_share, light_share) /
+                std::min(heavy_share, light_share)
+          : 0.0;
+  t.addRow({"wfq " + AsciiTable::fmt(heavy_w, 0) + ":" +
+                AsciiTable::fmt(light_w, 0),
+            std::to_string(wfq.report.jobs_done), std::to_string(wfq.rejects),
+            AsciiTable::fmt(wfq.host_s, 2), AsciiTable::fmt(wfq_rate, 2),
+            AsciiTable::fmt(fairness, 2)});
+  numbers.emplace_back("wfq_jobs_per_host_second", wfq_rate);
+  numbers.emplace_back("wfq_heavy_jobs_done", heavy_done);
+  numbers.emplace_back("wfq_light_jobs_done", light_done);
+  numbers.emplace_back("wfq_weighted_fairness_ratio", fairness);
+  numbers.emplace_back("wfq_fifo_throughput_frac",
+                       fifo_rate > 0.0 ? wfq_rate / fifo_rate : 0.0);
+  std::printf("[bench] wfq %.0f:%.0f: heavy %.0f / light %.0f done, "
+              "weighted fairness %.2f, %.2f jobs/host-s (%.0f%% of fifo)\n",
+              heavy_w, light_w, heavy_done, light_done, fairness, wfq_rate,
+              fifo_rate > 0.0 ? 100.0 * wfq_rate / fifo_rate : 0.0);
+
+  // -- Phase 3: result-cache exact hits, client-observed serve latency
+  char cache_dir[] = "/tmp/gpumbir_tenants_cache_XXXXXX";
+  if (!::mkdtemp(cache_dir)) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  {
+    store::ResultCache cache(cache_dir, 8);
+    svc::ServerOptions opt = baseOptions();
+    opt.cache = &cache;
+    svc::Server server(std::move(opt), source);
+    svc::Client client(server.port());
+
+    svc::SubmitParams p;
+    p.case_index = 0;
+    p.name = "prime";
+    const svc::Client::SubmitResult prime = client.submit(p);
+    if (!prime.accepted || prime.cache_hit) {
+      std::fprintf(stderr, "cache phase: priming submit went wrong\n");
+      return 1;
+    }
+    client.result(prime.job_id);
+
+    int hits = 0;
+    std::vector<double> latencies;
+    for (int i = 0; i < cache_hits_n; ++i) {
+      p.name = "dup" + std::to_string(i);
+      const WallTimer rt;
+      const svc::Client::SubmitResult out = client.submit(p);
+      const double s = rt.seconds();
+      if (out.accepted && out.cache_hit) {
+        ++hits;
+        latencies.push_back(s);
+      }
+    }
+    const svc::SvcReport& rep = server.drainAndReport();
+    server.stop();
+
+    std::sort(latencies.begin(), latencies.end());
+    auto quantile = [&](double q) {
+      if (latencies.empty()) return 0.0;
+      const std::size_t idx = std::min(
+          latencies.size() - 1, std::size_t(q * double(latencies.size())));
+      return latencies[idx];
+    };
+    const double hit_rate =
+        cache_hits_n > 0 ? double(hits) / double(cache_hits_n) : 0.0;
+    t.addRow({"cache", std::to_string(rep.jobs_done), "0",
+              AsciiTable::fmt(quantile(0.99), 5) + " p99 hit",
+              AsciiTable::fmt(hit_rate * 100.0, 0) + "% hits", "-"});
+    numbers.emplace_back("cache_hit_rate", hit_rate);
+    numbers.emplace_back("cache_hits", double(rep.cache_hits));
+    numbers.emplace_back("cache_hit_submit_p50_s", quantile(0.50));
+    numbers.emplace_back("cache_hit_submit_p99_s", quantile(0.99));
+    std::printf("[bench] cache: %d/%d exact hits, serve p50 %.5fs p99 "
+                "%.5fs\n",
+                hits, cache_hits_n, quantile(0.50), quantile(0.99));
+  }
+
+  emit(t, "throughput_tenants", wall.seconds(), ctx.get(), numbers);
+  return 0;
+}

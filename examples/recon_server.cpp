@@ -10,8 +10,17 @@
 //                  [--golden-equits 12] [--max-equits 10] [--sv-side 0]
 //                  [--port-file PATH] [--report svc_report.json]
 //                  [--trace PATH] [--flight-dir DIR]
+//                  [--wal-dir DIR] [--cache-dir DIR] [--cache-capacity 64]
+//                  [--tenant-weights alice=4,bob=1] [--default-weight 1]
 //                  [--chaos-seed N --chaos-stall-rate 0.05 ...
 //                   --chaos-devices 1,3] [--watchdog-ms 1000]
+//
+// --wal-dir enables the durable job log (DESIGN.md §14): submits are acked
+// only once on disk, and a restart pointed at the same directory re-runs
+// every admitted-but-unfinished job. --cache-dir enables the
+// content-addressed result cache (exact hits served without dispatching,
+// near-duplicates warm-started). --tenant-weights drives weighted-fair
+// dispatch on the priority lane.
 //
 // The --chaos-* flags install a seed-driven fault plan (DESIGN.md §12) at
 // startup; any --chaos-* flag arms the heartbeat watchdog (default 1000 ms,
@@ -32,11 +41,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "core/cli.h"
 #include "core/signal.h"
 #include "obs/obs.h"
+#include "store/cache.h"
+#include "store/wal.h"
 #include "svc/server.h"
 
 using namespace mbir;
@@ -60,6 +72,19 @@ int main(int argc, char** argv) {
   args.describe("flight-dir",
                 "write gpumbir.flight/1 dumps here (job failures, SIGUSR1)",
                 "");
+  args.describe("wal-dir",
+                "durable job log directory (empty = no WAL; restarts with "
+                "the same dir recover unfinished jobs)",
+                "");
+  args.describe("cache-dir",
+                "content-addressed result cache directory (empty = no cache)",
+                "");
+  args.describe("cache-capacity", "result cache bound (entries)", "64");
+  args.describe("tenant-weights",
+                "weighted-fair shares, e.g. alice=4,bob=1 ('default' names "
+                "the no-tenant bucket)",
+                "");
+  args.describe("default-weight", "share for tenants not listed above", "1");
   args.describe("chaos-seed", "fault-plan seed (with any chaos rate)", "0");
   args.describe("chaos-launch-rate", "per-job corrupted-launch rate", "0");
   args.describe("chaos-stall-rate", "per-job device-stall rate", "0");
@@ -113,6 +138,27 @@ int main(int argc, char** argv) {
     i = comma + 1;
   }
   opt.dispatch.fault_plan = plan;
+  // Weighted-fair shares: "name=weight,name=weight" ("default" = the
+  // no-tenant bucket).
+  const std::string weights_arg = args.getString("tenant-weights", "");
+  for (std::size_t i = 0; i < weights_arg.size();) {
+    const std::size_t comma = weights_arg.find(',', i);
+    const std::string tok = weights_arg.substr(
+        i, comma == std::string::npos ? comma : comma - i);
+    if (!tok.empty()) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "recon_server: bad --tenant-weights token '%s' "
+                     "(want name=weight)\n", tok.c_str());
+        return 2;
+      }
+      opt.dispatch.tenant_weights[tok.substr(0, eq)] =
+          std::stod(tok.substr(eq + 1));
+    }
+    if (comma == std::string::npos) break;
+    i = comma + 1;
+  }
+  opt.dispatch.default_tenant_weight = args.getDouble("default-weight", 1.0);
   // Any chaos flag arms the watchdog: a plan without one could park a
   // stalled device forever.
   double watchdog_ms = args.getDouble("watchdog-ms", 0.0);
@@ -126,11 +172,36 @@ int main(int argc, char** argv) {
     opt.base_config.psv.sv.sv_side = sv_side;
   }
 
+  obs::MetricsRegistry* metrics = obs_cfg.metrics ? &recorder.metrics() : nullptr;
+  std::optional<store::JobLog> wal;
+  const std::string wal_dir = args.getString("wal-dir", "");
+  if (!wal_dir.empty()) {
+    wal.emplace(wal_dir, metrics);
+    opt.wal = &*wal;
+  }
+  std::optional<store::ResultCache> cache;
+  const std::string cache_dir = args.getString("cache-dir", "");
+  if (!cache_dir.empty()) {
+    cache.emplace(cache_dir, std::size_t(args.getInt("cache-capacity", 64)),
+                  metrics);
+    opt.cache = &*cache;
+  }
+
   svc::Server server(opt, source);
   std::printf("recon_server: listening on 127.0.0.1:%u (%d devices, queue "
               "cap %d)\n",
               unsigned(server.port()), opt.dispatch.num_devices,
               opt.dispatch.queue_capacity);
+  if (wal)
+    std::printf("recon_server: WAL %s: replayed %llu records, recovered %zu "
+                "pending job(s)\n",
+                wal->path().c_str(),
+                (unsigned long long)wal->replayStats().records,
+                wal->pending().size());
+  if (cache)
+    std::printf("recon_server: result cache %s: %zu entr%s loaded (cap %zu)\n",
+                cache->dir().c_str(), cache->size(),
+                cache->size() == 1 ? "y" : "ies", cache->capacity());
   if (plan.enabled())
     std::printf("recon_server: chaos armed, seed %llu (launch %.3f / stall "
                 "%.3f / death %.3f), watchdog %.0f ms\n",
@@ -184,6 +255,12 @@ int main(int argc, char** argv) {
                 "migrated\n",
                 (unsigned long long)rep.devices_failed,
                 (unsigned long long)rep.jobs_migrated);
+  if (rep.cache_hits > 0 || rep.warm_starts > 0 || rep.jobs_recovered > 0)
+    std::printf("recon_server: store: %llu cache hit(s), %llu warm start(s), "
+                "%llu recovered job(s)\n",
+                (unsigned long long)rep.cache_hits,
+                (unsigned long long)rep.warm_starts,
+                (unsigned long long)rep.jobs_recovered);
   if (!report_path.empty())
     std::printf("recon_server: wrote %s\n", report_path.c_str());
   return rep.jobs_failed == 0 ? 0 : 1;

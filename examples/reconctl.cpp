@@ -7,6 +7,7 @@
 //   ./reconctl submit  --port 45123 --case 0 --priority 5 --deadline-ms 2000
 //   ./reconctl submit  --port 45123 --case 1 --deterministic --wait
 //   ./reconctl submit  --port 45123 --case 0 --fault launch@1 --wait
+//   ./reconctl submit  --port 45123 --case 0 --json [--no-cache]
 //   ./reconctl status  --port 45123 [--job 3]
 //   ./reconctl result  --port 45123 --job 3
 //   ./reconctl cancel  --port 45123 --job 3
@@ -160,6 +161,22 @@ void printStats(const obs::JsonValue& s) {
                 numField(*ch, "watchdog_ms", 0),
                 (long long)numField(*ch, "devices_failed", 0),
                 (long long)numField(*ch, "jobs_migrated", 0));
+  if (const obs::JsonValue* st = s.find("store"); st && st->isObject()) {
+    std::printf("store: %lld cache hits, %lld warm starts, %lld recovered "
+                "jobs\n",
+                (long long)numField(*st, "cache_hits", 0),
+                (long long)numField(*st, "warm_starts", 0),
+                (long long)numField(*st, "jobs_recovered", 0));
+    if (const obs::JsonValue* tenants = st->find("tenants");
+        tenants && tenants->isArray() && !tenants->array_v.empty()) {
+      for (const obs::JsonValue& t : tenants->array_v)
+        std::printf("  tenant %s: weight %.1f, %lld picks, served cost "
+                    "%.1f\n",
+                    strField(t, "tenant").c_str(), numField(t, "weight", 1),
+                    (long long)numField(t, "picks", 0),
+                    numField(t, "served_cost", 0));
+    }
+  }
 }
 
 void printJob(const svc::Client::JobInfo& info) {
@@ -168,7 +185,10 @@ void printJob(const svc::Client::JobInfo& info) {
   if (info.device >= 0) std::printf(" on device %d", info.device);
   if (info.shards > 1) std::printf(" (%d shards)", info.shards);
   if (info.migrations > 0) std::printf(" (migrated x%d)", info.migrations);
-  if (info.terminal() && info.dispatch_seq >= 0)
+  if (info.recoveries > 0) std::printf(" (recovered x%d)", info.recoveries);
+  if (info.cache_hit) std::printf(" (served from cache)");
+  if (info.warm_start) std::printf(" (warm start)");
+  if (info.terminal() && (info.dispatch_seq >= 0 || info.cache_hit))
     std::printf(": %s, RMSE %.1f HU in %.1f equits, modeled %.3f s",
                 info.converged ? "converged" : "stopped", info.final_rmse_hu,
                 info.equits, info.modeled_seconds);
@@ -228,19 +248,59 @@ int run(const CliArgs& args, const std::string& verb) {
     p.name = args.getString("name", "");
     p.tenant = args.getString("tenant", "");
     p.fault = args.getString("fault", "");
+    p.bypass_cache = args.getBool("no-cache", false);
+    const bool as_json = args.getBool("json", false);
     const svc::Client::SubmitResult out = client.submit(p);
     if (!out.accepted) {
-      std::fprintf(stderr, "%s: %s\n",
-                   out.rejected ? "rejected" : "error", out.error.c_str());
+      if (as_json) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.kv("accepted", false);
+        w.kv("rejected", out.rejected);
+        w.kv("error", out.error);
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+      } else {
+        std::fprintf(stderr, "%s: %s\n",
+                     out.rejected ? "rejected" : "error", out.error.c_str());
+      }
       return out.rejected ? 2 : 1;
     }
-    std::printf("accepted job %d\n", out.job_id);
-    if (args.getBool("wait", false)) {
-      const svc::Client::JobInfo info = client.result(out.job_id);
-      printJob(info);
-      return terminalExit(info);
+    // A cache hit is already terminal, so fetching its outcome never
+    // blocks; for --wait the fetch is the point.
+    svc::Client::JobInfo info;
+    bool have_info = false;
+    if (args.getBool("wait", false) || out.cache_hit) {
+      info = client.result(out.job_id);
+      have_info = true;
     }
-    return 0;
+    if (as_json) {
+      obs::JsonWriter w;
+      w.beginObject();
+      w.kv("accepted", true);
+      w.kv("job_id", out.job_id);
+      w.kv("cache_hit", out.cache_hit);
+      if (have_info) {
+        w.kv("state", info.state);
+        w.kv("converged", info.converged);
+        w.kv("equits", info.equits);
+        w.kv("final_rmse_hu", info.final_rmse_hu);
+        w.kv("modeled_seconds", info.modeled_seconds);
+        if (info.warm_start) w.kv("warm_start", true);
+        if (info.recoveries > 0) w.kv("recoveries", info.recoveries);
+        if (info.migrations > 0) w.kv("migrations", info.migrations);
+        if (!info.image_hash.empty()) w.kv("image_hash", info.image_hash);
+        if (!info.error.empty()) w.kv("error", info.error);
+      }
+      w.endObject();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf(out.cache_hit ? "served from cache: job %d\n"
+                                : "accepted job %d\n",
+                  out.job_id);
+      if (have_info) printJob(info);
+    }
+    return have_info ? terminalExit(info) : 0;
   }
 
   if (verb == "status") {
@@ -387,10 +447,12 @@ int main(int argc, char** argv) {
   args.describe("fault", "submit: forced chaos fault (launch@N|stall@N|death)",
                 "");
   args.describe("wait", "submit: block until the job finishes", "false");
+  args.describe("no-cache", "submit: bypass the result cache", "false");
   args.describe("job", "status/result/cancel: job id", "");
   args.describe("watch", "stats: refresh until interrupted", "false");
   args.describe("interval-ms", "stats --watch: refresh period", "1000");
-  args.describe("json", "stats: print the raw svc_stats document", "false");
+  args.describe("json", "stats/submit: print a JSON document instead of "
+                "prose", "false");
   args.describe("out", "drain/flight: write the JSON document here", "");
   args.describe("seed", "chaos: install a plan with this seed", "");
   args.describe("launch-rate", "chaos: per-job corrupted-launch rate", "0");

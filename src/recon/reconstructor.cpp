@@ -53,7 +53,17 @@ RunResult reconstruct(const OwnedProblem& problem, const Image2D& golden,
   result.simd_path = resolveSimdOps(config.simd).name;
 
   const double setup_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
-  result.image = problem.fbpInitialImage();
+  if (config.initial_image) {
+    MBIR_CHECK_MSG(
+        config.initial_image->size() == problem.geometry().image_size,
+        "warm-start image is " << config.initial_image->size()
+                               << "px, problem needs "
+                               << problem.geometry().image_size << "px");
+    result.image = *config.initial_image;
+    result.warm_started = true;
+  } else {
+    result.image = problem.fbpInitialImage();
+  }
   Sinogram e = problem.initialError(result.image);
   const Problem p = problem.view();
   if (tracing) {

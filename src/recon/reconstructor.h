@@ -77,6 +77,15 @@ struct RunConfig {
   /// simulated launch. May throw or block; reconstruct() lets thrown
   /// faults unwind to the scheduler layer. Borrowed; scoped to the run.
   gsim::FaultHook* fault_hook = nullptr;
+  /// Warm start (src/store result cache): start the solve from this image
+  /// instead of the FBP initialization. Must match the problem's
+  /// image_size. Zero-skipping stays sound — a cached reconstruction has
+  /// air at ~zero just like FBP. Changes WHERE iteration starts, so a
+  /// warm-started run reaches the same stop tolerance in fewer equits but
+  /// with different final bits than a cold run; the service therefore
+  /// never warm-starts deterministic-lane jobs. shared_ptr: the cache
+  /// retains the entry while queued jobs reference it.
+  std::shared_ptr<const Image2D> initial_image;
 };
 
 struct ConvergencePoint {
@@ -90,6 +99,8 @@ struct RunResult {
   bool converged = false;
   /// Stopped early because RunConfig::cancel was set.
   bool cancelled = false;
+  /// Started from RunConfig::initial_image rather than FBP.
+  bool warm_started = false;
   double equits = 0.0;
   double final_rmse_hu = 0.0;
   /// Modeled wall-clock on the paper's machine for this algorithm

@@ -73,6 +73,7 @@ std::string runReportJson(const RunResult& result, const RunConfig& config) {
 
   w.kv("converged", result.converged);
   w.kv("cancelled", result.cancelled);
+  w.kv("warm_started", result.warm_started);
   w.kv("equits", result.equits);
   w.kv("final_rmse_hu", result.final_rmse_hu);
   w.kv("modeled_seconds", result.modeled_seconds);

@@ -87,6 +87,7 @@ double runJobOnDevice(const DeviceRunContext& ctx, const OwnedProblem& problem,
         {"equits", r.run.equits},
         {"rmse_hu", r.run.final_rmse_hu},
         {"queue_wait_modeled_s", r.queue_wait_modeled_s}};
+    if (r.run.warm_started) num_args.emplace_back("warm_start", 1.0);
     std::vector<std::pair<std::string, std::string>> str_args = {
         {"job", r.name}, {"algorithm", algorithmName(rc.algorithm)}};
     if (ctx.span && !ctx.span->tenant.empty())

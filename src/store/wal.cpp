@@ -1,0 +1,310 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/error.h"
+#include "core/hash.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mbir::store {
+
+namespace {
+
+void putU32BE(std::string& out, std::uint32_t v) {
+  out.push_back(char((v >> 24) & 0xFF));
+  out.push_back(char((v >> 16) & 0xFF));
+  out.push_back(char((v >> 8) & 0xFF));
+  out.push_back(char(v & 0xFF));
+}
+
+void putU64BE(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(char((v >> shift) & 0xFF));
+}
+
+std::uint32_t getU32BE(const unsigned char* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+std::uint64_t getU64BE(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | std::uint64_t(p[i]);
+  return v;
+}
+
+void makeDirs(const std::string& dir) {
+  // mkdir -p without <filesystem>: create each component, tolerate EEXIST.
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    partial = dir.substr(0, i);
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+      throw Error("mkdir(" + partial + "): " + std::strerror(errno));
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    throw Error("mkdir(" + dir + "): " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string JobLog::encodeRecord(std::string_view payload) {
+  MBIR_CHECK_MSG(payload.size() <= kWalMaxRecordBytes,
+                 "WAL record too large: " << payload.size() << " bytes");
+  std::string out;
+  out.reserve(kWalHeaderBytes + payload.size());
+  putU32BE(out, std::uint32_t(payload.size()));
+  putU64BE(out, fnv1a64(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+JobLog::RawReplay JobLog::replayFile(const std::string& path) {
+  RawReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return out;  // no log yet: empty replay
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t off = 0;
+  while (off + kWalHeaderBytes <= data.size()) {
+    const std::uint32_t len = getU32BE(bytes + off);
+    if (len > kWalMaxRecordBytes) break;  // torn/corrupt length prefix
+    if (off + kWalHeaderBytes + len > data.size()) break;  // torn payload
+    const std::uint64_t want = getU64BE(bytes + off + 4);
+    const char* payload = data.data() + off + kWalHeaderBytes;
+    if (fnv1a64(payload, len) != want) break;  // bit rot / torn write
+    out.payloads.emplace_back(payload, len);
+    off += kWalHeaderBytes + len;
+    ++out.stats.records;
+    out.stats.bytes = off;
+  }
+  if (out.stats.bytes < data.size()) {
+    out.stats.tail_truncated = true;
+    out.stats.tail_bytes_dropped = data.size() - out.stats.bytes;
+  }
+  return out;
+}
+
+std::vector<PendingJob> JobLog::resolvePending(
+    const std::vector<std::string>& payloads, ReplayStats& stats,
+    std::int64_t* max_wal_id) {
+  // Admits in arrival order; terminals erase. Duplicates are idempotent and
+  // a terminal may precede its admit (out-of-order tolerance): a terminal
+  // for an id marks it finished no matter when the admit shows up.
+  std::vector<PendingJob> order;
+  std::map<std::int64_t, std::size_t> admitted;  // wal_id -> index in order
+  std::set<std::int64_t> finished;
+  std::int64_t max_id = -1;
+  for (const std::string& payload : payloads) {
+    obs::JsonValue doc;
+    try {
+      doc = obs::parseJson(payload);
+    } catch (const std::exception&) {
+      ++stats.malformed_payloads;
+      continue;
+    }
+    if (!doc.isObject()) {
+      ++stats.malformed_payloads;
+      continue;
+    }
+    const obs::JsonValue* type = doc.find("type");
+    const obs::JsonValue* id = doc.find("wal_id");
+    if (!type || !type->isString() || !id || !id->isNumber()) {
+      ++stats.malformed_payloads;
+      continue;
+    }
+    const auto wal_id = std::int64_t(id->num_v);
+    max_id = std::max(max_id, wal_id);
+    if (type->str_v == "admit") {
+      const obs::JsonValue* params = doc.find("params");
+      if (!params || !params->isObject()) {
+        ++stats.malformed_payloads;
+        continue;
+      }
+      if (finished.count(wal_id)) {
+        ++stats.duplicate_admits;
+        continue;
+      }
+      if (auto dup = admitted.find(wal_id); dup != admitted.end()) {
+        // A restart re-appends the admit with its bumped recoveries count
+        // (same wal_id, same params) — fold that into the pending entry so
+        // recovery counts survive multiple crashes.
+        ++stats.duplicate_admits;
+        if (const obs::JsonValue* r = doc.find("recoveries");
+            r && r->isNumber())
+          order[dup->second].recoveries =
+              std::max(order[dup->second].recoveries, int(r->num_v));
+        continue;
+      }
+      PendingJob job;
+      job.wal_id = wal_id;
+      if (const obs::JsonValue* r = doc.find("recoveries");
+          r && r->isNumber())
+        job.recoveries = int(r->num_v);
+      // Re-serialize the params subtree back to a document. The parser
+      // produced it from strict JSON, so writing it back is lossless for
+      // everything a submit request contains.
+      obs::JsonWriter w;
+      std::function<void(const obs::JsonValue&)> emit =
+          [&](const obs::JsonValue& v) {
+            switch (v.type) {
+              case obs::JsonValue::Type::kNull: w.null(); break;
+              case obs::JsonValue::Type::kBool: w.value(v.bool_v); break;
+              case obs::JsonValue::Type::kNumber: w.value(v.num_v); break;
+              case obs::JsonValue::Type::kString: w.value(v.str_v); break;
+              case obs::JsonValue::Type::kArray:
+                w.beginArray();
+                for (const obs::JsonValue& e : v.array_v) emit(e);
+                w.endArray();
+                break;
+              case obs::JsonValue::Type::kObject:
+                w.beginObject();
+                for (const auto& [k, e] : v.object_v) {
+                  w.key(k);
+                  emit(e);
+                }
+                w.endObject();
+                break;
+            }
+          };
+      emit(*params);
+      job.params_json = w.str();
+      admitted[wal_id] = order.size();
+      order.push_back(std::move(job));
+    } else if (type->str_v == "terminal") {
+      if (finished.count(wal_id)) {
+        ++stats.duplicate_terminals;
+        continue;
+      }
+      finished.insert(wal_id);
+      auto it = admitted.find(wal_id);
+      if (it == admitted.end()) {
+        ++stats.orphan_terminals;  // admit may still arrive later (or never)
+      } else {
+        order[it->second].wal_id = -1;  // tombstone; compacted below
+        admitted.erase(it);
+      }
+    } else {
+      ++stats.malformed_payloads;
+    }
+  }
+  std::vector<PendingJob> pending;
+  for (PendingJob& job : order)
+    if (job.wal_id >= 0) pending.push_back(std::move(job));
+  if (max_wal_id) *max_wal_id = max_id;
+  return pending;
+}
+
+JobLog::JobLog(std::string dir, obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)), path_(dir_ + "/jobs.wal") {
+  MBIR_CHECK_MSG(!dir_.empty(), "JobLog needs a directory");
+  makeDirs(dir_);
+
+  RawReplay raw = replayFile(path_);
+  replay_ = raw.stats;
+  std::int64_t max_id = -1;
+  pending_ = resolvePending(raw.payloads, replay_, &max_id);
+  next_id_ = max_id + 1;
+
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  MBIR_CHECK_MSG(fd_ >= 0, "open(" << path_ << "): " << std::strerror(errno));
+  // Truncate any corrupt tail so future appends extend a clean prefix, then
+  // position at the end of the valid records.
+  MBIR_CHECK_MSG(::ftruncate(fd_, off_t(replay_.bytes)) == 0,
+                 "ftruncate(" << path_ << "): " << std::strerror(errno));
+  MBIR_CHECK_MSG(::lseek(fd_, off_t(replay_.bytes), SEEK_SET) >= 0,
+                 "lseek(" << path_ << "): " << std::strerror(errno));
+
+  if (metrics) {
+    m_appends_ = &metrics->counter("store.wal.appends");
+    m_bytes_ = &metrics->counter("store.wal.bytes");
+    m_fsyncs_ = &metrics->counter("store.wal.fsyncs");
+    metrics->gauge("store.wal.replayed_records")
+        .set(double(replay_.records));
+    metrics->gauge("store.wal.recovered_pending").set(double(pending_.size()));
+  }
+}
+
+JobLog::~JobLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::int64_t JobLog::nextId() {
+  std::lock_guard lock(mu_);
+  return next_id_++;
+}
+
+void JobLog::appendRecordLocked(std::string_view payload) {
+  const std::string record = encodeRecord(payload);
+  std::size_t sent = 0;
+  while (sent < record.size()) {
+    const ssize_t r =
+        ::write(fd_, record.data() + sent, record.size() - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw Error("WAL write(" + path_ + "): " + std::strerror(errno));
+    }
+    sent += std::size_t(r);
+  }
+  // The durability point: the record (and, transitively, every record
+  // before it) is on disk when fdatasync returns.
+  MBIR_CHECK_MSG(::fdatasync(fd_) == 0,
+                 "WAL fdatasync(" << path_ << "): " << std::strerror(errno));
+  ++appended_records_;
+  appended_bytes_ += record.size();
+  if (m_appends_) m_appends_->add();
+  if (m_bytes_) m_bytes_->add(double(record.size()));
+  if (m_fsyncs_) m_fsyncs_->add();
+}
+
+void JobLog::appendAdmit(std::int64_t wal_id, int recoveries,
+                         std::string_view params_json) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("type", "admit");
+  w.kv("wal_id", wal_id);
+  w.kv("recoveries", recoveries);
+  w.key("params").raw(params_json);
+  w.endObject();
+  std::lock_guard lock(mu_);
+  appendRecordLocked(w.str());
+}
+
+void JobLog::appendTerminal(std::int64_t wal_id, std::string_view state,
+                            std::uint64_t image_hash) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.kv("type", "terminal");
+  w.kv("wal_id", wal_id);
+  w.kv("state", state);
+  if (image_hash != 0) w.kv("image_hash", hashToHex(image_hash));
+  w.endObject();
+  std::lock_guard lock(mu_);
+  appendRecordLocked(w.str());
+}
+
+std::uint64_t JobLog::recordsAppended() const {
+  std::lock_guard lock(mu_);
+  return appended_records_;
+}
+
+std::uint64_t JobLog::bytesAppended() const {
+  std::lock_guard lock(mu_);
+  return appended_bytes_;
+}
+
+}  // namespace mbir::store

@@ -1,0 +1,146 @@
+// Crash-safe write-ahead job log (DESIGN.md §14).
+//
+// The service's durability contract: a submit is acknowledged to the client
+// only after its admit record is on disk (appended + fsync'd), and every
+// terminal transition appends a terminal record. A restarted server replays
+// the log, recomputes the set of admitted-but-unfinished jobs, and
+// re-dispatches them — the deterministic lane makes the re-run bit-identical
+// to the uninterrupted one, so recovery is idempotent even for jobs that
+// finished after the last record reached disk.
+//
+// On-disk format: a sequence of length-prefixed, checksummed records
+//   [u32 BE payload length][u64 BE FNV-1a of payload][payload bytes]
+// where each payload is one strict-JSON document (src/obs writer/parser).
+// Two record kinds:
+//   {"type":"admit","wal_id":N,"recoveries":R,"params":{<submit request>}}
+//   {"type":"terminal","wal_id":N,"state":"done","image_hash":"<hex>"}
+// The params document is the original wire submit request verbatim, so
+// replay re-enters the exact parseSubmitParams/makeRunConfig path the live
+// submit took.
+//
+// Tail tolerance: a crash can leave a torn final record (short write) — or,
+// after media corruption, a record whose checksum no longer matches. Replay
+// consumes the longest valid prefix and stops at the first bad record; the
+// constructor then truncates the file back to that prefix so subsequent
+// appends produce a parseable log. Any record that was fully fsync'd is
+// never lost (tests/test_store.cpp sweeps truncation at every byte offset).
+//
+// wal_id is a monotone sequence that survives restarts (next = max seen
+// + 1), so admit records from different server incarnations never collide
+// in one log file.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbir::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace mbir::obs
+
+namespace mbir::store {
+
+inline constexpr std::size_t kWalHeaderBytes = 12;  // u32 length + u64 fnv
+/// Upper bound on one record's payload; a longer declared length is treated
+/// as tail corruption (a torn length prefix can claim anything).
+inline constexpr std::size_t kWalMaxRecordBytes = 4u << 20;
+
+/// One admitted-but-unfinished job recovered from a replay.
+struct PendingJob {
+  std::int64_t wal_id = -1;
+  /// Times this job has already been recovered (the restart resubmits it
+  /// with recoveries + 1).
+  int recoveries = 0;
+  /// The original submit request document, verbatim.
+  std::string params_json;
+};
+
+struct ReplayStats {
+  std::uint64_t records = 0;        ///< checksum-valid records consumed
+  std::uint64_t bytes = 0;          ///< bytes of the valid prefix
+  bool tail_truncated = false;      ///< file ended mid-record / bad checksum
+  std::uint64_t tail_bytes_dropped = 0;
+  std::uint64_t malformed_payloads = 0;  ///< checksum ok, JSON/type bad
+  /// Repeat admits for one wal_id: a restart re-appends the admit with its
+  /// bumped recoveries count; replay folds it into the pending entry.
+  std::uint64_t duplicate_admits = 0;
+  std::uint64_t duplicate_terminals = 0;
+  std::uint64_t orphan_terminals = 0;  ///< terminal with no admit record
+};
+
+/// Append-only, fsync-per-record job log bound to <dir>/jobs.wal.
+/// Thread-safe: appends from connection threads and the dispatcher's
+/// terminal-notification flush interleave under an internal mutex.
+class JobLog {
+ public:
+  /// Opens (creating dir/file as needed), replays the existing log and
+  /// truncates any corrupt tail. Throws mbir::Error when the directory
+  /// cannot be created or the file cannot be opened.
+  explicit JobLog(std::string dir, obs::MetricsRegistry* metrics = nullptr);
+  ~JobLog();
+
+  JobLog(const JobLog&) = delete;
+  JobLog& operator=(const JobLog&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Next wal_id — monotone across restarts, unique within the log file.
+  std::int64_t nextId();
+
+  /// Durable append (record on disk when this returns).
+  void appendAdmit(std::int64_t wal_id, int recoveries,
+                   std::string_view params_json);
+  void appendTerminal(std::int64_t wal_id, std::string_view state,
+                      std::uint64_t image_hash);
+
+  /// Jobs admitted but not terminal as of open, in admit order.
+  const std::vector<PendingJob>& pending() const { return pending_; }
+  const ReplayStats& replayStats() const { return replay_; }
+  std::uint64_t recordsAppended() const;
+  std::uint64_t bytesAppended() const;
+
+  // -- low-level pieces, exposed for the fuzz tests -----------------------
+
+  /// Frame one payload: header (length + FNV-1a checksum) + payload.
+  static std::string encodeRecord(std::string_view payload);
+
+  struct RawReplay {
+    std::vector<std::string> payloads;
+    ReplayStats stats;
+  };
+  /// Scan a log file, returning every checksum-valid payload in the longest
+  /// valid prefix. Never throws on corruption — a missing file is simply an
+  /// empty replay. `stats.bytes` is the prefix length a writer can safely
+  /// truncate to / append after.
+  static RawReplay replayFile(const std::string& path);
+
+  /// Interpret replayed payloads as admit/terminal records and compute the
+  /// pending set (tolerates duplicates and out-of-order records; updates
+  /// the malformed/duplicate/orphan counters in `stats`).
+  static std::vector<PendingJob> resolvePending(
+      const std::vector<std::string>& payloads, ReplayStats& stats,
+      std::int64_t* max_wal_id = nullptr);
+
+ private:
+  void appendRecordLocked(std::string_view payload);
+
+  std::string dir_;
+  std::string path_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::int64_t next_id_ = 0;
+  std::vector<PendingJob> pending_;
+  ReplayStats replay_;
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_fsyncs_ = nullptr;
+};
+
+}  // namespace mbir::store

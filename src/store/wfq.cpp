@@ -1,0 +1,60 @@
+#include "store/wfq.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace mbir::store {
+
+void FairQueue::configure(const std::map<std::string, double>& weights,
+                          double default_weight) {
+  MBIR_CHECK_MSG(default_weight > 0.0, "default tenant weight must be > 0");
+  for (const auto& [tenant, w] : weights)
+    MBIR_CHECK_MSG(w > 0.0, "tenant '" << tenant << "' weight must be > 0");
+  weights_ = weights;
+  default_weight_ = default_weight;
+  for (const auto& [tenant, w] : weights_) tenants_.try_emplace(tenant);
+}
+
+double FairQueue::weight(const std::string& tenant) const {
+  auto it = weights_.find(tenant);
+  return it != weights_.end() ? it->second : default_weight_;
+}
+
+std::size_t FairQueue::pickAndCharge(
+    const std::vector<std::string>& candidates, double cost) {
+  MBIR_CHECK_MSG(!candidates.empty(), "pickAndCharge with no candidates");
+  std::size_t best = 0;
+  double best_start = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    State& st = tenants_[candidates[i]];
+    const double start = std::max(st.vtime, vnow_);
+    if (i == 0 || start < best_start) {
+      best = i;
+      best_start = start;
+    }
+  }
+  State& winner = tenants_[candidates[best]];
+  vnow_ = best_start;
+  winner.vtime = best_start + cost / weight(candidates[best]);
+  winner.served_cost += cost;
+  ++winner.picks;
+  return best;
+}
+
+std::vector<FairQueue::Share> FairQueue::snapshot() const {
+  std::vector<Share> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, st] : tenants_) {
+    Share s;
+    s.tenant = tenant;
+    s.weight = weight(tenant);
+    s.vtime = st.vtime;
+    s.served_cost = st.served_cost;
+    s.picks = st.picks;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace mbir::store

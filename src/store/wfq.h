@@ -1,0 +1,70 @@
+// Weighted fair queuing across tenants (DESIGN.md §14): start-time fair
+// queuing (SFQ) with per-tenant deficit-style virtual-time counters.
+//
+// Each tenant t carries a virtual finish time vtime[t]. To pick among the
+// tenants that currently have dispatchable work:
+//   start[t]  = max(vtime[t], V)          (V = global virtual time)
+//   winner    = argmin start[t]           (ties: first candidate listed)
+//   V         = start[winner]
+//   vtime[winner] = start[winner] + cost / weight[winner]
+// A tenant with weight w therefore gets a w-proportional share of dispatch
+// slots while backlogged, and the max(·, V) clamp means an idle tenant
+// rejoining cannot burst on banked credit — it resumes at the current
+// virtual time like everyone else (bounded unfairness, the SFQ property).
+//
+// This scheduler is pure bookkeeping: the svc dispatcher consults it under
+// its own lock (pickAndCharge is NOT internally synchronized) to choose
+// which tenant's job the free device takes, then applies its existing
+// priority/FIFO order within that tenant. The deterministic lane and gang
+// dispatch bypass it entirely — det-lane bit-identity and whole-machine
+// gangs are stronger contracts than fairness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mbir::store {
+
+class FairQueue {
+ public:
+  /// Per-tenant weights, keyed by the same (opaque) tenant labels later
+  /// passed to pickAndCharge; any tenant not listed gets `default_weight`.
+  /// Weights must be > 0.
+  void configure(const std::map<std::string, double>& weights,
+                 double default_weight = 1.0);
+
+  double weight(const std::string& tenant) const;
+
+  /// Choose among tenants that have dispatchable work right now and charge
+  /// the winner `cost`. Returns the index into `candidates` (which must be
+  /// non-empty; duplicates are allowed and count once). Not thread-safe —
+  /// call under the owner's lock.
+  std::size_t pickAndCharge(const std::vector<std::string>& candidates,
+                            double cost = 1.0);
+
+  struct Share {
+    std::string tenant;
+    double weight = 1.0;
+    double vtime = 0.0;        ///< virtual finish time (deficit counter)
+    double served_cost = 0.0;  ///< total cost charged
+    std::uint64_t picks = 0;
+  };
+  /// Every tenant ever seen (or configured), sorted by name.
+  std::vector<Share> snapshot() const;
+
+ private:
+  struct State {
+    double vtime = 0.0;
+    double served_cost = 0.0;
+    std::uint64_t picks = 0;
+  };
+
+  std::map<std::string, double> weights_;
+  double default_weight_ = 1.0;
+  double vnow_ = 0.0;
+  std::map<std::string, State> tenants_;
+};
+
+}  // namespace mbir::store

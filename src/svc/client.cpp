@@ -45,6 +45,9 @@ Client::JobInfo parseJobInfo(const obs::JsonValue& doc) {
   info.queue_wait_modeled_s = numField(doc, "queue_wait_modeled_s", 0.0);
   info.shards = int(numField(doc, "shards", 1));
   info.migrations = int(numField(doc, "migrations", 0));
+  info.recoveries = int(numField(doc, "recoveries", 0));
+  info.cache_hit = boolField(doc, "cache_hit", false);
+  info.warm_start = boolField(doc, "warm_start", false);
   info.error = strField(doc, "error");
   info.image_hash = strField(doc, "image_hash");
   if (const obs::JsonValue* img = doc.find("image"); img && img->isObject()) {
@@ -125,6 +128,7 @@ Client::SubmitResult Client::submit(const SubmitParams& params) {
   out.accepted = boolField(resp, "ok", false);
   if (out.accepted) {
     out.job_id = int(numField(resp, "job_id", -1));
+    out.cache_hit = boolField(resp, "cache_hit", false);
   } else {
     out.rejected = boolField(resp, "rejected", false);
     out.error = strField(resp, "error");

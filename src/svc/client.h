@@ -42,6 +42,7 @@ class Client {
   struct SubmitResult {
     bool accepted = false;
     int job_id = -1;
+    bool cache_hit = false;  ///< served from the result cache, no dispatch
     bool rejected = false;  ///< admission backpressure (queue full / drain)
     std::string error;
   };
@@ -77,6 +78,9 @@ class Client {
     double queue_wait_modeled_s = 0.0;
     int shards = 1;      ///< > 1: gang-dispatched slab-sharded job
     int migrations = 0;  ///< times the whole logical job was requeued
+    int recoveries = 0;  ///< times a restart recovered this job from the WAL
+    bool cache_hit = false;   ///< served from the result cache
+    bool warm_start = false;  ///< ran from a cached near-duplicate image
     std::string error;
     std::string image_hash;  ///< 16 hex chars when the job has an image
     std::optional<Image2D> image;  ///< result(include_image=true) only

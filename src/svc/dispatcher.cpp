@@ -78,6 +78,14 @@ Dispatcher::Dispatcher(DispatcherOptions options)
   MBIR_CHECK_MSG(opt_.num_devices >= 1, "dispatcher needs at least one device");
   MBIR_CHECK_MSG(opt_.queue_capacity >= 1, "queue capacity must be >= 1");
   opt_.fault_plan.validate();
+  {
+    // FairQueue keys are the normalized labels pickAndCharge sees, so a
+    // weight configured for "" (the default tenant) must land on "default".
+    std::map<std::string, double> weights;
+    for (const auto& [tenant, w] : opt_.tenant_weights)
+      weights[tenantLabel(tenant)] = w;
+    fq_.configure(weights, opt_.default_tenant_weight);
+  }
   det_lane_.resize(std::size_t(opt_.num_devices));
   device_clock_.assign(std::size_t(opt_.num_devices), 0.0);
   device_running_.assign(std::size_t(opt_.num_devices), -1);
@@ -224,7 +232,10 @@ SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
     if (inst_.rejected) inst_.rejected->add();
     return out;
   }
-  if (queued_ >= opt_.queue_capacity) {
+  // A WAL-recovery resubmit (recoveries > 0) bypasses the capacity check:
+  // the job was admitted and acknowledged durable by a previous server
+  // incarnation, so rejecting it now would break exactly-once completion.
+  if (spec.recoveries == 0 && queued_ >= opt_.queue_capacity) {
     out.reason = "admission queue full (" +
                  std::to_string(opt_.queue_capacity) + " queued)";
     ++rejected_;
@@ -277,6 +288,11 @@ SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
   }
   ++queued_;
   ++accepted_;
+  if (spec.recoveries > 0) {
+    ++jobs_recovered_;
+    if (rec && rec->metricsOn())
+      rec->metrics().counter("svc.jobs.recovered").add();
+  }
   queue_depth_max_ = std::max(queue_depth_max_, queued_);
   if (inst_.submitted) inst_.submitted->add();
   if (inst_.queue_depth) inst_.queue_depth->set(double(queued_));
@@ -305,6 +321,84 @@ SubmitOutcome Dispatcher::submit(const JobSpec& spec) {
 
   out.accepted = true;
   out.job_id = id;
+  return out;
+}
+
+SubmitOutcome Dispatcher::submitCached(const JobSpec& spec,
+                                       const Image2D& image,
+                                       const CachedResult& cached) {
+  obs::Recorder* rec = opt_.recorder;
+  const bool tracing = rec && rec->traceOn();
+  const double submit_t0_us = tracing ? rec->trace().nowHostUs() : 0.0;
+  SubmitOutcome out;
+  {
+    std::lock_guard lock(mu_);
+    if (!accepting_) {
+      out.reason = "service is draining";
+      ++rejected_;
+      if (inst_.rejected) inst_.rejected->add();
+      return out;
+    }
+    const int id = int(jobs_.size());
+    Job& job = jobs_.emplace_back();
+    job.id = id;
+    job.spec = spec;
+    job.admit_tp = std::chrono::steady_clock::now();
+    job.result.job_id = id;
+    job.result.name =
+        spec.name.empty() ? "job" + std::to_string(id) : spec.name;
+    job.span.job_id = id;
+    job.span.tenant = spec.tenant;
+    job.span.job_name = job.result.name;
+    job.span.submit_host_us = submit_t0_us;
+    job.span.flight = &flight_;
+    // Born terminal: the cached image IS the result. No queue slot, no
+    // dispatch (dispatch_seq stays -1), no device time — so a hit cannot
+    // be rejected for capacity and never perturbs the WFQ shares.
+    job.cache_hit = true;
+    job.result.run.image = image;
+    job.result.run.converged = cached.converged;
+    job.result.run.equits = cached.equits;
+    job.result.run.final_rmse_hu = cached.final_rmse_hu;
+    job.result.run.modeled_seconds = cached.modeled_seconds;
+    job.has_image = true;
+    job.image_hash = cached.image_hash;
+    job.e2e_host_s = 0.0;
+    job.state = JobState::kDone;
+    ++accepted_;
+    ++cache_hits_;
+    if (inst_.submitted) inst_.submitted->add();
+    {
+      obs::FlightEvent fev;
+      fev.job_id = id;
+      fev.kind = "cache_hit";
+      fev.detail = tenantLabel(spec.tenant) + ":" + job.result.name;
+      fev.value = cached.equits;  // the device work the hit saved
+      flight_.record(obs::FlightRecorder::kControlLane, std::move(fev));
+    }
+    if (rec && rec->metricsOn())
+      rec->metrics()
+          .counter("svc.cache.hits", {{"tenant", tenantLabel(spec.tenant)}})
+          .add();
+    if (tracing) {
+      obs::TraceEvent ev;
+      ev.name = "svc.submit";
+      ev.cat = "svc";
+      ev.clock = obs::Clock::kHost;
+      ev.ts_us = submit_t0_us;
+      ev.dur_us = rec->trace().nowHostUs() - submit_t0_us;
+      ev.tid = 0;  // control lane
+      obs::tagSpan(ev, job.span);
+      ev.num_args.emplace_back("cache_hit", 1.0);
+      rec->trace().record(std::move(ev));
+    }
+    noteTerminalLocked(job);
+    out.accepted = true;
+    out.job_id = id;
+    out.cache_hit = true;
+  }
+  // noteTerminalLocked may have queued an on_terminal notification.
+  flushFlightDumps();
   return out;
 }
 
@@ -436,9 +530,13 @@ Dispatcher::Job* Dispatcher::pickJobLocked(int device) {
     return transition(job);
   }
 
-  // Priority lane: fail expired jobs fast, then take the highest priority
-  // (ties to the earliest submission).
-  Job* best = nullptr;
+  // Priority lane: fail expired jobs fast, then weighted fair queuing
+  // across tenants (store/wfq.h) — the backlogged tenant with the lowest
+  // virtual start time wins the slot — then the highest priority within
+  // that tenant (ties to the earliest submission). With one tenant, or all
+  // weights equal and one tenant backlogged, this degenerates to the plain
+  // max-priority scan.
+  std::vector<Job*> eligible;
   for (std::size_t i = 0; i < prio_pending_.size();) {
     Job& job = jobs_[std::size_t(prio_pending_[i])];
     if (job.has_deadline && now >= job.deadline_tp) {
@@ -452,10 +550,24 @@ Dispatcher::Job* Dispatcher::pickJobLocked(int device) {
       ++i;
       continue;
     }
-    if (!best || job.spec.priority > best->spec.priority) best = &job;
+    eligible.push_back(&job);
     ++i;
   }
-  if (!best) return nullptr;
+  if (eligible.empty()) return nullptr;
+  // Distinct backlogged tenants in first-seen (submission) order, so the
+  // WFQ tiebreak — "first candidate listed" — is deterministic.
+  std::vector<std::string> tenants;
+  for (const Job* j : eligible) {
+    const std::string t = tenantLabel(j->spec.tenant);
+    if (std::find(tenants.begin(), tenants.end(), t) == tenants.end())
+      tenants.push_back(t);
+  }
+  const std::string winner = tenants[fq_.pickAndCharge(tenants)];
+  Job* best = nullptr;
+  for (Job* j : eligible) {
+    if (tenantLabel(j->spec.tenant) != winner) continue;
+    if (!best || j->spec.priority > best->spec.priority) best = j;
+  }
   prio_pending_.erase(
       std::find(prio_pending_.begin(), prio_pending_.end(), best->id));
   return transition(*best);
@@ -501,6 +613,17 @@ void Dispatcher::noteTerminalLocked(Job& job) {
   if (inst_.e2e) inst_.e2e->observe(job.e2e_host_s);
   if (job.dispatch_seq >= 0 && inst_.service_time)
     inst_.service_time->observe(job.service_host_s);
+  // run.warm_started is written off-lock during the run and published by
+  // this terminal transition — first (and only) safe read.
+  if (job.dispatch_seq >= 0 && job.result.run.warm_started) {
+    ++warm_starts_;
+    obs::Recorder* wrec = opt_.recorder;
+    if (wrec && wrec->metricsOn())
+      wrec->metrics()
+          .counter("svc.cache.warm_starts",
+                   {{"tenant", tenantLabel(job.spec.tenant)}})
+          .add();
+  }
   obs::Recorder* rec = opt_.recorder;
   if (rec && rec->metricsOn()) {
     // Per-tenant outcome + latency, labeled — the wire `stats` verb and
@@ -526,6 +649,9 @@ void Dispatcher::noteTerminalLocked(Job& job) {
                          : obs::FlightRecorder::kControlLane;
     flight_.record(lane, std::move(fev));
   }
+  // Hand the terminal snapshot to the server (WAL terminal record, cache
+  // insert) — invoked later, off the lock, by flushFlightDumps().
+  if (opt_.on_terminal) pending_terminal_.push_back(snapshotLocked(job));
   // In drain mode device threads only exit once everything is terminal
   // (a migration can put work back in the queue after it looked empty).
   if (draining_ && queued_ == 0 && running_ == 0) cv_work_.notify_all();
@@ -542,13 +668,16 @@ void Dispatcher::requestFlightDumpLocked(const Job& job) {
 
 void Dispatcher::flushFlightDumps() {
   std::vector<std::pair<std::string, std::string>> pending;
+  std::vector<JobStatus> terminal;
   {
     std::lock_guard lock(mu_);
     pending.swap(pending_flight_);
+    terminal.swap(pending_terminal_);
   }
-  if (opt_.flight_dir.empty()) return;
-  for (const auto& [stem, reason] : pending)
-    flight_.writeFile(opt_.flight_dir + "/flight_" + stem + ".json", reason);
+  if (!opt_.flight_dir.empty())
+    for (const auto& [stem, reason] : pending)
+      flight_.writeFile(opt_.flight_dir + "/flight_" + stem + ".json", reason);
+  for (const JobStatus& s : terminal) opt_.on_terminal(s);
 }
 
 std::vector<int> Dispatcher::survivorsLocked() const {
@@ -872,14 +1001,19 @@ JobStatus Dispatcher::snapshotLocked(const Job& job) const {
   s.service_host_s = job.service_host_s;
   s.e2e_host_s = job.e2e_host_s;
   s.migrations = job.migrations;
+  s.recoveries = job.spec.recoveries;
+  s.cache_hit = job.cache_hit;
+  s.warm_start = job.spec.warm_start;
   if (isTerminal(job.state)) {
     // The error is set under the lock even for jobs that never dispatched
     // (queue finalizations: deadline misses, dead-ended migrations).
     s.error = job.result.error;
   }
-  if (isTerminal(job.state) && job.dispatch_seq >= 0) {
+  if (isTerminal(job.state) && (job.dispatch_seq >= 0 || job.cache_hit)) {
     // Run-outcome fields are written off-lock during the run; they are
     // published by the terminal-state transition (which holds the lock).
+    // Cache-hit jobs never ran, but carry the cached outcome in the same
+    // fields (set under the lock in submitCached).
     s.converged = job.result.run.converged;
     s.equits = job.result.run.equits;
     s.final_rmse_hu = job.result.run.final_rmse_hu;
@@ -909,6 +1043,10 @@ Dispatcher::LiveStats Dispatcher::liveStats() const {
   s.watchdog_ms = watchdog_ms_;
   s.devices_failed = devices_failed_;
   s.jobs_migrated = jobs_migrated_;
+  s.cache_hits = cache_hits_;
+  s.warm_starts = warm_starts_;
+  s.jobs_recovered = jobs_recovered_;
+  s.tenant_shares = fq_.snapshot();
   for (int id : prio_pending_)
     ++s.queue_depth_by_priority[jobs_[std::size_t(id)].spec.priority];
   s.devices.reserve(std::size_t(opt_.num_devices));
@@ -1002,6 +1140,22 @@ std::string Dispatcher::liveStatsJson() const {
   w.kv("jobs_migrated", std::int64_t(s.jobs_migrated));
   w.key("plan").raw(faultPlan().toJson());
   w.endObject();
+  w.key("store").beginObject();
+  w.kv("cache_hits", std::int64_t(s.cache_hits));
+  w.kv("warm_starts", std::int64_t(s.warm_starts));
+  w.kv("jobs_recovered", std::int64_t(s.jobs_recovered));
+  w.key("tenants").beginArray();
+  for (const store::FairQueue::Share& sh : s.tenant_shares) {
+    w.beginObject();
+    w.kv("tenant", sh.tenant);
+    w.kv("weight", sh.weight);
+    w.kv("vtime", sh.vtime);
+    w.kv("served_cost", sh.served_cost);
+    w.kv("picks", std::int64_t(sh.picks));
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
   const obs::Recorder* rec = opt_.recorder;
   if (rec && rec->metricsOn()) {
     w.key("metrics");
@@ -1043,6 +1197,9 @@ const SvcReport& Dispatcher::drain() {
   rep.queue_depth_max = queue_depth_max_;
   rep.devices_failed = devices_failed_;
   rep.jobs_migrated = jobs_migrated_;
+  rep.cache_hits = cache_hits_;
+  rep.warm_starts = warm_starts_;
+  rep.jobs_recovered = jobs_recovered_;
   for (int d = 0; d < opt_.num_devices; ++d)
     if (device_failed_[std::size_t(d)]) rep.failed_devices.push_back(d);
   rep.device_modeled_s = device_clock_;
@@ -1051,6 +1208,11 @@ const SvcReport& Dispatcher::drain() {
           ? 0.0
           : *std::max_element(device_clock_.begin(), device_clock_.end());
   std::vector<double> queue_wait, service, e2e;
+  struct TenantAgg {
+    std::uint64_t submitted = 0, done = 0, cache_hits = 0, warm_starts = 0;
+    std::vector<double> queue_wait, e2e;
+  };
+  std::map<std::string, TenantAgg> by_tenant;
   for (const Job& job : jobs_) {
     rep.jobs.push_back(snapshotLocked(job));
     const JobStatus& s = rep.jobs.back();
@@ -1070,6 +1232,13 @@ const SvcReport& Dispatcher::drain() {
       service.push_back(s.service_host_s);
       rep.modeled_device_seconds_total += s.modeled_seconds;
     }
+    TenantAgg& agg = by_tenant[tenantLabel(s.tenant)];
+    ++agg.submitted;
+    if (s.state == JobState::kDone) ++agg.done;
+    if (s.cache_hit) ++agg.cache_hits;
+    if (s.warm_start && s.dispatch_seq >= 0) ++agg.warm_starts;
+    agg.queue_wait.push_back(s.queue_wait_host_s);
+    agg.e2e.push_back(s.e2e_host_s);
   }
   rep.queue_wait_host_s = summarize(std::move(queue_wait));
   rep.service_host_s = summarize(std::move(service));
@@ -1077,6 +1246,22 @@ const SvcReport& Dispatcher::drain() {
   rep.host_seconds = lifetime_.seconds();
   rep.jobs_per_host_second =
       rep.host_seconds > 0.0 ? double(rep.jobs_done) / rep.host_seconds : 0.0;
+  // Per-tenant summary (sorted by label via the map): the WFQ acceptance
+  // surface — per-tenant p99s and goodput next to the configured weight.
+  for (auto& [tenant, agg] : by_tenant) {
+    SvcReport::TenantSummary t;
+    t.tenant = tenant;
+    t.weight = fq_.weight(tenant);
+    t.jobs_submitted = agg.submitted;
+    t.jobs_done = agg.done;
+    t.cache_hits = agg.cache_hits;
+    t.warm_starts = agg.warm_starts;
+    t.goodput_jobs_per_s =
+        rep.host_seconds > 0.0 ? double(agg.done) / rep.host_seconds : 0.0;
+    t.queue_wait_host_s = summarize(std::move(agg.queue_wait));
+    t.e2e_host_s = summarize(std::move(agg.e2e));
+    rep.tenants.push_back(std::move(t));
+  }
 
   drained_.store(true, std::memory_order_release);
   return report_;
@@ -1100,6 +1285,9 @@ std::string Dispatcher::reportJson() const {
   w.kv("jobs_deadline_missed", std::int64_t(rep.jobs_deadline_missed));
   w.kv("devices_failed", std::int64_t(rep.devices_failed));
   w.kv("jobs_migrated", std::int64_t(rep.jobs_migrated));
+  w.kv("cache_hits", std::int64_t(rep.cache_hits));
+  w.kv("warm_starts", std::int64_t(rep.warm_starts));
+  w.kv("jobs_recovered", std::int64_t(rep.jobs_recovered));
   w.key("failed_devices").beginArray();
   for (int d : rep.failed_devices) w.value(d);
   w.endArray();
@@ -1123,6 +1311,23 @@ std::string Dispatcher::reportJson() const {
   w.key("device_modeled_s").beginArray();
   for (double s : rep.device_modeled_s) w.value(s);
   w.endArray();
+  w.key("tenants").beginArray();
+  for (const SvcReport::TenantSummary& t : rep.tenants) {
+    w.beginObject();
+    w.kv("tenant", t.tenant);
+    w.kv("weight", t.weight);
+    w.kv("jobs_submitted", std::int64_t(t.jobs_submitted));
+    w.kv("jobs_done", std::int64_t(t.jobs_done));
+    w.kv("cache_hits", std::int64_t(t.cache_hits));
+    w.kv("warm_starts", std::int64_t(t.warm_starts));
+    w.kv("goodput_jobs_per_s", t.goodput_jobs_per_s);
+    w.key("queue_wait_host_s");
+    writeDistSummary(w, t.queue_wait_host_s);
+    w.key("e2e_host_s");
+    writeDistSummary(w, t.e2e_host_s);
+    w.endObject();
+  }
+  w.endArray();
   w.key("jobs").beginArray();
   for (const JobStatus& s : rep.jobs) {
     w.beginObject();
@@ -1139,13 +1344,16 @@ std::string Dispatcher::reportJson() const {
     w.kv("queue_wait_host_s", s.queue_wait_host_s);
     w.kv("service_host_s", s.service_host_s);
     w.kv("e2e_host_s", s.e2e_host_s);
-    if (s.dispatch_seq >= 0) {
+    if (s.dispatch_seq >= 0 || s.cache_hit) {
       w.kv("converged", s.converged);
       w.kv("equits", s.equits);
       w.kv("final_rmse_hu", s.final_rmse_hu);
       w.kv("modeled_seconds", s.modeled_seconds);
       w.kv("queue_wait_modeled_s", s.queue_wait_modeled_s);
     }
+    if (s.cache_hit) w.kv("cache_hit", true);
+    if (s.warm_start) w.kv("warm_start", true);
+    if (s.recoveries > 0) w.kv("recoveries", s.recoveries);
     if (s.migrations > 0) w.kv("migrations", s.migrations);
     if (!s.error.empty()) w.kv("error", s.error);
     // uint64 hashes cross the wire as hex strings: a JSON number (double)

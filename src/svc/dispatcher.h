@@ -49,6 +49,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -64,6 +65,7 @@
 #include "core/timer.h"
 #include "obs/flight.h"
 #include "sched/scheduler.h"
+#include "store/wfq.h"
 #include "svc/protocol.h"
 
 namespace mbir::svc {
@@ -103,11 +105,25 @@ struct JobSpec {
   /// target set; stall/death additionally require the watchdog to be armed
   /// (they are dropped otherwise — nothing could ever resolve them).
   chaos::JobFault fault;
+  /// Times this job was already recovered from the WAL by a server restart
+  /// (src/store). Counted separately from migrations: a recovered job that
+  /// lands on a device that then dies migrates like any other. A recovery
+  /// resubmit (> 0) also bypasses the queue-capacity check — the job was
+  /// admitted (and acknowledged durable) by a previous incarnation, so
+  /// dropping it now would break exactly-once completion.
+  int recoveries = 0;
+  /// The server attached a cached near-duplicate image as the run's
+  /// starting point (RunConfig::initial_image); surfaced in status/report
+  /// so equits-saved is measurable.
+  bool warm_start = false;
 };
 
 struct SubmitOutcome {
   bool accepted = false;
   int job_id = -1;
+  /// Admitted via submitCached(): already terminal, result is the cached
+  /// image — the client can fetch it immediately.
+  bool cache_hit = false;
   std::string reason;  ///< set when rejected
 };
 
@@ -129,6 +145,13 @@ struct JobStatus {
   double e2e_host_s = 0.0;
   /// Times this job was requeued off a failed device (queued or running).
   int migrations = 0;
+  /// Times this job was recovered from the WAL by a restart (JobSpec).
+  int recoveries = 0;
+  /// Served straight from the result cache — never dispatched; the run-
+  /// outcome fields below carry the cached values.
+  bool cache_hit = false;
+  /// Ran, but starting from a cached near-duplicate image.
+  bool warm_start = false;
   // Terminal summary (from the run, when the job was dispatched):
   bool converged = false;
   double equits = 0.0;
@@ -167,6 +190,21 @@ struct DispatcherOptions {
   /// injected, since nothing could resolve them). Only chaos-monitored
   /// runs are watched, so an armed watchdog never misfires on plain jobs.
   double watchdog_ms = 0.0;
+  /// Weighted fair queuing across tenants (DESIGN.md §14): priority-lane
+  /// dispatch picks the backlogged tenant with the lowest virtual time
+  /// (store::FairQueue), then the highest priority within that tenant —
+  /// so one heavy tenant gets its weight share of dispatch slots, never
+  /// the whole machine. Tenants not listed get default_tenant_weight.
+  /// With a single tenant (or equal weights) dispatch order is identical
+  /// to plain priority scheduling.
+  std::map<std::string, double> tenant_weights;
+  double default_tenant_weight = 1.0;
+  /// Called once per job (off the dispatcher lock) when it reaches a
+  /// terminal state, with the terminal snapshot. The server uses it to
+  /// append WAL terminal records and populate the result cache. May call
+  /// back into the dispatcher (status()/image()); must not block for long
+  /// — it runs on device threads between jobs.
+  std::function<void(const JobStatus&)> on_terminal;
 };
 
 struct DistSummary {
@@ -198,6 +236,25 @@ struct SvcReport {
   std::uint64_t devices_failed = 0;
   std::uint64_t jobs_migrated = 0;  ///< total migration events
   std::vector<int> failed_devices;
+  // Store lane (src/store; all zero without a cache/WAL):
+  std::uint64_t cache_hits = 0;    ///< jobs served without dispatching
+  std::uint64_t warm_starts = 0;   ///< jobs started from a cached image
+  std::uint64_t jobs_recovered = 0;  ///< jobs resubmitted from the WAL
+  /// Per-tenant drain summary (p99s per tenant — the WFQ acceptance
+  /// surface). Sorted by tenant label; present whenever any job carried a
+  /// tenant (the default tenant is labeled "default").
+  struct TenantSummary {
+    std::string tenant;
+    double weight = 1.0;
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_done = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t warm_starts = 0;
+    double goodput_jobs_per_s = 0.0;  ///< done / report host_seconds
+    DistSummary queue_wait_host_s;
+    DistSummary e2e_host_s;
+  };
+  std::vector<TenantSummary> tenants;
   std::vector<JobStatus> jobs;
 };
 
@@ -216,6 +273,22 @@ class Dispatcher {
   /// queued unboundedly — when the admission queue is full or the
   /// dispatcher is draining.
   SubmitOutcome submit(const JobSpec& spec);
+
+  /// A finished result the server pulled from the result cache.
+  struct CachedResult {
+    bool converged = false;
+    double equits = 0.0;
+    double final_rmse_hu = 0.0;
+    double modeled_seconds = 0.0;
+    std::uint64_t image_hash = 0;
+  };
+  /// Admit a job that is already complete: an exact result-cache hit. The
+  /// job is created directly in the kDone state with the cached image and
+  /// outcome — it never occupies a queue slot or a device, so it cannot be
+  /// rejected for capacity (only while draining). status/result/report
+  /// treat it like any other done job, with cache_hit = true.
+  SubmitOutcome submitCached(const JobSpec& spec, const Image2D& image,
+                             const CachedResult& cached);
 
   /// Cooperative cancel. Queued priority-lane jobs are finalized
   /// immediately (freeing their queue slot); running jobs stop at the next
@@ -292,6 +365,12 @@ class Dispatcher {
     double watchdog_ms = 0.0;
     std::uint64_t devices_failed = 0;
     std::uint64_t jobs_migrated = 0;
+    // Store lane:
+    std::uint64_t cache_hits = 0;
+    std::uint64_t warm_starts = 0;
+    std::uint64_t jobs_recovered = 0;
+    /// Per-tenant WFQ shares (weight, virtual time, dispatches).
+    std::vector<store::FairQueue::Share> tenant_shares;
   };
   LiveStats liveStats() const;
 
@@ -314,6 +393,16 @@ class Dispatcher {
 
   /// Block until the job reaches a terminal state; returns the snapshot.
   JobStatus waitTerminal(int job_id) const;
+
+  /// Deliver queued terminal notifications (on_terminal) and flight dumps
+  /// on the calling thread. A terminal transition queues its notification
+  /// in the same critical section that publishes the state, so
+  /// waitTerminal + flushNotifications guarantees the store side effects
+  /// (cache insert, WAL terminal record) of an observed result have landed
+  /// — the server calls this before answering the `result` verb, which
+  /// makes "finish a job, then submit a duplicate" hit the cache
+  /// deterministically.
+  void flushNotifications() { flushFlightDumps(); }
 
   /// Copy of a finished job's image (nullopt when the job never ran).
   std::optional<Image2D> image(int job_id) const;
@@ -348,6 +437,7 @@ class Dispatcher {
     std::uint64_t image_hash = 0;
     bool has_image = false;
     int migrations = 0;        ///< times requeued off a failed device
+    bool cache_hit = false;    ///< created terminal from the result cache
     bool fault_fired = false;  ///< one-shot: migrated jobs re-run clean
     bool hooked = false;       ///< current run heartbeats (watchdog applies)
     /// The job's identity for trace spans and flight events; filled at
@@ -366,6 +456,10 @@ class Dispatcher {
   /// Queue an automatic flight dump for a job that ended badly. File I/O
   /// happens later in flushFlightDumps(), off the dispatcher lock.
   void requestFlightDumpLocked(const Job& job);
+  /// Flush deferred off-lock side effects: automatic flight-dump file I/O
+  /// and on_terminal notifications (WAL/cache writes in the server). Called
+  /// wherever terminal transitions may have queued work, after mu_ is
+  /// released.
   void flushFlightDumps();
   JobStatus snapshotLocked(const Job& job) const;
   int tracePid(int device) const { return opt_.base_trace_pid + device; }
@@ -399,7 +493,14 @@ class Dispatcher {
   std::vector<int> device_running_;        ///< running job id per device; -1 idle
   /// Automatic flight dumps waiting for file I/O: (file stem, reason).
   std::vector<std::pair<std::string, std::string>> pending_flight_;
+  /// Terminal snapshots waiting for the on_terminal callback (off-lock).
+  std::vector<JobStatus> pending_terminal_;
   std::uint64_t flight_dumps_ = 0;
+  /// Weighted fair queuing across tenants (guarded by mu_).
+  store::FairQueue fq_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t warm_starts_ = 0;
+  std::uint64_t jobs_recovered_ = 0;
   /// A sharded job is running: it owns every device, so no other pick may
   /// dispatch until it finishes (cleared by the gang leader's thread).
   bool gang_active_ = false;

@@ -2,12 +2,14 @@
 
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "chaos/fault.h"
 #include "core/error.h"
+#include "core/hash.h"
 
 namespace mbir::svc {
 
@@ -194,6 +196,7 @@ std::string encodeSubmit(const SubmitParams& p) {
   if (!p.name.empty()) w.kv("name", p.name);
   if (!p.tenant.empty()) w.kv("tenant", p.tenant);
   if (!p.fault.empty()) w.kv("fault", p.fault);
+  if (p.bypass_cache) w.kv("bypass_cache", true);
   w.endObject();
   return w.str();
 }
@@ -221,6 +224,7 @@ SubmitParams parseSubmitParams(const Request& req) {
   p.fault = req.getString("fault", "");
   // Parse eagerly so a malformed spec fails the submit, not the job.
   chaos::parseFaultSpec(p.fault);
+  p.bypass_cache = req.getBool("bypass_cache", false);
   return p;
 }
 
@@ -251,6 +255,51 @@ RunConfig makeRunConfig(RunConfig base, const SubmitParams& p) {
   // engine, so the service always pins it (DESIGN.md §7).
   base.psv.num_threads = 1;
   return base;
+}
+
+// ---------------------------------------------------------------------------
+// Result-cache keys
+// ---------------------------------------------------------------------------
+
+std::string cacheConfigKey(const RunConfig& base, const SubmitParams& p) {
+  const RunConfig c = makeRunConfig(base, p);
+  // Engine-dependent result knobs: only the engine that runs reads its SV
+  // side / update-order seed, so keying on the other engine's values would
+  // split identical results across distinct keys.
+  int sv_side = 0;
+  std::uint64_t seed = 0;
+  if (c.algorithm == Algorithm::kGpuIcd) {
+    sv_side = c.gpu.tunables.sv.sv_side;
+    seed = c.gpu.seed;
+  } else if (c.algorithm == Algorithm::kPsvIcd) {
+    sv_side = c.psv.sv.sv_side;
+    seed = c.psv.seed;
+  }
+  // A single-slab "sharded" job is the unsharded computation.
+  const int shards = p.shards > 1 ? p.shards : 1;
+  const int halo = p.shards > 1 ? p.shard_halo : 0;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "alg=%s;max_equits=%.17g;stop_rmse_hu=%.17g;sv=%d;seed=%llu;"
+                "shards=%d;halo=%d",
+                algorithmName(c.algorithm), c.max_equits, c.stop_rmse_hu,
+                sv_side, static_cast<unsigned long long>(seed), shards, halo);
+  return buf;
+}
+
+std::uint64_t hashCaseInputs(const OwnedProblem& problem,
+                             const Image2D& golden) {
+  const auto& scan = problem.scan();
+  const auto& geom = problem.geometry();
+  const std::uint64_t parts[6] = {
+      fnv1a64(scan.y.flat()),
+      fnv1a64(scan.weights.flat()),
+      fnv1a64(golden.flat()),
+      std::uint64_t(geom.num_views),
+      std::uint64_t(geom.num_channels),
+      std::uint64_t(geom.image_size),
+  };
+  return fnv1a64(parts, sizeof parts);
 }
 
 // ---------------------------------------------------------------------------

@@ -127,6 +127,10 @@ struct SubmitParams {
   /// or "death" (chaos::parseFaultSpec). Validated at submit on both
   /// sides; stall/death additionally require the server's watchdog armed.
   std::string fault;
+  /// Skip the result cache for this submit (no exact-hit serve, no warm
+  /// start); the finished cold-run result is still inserted. reconctl's
+  /// --no-cache flag.
+  bool bypass_cache = false;
 };
 
 /// Serialize a submit request payload.
@@ -138,6 +142,27 @@ SubmitParams parseSubmitParams(const Request& req);
 /// deterministic PSV mode (DESIGN.md §7) — so any accepted job is exactly
 /// reproducible.
 RunConfig makeRunConfig(RunConfig base, const SubmitParams& p);
+
+// ---------------------------------------------------------------------------
+// Result-cache keys (src/store)
+// ---------------------------------------------------------------------------
+
+/// Canonical string naming everything about the resolved run config that
+/// can change the result bits — algorithm, equit budget, stop criterion,
+/// SV side, GPU seed, shard layout — and nothing that cannot (SIMD path is
+/// bit-identical; priority / deadline / tenant / deterministic routing only
+/// change WHEN a job runs). Two submits with equal keys and equal inputs
+/// produce bit-identical images, which is what lets the cache serve exact
+/// hits without dispatching. Throws exactly like makeRunConfig on invalid
+/// params.
+std::string cacheConfigKey(const RunConfig& base, const SubmitParams& p);
+
+/// FNV-1a fingerprint of a case's result-determining inputs: measurement
+/// sinogram, statistical weights, golden image (it defines the RMSE stop
+/// criterion) and geometry dimensions. Two cases share a fingerprint only
+/// if those are bit-identical.
+std::uint64_t hashCaseInputs(const OwnedProblem& problem,
+                             const Image2D& golden);
 
 // ---------------------------------------------------------------------------
 // Responses

@@ -2,8 +2,10 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <netinet/in.h>
+#include <optional>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,7 +31,10 @@ void writeJobStatus(obs::JsonWriter& w, const JobStatus& s) {
   w.kv("service_host_s", s.service_host_s);
   w.kv("e2e_host_s", s.e2e_host_s);
   if (s.migrations > 0) w.kv("migrations", s.migrations);
-  if (isTerminal(s.state) && s.dispatch_seq >= 0) {
+  if (s.recoveries > 0) w.kv("recoveries", s.recoveries);
+  w.kv("cache_hit", s.cache_hit);
+  if (s.warm_start) w.kv("warm_start", true);
+  if (isTerminal(s.state) && (s.dispatch_seq >= 0 || s.cache_hit)) {
     w.kv("converged", s.converged);
     w.kv("equits", s.equits);
     w.kv("final_rmse_hu", s.final_rmse_hu);
@@ -43,7 +48,9 @@ void writeJobStatus(obs::JsonWriter& w, const JobStatus& s) {
 }  // namespace
 
 Server::Server(ServerOptions options, JobSource& source)
-    : opt_(std::move(options)), source_(source), dispatcher_(opt_.dispatch) {
+    : opt_(std::move(options)),
+      source_(source),
+      dispatcher_(makeDispatchOptions()) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   MBIR_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
   const int one = 1;
@@ -68,7 +75,175 @@ Server::Server(ServerOptions options, JobSource& source)
       "getsockname(): " << std::strerror(errno));
   port_ = ntohs(addr.sin_port);
 
+  // Re-dispatch everything the WAL replayed as admitted-but-unfinished
+  // before any client can connect, so recovered jobs keep their original
+  // admission order relative to new traffic.
+  recoverPendingJobs();
+
   acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+DispatcherOptions Server::makeDispatchOptions() {
+  DispatcherOptions d = opt_.dispatch;
+  if (opt_.wal || opt_.cache)
+    d.on_terminal = [this](const JobStatus& s) { onJobTerminal(s); };
+  return d;
+}
+
+std::uint64_t Server::caseInputHash(int case_index, const JobSource::Case& c) {
+  {
+    std::lock_guard lock(store_mu_);
+    if (auto it = case_input_hash_.find(case_index);
+        it != case_input_hash_.end())
+      return it->second;
+  }
+  // Hash outside the lock (O(sinogram) work); a racing duplicate computes
+  // the same value, so the late emplace is a no-op.
+  const std::uint64_t h = hashCaseInputs(c.problem, c.golden);
+  std::lock_guard lock(store_mu_);
+  case_input_hash_.emplace(case_index, h);
+  return h;
+}
+
+void Server::registerStoreRec(int job_id, StoreRec rec) {
+  std::optional<JobStatus> ready;
+  {
+    std::lock_guard lock(store_mu_);
+    // The job may already be terminal: a fast run's on_terminal callback
+    // fired before this thread got here and parked its snapshot.
+    if (auto it = unclaimed_terminal_.find(job_id);
+        it != unclaimed_terminal_.end()) {
+      ready = std::move(it->second);
+      unclaimed_terminal_.erase(it);
+    } else {
+      job_store_.emplace(job_id, std::move(rec));
+      return;
+    }
+  }
+  finishStoreRec(rec, *ready);
+}
+
+void Server::onJobTerminal(const JobStatus& s) {
+  StoreRec rec;
+  {
+    std::lock_guard lock(store_mu_);
+    auto it = job_store_.find(s.job_id);
+    if (it == job_store_.end()) {
+      // Either the submit thread has not registered its StoreRec yet (park
+      // the snapshot for it) or this is a cache-hit job, which is never
+      // store-tracked: its result was already durable when it was admitted.
+      if (!s.cache_hit) unclaimed_terminal_.emplace(s.job_id, s);
+      return;
+    }
+    rec = std::move(it->second);
+    job_store_.erase(it);
+  }
+  finishStoreRec(rec, s);
+}
+
+void Server::finishStoreRec(const StoreRec& rec, const JobStatus& s) {
+  try {
+    // Cache insert BEFORE the WAL terminal: a crash between the two makes
+    // the restart replay the job as pending and serve it from the cache —
+    // the same bits, delivered exactly once. The opposite order could mark
+    // a job finished whose result no incarnation can produce again without
+    // a re-run. Only cold runs are inserted, so every cache entry is
+    // bit-identical to a cold run of its key.
+    if (opt_.cache && s.state == JobState::kDone && s.has_image &&
+        !s.warm_start && !s.cache_hit) {
+      if (const std::optional<Image2D> img = dispatcher_.image(s.job_id)) {
+        store::ResultCache::Meta meta;
+        meta.input_hash = rec.input_hash;
+        meta.config_key = rec.config_key;
+        meta.converged = s.converged;
+        meta.equits = s.equits;
+        meta.final_rmse_hu = s.final_rmse_hu;
+        meta.modeled_seconds = s.modeled_seconds;
+        meta.image_hash = s.image_hash;
+        opt_.cache->insert(meta, *img);
+      }
+    }
+    if (opt_.wal && rec.wal_id >= 0)
+      opt_.wal->appendTerminal(rec.wal_id, jobStateName(s.state),
+                               s.image_hash);
+  } catch (const std::exception& e) {
+    // Store I/O failure must not kill the device thread delivering the
+    // callback; the job itself already completed.
+    std::fprintf(stderr, "gpumbir: store update for job %d failed: %s\n",
+                 s.job_id, e.what());
+  }
+}
+
+void Server::recoverPendingJobs() {
+  if (!opt_.wal) return;
+  for (const store::PendingJob& pj : opt_.wal->pending()) {
+    try {
+      const Request req = parseRequest(pj.params_json);
+      const SubmitParams p = parseSubmitParams(req);
+      const JobSource::Case c = source_.get(p.case_index);
+
+      JobSpec spec;
+      spec.problem = &c.problem;
+      spec.golden = &c.golden;
+      spec.config = makeRunConfig(opt_.base_config, p);
+      spec.name = p.name;
+      spec.tenant = p.tenant;
+      spec.priority = p.priority;
+      spec.deadline_ms = p.deadline_ms;
+      spec.deterministic = p.deterministic;
+      spec.shards = p.shards;
+      spec.shard_halo = p.shard_halo;
+      // No fault replay: an injected fault belonged to the crashed
+      // incarnation's chaos plan; the recovered job re-runs clean.
+      spec.recoveries = pj.recoveries + 1;
+
+      const std::uint64_t input_hash = caseInputHash(p.case_index, c);
+      const std::string config_key = cacheConfigKey(opt_.base_config, p);
+
+      // Exact cache hit: this incarnation (or an identical earlier job)
+      // already produced the bits — serve them and close the WAL entry.
+      // Recovered jobs never warm-start: recovery promises either a
+      // bit-identical det-lane re-run or a fresh cold run.
+      if (opt_.cache && !p.bypass_cache && !p.deterministic &&
+          p.fault.empty()) {
+        if (const auto hit = opt_.cache->find(input_hash, config_key)) {
+          Dispatcher::CachedResult cr;
+          cr.converged = hit->meta.converged;
+          cr.equits = hit->meta.equits;
+          cr.final_rmse_hu = hit->meta.final_rmse_hu;
+          cr.modeled_seconds = hit->meta.modeled_seconds;
+          cr.image_hash = hit->meta.image_hash;
+          const SubmitOutcome out =
+              dispatcher_.submitCached(spec, *hit->image, cr);
+          if (out.accepted) {
+            // Cache-hit jobs are not store-tracked, so write the terminal
+            // record here: the pending entry is now satisfied.
+            opt_.wal->appendTerminal(pj.wal_id, "done", cr.image_hash);
+            continue;
+          }
+        }
+      }
+
+      // Re-append the admit with the bumped recoveries count first, so a
+      // second crash still knows how many times this job has come back.
+      opt_.wal->appendAdmit(pj.wal_id, spec.recoveries, pj.params_json);
+      const SubmitOutcome out = dispatcher_.submit(spec);
+      if (!out.accepted) {
+        std::fprintf(stderr,
+                     "gpumbir: WAL recovery: wal_id=%lld rejected: %s\n",
+                     static_cast<long long>(pj.wal_id), out.reason.c_str());
+        continue;
+      }
+      StoreRec rec;
+      rec.wal_id = pj.wal_id;
+      rec.input_hash = input_hash;
+      rec.config_key = config_key;
+      registerStoreRec(out.job_id, std::move(rec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gpumbir: WAL recovery for wal_id=%lld failed: %s\n",
+                   static_cast<long long>(pj.wal_id), e.what());
+    }
+  }
 }
 
 Server::~Server() { stop(); }
@@ -174,13 +349,72 @@ std::string Server::handleSubmit(const Request& req) {
     return errorResponse("fault '" + p.fault +
                          "' needs an armed watchdog (see the chaos verb)");
 
+  const bool store_on = opt_.wal || opt_.cache;
+  std::uint64_t input_hash = 0;
+  std::string config_key;
+  if (store_on) {
+    input_hash = caseInputHash(p.case_index, c);
+    config_key = cacheConfigKey(opt_.base_config, p);
+  }
+
+  // Result cache: deterministic-lane jobs never consult it (their contract
+  // is the re-runnable lane schedule, not a served result — though their
+  // cold results are still inserted for others), and a forced-fault submit
+  // wants a run, not a lookup.
+  if (opt_.cache && !p.bypass_cache && !p.deterministic && p.fault.empty()) {
+    // Exact (input, config) hit: serve the finished image without
+    // dispatching. No WAL records either — the result was durable before
+    // the job existed, so there is nothing to recover.
+    if (const auto hit = opt_.cache->find(input_hash, config_key)) {
+      Dispatcher::CachedResult cr;
+      cr.converged = hit->meta.converged;
+      cr.equits = hit->meta.equits;
+      cr.final_rmse_hu = hit->meta.final_rmse_hu;
+      cr.modeled_seconds = hit->meta.modeled_seconds;
+      cr.image_hash = hit->meta.image_hash;
+      const SubmitOutcome out = dispatcher_.submitCached(spec, *hit->image, cr);
+      if (!out.accepted) return errorResponse(out.reason, /*rejected=*/true);
+      obs::JsonWriter w;
+      beginResponse(w, true);
+      w.kv("verb", "submit");
+      w.kv("job_id", out.job_id);
+      w.kv("cache_hit", true);
+      w.endObject();
+      return w.str();
+    }
+    // Near-duplicate: same inputs under a different config — warm-start
+    // from the most-converged cached image. Single-shard only: a sharded
+    // job's slab subproblems cannot take a full-size initial image.
+    if (p.shards == 1) {
+      if (const auto warm =
+              opt_.cache->findWarm(input_hash, c.golden.size())) {
+        spec.config.initial_image = warm->image;
+        spec.warm_start = true;
+      }
+    }
+  }
+
   const SubmitOutcome out = dispatcher_.submit(spec);
   if (!out.accepted) return errorResponse(out.reason, /*rejected=*/true);
+
+  if (store_on) {
+    StoreRec rec;
+    rec.input_hash = input_hash;
+    rec.config_key = config_key;
+    if (opt_.wal) {
+      // Durability point: the admit record is on disk before the client
+      // sees the ack, so an acknowledged job survives any crash after this.
+      rec.wal_id = opt_.wal->nextId();
+      opt_.wal->appendAdmit(rec.wal_id, 0, encodeSubmit(p));
+    }
+    registerStoreRec(out.job_id, std::move(rec));
+  }
 
   obs::JsonWriter w;
   beginResponse(w, true);
   w.kv("verb", "submit");
   w.kv("job_id", out.job_id);
+  w.kv("cache_hit", false);
   w.endObject();
   return w.str();
 }
@@ -234,8 +468,11 @@ std::string Server::handleResult(const Request& req) {
     return errorResponse("unknown job id " + std::to_string(id));
   const bool include_image = req.getBool("include_image", false);
 
-  // Blocks this connection (only) until the job is terminal.
+  // Blocks this connection (only) until the job is terminal. The flush
+  // makes this a store sync point: once a client has seen a result, the
+  // job's cache insert / WAL terminal record are on disk too.
   const JobStatus s = dispatcher_.waitTerminal(id);
+  dispatcher_.flushNotifications();
   obs::JsonWriter w;
   beginResponse(w, true);
   w.kv("verb", "result");

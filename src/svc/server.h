@@ -23,10 +23,13 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "recon/case_library.h"
+#include "store/cache.h"
+#include "store/wal.h"
 #include "svc/dispatcher.h"
 #include "svc/protocol.h"
 
@@ -68,6 +71,16 @@ struct ServerOptions {
   DispatcherOptions dispatch;
   /// Base RunConfig submits are applied onto (see makeRunConfig()).
   RunConfig base_config;
+  /// Durable job log (nullptr = off). Borrowed; must outlive the server.
+  /// When set, submits are acknowledged only after their admit record is on
+  /// disk, and the constructor re-dispatches every admitted-but-unfinished
+  /// job the log replayed (DESIGN.md §14).
+  store::JobLog* wal = nullptr;
+  /// Content-addressed result cache (nullptr = off). Borrowed; must outlive
+  /// the server. Exact hits are served without dispatching; near-duplicates
+  /// (same inputs, different config) warm-start from the most-converged
+  /// cached image.
+  store::ResultCache* cache = nullptr;
 };
 
 class Server {
@@ -124,8 +137,37 @@ class Server {
   /// Join + close finished connections (called on the acceptor thread).
   void reapConnectionsLocked();
 
+  /// Per-job store bookkeeping: which WAL record and cache key a live job
+  /// belongs to, registered at submit and consumed at terminal.
+  struct StoreRec {
+    std::int64_t wal_id = -1;
+    std::uint64_t input_hash = 0;
+    std::string config_key;
+  };
+  /// opt_.dispatch plus the on_terminal hook into the store (when enabled).
+  DispatcherOptions makeDispatchOptions();
+  /// Re-dispatch every admitted-but-unfinished job from the WAL replay
+  /// (constructor, before the acceptor starts).
+  void recoverPendingJobs();
+  /// Memoized hashCaseInputs per case index (sinogram hashing is O(data)).
+  std::uint64_t caseInputHash(int case_index, const JobSource::Case& c);
+  void registerStoreRec(int job_id, StoreRec rec);
+  /// Dispatcher terminal callback (runs on device threads, off-lock).
+  void onJobTerminal(const JobStatus& s);
+  /// Cache insert + WAL terminal for one finished job. Never throws: a
+  /// store I/O failure must not kill a device thread.
+  void finishStoreRec(const StoreRec& rec, const JobStatus& s);
+
   ServerOptions opt_;
   JobSource& source_;
+  // Store bookkeeping is declared before dispatcher_ so it is still alive
+  // while the dispatcher destructor flushes its last terminal callbacks.
+  std::mutex store_mu_;
+  std::map<int, StoreRec> job_store_;
+  /// Terminal snapshots that raced ahead of registerStoreRec (a fast job
+  /// can finish before handleSubmit records its StoreRec).
+  std::map<int, JobStatus> unclaimed_terminal_;
+  std::map<int, std::uint64_t> case_input_hash_;
   Dispatcher dispatcher_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;

@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for the store lane (DESIGN.md §14): SIGKILL a
+# recon_server mid-load, restart it on the same --wal-dir/--cache-dir, and
+# assert
+#   * every job admitted before the kill completes exactly once (the
+#     restart recovers the WAL's pending set; a third incarnation finds
+#     nothing left to recover),
+#   * deterministic-lane work is bit-identical across incarnations,
+#   * a duplicate submit after the restart is served from the result cache
+#     without dispatching (reconctl --json reports cache_hit, exit 0).
+#
+#   usage: kill_restart_test.sh <path-to-reconctl> <path-to-recon_server>
+set -u
+
+RECONCTL="${1:?usage: kill_restart_test.sh <reconctl> <recon_server>}"
+RECON_SERVER="${2:?usage: kill_restart_test.sh <reconctl> <recon_server>}"
+
+TMP="$(mktemp -d)"
+WAL="$TMP/wal"
+CACHE="$TMP/cache"
+SERVER_PID=""
+FAILURES=0
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1"
+  FAILURES=$((FAILURES + 1))
+}
+
+# jget <file> <python-expr over d>  — pull one value out of a JSON document.
+jget() {
+  python3 -c "import json,sys; d=json.load(open(sys.argv[1])); print($2)" "$1"
+}
+
+start_server() { # start_server <logfile>
+  local log="$1"
+  rm -f "$TMP/port"
+  "$RECON_SERVER" --devices 1 --size 48 --views 64 --channels 64 \
+    --golden-equits 4 --max-equits 4 --wal-dir "$WAL" --cache-dir "$CACHE" \
+    --port-file "$TMP/port" >"$log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$TMP/port" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: server never wrote its port file"
+  cat "$log"
+  exit 1
+}
+PORT_ARGS=(--port-file "$TMP/port")
+
+# ---- incarnation 1: build a backlog, then die without warning -------------
+start_server "$TMP/server1.log"
+
+# Baseline deterministic run: finished (and cached) before the crash.
+"$RECONCTL" submit "${PORT_ARGS[@]}" --deterministic --max-equits 3 \
+  --name detbase --wait --json >"$TMP/detbase.json" \
+  || fail "baseline det submit"
+DET_HASH="$(jget "$TMP/detbase.json" "d['image_hash']")"
+[ -n "$DET_HASH" ] || fail "baseline det run has no image hash"
+
+# Backlog on the single device: distinct budgets = distinct cache keys, so
+# none of these can be served from the cache — they must all really run.
+for EQ in 5 6 7; do
+  "$RECONCTL" submit "${PORT_ARGS[@]}" --max-equits "$EQ" --name "load$EQ" \
+    >/dev/null || fail "submit load$EQ"
+done
+"$RECONCTL" submit "${PORT_ARGS[@]}" --deterministic --max-equits 3 \
+  --name detagain >/dev/null || fail "submit detagain"
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+echo "ok: killed incarnation 1 with a backlog admitted"
+
+# ---- incarnation 2: recover, serve a duplicate from cache, drain ----------
+start_server "$TMP/server2.log"
+PENDING="$(grep -o 'recovered [0-9]* pending' "$TMP/server2.log" |
+  grep -o '[0-9]*')"
+if [ -z "$PENDING" ] || [ "$PENDING" -lt 1 ]; then
+  fail "restart recovered no pending jobs (got '${PENDING:-none}')"
+  cat "$TMP/server2.log"
+else
+  echo "ok: restart recovered $PENDING pending job(s)"
+fi
+
+# Duplicate of the finished baseline (same config, non-deterministic): an
+# exact cache hit, already terminal at the ack, exit 0.
+"$RECONCTL" submit "${PORT_ARGS[@]}" --max-equits 3 --name dup --json \
+  >"$TMP/dup.json"
+DUP_EXIT=$?
+if [ "$DUP_EXIT" -ne 0 ]; then
+  fail "duplicate submit exited $DUP_EXIT, want 0"
+elif [ "$(jget "$TMP/dup.json" "d['cache_hit']")" != "True" ]; then
+  fail "duplicate submit was not served from the cache"
+elif [ "$(jget "$TMP/dup.json" "d['image_hash']")" != "$DET_HASH" ]; then
+  fail "cached duplicate returned different bits"
+else
+  echo "ok: duplicate served from cache with the original bits"
+fi
+
+# Det-lane bit-identity across incarnations: a fresh run of the baseline
+# config in the new process must reproduce the pre-crash hash exactly.
+"$RECONCTL" submit "${PORT_ARGS[@]}" --deterministic --max-equits 3 \
+  --name detfresh --wait --json >"$TMP/detfresh.json" \
+  || fail "det resubmit after restart"
+if [ "$(jget "$TMP/detfresh.json" "d['image_hash']")" != "$DET_HASH" ]; then
+  fail "det-lane re-run is not bit-identical across the restart"
+else
+  echo "ok: det-lane re-run bit-identical across the restart"
+fi
+
+"$RECONCTL" drain "${PORT_ARGS[@]}" --out "$TMP/report.json" \
+  || fail "drain after recovery"
+wait "$SERVER_PID"
+SERVER_EXIT=$?
+SERVER_PID=""
+[ "$SERVER_EXIT" -eq 0 ] || fail "server exit $SERVER_EXIT after recovery"
+
+REC="$(jget "$TMP/report.json" "d['jobs_recovered']")"
+[ "$REC" = "$PENDING" ] ||
+  fail "report counts $REC recovered job(s), log said $PENDING"
+[ "$(jget "$TMP/report.json" "d['jobs_failed']")" = "0" ] ||
+  fail "recovered load had failures"
+[ "$(jget "$TMP/report.json" \
+  "sum(1 for j in d['jobs'] if j['state'] != 'done')")" = "0" ] ||
+  fail "not every job in the drain report is done"
+[ "$(jget "$TMP/report.json" \
+  "sum(1 for j in d['jobs'] if j.get('recoveries', 0) > 0)")" = "$REC" ] ||
+  fail "per-job recovery counts disagree with the total"
+# A recovered re-run of detagain (same det config) must match the baseline.
+[ "$(jget "$TMP/report.json" \
+  "all(j['image_hash'] == '$DET_HASH' for j in d['jobs']
+      if j['name'] in ('detagain', 'detfresh'))")" = "True" ] ||
+  fail "recovered det job produced different bits"
+echo "ok: drained; $REC recovered, all jobs done exactly once"
+
+# ---- incarnation 3: nothing left to recover -------------------------------
+start_server "$TMP/server3.log"
+if ! grep -q 'recovered 0 pending' "$TMP/server3.log"; then
+  fail "third incarnation still had pending WAL entries (not exactly-once)"
+  cat "$TMP/server3.log"
+else
+  echo "ok: third incarnation found an empty pending set"
+fi
+"$RECONCTL" drain "${PORT_ARGS[@]}" >/dev/null || fail "final drain"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES failure(s)"
+  exit 1
+fi
+echo "all kill-and-restart recovery checks passed"
